@@ -1,0 +1,241 @@
+//! Trial-DM grid planning from smearing analysis.
+//!
+//! The paper notes that the DM search space cannot be pruned: a slightly
+//! wrong trial DM smears the pulse below the noise floor (Section II).
+//! The flip side is that trials *closer* than the intrinsic smearing are
+//! redundant. Survey pipelines therefore plan the trial grid so that the
+//! step-induced smearing stays comparable to the unavoidable smearing —
+//! sampling time, intra-channel dispersion, and the pulse's own width —
+//! with the step growing as channel smearing (∝ DM) starts to dominate.
+//! This module is that planner (the PRESTO "DDplan" equivalent), built
+//! on the same Eq. 1 as everything else in this workspace.
+
+use dedisp_core::delay::delay_seconds;
+use dedisp_core::{DmGrid, Result};
+use serde::{Deserialize, Serialize};
+
+use crate::setup::ObservationalSetup;
+
+/// One constant-step segment of a planned DM search.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DmSegment {
+    /// The trials of this segment.
+    pub grid: DmGrid,
+    /// Effective pulse broadening (seconds) at the segment's top DM:
+    /// quadrature sum of sampling, channel smear, pulse width, and the
+    /// worst-case step smear.
+    pub smear_at_end_s: f64,
+}
+
+/// A complete piecewise-linear DM search plan.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DmPlan {
+    /// Segments in ascending DM order; consecutive segments double the
+    /// step.
+    pub segments: Vec<DmSegment>,
+}
+
+impl DmPlan {
+    /// Total number of trial DMs across all segments.
+    pub fn total_trials(&self) -> usize {
+        self.segments.iter().map(|s| s.grid.count()).sum()
+    }
+
+    /// Iterates over every trial DM in ascending order.
+    pub fn trial_dms(&self) -> impl Iterator<Item = f64> + '_ {
+        self.segments.iter().flat_map(|s| s.grid.values())
+    }
+
+    /// The largest planned trial DM.
+    pub fn max_dm(&self) -> f64 {
+        self.segments.last().map(|s| s.grid.max_dm()).unwrap_or(0.0)
+    }
+}
+
+/// Planner parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct DmPlanner {
+    /// Highest DM to search, in pc/cm³.
+    pub max_dm: f64,
+    /// Narrowest pulse width to stay sensitive to, in seconds.
+    pub pulse_width_s: f64,
+    /// Allowed ratio of step-induced smear to intrinsic smear (≥ that,
+    /// the step doubles). Typical: 1.0–1.5.
+    pub tolerance: f64,
+}
+
+impl DmPlanner {
+    /// A conventional planner: tolerance 1.25.
+    pub fn new(max_dm: f64, pulse_width_s: f64) -> Self {
+        Self {
+            max_dm,
+            pulse_width_s,
+            tolerance: 1.25,
+        }
+    }
+
+    /// Dispersion delay across the full band per unit DM, in s/(pc/cm³):
+    /// the sensitivity of the search to a DM error.
+    pub fn band_delay_per_dm(setup: &ObservationalSetup) -> f64 {
+        delay_seconds(1.0, setup.band.low_mhz(), setup.band.high_mhz())
+    }
+
+    /// Intra-channel smearing at DM `dm`, in seconds: the delay spread
+    /// across the width of the band's *lowest* (worst) channel.
+    pub fn channel_smear_s(setup: &ObservationalSetup, dm: f64) -> f64 {
+        let lo = setup.band.channel_mhz(0);
+        let hi = lo + setup.band.channel_width_mhz();
+        delay_seconds(dm, lo, hi)
+    }
+
+    /// Effective broadening (s) at `dm` for a given step, quadrature sum
+    /// of all four contributions.
+    pub fn effective_smear_s(&self, setup: &ObservationalSetup, dm: f64, step: f64) -> f64 {
+        let t_samp = 1.0 / f64::from(setup.sample_rate);
+        let t_chan = Self::channel_smear_s(setup, dm);
+        // Worst-case trial offset is half a step.
+        let t_step = 0.5 * step * Self::band_delay_per_dm(setup);
+        (t_samp * t_samp
+            + t_chan * t_chan
+            + self.pulse_width_s * self.pulse_width_s
+            + t_step * t_step)
+            .sqrt()
+    }
+
+    /// Plans the piecewise grid for `setup`.
+    ///
+    /// The base step makes the worst-case step smear equal to
+    /// `tolerance ×` the zero-DM intrinsic smear; the step doubles each
+    /// time the intrinsic smear (dominated by channel smearing at high
+    /// DM) grows past the current step's contribution.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the planner parameters produce an invalid
+    /// grid (e.g. `max_dm <= 0`).
+    pub fn plan(&self, setup: &ObservationalSetup) -> Result<DmPlan> {
+        let t_samp = 1.0 / f64::from(setup.sample_rate);
+        let band_rate = Self::band_delay_per_dm(setup);
+        let intrinsic_0 = (t_samp * t_samp + self.pulse_width_s * self.pulse_width_s).sqrt();
+        // Base step: half-step smear = tolerance x intrinsic at DM 0.
+        let base_step = 2.0 * self.tolerance * intrinsic_0 / band_rate;
+
+        let mut segments = Vec::new();
+        let mut dm = 0.0f64;
+        let mut step = base_step;
+        while dm < self.max_dm {
+            // This step stays adequate while the channel smear is below
+            // what the *next* step size would tolerate.
+            let next_step = step * 2.0;
+            let smear_ceiling = self.tolerance * 0.5 * next_step * band_rate;
+            // Channel smear is linear in DM: find where it crosses.
+            let chan_rate = Self::channel_smear_s(setup, 1.0); // s per pc/cm³
+            let dm_break = if chan_rate > 0.0 {
+                (smear_ceiling / chan_rate).max(dm + step)
+            } else {
+                self.max_dm
+            };
+            let seg_end = dm_break.min(self.max_dm);
+            let count = ((seg_end - dm) / step).ceil().max(1.0) as usize;
+            let grid = DmGrid::new(dm, step, count)?;
+            let end_dm = grid.max_dm();
+            segments.push(DmSegment {
+                grid,
+                smear_at_end_s: self.effective_smear_s(setup, end_dm, step),
+            });
+            dm = end_dm + step;
+            step = next_step;
+        }
+        Ok(DmPlan { segments })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn band_delay_rates_match_setups() {
+        // LOFAR's low band is vastly more dispersive per unit DM.
+        let ap = DmPlanner::band_delay_per_dm(&ObservationalSetup::apertif());
+        let lo = DmPlanner::band_delay_per_dm(&ObservationalSetup::lofar());
+        assert!(lo > 20.0 * ap, "lofar {lo}, apertif {ap}");
+        // Apertif: 4150 * (1/1420² - 1/1720²) ≈ 6.55e-4 s.
+        assert!((ap - 6.55e-4).abs() < 1e-5, "{ap}");
+    }
+
+    #[test]
+    fn channel_smear_linear_in_dm() {
+        let setup = ObservationalSetup::lofar();
+        let a = DmPlanner::channel_smear_s(&setup, 10.0);
+        let b = DmPlanner::channel_smear_s(&setup, 20.0);
+        assert!((b / a - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn plan_covers_range_with_doubling_steps() {
+        let planner = DmPlanner::new(500.0, 1e-3);
+        let plan = planner.plan(&ObservationalSetup::apertif()).unwrap();
+        assert!(!plan.segments.is_empty());
+        assert!(plan.max_dm() >= 500.0 - plan.segments.last().unwrap().grid.step());
+        for pair in plan.segments.windows(2) {
+            assert!((pair[1].grid.step() / pair[0].grid.step() - 2.0).abs() < 1e-9);
+            // Segments are contiguous and ascending.
+            assert!(pair[1].grid.first() > pair[0].grid.max_dm());
+        }
+        // Trials are strictly ascending across the whole plan.
+        let dms: Vec<f64> = plan.trial_dms().collect();
+        assert_eq!(dms.len(), plan.total_trials());
+        assert!(dms.windows(2).all(|w| w[1] > w[0]));
+    }
+
+    #[test]
+    fn finer_time_resolution_needs_finer_steps() {
+        let coarse = ObservationalSetup::apertif().scaled(2_000);
+        let fine = ObservationalSetup::apertif(); // 20,000 samples/s
+        let planner = DmPlanner::new(100.0, 0.0);
+        let plan_coarse = planner.plan(&coarse).unwrap();
+        let plan_fine = planner.plan(&fine).unwrap();
+        assert!(
+            plan_fine.segments[0].grid.step() < plan_coarse.segments[0].grid.step(),
+            "fine {} vs coarse {}",
+            plan_fine.segments[0].grid.step(),
+            plan_coarse.segments[0].grid.step()
+        );
+        assert!(plan_fine.total_trials() > plan_coarse.total_trials());
+    }
+
+    #[test]
+    fn lofar_needs_far_finer_steps_than_apertif() {
+        // The same physical DM range requires many more trials at low
+        // frequency — why LOFAR searches are so much deeper.
+        let planner = DmPlanner::new(100.0, 1e-3);
+        let ap = planner.plan(&ObservationalSetup::apertif()).unwrap();
+        let lo = planner.plan(&ObservationalSetup::lofar()).unwrap();
+        assert!(
+            lo.segments[0].grid.step() < ap.segments[0].grid.step() / 10.0,
+            "lofar step {} vs apertif {}",
+            lo.segments[0].grid.step(),
+            ap.segments[0].grid.step()
+        );
+    }
+
+    #[test]
+    fn smear_at_end_is_monotone_nondecreasing() {
+        let planner = DmPlanner::new(1000.0, 5e-4);
+        let plan = planner.plan(&ObservationalSetup::apertif()).unwrap();
+        for pair in plan.segments.windows(2) {
+            assert!(pair[1].smear_at_end_s >= pair[0].smear_at_end_s * 0.99);
+        }
+    }
+
+    #[test]
+    fn paper_grid_is_consistent_with_planner_scale() {
+        // The paper's fixed 0.25 pc/cm³ step sits in the range a planner
+        // would choose for Apertif's resolution (same order of magnitude).
+        let planner = DmPlanner::new(100.0, 0.0);
+        let plan = planner.plan(&ObservationalSetup::apertif()).unwrap();
+        let base = plan.segments[0].grid.step();
+        assert!(base > 0.025 && base < 2.5, "base step {base}");
+    }
+}

@@ -1,0 +1,151 @@
+//! The real-time constraint and survey sizing (paper, Figures 6–7 and
+//! Section V-D).
+//!
+//! Modern radio telescopes cannot store their input streams — dedispersion
+//! must keep up: one second of data must be dedispersed in at most one
+//! second of computation. In the paper's GFLOP/s metric the threshold is
+//! a line growing linearly with the number of trial DMs; a platform whose
+//! sustained GFLOP/s sits below the line cannot run that instance live.
+
+use serde::{Deserialize, Serialize};
+
+use crate::setup::ObservationalSetup;
+
+/// The real-time feasibility check for one (setup, instance) pair.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RealtimeCheck {
+    /// Number of trial DMs.
+    pub trials: usize,
+    /// The minimum sustained GFLOP/s required.
+    pub required_gflops: f64,
+}
+
+impl RealtimeCheck {
+    /// Computes the threshold for `trials` DMs under `setup`:
+    /// `trials × samples/s × channels` flop must complete per second.
+    pub fn for_setup(setup: &ObservationalSetup, trials: usize) -> Self {
+        let required = trials as f64 * setup.mflop_per_dm() * 1e6 / 1e9;
+        Self {
+            trials,
+            required_gflops: required,
+        }
+    }
+
+    /// Whether a platform sustaining `gflops` meets the constraint.
+    pub fn satisfied_by(&self, gflops: f64) -> bool {
+        gflops >= self.required_gflops
+    }
+
+    /// Seconds of computation needed per second of data at `gflops`.
+    pub fn load_fraction(&self, gflops: f64) -> f64 {
+        self.required_gflops / gflops
+    }
+}
+
+/// Survey deployment sizing — the arithmetic behind the paper's claim
+/// that Apertif's 2,000 DMs × 450 beams need only ≈ 50 HD7970 GPUs
+/// (9 beams per GPU) instead of ≈ 1,800 CPUs.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SurveySizing {
+    /// The observational setup being deployed.
+    pub setup: ObservationalSetup,
+    /// Trial DMs to dedisperse in real time per beam.
+    pub trials: usize,
+    /// Simultaneous beams the telescope forms.
+    pub beams: usize,
+}
+
+impl SurveySizing {
+    /// The paper's Apertif deployment: 2,000 DMs over 450 beams.
+    pub fn apertif_survey() -> Self {
+        Self {
+            setup: ObservationalSetup::apertif(),
+            trials: 2_000,
+            beams: 450,
+        }
+    }
+
+    /// Seconds needed to dedisperse one beam-second on a device
+    /// sustaining `gflops`.
+    pub fn seconds_per_beam(&self, gflops: f64) -> f64 {
+        RealtimeCheck::for_setup(&self.setup, self.trials).load_fraction(gflops)
+    }
+
+    /// How many beams one device can process in real time, sustaining
+    /// `gflops` on this instance size.
+    pub fn beams_per_device(&self, gflops: f64) -> usize {
+        (1.0 / self.seconds_per_beam(gflops)).floor() as usize
+    }
+
+    /// Devices needed for the full survey at `gflops` per device.
+    pub fn devices_needed(&self, gflops: f64) -> usize {
+        let per_device = self.beams_per_device(gflops);
+        if per_device == 0 {
+            return usize::MAX; // a single beam cannot be handled live
+        }
+        self.beams.div_ceil(per_device)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn threshold_scales_linearly_with_trials() {
+        let setup = ObservationalSetup::apertif();
+        let a = RealtimeCheck::for_setup(&setup, 1024);
+        let b = RealtimeCheck::for_setup(&setup, 2048);
+        assert!((b.required_gflops / a.required_gflops - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn apertif_4096_needs_about_84_gflops() {
+        let c = RealtimeCheck::for_setup(&ObservationalSetup::apertif(), 4096);
+        assert!(
+            (c.required_gflops - 83.9).abs() < 1.0,
+            "{}",
+            c.required_gflops
+        );
+        assert!(c.satisfied_by(100.0));
+        assert!(!c.satisfied_by(50.0));
+    }
+
+    #[test]
+    fn lofar_threshold_is_lower() {
+        let ap = RealtimeCheck::for_setup(&ObservationalSetup::apertif(), 1024);
+        let lo = RealtimeCheck::for_setup(&ObservationalSetup::lofar(), 1024);
+        assert!(lo.required_gflops < ap.required_gflops);
+        // LOFAR: 1024 × 6.4 MFLOP = 6.55 GFLOP/s.
+        assert!((lo.required_gflops - 6.55).abs() < 0.01);
+    }
+
+    #[test]
+    fn load_fraction() {
+        let c = RealtimeCheck::for_setup(&ObservationalSetup::apertif(), 2000);
+        // 2,000 × 20.48 MFLOP = 40.96 GFLOP per second of data.
+        assert!((c.required_gflops - 40.96).abs() < 0.01);
+        assert!((c.load_fraction(409.6) - 0.1).abs() < 1e-9);
+    }
+
+    #[test]
+    fn paper_sizing_reproduced() {
+        // "it is possible to dedisperse 2,000 DMs in 0.106 seconds;
+        // combining 9 beams per GPU ... dedispersion for Apertif could be
+        // implemented today with just 50 GPUs".
+        let sizing = SurveySizing::apertif_survey();
+        // 0.106 s per beam-second corresponds to ≈ 386 GFLOP/s sustained.
+        let hd7970_gflops = 40.96 / 0.106;
+        let per_beam = sizing.seconds_per_beam(hd7970_gflops);
+        assert!((per_beam - 0.106).abs() < 1e-3);
+        assert_eq!(sizing.beams_per_device(hd7970_gflops), 9);
+        assert_eq!(sizing.devices_needed(hd7970_gflops), 50);
+    }
+
+    #[test]
+    fn underpowered_device_cannot_serve_any_beam() {
+        let sizing = SurveySizing::apertif_survey();
+        assert_eq!(sizing.beams_per_device(10.0), 0);
+        assert_eq!(sizing.devices_needed(10.0), usize::MAX);
+    }
+}

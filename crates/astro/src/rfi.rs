@@ -1,0 +1,243 @@
+//! Radio-frequency-interference (RFI) excision.
+//!
+//! Real telescope data arrives contaminated: narrowband carriers pin
+//! single channels, broadband impulses (lightning, sparking) hit every
+//! channel at one instant. Both masquerade as astrophysical signals
+//! after dedispersion — a zero-DM broadband impulse shows up in *every*
+//! trial — so every production pipeline excises RFI before the kernel.
+//! This module provides the two standard cleaners:
+//!
+//! * [`mask_channels`] — flag channels whose total power deviates from
+//!   the band median by more than `k` robust sigmas, and replace them
+//!   with zeros (channel masking);
+//! * [`clip_samples`] — flag time samples whose channel-summed (zero-DM)
+//!   power is an outlier, and replace the affected samples in all
+//!   channels (zero-DM clipping).
+
+use dedisp_core::InputBuffer;
+use serde::{Deserialize, Serialize};
+
+/// What a cleaning pass did.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ExcisionReport {
+    /// Indices of channels masked (for [`mask_channels`]).
+    pub masked_channels: Vec<usize>,
+    /// Indices of time samples clipped (for [`clip_samples`]).
+    pub clipped_samples: Vec<usize>,
+}
+
+impl ExcisionReport {
+    /// Whether anything was excised.
+    pub fn is_clean(&self) -> bool {
+        self.masked_channels.is_empty() && self.clipped_samples.is_empty()
+    }
+}
+
+/// Median of a slice (interpolated for even lengths).
+fn median(values: &mut [f64]) -> f64 {
+    assert!(!values.is_empty());
+    values.sort_by(f64::total_cmp);
+    let n = values.len();
+    if n % 2 == 1 {
+        values[n / 2]
+    } else {
+        0.5 * (values[n / 2 - 1] + values[n / 2])
+    }
+}
+
+/// Median absolute deviation scaled to estimate σ for Gaussian data.
+fn mad_sigma(values: &[f64], med: f64) -> f64 {
+    let mut devs: Vec<f64> = values.iter().map(|v| (v - med).abs()).collect();
+    1.4826 * median(&mut devs)
+}
+
+/// Masks channels whose mean power is more than `threshold_sigma` robust
+/// standard deviations from the band median. Masked channels are zeroed
+/// (a zero channel contributes nothing to any trial) and reported.
+///
+/// # Panics
+///
+/// Panics if the buffer has no channels or `threshold_sigma <= 0`.
+pub fn mask_channels(buf: &mut InputBuffer, threshold_sigma: f64) -> ExcisionReport {
+    assert!(threshold_sigma > 0.0, "threshold must be positive");
+    assert!(buf.channels() > 0, "need channels");
+    let powers: Vec<f64> = (0..buf.channels())
+        .map(|ch| {
+            let row = buf.channel(ch);
+            row.iter().map(|&v| f64::from(v)).sum::<f64>() / row.len() as f64
+        })
+        .collect();
+    let med = median(&mut powers.clone());
+    let sigma = mad_sigma(&powers, med).max(f64::MIN_POSITIVE);
+
+    let mut masked = Vec::new();
+    for (ch, &p) in powers.iter().enumerate() {
+        if (p - med).abs() > threshold_sigma * sigma {
+            buf.channel_mut(ch).fill(0.0);
+            masked.push(ch);
+        }
+    }
+    ExcisionReport {
+        masked_channels: masked,
+        clipped_samples: Vec::new(),
+    }
+}
+
+/// Clips time samples whose zero-DM (channel-summed) power deviates from
+/// the median by more than `threshold_sigma` robust sigmas: the affected
+/// instant is replaced by each channel's mean in every channel.
+///
+/// # Panics
+///
+/// Panics if the buffer is empty or `threshold_sigma <= 0`.
+pub fn clip_samples(buf: &mut InputBuffer, threshold_sigma: f64) -> ExcisionReport {
+    assert!(threshold_sigma > 0.0, "threshold must be positive");
+    assert!(
+        buf.channels() > 0 && buf.samples() > 0,
+        "need a non-empty buffer"
+    );
+    let samples = buf.samples();
+    let mut zero_dm = vec![0.0f64; samples];
+    for ch in 0..buf.channels() {
+        for (s, &v) in buf.channel(ch).iter().enumerate() {
+            zero_dm[s] += f64::from(v);
+        }
+    }
+    let med = median(&mut zero_dm.clone());
+    let sigma = mad_sigma(&zero_dm, med).max(f64::MIN_POSITIVE);
+
+    let clipped: Vec<usize> = zero_dm
+        .iter()
+        .enumerate()
+        .filter(|(_, &p)| (p - med).abs() > threshold_sigma * sigma)
+        .map(|(s, _)| s)
+        .collect();
+
+    if !clipped.is_empty() {
+        for ch in 0..buf.channels() {
+            let row = buf.channel_mut(ch);
+            let mean = row.iter().map(|&v| f64::from(v)).sum::<f64>() / row.len() as f64;
+            for &s in &clipped {
+                row[s] = mean as f32;
+            }
+        }
+    }
+    ExcisionReport {
+        masked_channels: Vec::new(),
+        clipped_samples: clipped,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::detect::detect_best_trial;
+    use crate::signal::{PulseSpec, SignalGenerator};
+    use dedisp_core::prelude::*;
+
+    fn plan() -> DedispersionPlan {
+        DedispersionPlan::builder()
+            .band(FrequencyBand::new(140.0, 0.5, 32).unwrap())
+            .dm_grid(DmGrid::new(0.0, 1.0, 16).unwrap())
+            .sample_rate(500)
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn clean_data_stays_untouched() {
+        let p = plan();
+        let mut buf = SignalGenerator::new(4).generate(&p);
+        let before = buf.as_slice().to_vec();
+        let r1 = mask_channels(&mut buf, 6.0);
+        let r2 = clip_samples(&mut buf, 8.0);
+        assert!(r1.is_clean(), "{:?}", r1.masked_channels);
+        assert!(r2.is_clean(), "{:?}", r2.clipped_samples);
+        assert_eq!(buf.as_slice(), &before[..]);
+    }
+
+    #[test]
+    fn narrowband_carrier_is_masked() {
+        let p = plan();
+        let mut buf = SignalGenerator::new(5).generate(&p);
+        // A strong carrier pins channel 11.
+        for v in buf.channel_mut(11) {
+            *v += 10.0;
+        }
+        let report = mask_channels(&mut buf, 5.0);
+        assert_eq!(report.masked_channels, vec![11]);
+        assert!(buf.channel(11).iter().all(|&v| v == 0.0));
+        // Other channels survive.
+        assert!(buf.channel(10).iter().any(|&v| v != 0.0));
+    }
+
+    #[test]
+    fn broadband_impulse_is_clipped() {
+        let p = plan();
+        let mut buf = SignalGenerator::new(6).generate(&p);
+        // Lightning: every channel spikes at the same instant.
+        for ch in 0..p.channels() {
+            buf.channel_mut(ch)[321] += 8.0;
+        }
+        let report = clip_samples(&mut buf, 6.0);
+        assert_eq!(report.clipped_samples, vec![321]);
+        // The spike is gone: the zero-DM power at 321 is now ordinary.
+        let total: f32 = (0..p.channels()).map(|ch| buf.channel(ch)[321]).sum();
+        assert!(total.abs() < 3.0 * (p.channels() as f32).sqrt(), "{total}");
+    }
+
+    #[test]
+    fn excision_preserves_a_real_dispersed_pulse() {
+        // The point of zero-DM clipping: a *dispersed* pulse is spread
+        // over many instants per channel, so it survives, while the
+        // broadband zero-DM impulse dies.
+        let p = plan();
+        let true_dm = 9.0;
+        let mut buf = SignalGenerator::new(7)
+            .noise_sigma(1.0)
+            .pulse(PulseSpec::impulse(true_dm, 150, 3.0))
+            .generate(&p);
+        for ch in 0..p.channels() {
+            buf.channel_mut(ch)[40] += 8.0; // RFI blast at sample 40
+        }
+
+        // Without cleaning, trial 0 (DM 0) sees a huge fake candidate.
+        let dirty = dedisp_core::kernel::dedisperse(&p, &buf).unwrap();
+        let det_dirty = detect_best_trial(&dirty);
+        assert_eq!(det_dirty.best_trial, 0, "RFI wins at DM 0");
+        assert_eq!(det_dirty.best().peak_sample, 40);
+
+        // After zero-DM clipping the real pulse wins at the right DM.
+        let report = clip_samples(&mut buf, 6.0);
+        assert_eq!(report.clipped_samples, vec![40]);
+        let clean = dedisp_core::kernel::dedisperse(&p, &buf).unwrap();
+        let det = detect_best_trial(&clean);
+        assert_eq!(det.best_trial, p.dm_grid().nearest_trial(true_dm));
+        assert_eq!(det.best().peak_sample, 150);
+        assert!(det.best().snr > 8.0);
+    }
+
+    #[test]
+    fn dead_channel_is_also_flagged() {
+        let p = plan();
+        let mut buf = SignalGenerator::new(8).noise_sigma(1.0).generate(&p);
+        // Shift every channel up so a dead (all-zero… here all -5) channel
+        // deviates downward.
+        for ch in 0..p.channels() {
+            for v in buf.channel_mut(ch) {
+                *v += 5.0;
+            }
+        }
+        buf.channel_mut(3).fill(0.0);
+        let report = mask_channels(&mut buf, 5.0);
+        assert!(report.masked_channels.contains(&3));
+    }
+
+    #[test]
+    #[should_panic(expected = "threshold must be positive")]
+    fn bad_threshold_panics() {
+        let p = plan();
+        let mut buf = InputBuffer::for_plan(&p);
+        let _ = mask_channels(&mut buf, 0.0);
+    }
+}

@@ -1,0 +1,206 @@
+//! Observational setups (paper, Section IV).
+//!
+//! The two setups are deliberately complementary:
+//!
+//! * **Apertif** — 20,000 samples/s, 300 MHz of bandwidth in 1,024
+//!   channels between 1,420 and 1,720 MHz. Computationally heavier
+//!   (≈ 20 MFLOP per trial DM) but, because the frequencies are high,
+//!   delays are small and much data-reuse is available.
+//! * **LOFAR** — 200,000 samples/s, 6 MHz in 32 channels above 138 MHz.
+//!   Lighter per trial (≈ 6 MFLOP) but at low frequencies the delays
+//!   diverge rapidly, precluding almost any data-reuse.
+//!
+//! Both use a trial grid starting at 0 pc/cm³ with steps of 0.25 pc/cm³.
+
+use dedisp_core::{DedispersionPlan, DmGrid, FrequencyBand, Result};
+use serde::{Deserialize, Serialize};
+
+/// The paper's input instances: the number of trial DMs is swept over
+/// powers of two between 2 and 4,096 (Section IV-A).
+pub const PAPER_INSTANCES: [usize; 12] = [2, 4, 8, 16, 32, 64, 128, 256, 512, 1024, 2048, 4096];
+
+/// An observational setup: everything about the telescope configuration
+/// that the dedispersion algorithm must adapt to.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ObservationalSetup {
+    /// Human-readable setup name ("Apertif", "LOFAR", …).
+    pub name: String,
+    /// The observed band and its channelization.
+    pub band: FrequencyBand,
+    /// Time resolution in samples per second.
+    pub sample_rate: u32,
+    /// First trial DM in pc/cm³.
+    pub dm_first: f64,
+    /// Increment between successive trial DMs in pc/cm³.
+    pub dm_step: f64,
+}
+
+impl ObservationalSetup {
+    /// The paper's Apertif setup (Westerbork telescope).
+    pub fn apertif() -> Self {
+        Self {
+            name: "Apertif".to_string(),
+            band: FrequencyBand::from_edges(1420.0, 1720.0, 1024)
+                .expect("static Apertif band is valid"),
+            sample_rate: 20_000,
+            dm_first: 0.0,
+            dm_step: 0.25,
+        }
+    }
+
+    /// The paper's LOFAR setup.
+    pub fn lofar() -> Self {
+        Self {
+            name: "LOFAR".to_string(),
+            band: FrequencyBand::new(138.0, 6.0 / 32.0, 32).expect("static LOFAR band is valid"),
+            sample_rate: 200_000,
+            dm_first: 0.0,
+            dm_step: 0.25,
+        }
+    }
+
+    /// A miniature setup with the same band shape as `self` but reduced
+    /// time resolution, for fast functional tests and examples. The
+    /// channel count and frequencies are preserved (they determine the
+    /// delay structure); only the sampling rate is scaled down.
+    pub fn scaled(&self, sample_rate: u32) -> Self {
+        Self {
+            name: format!("{}-scaled", self.name),
+            band: self.band,
+            sample_rate,
+            dm_first: self.dm_first,
+            dm_step: self.dm_step,
+        }
+    }
+
+    /// The trial-DM grid for an input instance of `trials` DMs.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if `trials` is zero.
+    pub fn dm_grid(&self, trials: usize) -> Result<DmGrid> {
+        DmGrid::new(self.dm_first, self.dm_step, trials)
+    }
+
+    /// Builds a dedispersion plan for an input instance of `trials` DMs,
+    /// producing one second of output per invocation.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the parameters are invalid or the plan's input
+    /// buffer would exceed the default allocation limit.
+    pub fn plan(&self, trials: usize) -> Result<DedispersionPlan> {
+        DedispersionPlan::builder()
+            .band(self.band)
+            .dm_grid(self.dm_grid(trials)?)
+            .sample_rate(self.sample_rate)
+            .build()
+    }
+
+    /// Like [`ObservationalSetup::plan`] but with every delay forced to
+    /// zero — the paper's perfect-data-reuse experiment (Section IV-C).
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the parameters are invalid.
+    pub fn plan_zero_dm(&self, trials: usize) -> Result<DedispersionPlan> {
+        DedispersionPlan::builder()
+            .band(self.band)
+            .dm_grid(self.dm_grid(trials)?)
+            .sample_rate(self.sample_rate)
+            .zero_dm(true)
+            .build()
+    }
+
+    /// MFLOP per trial DM per second of data (20 for Apertif, 6.4 for
+    /// LOFAR; the paper rounds the latter to 6).
+    pub fn mflop_per_dm(&self) -> f64 {
+        f64::from(self.sample_rate) * self.band.channels() as f64 / 1e6
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn apertif_matches_paper_parameters() {
+        let s = ObservationalSetup::apertif();
+        assert_eq!(s.sample_rate, 20_000);
+        assert_eq!(s.band.channels(), 1024);
+        assert!((s.band.low_mhz() - 1420.0).abs() < 1e-9);
+        assert!((s.band.high_mhz() - 1720.0).abs() < 1e-9);
+        assert!((s.band.channel_width_mhz() - 0.29296875).abs() < 1e-9);
+        assert!((s.mflop_per_dm() - 20.48).abs() < 0.01);
+    }
+
+    #[test]
+    fn lofar_matches_paper_parameters() {
+        let s = ObservationalSetup::lofar();
+        assert_eq!(s.sample_rate, 200_000);
+        assert_eq!(s.band.channels(), 32);
+        assert!((s.band.low_mhz() - 138.0).abs() < 1e-9);
+        assert!((s.band.bandwidth_mhz() - 6.0).abs() < 1e-9);
+        assert!((s.mflop_per_dm() - 6.4).abs() < 0.01);
+    }
+
+    #[test]
+    fn apertif_three_times_lofar_flop() {
+        // "the Apertif setup ... involves 20 MFLOP per DM, three times
+        // more than the LOFAR setup with just 6 MFLOP per DM".
+        let r = ObservationalSetup::apertif().mflop_per_dm()
+            / ObservationalSetup::lofar().mflop_per_dm();
+        assert!(r > 3.0 && r < 3.3, "ratio {r}");
+    }
+
+    #[test]
+    fn paper_instances_are_powers_of_two() {
+        assert_eq!(PAPER_INSTANCES.len(), 12);
+        assert_eq!(PAPER_INSTANCES[0], 2);
+        assert_eq!(PAPER_INSTANCES[11], 4096);
+        for w in PAPER_INSTANCES.windows(2) {
+            assert_eq!(w[1], w[0] * 2);
+        }
+    }
+
+    #[test]
+    fn scaled_setup_keeps_band() {
+        let s = ObservationalSetup::apertif().scaled(500);
+        assert_eq!(s.sample_rate, 500);
+        assert_eq!(s.band, ObservationalSetup::apertif().band);
+        assert!(s.name.contains("scaled"));
+    }
+
+    #[test]
+    fn plan_roundtrip() {
+        let s = ObservationalSetup::lofar().scaled(1000);
+        let plan = s.plan(16).unwrap();
+        assert_eq!(plan.trials(), 16);
+        assert_eq!(plan.channels(), 32);
+        assert_eq!(plan.out_samples(), 1000);
+        assert!(plan.in_samples() > plan.out_samples());
+    }
+
+    #[test]
+    fn zero_dm_plan_has_zero_delays() {
+        let s = ObservationalSetup::lofar().scaled(1000);
+        let plan = s.plan_zero_dm(16).unwrap();
+        assert!(plan.delays().is_zero());
+    }
+
+    #[test]
+    fn lofar_reuse_much_worse_than_apertif() {
+        // The per-trial delay gradient (samples of extra span per trial)
+        // is orders of magnitude larger for LOFAR: this is the paper's
+        // data-reuse asymmetry between the two setups.
+        let ap = ObservationalSetup::apertif().plan(32).unwrap();
+        let lo = ObservationalSetup::lofar()
+            .scaled(200_000)
+            .plan(32)
+            .unwrap();
+        let g_ap = ap.delays().gradient_samples_per_trial();
+        let g_lo = lo.delays().gradient_samples_per_trial();
+        let mean = |g: &[f64]| g.iter().sum::<f64>() / g.len() as f64;
+        assert!(mean(&g_lo) > 50.0 * mean(&g_ap));
+    }
+}

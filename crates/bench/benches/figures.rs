@@ -1,0 +1,78 @@
+//! One benchmark per table/figure of the paper: each measures
+//! regenerating that artifact from a tuned campaign (collected once).
+//! The campaign itself — the expensive part — is benchmarked separately
+//! at both the quick and full-paper scales.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use experiments::figures::{
+    fig_cpu_speedup, fig_fixed_speedup, fig_histogram, fig_performance, fig_registers, fig_snr,
+    fig_workitems, fig_zero_dm, sizing, table1, PaperData,
+};
+use experiments::Harness;
+use std::hint::black_box;
+
+fn bench_campaign(c: &mut Criterion) {
+    let mut group = c.benchmark_group("figures/campaign");
+    group.sample_size(10);
+    group.bench_function("collect_quick", |b| {
+        b.iter(|| PaperData::collect(Harness::quick()))
+    });
+    group.finish();
+}
+
+fn bench_each_figure(c: &mut Criterion) {
+    let data = PaperData::collect(Harness::quick());
+    let mut group = c.benchmark_group("figures/render");
+
+    group.bench_function("table1", |b| b.iter(|| black_box(table1())));
+    group.bench_function("fig02_workitems_apertif", |b| {
+        b.iter(|| fig_workitems(black_box(&data), "Apertif", 2))
+    });
+    group.bench_function("fig03_workitems_lofar", |b| {
+        b.iter(|| fig_workitems(black_box(&data), "LOFAR", 3))
+    });
+    group.bench_function("fig04_registers_apertif", |b| {
+        b.iter(|| fig_registers(black_box(&data), "Apertif", 4))
+    });
+    group.bench_function("fig05_registers_lofar", |b| {
+        b.iter(|| fig_registers(black_box(&data), "LOFAR", 5))
+    });
+    group.bench_function("fig06_performance_apertif", |b| {
+        b.iter(|| fig_performance(black_box(&data), "Apertif", 6))
+    });
+    group.bench_function("fig07_performance_lofar", |b| {
+        b.iter(|| fig_performance(black_box(&data), "LOFAR", 7))
+    });
+    group.bench_function("fig08_snr_apertif", |b| {
+        b.iter(|| fig_snr(black_box(&data), "Apertif", 8))
+    });
+    group.bench_function("fig09_snr_lofar", |b| {
+        b.iter(|| fig_snr(black_box(&data), "LOFAR", 9))
+    });
+    group.bench_function("fig10_histogram", |b| {
+        b.iter(|| fig_histogram(black_box(&data)))
+    });
+    group.bench_function("fig11_zerodm_apertif", |b| {
+        b.iter(|| fig_zero_dm(black_box(&data), "Apertif", 11))
+    });
+    group.bench_function("fig12_zerodm_lofar", |b| {
+        b.iter(|| fig_zero_dm(black_box(&data), "LOFAR", 12))
+    });
+    group.bench_function("fig13_fixed_apertif", |b| {
+        b.iter(|| fig_fixed_speedup(black_box(&data), "Apertif", 13))
+    });
+    group.bench_function("fig14_fixed_lofar", |b| {
+        b.iter(|| fig_fixed_speedup(black_box(&data), "LOFAR", 14))
+    });
+    group.bench_function("fig15_cpu_apertif", |b| {
+        b.iter(|| fig_cpu_speedup(black_box(&data), "Apertif", 15))
+    });
+    group.bench_function("fig16_cpu_lofar", |b| {
+        b.iter(|| fig_cpu_speedup(black_box(&data), "LOFAR", 16))
+    });
+    group.bench_function("sizing_vd", |b| b.iter(|| sizing(black_box(&data))));
+    group.finish();
+}
+
+criterion_group!(benches, bench_campaign, bench_each_figure);
+criterion_main!(benches);

@@ -1,0 +1,142 @@
+//! Host dedispersion kernel throughput: the sequential reference, the
+//! tiled kernel, the rayon-parallel kernel, and the CPU (OpenMP+AVX
+//! analog) baseline, on both observational setups and across tile
+//! shapes. Throughput is reported in elements (useful flop).
+
+use bench::{apertif_plan, flop, lofar_plan, noisy_input};
+use cpu_baseline::OpenMpAvxKernel;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use dedisp_core::{
+    Dedisperser, KernelConfig, NaiveKernel, OutputBuffer, ParallelKernel, SubbandConfig,
+    SubbandKernel, TiledKernel,
+};
+use std::hint::black_box;
+
+fn bench_implementations(c: &mut Criterion) {
+    let mut group = c.benchmark_group("kernels/implementations");
+    for (name, plan) in [
+        ("apertif", apertif_plan(500, 32)),
+        ("lofar", lofar_plan(2000, 32)),
+    ] {
+        let input = noisy_input(&plan, 42);
+        let mut output = OutputBuffer::for_plan(&plan);
+        let config = KernelConfig::new(25, 4, 4, 2).unwrap();
+        group.throughput(Throughput::Elements(flop(&plan)));
+
+        group.bench_function(BenchmarkId::new("naive", name), |b| {
+            b.iter(|| {
+                NaiveKernel
+                    .dedisperse(&plan, black_box(&input), &mut output)
+                    .unwrap()
+            })
+        });
+        group.bench_function(BenchmarkId::new("tiled", name), |b| {
+            b.iter(|| {
+                TiledKernel::new(config)
+                    .dedisperse(&plan, black_box(&input), &mut output)
+                    .unwrap()
+            })
+        });
+        group.bench_function(BenchmarkId::new("parallel", name), |b| {
+            b.iter(|| {
+                ParallelKernel::new(config)
+                    .dedisperse(&plan, black_box(&input), &mut output)
+                    .unwrap()
+            })
+        });
+        group.bench_function(BenchmarkId::new("cpu-openmp-avx", name), |b| {
+            b.iter(|| {
+                OpenMpAvxKernel::default()
+                    .dedisperse(&plan, black_box(&input), &mut output)
+                    .unwrap()
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_tile_shapes(c: &mut Criterion) {
+    // The four tunable parameters matter on the host too: sweep the DM
+    // tile height (data-reuse) at fixed work per item.
+    let mut group = c.benchmark_group("kernels/dm_tile_sweep");
+    let plan = apertif_plan(500, 64);
+    let input = noisy_input(&plan, 7);
+    let mut output = OutputBuffer::for_plan(&plan);
+    group.throughput(Throughput::Elements(flop(&plan)));
+    for tile_dm in [1u32, 2, 4, 8, 16, 32] {
+        let config = KernelConfig::new(25, tile_dm, 4, 1).unwrap();
+        group.bench_with_input(
+            BenchmarkId::from_parameter(tile_dm),
+            &config,
+            |b, config| {
+                b.iter(|| {
+                    TiledKernel::new(*config)
+                        .dedisperse(&plan, black_box(&input), &mut output)
+                        .unwrap()
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_scaling_with_trials(c: &mut Criterion) {
+    // The paper's Figures 6-7 x-axis, on the host: throughput vs #DMs.
+    let mut group = c.benchmark_group("kernels/trial_scaling");
+    group.sample_size(10);
+    for trials in [8usize, 32, 128] {
+        let plan = lofar_plan(2000, trials);
+        let input = noisy_input(&plan, 3);
+        let mut output = OutputBuffer::for_plan(&plan);
+        let config = KernelConfig::new(50, 2, 5, 1).unwrap();
+        group.throughput(Throughput::Elements(flop(&plan)));
+        group.bench_with_input(BenchmarkId::from_parameter(trials), &trials, |b, _| {
+            b.iter(|| {
+                ParallelKernel::new(config)
+                    .dedisperse(&plan, black_box(&input), &mut output)
+                    .unwrap()
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_subband(c: &mut Criterion) {
+    // The two-stage extension: exact kernel vs subband variants.
+    let mut group = c.benchmark_group("kernels/subband");
+    let plan = apertif_plan(500, 64); // 1024 channels
+    let input = noisy_input(&plan, 11);
+    let mut output = OutputBuffer::for_plan(&plan);
+    group.throughput(Throughput::Elements(flop(&plan)));
+    group.bench_function("exact", |b| {
+        b.iter(|| {
+            TiledKernel::new(KernelConfig::new(25, 4, 4, 2).unwrap())
+                .dedisperse(&plan, black_box(&input), &mut output)
+                .unwrap()
+        })
+    });
+    for (subbands, stride) in [(64u32, 2u32), (32, 4), (16, 8)] {
+        let config = SubbandConfig::new(subbands as usize, stride as usize).unwrap();
+        group.bench_with_input(
+            BenchmarkId::new("subband", format!("{subbands}sb_stride{stride}")),
+            &config,
+            |b, config| {
+                b.iter(|| {
+                    SubbandKernel::new(*config)
+                        .dedisperse(&plan, black_box(&input), &mut output)
+                        .unwrap()
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_implementations,
+    bench_tile_shapes,
+    bench_scaling_with_trials,
+    bench_subband
+);
+criterion_main!(benches);

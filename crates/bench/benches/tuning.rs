@@ -1,0 +1,83 @@
+//! Auto-tuner machinery costs: single cost-model evaluations, meaningful
+//! space enumeration, and complete per-instance tuning runs. These bound
+//! how expensive the paper's "execute every meaningful combination"
+//! approach is when the executor is the analytic device model.
+
+use autotune::{ConfigSpace, SimExecutor, Tuner};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dedisp_core::{DmGrid, FrequencyBand, KernelConfig};
+use manycore_sim::{all_devices, amd_hd7970, CostModel, Workload};
+use std::hint::black_box;
+
+fn apertif_workload(trials: usize) -> Workload {
+    Workload::analytic(
+        "Apertif",
+        &FrequencyBand::from_edges(1420.0, 1720.0, 1024).unwrap(),
+        &DmGrid::paper_grid(trials).unwrap(),
+        20_000,
+    )
+    .unwrap()
+}
+
+fn lofar_workload(trials: usize) -> Workload {
+    Workload::analytic(
+        "LOFAR",
+        &FrequencyBand::new(138.0, 6.0 / 32.0, 32).unwrap(),
+        &DmGrid::paper_grid(trials).unwrap(),
+        200_000,
+    )
+    .unwrap()
+}
+
+fn bench_model_evaluation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("tuning/evaluate_one_config");
+    let config = KernelConfig::new(64, 4, 4, 2).unwrap();
+    for (name, w) in [
+        ("apertif_1024ch", apertif_workload(1024)),
+        ("lofar_32ch", lofar_workload(1024)),
+    ] {
+        let model = CostModel::new(amd_hd7970());
+        group.bench_function(name, |b| {
+            b.iter(|| model.evaluate(black_box(&w), black_box(&config)).unwrap())
+        });
+    }
+    group.finish();
+}
+
+fn bench_space_enumeration(c: &mut Criterion) {
+    let mut group = c.benchmark_group("tuning/meaningful_space");
+    let space = ConfigSpace::paper();
+    let w = apertif_workload(1024);
+    for dev in all_devices() {
+        group.bench_function(BenchmarkId::from_parameter(&dev.name), |b| {
+            b.iter(|| space.meaningful(black_box(&dev), black_box(&w)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_full_tuning_run(c: &mut Criterion) {
+    // One complete per-instance tuning: the unit of the paper's first
+    // experiment (five devices x two setups x twelve instances of these).
+    let mut group = c.benchmark_group("tuning/full_instance");
+    group.sample_size(10);
+    let space = ConfigSpace::paper();
+    for (name, w) in [
+        ("apertif_1024dm", apertif_workload(1024)),
+        ("lofar_1024dm", lofar_workload(1024)),
+    ] {
+        let model = CostModel::new(amd_hd7970());
+        group.bench_function(name, |b| {
+            b.iter(|| Tuner.tune(&SimExecutor::new(&model, &w, &space)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_model_evaluation,
+    bench_space_enumeration,
+    bench_full_tuning_run
+);
+criterion_main!(benches);

@@ -1,0 +1,53 @@
+//! Shared fixtures for the Criterion benchmarks.
+//!
+//! Benchmarks run the *real* host kernels on scaled-down versions of the
+//! paper's observational setups (the frequency structure — and therefore
+//! the delay/data-reuse geometry — is preserved; only the time
+//! resolution is reduced so a Criterion run finishes in minutes).
+
+use dedisp_core::{DedispersionPlan, InputBuffer};
+use radioastro::{ObservationalSetup, SignalGenerator};
+
+/// A scaled Apertif plan: full 1,024-channel band, reduced sample rate.
+pub fn apertif_plan(sample_rate: u32, trials: usize) -> DedispersionPlan {
+    ObservationalSetup::apertif()
+        .scaled(sample_rate)
+        .plan(trials)
+        .expect("valid scaled Apertif plan")
+}
+
+/// A scaled LOFAR plan: full 32-channel band, reduced sample rate.
+pub fn lofar_plan(sample_rate: u32, trials: usize) -> DedispersionPlan {
+    ObservationalSetup::lofar()
+        .scaled(sample_rate)
+        .plan(trials)
+        .expect("valid scaled LOFAR plan")
+}
+
+/// Deterministic noisy input for a plan.
+pub fn noisy_input(plan: &DedispersionPlan, seed: u64) -> InputBuffer {
+    SignalGenerator::new(seed).generate(plan)
+}
+
+/// The useful flop of one invocation, for throughput reporting.
+pub fn flop(plan: &DedispersionPlan) -> u64 {
+    plan.flop()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fixtures_are_consistent() {
+        let plan = apertif_plan(500, 8);
+        assert_eq!(plan.channels(), 1024);
+        assert_eq!(plan.out_samples(), 500);
+        let input = noisy_input(&plan, 1);
+        assert_eq!(input.channels(), plan.channels());
+        assert_eq!(flop(&plan), 8 * 500 * 1024);
+
+        let lofar = lofar_plan(500, 8);
+        assert_eq!(lofar.channels(), 32);
+    }
+}

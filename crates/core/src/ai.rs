@@ -1,0 +1,255 @@
+//! Arithmetic-intensity analysis (paper, Section III-A) and roofline
+//! helpers.
+//!
+//! Dedispersion performs one floating-point accumulate per input element
+//! loaded from global memory, so without data-reuse its arithmetic
+//! intensity (AI, flop per byte of global traffic) is bounded by
+//!
+//! ```text
+//! AI = 1 / (4 + ε) < 1/4                                        (Eq. 2)
+//! ```
+//!
+//! where ε accounts for the delay table and the output writes. If a tile
+//! of `d` trials × `s` samples × `c` channels reuses every input element
+//! perfectly, the bound becomes
+//!
+//! ```text
+//! AI < 1 / (4·(1/d + 1/s + 1/c))                                (Eq. 3)
+//! ```
+//!
+//! which diverges — but the paper shows (analytically and empirically)
+//! that realistic delay functions never expose enough reuse to approach
+//! it, so dedispersion stays memory-bound on real hardware. The types
+//! here compute both bounds, the *achieved* AI of a tiled execution, and
+//! roofline-model attainable performance.
+
+use serde::{Deserialize, Serialize};
+
+use crate::config::KernelConfig;
+use crate::plan::DedispersionPlan;
+
+/// Arithmetic-intensity figures for a (plan, configuration) pair.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ArithmeticIntensity {
+    /// Useful flop of the transform (`d·s·c`).
+    pub flop: u64,
+    /// Global-memory bytes read from the input, assuming each tile stages
+    /// its shared span exactly once (element granularity; cache-line
+    /// effects belong to the hardware model, not the algorithm).
+    pub input_bytes: u64,
+    /// Bytes written to the output (`d·s·4`).
+    pub output_bytes: u64,
+    /// Bytes read from the delay table (one `u32` per channel per DM-strip
+    /// per work-group column).
+    pub delay_bytes: u64,
+}
+
+impl ArithmeticIntensity {
+    /// The AI upper bound without any data-reuse — Eq. 2 with ε = 0.
+    pub const NO_REUSE_BOUND: f64 = 0.25;
+
+    /// Eq. 3: the theoretical AI upper bound under perfect data-reuse for
+    /// a problem of `d` trials, `s` samples and `c` channels.
+    pub fn perfect_reuse_bound(d: usize, s: usize, c: usize) -> f64 {
+        let inv = 1.0 / d as f64 + 1.0 / s as f64 + 1.0 / c as f64;
+        1.0 / (4.0 * inv)
+    }
+
+    /// Computes the achieved AI of executing `plan` with `config`,
+    /// counting each tile's staged input span once (the algorithmic
+    /// data-reuse of Section III-B).
+    pub fn for_execution(plan: &DedispersionPlan, config: &KernelConfig) -> Self {
+        let delays = plan.delays();
+        let channels = plan.channels();
+        let out_samples = plan.out_samples();
+        let trials = plan.trials();
+        let tile_dm = config.tile_dm() as usize;
+        let (n_time, _) = config.grid(out_samples, trials);
+
+        let mut input_elems: u64 = 0;
+        let mut delay_elems: u64 = 0;
+        let mut trial_lo = 0;
+        while trial_lo < trials {
+            let trial_hi = (trial_lo + tile_dm).min(trials);
+            for ch in 0..channels {
+                let spread = (delays.delay(trial_hi - 1, ch) - delays.delay(trial_lo, ch)) as u64;
+                // Every time tile stages `tt + spread` elements; summed
+                // over the n_time tiles this is s + n_time·spread.
+                input_elems += out_samples as u64 + n_time as u64 * spread;
+                delay_elems += (trial_hi - trial_lo) as u64;
+            }
+            trial_lo = trial_hi;
+        }
+
+        Self {
+            flop: plan.flop(),
+            input_bytes: input_elems * 4,
+            output_bytes: plan.output_bytes(),
+            delay_bytes: delay_elems * 4 * n_time as u64,
+        }
+    }
+
+    /// Total global traffic in bytes.
+    pub fn total_bytes(&self) -> u64 {
+        self.input_bytes + self.output_bytes + self.delay_bytes
+    }
+
+    /// Achieved arithmetic intensity in flop/byte.
+    pub fn flop_per_byte(&self) -> f64 {
+        self.flop as f64 / self.total_bytes() as f64
+    }
+
+    /// The input data-reuse factor: how many times each loaded input byte
+    /// is used, relative to loading once per (trial, channel, sample).
+    pub fn reuse_factor(&self) -> f64 {
+        (self.flop * 4) as f64 / self.input_bytes as f64
+    }
+}
+
+/// A two-parameter roofline model (Williams et al., CACM 2009 — the
+/// paper's reference \[4\]) for placing dedispersion on a device.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Roofline {
+    /// Peak compute throughput in GFLOP/s.
+    pub peak_gflops: f64,
+    /// Peak memory bandwidth in GB/s.
+    pub peak_bandwidth_gbs: f64,
+}
+
+impl Roofline {
+    /// Creates a roofline from device peaks.
+    pub fn new(peak_gflops: f64, peak_bandwidth_gbs: f64) -> Self {
+        Self {
+            peak_gflops,
+            peak_bandwidth_gbs,
+        }
+    }
+
+    /// The ridge point: the AI (flop/byte) at which the device transitions
+    /// from memory-bound to compute-bound.
+    pub fn ridge_ai(&self) -> f64 {
+        self.peak_gflops / self.peak_bandwidth_gbs
+    }
+
+    /// Attainable GFLOP/s at arithmetic intensity `ai` (flop/byte).
+    pub fn attainable_gflops(&self, ai: f64) -> f64 {
+        (self.peak_bandwidth_gbs * ai).min(self.peak_gflops)
+    }
+
+    /// Whether a kernel with AI `ai` is memory-bound on this device.
+    pub fn is_memory_bound(&self, ai: f64) -> bool {
+        ai < self.ridge_ai()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dm::DmGrid;
+    use crate::freq::FrequencyBand;
+
+    fn plan(trials: usize) -> DedispersionPlan {
+        DedispersionPlan::builder()
+            .band(FrequencyBand::new(140.0, 0.5, 32).unwrap())
+            .dm_grid(DmGrid::new(0.0, 0.5, trials).unwrap())
+            .sample_rate(200)
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn eq3_bound_diverges_with_problem_size() {
+        let small = ArithmeticIntensity::perfect_reuse_bound(2, 2, 2);
+        let large = ArithmeticIntensity::perfect_reuse_bound(4096, 20_000, 1024);
+        assert!(small < large);
+        assert!((small - 1.0 / 6.0).abs() < 1e-12);
+        assert!(large > 190.0);
+    }
+
+    #[test]
+    fn no_reuse_config_stays_below_quarter() {
+        // A 1x1 tile has zero reuse: AI must obey Eq. 2.
+        let p = plan(16);
+        let ai = ArithmeticIntensity::for_execution(&p, &KernelConfig::scalar());
+        assert!(
+            ai.flop_per_byte() < ArithmeticIntensity::NO_REUSE_BOUND,
+            "AI {} must be < 0.25",
+            ai.flop_per_byte()
+        );
+        // Reuse factor is 1: every input element loaded once per use.
+        assert!((ai.reuse_factor() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn dm_tiling_increases_ai() {
+        let p = plan(16);
+        let no_reuse = ArithmeticIntensity::for_execution(&p, &KernelConfig::scalar());
+        let tiled = ArithmeticIntensity::for_execution(&p, &KernelConfig::new(8, 8, 1, 2).unwrap());
+        assert!(tiled.flop_per_byte() > no_reuse.flop_per_byte());
+        assert!(tiled.reuse_factor() > 2.0);
+    }
+
+    #[test]
+    fn zero_dm_plan_reaches_full_tile_reuse() {
+        let p = DedispersionPlan::builder()
+            .band(FrequencyBand::new(140.0, 0.5, 32).unwrap())
+            .dm_grid(DmGrid::paper_grid(16).unwrap())
+            .sample_rate(200)
+            .zero_dm(true)
+            .build()
+            .unwrap();
+        let config = KernelConfig::new(8, 8, 1, 2).unwrap(); // tile_dm = 16
+        let ai = ArithmeticIntensity::for_execution(&p, &config);
+        // With zero delays, the spread is zero, so reuse equals tile_dm.
+        assert!((ai.reuse_factor() - 16.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn real_delays_keep_reuse_below_tile_dm() {
+        let p = plan(16);
+        let config = KernelConfig::new(8, 8, 1, 2).unwrap(); // tile_dm = 16
+        let ai = ArithmeticIntensity::for_execution(&p, &config);
+        assert!(ai.reuse_factor() < 16.0);
+        assert!(ai.reuse_factor() > 1.0);
+    }
+
+    #[test]
+    fn flop_matches_plan() {
+        let p = plan(8);
+        let ai = ArithmeticIntensity::for_execution(&p, &KernelConfig::scalar());
+        assert_eq!(ai.flop, p.flop());
+        assert_eq!(ai.output_bytes, p.output_bytes());
+    }
+
+    #[test]
+    fn roofline_ridge_and_attainable() {
+        // HD7970: 3788 GFLOP/s, 264 GB/s → ridge ≈ 14.3 flop/byte.
+        let r = Roofline::new(3788.0, 264.0);
+        assert!((r.ridge_ai() - 14.348).abs() < 0.01);
+        // Dedispersion without reuse (AI < 0.25) is deeply memory-bound.
+        assert!(r.is_memory_bound(0.25));
+        assert!((r.attainable_gflops(0.25) - 66.0).abs() < 0.01);
+        // Above the ridge the roofline caps at peak.
+        assert_eq!(r.attainable_gflops(100.0), 3788.0);
+        assert!(!r.is_memory_bound(100.0));
+    }
+
+    #[test]
+    fn paper_claim_memory_bound_on_all_devices() {
+        // With realistic reuse (the paper measures factors well under the
+        // ridge), dedispersion is memory-bound on every Table I device.
+        let devices = [
+            (3788.0, 264.0),
+            (2022.0, 320.0),
+            (3090.0, 192.0),
+            (3519.0, 208.0),
+            (4500.0, 288.0),
+        ];
+        let p = plan(64);
+        let config = KernelConfig::new(8, 8, 2, 2).unwrap();
+        let ai = ArithmeticIntensity::for_execution(&p, &config);
+        for (gf, bw) in devices {
+            assert!(Roofline::new(gf, bw).is_memory_bound(ai.flop_per_byte()));
+        }
+    }
+}

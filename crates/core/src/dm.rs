@@ -1,0 +1,160 @@
+//! Trial dispersion-measure grids.
+//!
+//! When searching for unknown sources, the DM is unknown a priori and the
+//! signal is dedispersed for thousands of trial DMs. The paper uses a
+//! linear grid starting at 0 pc/cm³ with a step of 0.25 pc/cm³ in both
+//! observational setups; the number of trials (`d`, the *input instance*)
+//! is swept over powers of two between 2 and 4,096.
+
+use serde::{Deserialize, Serialize};
+
+use crate::error::{DedispError, Result};
+
+/// A linear grid of trial dispersion measures, in pc/cm³.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct DmGrid {
+    first: f64,
+    step: f64,
+    count: usize,
+}
+
+impl DmGrid {
+    /// Creates a grid of `count` trials: `first, first+step, …`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DedispError::InvalidParameter`] if `first` is negative or
+    /// non-finite, `step` is not strictly positive, or `count` is zero.
+    pub fn new(first: f64, step: f64, count: usize) -> Result<Self> {
+        if !(first.is_finite() && first >= 0.0) {
+            return Err(DedispError::invalid(
+                "first",
+                format!("must be non-negative and finite, got {first}"),
+            ));
+        }
+        if !(step.is_finite() && step > 0.0) {
+            return Err(DedispError::invalid(
+                "step",
+                format!("must be positive and finite, got {step}"),
+            ));
+        }
+        if count == 0 {
+            return Err(DedispError::invalid("count", "must be non-zero"));
+        }
+        Ok(Self { first, step, count })
+    }
+
+    /// The paper's standard grid: first trial 0 pc/cm³, step 0.25 pc/cm³.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if `count` is zero.
+    pub fn paper_grid(count: usize) -> Result<Self> {
+        Self::new(0.0, 0.25, count)
+    }
+
+    /// Number of trial DMs (`d` in the paper).
+    #[inline]
+    pub fn count(&self) -> usize {
+        self.count
+    }
+
+    /// The first (lowest) trial DM.
+    #[inline]
+    pub fn first(&self) -> f64 {
+        self.first
+    }
+
+    /// The increment between successive trials.
+    #[inline]
+    pub fn step(&self) -> f64 {
+        self.step
+    }
+
+    /// The value of trial `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= self.count()`.
+    #[inline]
+    pub fn dm(&self, i: usize) -> f64 {
+        assert!(
+            i < self.count,
+            "trial index {i} out of range ({} trials)",
+            self.count
+        );
+        self.first + self.step * i as f64
+    }
+
+    /// The largest trial DM in the grid.
+    #[inline]
+    pub fn max_dm(&self) -> f64 {
+        self.dm(self.count - 1)
+    }
+
+    /// Iterates over all trial DM values in ascending order.
+    pub fn values(&self) -> impl Iterator<Item = f64> + '_ {
+        (0..self.count).map(move |i| self.dm(i))
+    }
+
+    /// Index of the trial closest to `dm`, clamped to the grid.
+    pub fn nearest_trial(&self, dm: f64) -> usize {
+        if dm <= self.first {
+            return 0;
+        }
+        let idx = ((dm - self.first) / self.step).round() as usize;
+        idx.min(self.count - 1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_grid_values() {
+        let grid = DmGrid::paper_grid(8).unwrap();
+        assert_eq!(grid.count(), 8);
+        assert_eq!(grid.first(), 0.0);
+        assert_eq!(grid.step(), 0.25);
+        assert!((grid.dm(4) - 1.0).abs() < 1e-12);
+        assert!((grid.max_dm() - 1.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn values_iterator_matches_indexing() {
+        let grid = DmGrid::new(1.0, 0.5, 5).unwrap();
+        let vals: Vec<f64> = grid.values().collect();
+        assert_eq!(vals.len(), 5);
+        for (i, v) in vals.iter().enumerate() {
+            assert!((v - grid.dm(i)).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn nearest_trial_rounds_and_clamps() {
+        let grid = DmGrid::paper_grid(8).unwrap(); // 0.0 .. 1.75
+        assert_eq!(grid.nearest_trial(0.0), 0);
+        assert_eq!(grid.nearest_trial(0.10), 0);
+        assert_eq!(grid.nearest_trial(0.13), 1);
+        assert_eq!(grid.nearest_trial(1.0), 4);
+        assert_eq!(grid.nearest_trial(100.0), 7);
+        assert_eq!(grid.nearest_trial(-5.0), 0);
+    }
+
+    #[test]
+    fn rejects_bad_parameters() {
+        assert!(DmGrid::new(-1.0, 0.25, 4).is_err());
+        assert!(DmGrid::new(f64::NAN, 0.25, 4).is_err());
+        assert!(DmGrid::new(0.0, 0.0, 4).is_err());
+        assert!(DmGrid::new(0.0, -0.25, 4).is_err());
+        assert!(DmGrid::new(0.0, 0.25, 0).is_err());
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn trial_index_out_of_range_panics() {
+        let grid = DmGrid::paper_grid(4).unwrap();
+        let _ = grid.dm(4);
+    }
+}

@@ -1,0 +1,125 @@
+//! Error type shared across the dedispersion library.
+
+use std::fmt;
+
+/// Result alias used throughout `dedisp-core`.
+pub type Result<T> = std::result::Result<T, DedispError>;
+
+/// Errors produced while building plans, validating configurations, or
+/// executing kernels.
+#[derive(Debug, Clone, PartialEq)]
+pub enum DedispError {
+    /// A scalar parameter was outside its valid domain.
+    InvalidParameter {
+        /// Name of the offending parameter.
+        name: &'static str,
+        /// Human-readable description of the violated constraint.
+        reason: String,
+    },
+    /// A kernel configuration is incompatible with the plan it was applied
+    /// to (e.g. a tile larger than the problem).
+    IncompatibleConfig {
+        /// Description of the mismatch.
+        reason: String,
+    },
+    /// A buffer's dimensions do not match the plan.
+    ShapeMismatch {
+        /// What was expected.
+        expected: String,
+        /// What was found.
+        found: String,
+    },
+    /// The requested plan would require an unreasonably large allocation.
+    AllocationTooLarge {
+        /// Requested size in bytes.
+        bytes: u64,
+        /// Configured limit in bytes.
+        limit: u64,
+    },
+}
+
+impl DedispError {
+    /// Shorthand constructor for [`DedispError::InvalidParameter`].
+    pub fn invalid(name: &'static str, reason: impl Into<String>) -> Self {
+        DedispError::InvalidParameter {
+            name,
+            reason: reason.into(),
+        }
+    }
+
+    /// Shorthand constructor for [`DedispError::IncompatibleConfig`].
+    pub fn incompatible(reason: impl Into<String>) -> Self {
+        DedispError::IncompatibleConfig {
+            reason: reason.into(),
+        }
+    }
+}
+
+impl fmt::Display for DedispError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DedispError::InvalidParameter { name, reason } => {
+                write!(f, "invalid parameter `{name}`: {reason}")
+            }
+            DedispError::IncompatibleConfig { reason } => {
+                write!(f, "incompatible kernel configuration: {reason}")
+            }
+            DedispError::ShapeMismatch { expected, found } => {
+                write!(f, "shape mismatch: expected {expected}, found {found}")
+            }
+            DedispError::AllocationTooLarge { bytes, limit } => {
+                write!(
+                    f,
+                    "allocation of {bytes} bytes exceeds the configured limit of {limit} bytes"
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for DedispError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_invalid_parameter() {
+        let e = DedispError::invalid("channels", "must be non-zero");
+        assert_eq!(
+            e.to_string(),
+            "invalid parameter `channels`: must be non-zero"
+        );
+    }
+
+    #[test]
+    fn display_incompatible() {
+        let e = DedispError::incompatible("tile exceeds problem");
+        assert!(e.to_string().contains("tile exceeds problem"));
+    }
+
+    #[test]
+    fn display_shape_mismatch() {
+        let e = DedispError::ShapeMismatch {
+            expected: "64x100".into(),
+            found: "32x100".into(),
+        };
+        assert!(e.to_string().contains("expected 64x100"));
+    }
+
+    #[test]
+    fn display_allocation() {
+        let e = DedispError::AllocationTooLarge {
+            bytes: 10,
+            limit: 5,
+        };
+        assert!(e.to_string().contains("10 bytes"));
+        assert!(e.to_string().contains("limit of 5"));
+    }
+
+    #[test]
+    fn error_is_std_error() {
+        fn takes_err(_: &dyn std::error::Error) {}
+        takes_err(&DedispError::invalid("x", "y"));
+    }
+}

@@ -1,0 +1,201 @@
+//! Frequency bands and channelization.
+//!
+//! The dedispersion input is a *channelized* time-series: the observing
+//! bandwidth is split into `c` contiguous frequency channels, each
+//! delivered as its own sampled stream. The paper's two observational
+//! setups differ strongly here — Apertif observes 300 MHz of bandwidth in
+//! 1,024 channels near 1.4 GHz, LOFAR observes 6 MHz in 32 channels near
+//! 140 MHz — and this difference drives the amount of exploitable
+//! data-reuse (Section IV of the paper).
+
+use serde::{Deserialize, Serialize};
+
+use crate::error::{DedispError, Result};
+
+/// A contiguous observing band divided into equal-width frequency channels.
+///
+/// Channel `0` is the *lowest* frequency channel. Delays are computed
+/// relative to the top edge of the band (the highest frequency), matching
+/// the convention of Eq. 1 in the paper where `f_h` is the highest
+/// frequency of the signal.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct FrequencyBand {
+    low_mhz: f64,
+    channel_width_mhz: f64,
+    channels: usize,
+}
+
+impl FrequencyBand {
+    /// Creates a band starting at `low_mhz` with `channels` channels of
+    /// `channel_width_mhz` each.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DedispError::InvalidParameter`] if the low frequency or
+    /// channel width is not strictly positive and finite, or if the number
+    /// of channels is zero.
+    pub fn new(low_mhz: f64, channel_width_mhz: f64, channels: usize) -> Result<Self> {
+        if !(low_mhz.is_finite() && low_mhz > 0.0) {
+            return Err(DedispError::invalid(
+                "low_mhz",
+                format!("must be positive and finite, got {low_mhz}"),
+            ));
+        }
+        if !(channel_width_mhz.is_finite() && channel_width_mhz > 0.0) {
+            return Err(DedispError::invalid(
+                "channel_width_mhz",
+                format!("must be positive and finite, got {channel_width_mhz}"),
+            ));
+        }
+        if channels == 0 {
+            return Err(DedispError::invalid("channels", "must be non-zero"));
+        }
+        Ok(Self {
+            low_mhz,
+            channel_width_mhz,
+            channels,
+        })
+    }
+
+    /// Creates a band from its low and high edges.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if `high_mhz <= low_mhz` or `channels == 0`.
+    pub fn from_edges(low_mhz: f64, high_mhz: f64, channels: usize) -> Result<Self> {
+        if !(high_mhz.is_finite() && high_mhz > low_mhz) {
+            return Err(DedispError::invalid(
+                "high_mhz",
+                format!("must exceed low_mhz ({low_mhz}), got {high_mhz}"),
+            ));
+        }
+        if channels == 0 {
+            return Err(DedispError::invalid("channels", "must be non-zero"));
+        }
+        Self::new(low_mhz, (high_mhz - low_mhz) / channels as f64, channels)
+    }
+
+    /// Number of frequency channels (`c` in the paper).
+    #[inline]
+    pub fn channels(&self) -> usize {
+        self.channels
+    }
+
+    /// Width of a single channel in MHz.
+    #[inline]
+    pub fn channel_width_mhz(&self) -> f64 {
+        self.channel_width_mhz
+    }
+
+    /// The bottom edge of the band in MHz.
+    #[inline]
+    pub fn low_mhz(&self) -> f64 {
+        self.low_mhz
+    }
+
+    /// The top edge of the band in MHz — `f_h` in Eq. 1.
+    #[inline]
+    pub fn high_mhz(&self) -> f64 {
+        self.low_mhz + self.channel_width_mhz * self.channels as f64
+    }
+
+    /// Total bandwidth in MHz.
+    #[inline]
+    pub fn bandwidth_mhz(&self) -> f64 {
+        self.channel_width_mhz * self.channels as f64
+    }
+
+    /// The representative frequency of channel `ch` (its bottom edge),
+    /// i.e. the most pessimistic (largest-delay) frequency within the
+    /// channel. Channel 0 is the lowest channel.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ch >= self.channels()`.
+    #[inline]
+    pub fn channel_mhz(&self, ch: usize) -> f64 {
+        assert!(
+            ch < self.channels,
+            "channel index {ch} out of range ({} channels)",
+            self.channels
+        );
+        self.low_mhz + self.channel_width_mhz * ch as f64
+    }
+
+    /// The center frequency of channel `ch` in MHz.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ch >= self.channels()`.
+    #[inline]
+    pub fn channel_center_mhz(&self, ch: usize) -> f64 {
+        self.channel_mhz(ch) + 0.5 * self.channel_width_mhz
+    }
+
+    /// Iterates over the representative (bottom-edge) frequencies of all
+    /// channels, lowest first.
+    pub fn channel_frequencies(&self) -> impl Iterator<Item = f64> + '_ {
+        (0..self.channels).map(move |ch| self.channel_mhz(ch))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn apertif_like_band() {
+        // The paper's Apertif setup: 1,420–1,720 MHz in 1,024 channels.
+        let band = FrequencyBand::from_edges(1420.0, 1720.0, 1024).unwrap();
+        assert_eq!(band.channels(), 1024);
+        assert!((band.channel_width_mhz() - 0.29296875).abs() < 1e-12);
+        assert!((band.high_mhz() - 1720.0).abs() < 1e-9);
+        assert!((band.bandwidth_mhz() - 300.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn lofar_like_band() {
+        // The paper's LOFAR setup: 6 MHz above 138 MHz in 32 channels.
+        let band = FrequencyBand::new(138.0, 6.0 / 32.0, 32).unwrap();
+        assert_eq!(band.channels(), 32);
+        assert!((band.high_mhz() - 144.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn channel_frequencies_ascending() {
+        let band = FrequencyBand::new(100.0, 1.0, 8).unwrap();
+        let freqs: Vec<f64> = band.channel_frequencies().collect();
+        assert_eq!(freqs.len(), 8);
+        assert!(freqs.windows(2).all(|w| w[1] > w[0]));
+        assert!((freqs[0] - 100.0).abs() < 1e-12);
+        assert!((freqs[7] - 107.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn channel_center_is_half_width_up() {
+        let band = FrequencyBand::new(100.0, 2.0, 4).unwrap();
+        assert!((band.channel_center_mhz(0) - 101.0).abs() < 1e-12);
+        assert!((band.channel_center_mhz(3) - 107.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn rejects_bad_parameters() {
+        assert!(FrequencyBand::new(0.0, 1.0, 8).is_err());
+        assert!(FrequencyBand::new(-5.0, 1.0, 8).is_err());
+        assert!(FrequencyBand::new(100.0, 0.0, 8).is_err());
+        assert!(FrequencyBand::new(100.0, -1.0, 8).is_err());
+        assert!(FrequencyBand::new(100.0, 1.0, 0).is_err());
+        assert!(FrequencyBand::new(f64::NAN, 1.0, 8).is_err());
+        assert!(FrequencyBand::new(100.0, f64::INFINITY, 8).is_err());
+        assert!(FrequencyBand::from_edges(200.0, 100.0, 8).is_err());
+        assert!(FrequencyBand::from_edges(100.0, 100.0, 8).is_err());
+        assert!(FrequencyBand::from_edges(100.0, 200.0, 0).is_err());
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn channel_index_out_of_range_panics() {
+        let band = FrequencyBand::new(100.0, 1.0, 8).unwrap();
+        let _ = band.channel_mhz(8);
+    }
+}

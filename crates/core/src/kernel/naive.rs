@@ -1,0 +1,155 @@
+//! The sequential reference kernel — Algorithm 1 of the paper.
+
+use crate::buffer::{InputBuffer, OutputBuffer};
+use crate::error::Result;
+use crate::kernel::Dedisperser;
+use crate::plan::DedispersionPlan;
+
+/// Direct transcription of the paper's Algorithm 1: three nested loops
+/// over trial DMs, output samples, and frequency channels. Complexity
+/// `O(d·s·c)`; delays come from the plan's precomputed table.
+///
+/// This kernel is the correctness oracle for every other implementation
+/// in this workspace: all kernels accumulate channels in ascending order,
+/// so results are required to match it *bitwise*.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NaiveKernel;
+
+impl Dedisperser for NaiveKernel {
+    fn name(&self) -> &'static str {
+        "naive"
+    }
+
+    fn dedisperse(
+        &self,
+        plan: &DedispersionPlan,
+        input: &InputBuffer,
+        output: &mut OutputBuffer,
+    ) -> Result<()> {
+        input.check_plan(plan)?;
+        output.check_plan(plan)?;
+
+        let channels = plan.channels();
+        let out_samples = plan.out_samples();
+        let delays = plan.delays();
+
+        for trial in 0..plan.trials() {
+            let row = delays.trial_row(trial);
+            let series = output.series_mut(trial);
+            for (sample, out) in series.iter_mut().enumerate().take(out_samples) {
+                let mut acc = 0.0f32;
+                for ch in 0..channels {
+                    let shift = row[ch] as usize;
+                    acc += input.channel(ch)[sample + shift];
+                }
+                *out = acc;
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::kernel::testutil::{hash_input, small_plan};
+
+    #[test]
+    fn constant_input_sums_to_channel_count() {
+        let plan = small_plan(6);
+        let input = InputBuffer::constant(&plan, 1.0);
+        let mut out = OutputBuffer::for_plan(&plan);
+        NaiveKernel.dedisperse(&plan, &input, &mut out).unwrap();
+        let c = plan.channels() as f32;
+        assert!(out.as_slice().iter().all(|&v| (v - c).abs() < 1e-4));
+    }
+
+    #[test]
+    fn zero_dm_trial_is_plain_channel_sum() {
+        // Trial 0 has DM = 0, so its dedispersed series is the direct
+        // channel sum with no shifts.
+        let plan = small_plan(4);
+        let input = hash_input(&plan);
+        let mut out = OutputBuffer::for_plan(&plan);
+        NaiveKernel.dedisperse(&plan, &input, &mut out).unwrap();
+        for sample in 0..plan.out_samples() {
+            let mut acc = 0.0f32;
+            for ch in 0..plan.channels() {
+                acc += input.channel(ch)[sample];
+            }
+            assert_eq!(out.series(0)[sample], acc);
+        }
+    }
+
+    #[test]
+    fn shifts_are_applied_per_channel() {
+        // Put a spike in one channel at the exact delayed position of
+        // trial 2, sample 10; it must appear in trial 2's output bin 10.
+        let plan = small_plan(4);
+        let mut input = InputBuffer::for_plan(&plan);
+        let trial = 2;
+        let ch = 0; // lowest channel: largest delay
+        let sample = 10;
+        let shift = plan.delays().delay(trial, ch);
+        assert!(shift > 0, "test needs a non-trivial delay");
+        input.channel_mut(ch)[sample + shift] = 5.0;
+
+        let mut out = OutputBuffer::for_plan(&plan);
+        NaiveKernel.dedisperse(&plan, &input, &mut out).unwrap();
+        assert_eq!(out.series(trial)[sample], 5.0);
+        // A trial with a different delay for this channel misses the spike.
+        for other in 0..plan.trials() {
+            if plan.delays().delay(other, ch) != shift {
+                assert_eq!(out.series(other)[sample], 0.0);
+            }
+        }
+    }
+
+    #[test]
+    fn linearity() {
+        // dedisperse(a + b) == dedisperse(a) + dedisperse(b) for exact
+        // float inputs that avoid rounding (powers of two).
+        let plan = small_plan(4);
+        let mut a = InputBuffer::for_plan(&plan);
+        let mut b = InputBuffer::for_plan(&plan);
+        for ch in 0..plan.channels() {
+            for s in 0..plan.in_samples() {
+                a.channel_mut(ch)[s] = if (ch + s) % 3 == 0 { 2.0 } else { 0.0 };
+                b.channel_mut(ch)[s] = if (ch + s) % 5 == 0 { 4.0 } else { 0.0 };
+            }
+        }
+        let mut sum = InputBuffer::for_plan(&plan);
+        for i in 0..sum.as_slice().len() {
+            sum.as_mut_slice()[i] = a.as_slice()[i] + b.as_slice()[i];
+        }
+        let mut out_a = OutputBuffer::for_plan(&plan);
+        let mut out_b = OutputBuffer::for_plan(&plan);
+        let mut out_sum = OutputBuffer::for_plan(&plan);
+        NaiveKernel.dedisperse(&plan, &a, &mut out_a).unwrap();
+        NaiveKernel.dedisperse(&plan, &b, &mut out_b).unwrap();
+        NaiveKernel.dedisperse(&plan, &sum, &mut out_sum).unwrap();
+        for i in 0..out_sum.as_slice().len() {
+            assert_eq!(
+                out_sum.as_slice()[i],
+                out_a.as_slice()[i] + out_b.as_slice()[i]
+            );
+        }
+    }
+
+    #[test]
+    fn rejects_mismatched_buffers() {
+        let plan = small_plan(4);
+        let input = InputBuffer::zeroed(3, 10);
+        let mut out = OutputBuffer::for_plan(&plan);
+        assert!(NaiveKernel.dedisperse(&plan, &input, &mut out).is_err());
+
+        let input = InputBuffer::for_plan(&plan);
+        let mut out = OutputBuffer::zeroed(1, 1);
+        assert!(NaiveKernel.dedisperse(&plan, &input, &mut out).is_err());
+    }
+
+    #[test]
+    fn name() {
+        assert_eq!(NaiveKernel.name(), "naive");
+    }
+}

@@ -1,0 +1,133 @@
+//! The rayon-parallel tiled kernel.
+//!
+//! Work-group strips along the DM dimension are independent — each owns a
+//! disjoint set of output rows — so they are distributed over a rayon
+//! thread pool, the host-side analog of the OpenCL work-group grid
+//! launched across the compute units of an accelerator.
+
+use rayon::prelude::*;
+
+use crate::buffer::{InputBuffer, OutputBuffer};
+use crate::config::KernelConfig;
+use crate::error::Result;
+use crate::kernel::tiled::{process_dm_strip, TileScratch};
+use crate::kernel::Dedisperser;
+use crate::plan::DedispersionPlan;
+
+/// Multi-threaded execution of the tiled many-core algorithm.
+#[derive(Debug, Clone, Copy)]
+pub struct ParallelKernel {
+    config: KernelConfig,
+}
+
+impl ParallelKernel {
+    /// Creates a parallel kernel specialized for `config`.
+    pub fn new(config: KernelConfig) -> Self {
+        Self { config }
+    }
+
+    /// The configuration this kernel was specialized for.
+    pub fn config(&self) -> KernelConfig {
+        self.config
+    }
+}
+
+impl Dedisperser for ParallelKernel {
+    fn name(&self) -> &'static str {
+        "parallel"
+    }
+
+    fn dedisperse(
+        &self,
+        plan: &DedispersionPlan,
+        input: &InputBuffer,
+        output: &mut OutputBuffer,
+    ) -> Result<()> {
+        input.check_plan(plan)?;
+        output.check_plan(plan)?;
+        self.config
+            .validate_for(plan.out_samples(), plan.trials())?;
+
+        let tile_dm = self.config.tile_dm() as usize;
+        let out_samples = plan.out_samples();
+        let config = self.config;
+
+        output
+            .as_mut_slice()
+            .par_chunks_mut(tile_dm * out_samples)
+            .enumerate()
+            .for_each(|(strip, rows)| {
+                let trial_lo = strip * tile_dm;
+                let trial_hi = (trial_lo + tile_dm).min(plan.trials());
+                let mut scratch = TileScratch::new(&config);
+                process_dm_strip(plan, input, &config, trial_lo, trial_hi, rows, &mut scratch);
+            });
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::kernel::testutil::{hash_input, small_plan};
+    use crate::kernel::NaiveKernel;
+
+    #[test]
+    fn matches_reference_exactly() {
+        let plan = small_plan(16);
+        let input = hash_input(&plan);
+        let mut expected = OutputBuffer::for_plan(&plan);
+        NaiveKernel
+            .dedisperse(&plan, &input, &mut expected)
+            .unwrap();
+
+        for (wt, wd, et, ed) in [(1, 1, 1, 1), (8, 2, 2, 2), (25, 1, 2, 16), (50, 16, 4, 1)] {
+            let config = KernelConfig::new(wt, wd, et, ed).unwrap();
+            let mut out = OutputBuffer::for_plan(&plan);
+            ParallelKernel::new(config)
+                .dedisperse(&plan, &input, &mut out)
+                .unwrap();
+            assert_eq!(
+                out.max_abs_diff(&expected),
+                0.0,
+                "config {config} diverges from the reference"
+            );
+        }
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        // Thread scheduling must not affect results: strips own disjoint
+        // output rows and accumulate in a fixed order.
+        let plan = small_plan(9);
+        let input = hash_input(&plan);
+        let config = KernelConfig::new(16, 2, 2, 1).unwrap();
+        let kernel = ParallelKernel::new(config);
+        let mut first = OutputBuffer::for_plan(&plan);
+        kernel.dedisperse(&plan, &input, &mut first).unwrap();
+        for _ in 0..3 {
+            let mut out = OutputBuffer::for_plan(&plan);
+            kernel.dedisperse(&plan, &input, &mut out).unwrap();
+            assert_eq!(out.max_abs_diff(&first), 0.0);
+        }
+    }
+
+    #[test]
+    fn rejects_oversized_tile() {
+        let plan = small_plan(4);
+        let input = hash_input(&plan);
+        let mut out = OutputBuffer::for_plan(&plan);
+        let config = KernelConfig::new(8, 8, 1, 1).unwrap();
+        assert!(ParallelKernel::new(config)
+            .dedisperse(&plan, &input, &mut out)
+            .is_err());
+    }
+
+    #[test]
+    fn accessors() {
+        let config = KernelConfig::new(8, 4, 2, 2).unwrap();
+        let k = ParallelKernel::new(config);
+        assert_eq!(k.config(), config);
+        assert_eq!(k.name(), "parallel");
+    }
+}

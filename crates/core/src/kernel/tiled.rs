@@ -1,0 +1,257 @@
+//! The configuration-specialized tiled kernel (paper, Section III-B).
+//!
+//! The problem is decomposed into two-dimensional work-group tiles of
+//! `tile_dm` trial DMs × `tile_time` samples. For each tile and channel,
+//! the span of input needed by *all* trials of the tile is staged once
+//! into an emulated local memory, so a sample whose delayed position is
+//! shared by several close DMs is fetched from the (slow, global) input
+//! buffer exactly once per tile — the data-reuse that raises the
+//! algorithm's arithmetic intensity. Accumulators live in a tile-local
+//! buffer and are written back in a single pass, mirroring the paper's
+//! register-resident accumulators and coalesced output writes.
+
+use crate::buffer::{InputBuffer, OutputBuffer};
+use crate::config::KernelConfig;
+use crate::error::Result;
+use crate::kernel::Dedisperser;
+use crate::plan::DedispersionPlan;
+
+/// Single-threaded execution of the tiled many-core algorithm.
+#[derive(Debug, Clone, Copy)]
+pub struct TiledKernel {
+    config: KernelConfig,
+}
+
+impl TiledKernel {
+    /// Creates a tiled kernel specialized for `config`.
+    pub fn new(config: KernelConfig) -> Self {
+        Self { config }
+    }
+
+    /// The configuration this kernel was specialized for.
+    pub fn config(&self) -> KernelConfig {
+        self.config
+    }
+}
+
+impl Dedisperser for TiledKernel {
+    fn name(&self) -> &'static str {
+        "tiled"
+    }
+
+    fn dedisperse(
+        &self,
+        plan: &DedispersionPlan,
+        input: &InputBuffer,
+        output: &mut OutputBuffer,
+    ) -> Result<()> {
+        input.check_plan(plan)?;
+        output.check_plan(plan)?;
+        self.config
+            .validate_for(plan.out_samples(), plan.trials())?;
+
+        let tile_dm = self.config.tile_dm() as usize;
+        let out_samples = plan.out_samples();
+        let mut scratch = TileScratch::new(&self.config);
+
+        let mut trial_lo = 0;
+        while trial_lo < plan.trials() {
+            let trial_hi = (trial_lo + tile_dm).min(plan.trials());
+            let rows = &mut output.as_mut_slice()[trial_lo * out_samples..trial_hi * out_samples];
+            process_dm_strip(
+                plan,
+                input,
+                &self.config,
+                trial_lo,
+                trial_hi,
+                rows,
+                &mut scratch,
+            );
+            trial_lo = trial_hi;
+        }
+        Ok(())
+    }
+}
+
+/// Reusable per-worker scratch buffers: the emulated local memory and the
+/// tile-local accumulators.
+pub(crate) struct TileScratch {
+    local: Vec<f32>,
+    acc: Vec<f32>,
+    tile_time: usize,
+}
+
+impl TileScratch {
+    pub(crate) fn new(config: &KernelConfig) -> Self {
+        let tile_time = config.tile_time() as usize;
+        let tile_dm = config.tile_dm() as usize;
+        Self {
+            local: Vec::new(),
+            acc: vec![0.0; tile_time * tile_dm],
+            tile_time,
+        }
+    }
+}
+
+/// Processes one horizontal strip of trial DMs `[trial_lo, trial_hi)`,
+/// iterating over all time tiles. `rows` is the output region for exactly
+/// those trials (`(trial_hi - trial_lo) × out_samples`, trial-major).
+///
+/// This is the shared work-group body used by both [`TiledKernel`] and
+/// the rayon-parallel kernel.
+pub(crate) fn process_dm_strip(
+    plan: &DedispersionPlan,
+    input: &InputBuffer,
+    config: &KernelConfig,
+    trial_lo: usize,
+    trial_hi: usize,
+    rows: &mut [f32],
+    scratch: &mut TileScratch,
+) {
+    let out_samples = plan.out_samples();
+    let channels = plan.channels();
+    let delays = plan.delays();
+    let tile_time = config.tile_time() as usize;
+    let n_trials = trial_hi - trial_lo;
+    debug_assert_eq!(rows.len(), n_trials * out_samples);
+    debug_assert_eq!(scratch.tile_time, tile_time);
+
+    let mut t0 = 0;
+    while t0 < out_samples {
+        let tt = tile_time.min(out_samples - t0);
+        let acc = &mut scratch.acc[..n_trials * tile_time];
+        acc.fill(0.0);
+
+        for ch in 0..channels {
+            // Delays grow monotonically with the trial index, so the
+            // smallest delay in the strip belongs to `trial_lo` and the
+            // largest to `trial_hi - 1`.
+            let base = delays.delay(trial_lo, ch);
+            let max_off = delays.delay(trial_hi - 1, ch) - base;
+            let span = tt + max_off;
+
+            // Stage the shared input span into "local memory" once.
+            let src = &input.channel(ch)[t0 + base..t0 + base + span];
+            scratch.local.clear();
+            scratch.local.extend_from_slice(src);
+
+            // Each trial of the tile accumulates from its own offset into
+            // the staged span; the inner loop is contiguous and
+            // auto-vectorizes.
+            for (tr_rel, trial) in (trial_lo..trial_hi).enumerate() {
+                let off = delays.delay(trial, ch) - base;
+                let staged = &scratch.local[off..off + tt];
+                let dst = &mut acc[tr_rel * tile_time..tr_rel * tile_time + tt];
+                for (d, s) in dst.iter_mut().zip(staged) {
+                    *d += *s;
+                }
+            }
+        }
+
+        // Single coalesced write-back per tile.
+        for tr_rel in 0..n_trials {
+            let dst = &mut rows[tr_rel * out_samples + t0..tr_rel * out_samples + t0 + tt];
+            dst.copy_from_slice(&acc[tr_rel * tile_time..tr_rel * tile_time + tt]);
+        }
+        t0 += tt;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::kernel::testutil::{hash_input, small_plan};
+    use crate::kernel::NaiveKernel;
+
+    fn reference(plan: &DedispersionPlan, input: &InputBuffer) -> OutputBuffer {
+        let mut out = OutputBuffer::for_plan(plan);
+        NaiveKernel.dedisperse(plan, input, &mut out).unwrap();
+        out
+    }
+
+    #[test]
+    fn matches_reference_exactly_for_many_configs() {
+        let plan = small_plan(12);
+        let input = hash_input(&plan);
+        let expected = reference(&plan, &input);
+        for (wt, wd, et, ed) in [
+            (1, 1, 1, 1),
+            (8, 1, 1, 1),
+            (1, 4, 1, 1),
+            (4, 2, 2, 3),
+            (16, 3, 2, 2),
+            (25, 2, 4, 1),
+            (10, 1, 20, 12),
+            (200, 12, 1, 1),
+        ] {
+            let config = KernelConfig::new(wt, wd, et, ed).unwrap();
+            let mut out = OutputBuffer::for_plan(&plan);
+            TiledKernel::new(config)
+                .dedisperse(&plan, &input, &mut out)
+                .unwrap();
+            assert_eq!(
+                out.max_abs_diff(&expected),
+                0.0,
+                "config {config} diverges from the reference"
+            );
+        }
+    }
+
+    #[test]
+    fn partial_tiles_are_handled() {
+        // 12 trials with a DM tile of 5 and 200 samples with a time tile
+        // of 48: neither dimension divides evenly.
+        let plan = small_plan(12);
+        let input = hash_input(&plan);
+        let expected = reference(&plan, &input);
+        let config = KernelConfig::new(16, 5, 3, 1).unwrap(); // tile 48 x 5
+        let mut out = OutputBuffer::for_plan(&plan);
+        TiledKernel::new(config)
+            .dedisperse(&plan, &input, &mut out)
+            .unwrap();
+        assert_eq!(out.max_abs_diff(&expected), 0.0);
+    }
+
+    #[test]
+    fn zero_dm_plan_matches_reference() {
+        let plan = crate::plan::DedispersionPlan::builder()
+            .band(crate::freq::FrequencyBand::new(140.0, 0.5, 16).unwrap())
+            .dm_grid(crate::dm::DmGrid::paper_grid(8).unwrap())
+            .sample_rate(200)
+            .zero_dm(true)
+            .build()
+            .unwrap();
+        let input = hash_input(&plan);
+        let expected = reference(&plan, &input);
+        let config = KernelConfig::new(8, 4, 2, 2).unwrap();
+        let mut out = OutputBuffer::for_plan(&plan);
+        TiledKernel::new(config)
+            .dedisperse(&plan, &input, &mut out)
+            .unwrap();
+        assert_eq!(out.max_abs_diff(&expected), 0.0);
+    }
+
+    #[test]
+    fn oversized_tile_is_rejected() {
+        let plan = small_plan(4);
+        let input = hash_input(&plan);
+        let mut out = OutputBuffer::for_plan(&plan);
+        // DM tile of 8 > 4 trials.
+        let config = KernelConfig::new(8, 8, 1, 1).unwrap();
+        assert!(TiledKernel::new(config)
+            .dedisperse(&plan, &input, &mut out)
+            .is_err());
+        // Time tile of 256 > 200 samples.
+        let config = KernelConfig::new(256, 1, 1, 1).unwrap();
+        assert!(TiledKernel::new(config)
+            .dedisperse(&plan, &input, &mut out)
+            .is_err());
+    }
+
+    #[test]
+    fn config_accessor() {
+        let config = KernelConfig::new(8, 4, 2, 2).unwrap();
+        assert_eq!(TiledKernel::new(config).config(), config);
+        assert_eq!(TiledKernel::new(config).name(), "tiled");
+    }
+}

@@ -1,0 +1,356 @@
+//! Dedispersion plans: the precomputed state shared by all kernels.
+//!
+//! A [`DedispersionPlan`] fixes the observational parameters (frequency
+//! band, sampling rate), the trial-DM grid, and the derived delay table
+//! and buffer shapes. Kernels execute against a plan; the auto-tuner
+//! searches configurations for a plan. Plans follow the paper's batching
+//! convention: one *second* of output is produced per invocation, so the
+//! output is `d × s` (trials × samples-per-second) and the input is
+//! `c × t` with `t = s + max_delay` (the number of samples needed to
+//! dedisperse one second at the highest trial DM).
+
+use serde::{Deserialize, Serialize};
+
+use crate::delay::DelayTable;
+use crate::dm::DmGrid;
+use crate::error::{DedispError, Result};
+use crate::freq::FrequencyBand;
+
+/// Default cap on a single plan's input allocation (4 GiB), guarding
+/// against accidentally huge LOFAR-like plans with thousands of trials.
+pub const DEFAULT_ALLOCATION_LIMIT: u64 = 4 << 30;
+
+/// All precomputed state needed to dedisperse one second of data.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DedispersionPlan {
+    band: FrequencyBand,
+    dm_grid: DmGrid,
+    sample_rate: u32,
+    delays: DelayTable,
+    out_samples: usize,
+    in_samples: usize,
+    zero_dm: bool,
+}
+
+/// Builder for [`DedispersionPlan`].
+#[derive(Debug, Clone, Default)]
+pub struct PlanBuilder {
+    band: Option<FrequencyBand>,
+    dm_grid: Option<DmGrid>,
+    sample_rate: Option<u32>,
+    out_samples: Option<usize>,
+    zero_dm: bool,
+    allocation_limit: Option<u64>,
+}
+
+impl PlanBuilder {
+    /// Sets the frequency band (required).
+    pub fn band(mut self, band: FrequencyBand) -> Self {
+        self.band = Some(band);
+        self
+    }
+
+    /// Sets the trial-DM grid (required).
+    pub fn dm_grid(mut self, grid: DmGrid) -> Self {
+        self.dm_grid = Some(grid);
+        self
+    }
+
+    /// Sets the sampling rate in samples/second (required).
+    pub fn sample_rate(mut self, rate: u32) -> Self {
+        self.sample_rate = Some(rate);
+        self
+    }
+
+    /// Overrides the number of output samples per invocation. Defaults to
+    /// one second of data (`sample_rate` samples), the paper's convention.
+    pub fn out_samples(mut self, samples: usize) -> Self {
+        self.out_samples = Some(samples);
+        self
+    }
+
+    /// Replaces every delay with zero — the paper's third experiment
+    /// (Section IV-C), exposing theoretically perfect data-reuse.
+    pub fn zero_dm(mut self, enabled: bool) -> Self {
+        self.zero_dm = enabled;
+        self
+    }
+
+    /// Overrides the allocation guard (bytes of input buffer allowed).
+    pub fn allocation_limit(mut self, bytes: u64) -> Self {
+        self.allocation_limit = Some(bytes);
+        self
+    }
+
+    /// Builds the plan, computing the delay table and buffer shapes.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if a required field is missing, a parameter is
+    /// invalid, or the input buffer would exceed the allocation limit.
+    pub fn build(self) -> Result<DedispersionPlan> {
+        let band = self
+            .band
+            .ok_or_else(|| DedispError::invalid("band", "is required"))?;
+        let dm_grid = self
+            .dm_grid
+            .ok_or_else(|| DedispError::invalid("dm_grid", "is required"))?;
+        let sample_rate = self
+            .sample_rate
+            .ok_or_else(|| DedispError::invalid("sample_rate", "is required"))?;
+        if sample_rate == 0 {
+            return Err(DedispError::invalid("sample_rate", "must be non-zero"));
+        }
+        let out_samples = self.out_samples.unwrap_or(sample_rate as usize);
+        if out_samples == 0 {
+            return Err(DedispError::invalid("out_samples", "must be non-zero"));
+        }
+        let delays = if self.zero_dm {
+            DelayTable::zeros(band.channels(), dm_grid.count(), sample_rate)?
+        } else {
+            DelayTable::build(&band, &dm_grid, sample_rate)?
+        };
+        let in_samples = out_samples + delays.max_delay();
+        let limit = self.allocation_limit.unwrap_or(DEFAULT_ALLOCATION_LIMIT);
+        let in_bytes = band.channels() as u64 * in_samples as u64 * 4;
+        if in_bytes > limit {
+            return Err(DedispError::AllocationTooLarge {
+                bytes: in_bytes,
+                limit,
+            });
+        }
+        Ok(DedispersionPlan {
+            band,
+            dm_grid,
+            sample_rate,
+            delays,
+            out_samples,
+            in_samples,
+            zero_dm: self.zero_dm,
+        })
+    }
+}
+
+impl DedispersionPlan {
+    /// Starts building a plan.
+    pub fn builder() -> PlanBuilder {
+        PlanBuilder::default()
+    }
+
+    /// The observed frequency band.
+    #[inline]
+    pub fn band(&self) -> &FrequencyBand {
+        &self.band
+    }
+
+    /// The trial-DM grid.
+    #[inline]
+    pub fn dm_grid(&self) -> &DmGrid {
+        &self.dm_grid
+    }
+
+    /// Sampling rate in samples/second (`s` when dedispersing one second).
+    #[inline]
+    pub fn sample_rate(&self) -> u32 {
+        self.sample_rate
+    }
+
+    /// The precomputed delay table.
+    #[inline]
+    pub fn delays(&self) -> &DelayTable {
+        &self.delays
+    }
+
+    /// Number of frequency channels (`c`).
+    #[inline]
+    pub fn channels(&self) -> usize {
+        self.band.channels()
+    }
+
+    /// Number of trial DMs (`d`).
+    #[inline]
+    pub fn trials(&self) -> usize {
+        self.dm_grid.count()
+    }
+
+    /// Output samples per trial per invocation (`s`).
+    #[inline]
+    pub fn out_samples(&self) -> usize {
+        self.out_samples
+    }
+
+    /// Input samples per channel per invocation (`t = s + max_delay`).
+    #[inline]
+    pub fn in_samples(&self) -> usize {
+        self.in_samples
+    }
+
+    /// Whether this plan uses the all-zero delay table (perfect reuse).
+    #[inline]
+    pub fn is_zero_dm(&self) -> bool {
+        self.zero_dm
+    }
+
+    /// Useful floating-point operations per invocation: one accumulate per
+    /// (trial, sample, channel), i.e. `d·s·c` — the paper's FLOP metric.
+    pub fn flop(&self) -> u64 {
+        self.trials() as u64 * self.out_samples as u64 * self.channels() as u64
+    }
+
+    /// Input buffer size in bytes (`c × t` single-precision values).
+    pub fn input_bytes(&self) -> u64 {
+        self.channels() as u64 * self.in_samples as u64 * 4
+    }
+
+    /// Output buffer size in bytes (`d × s` single-precision values).
+    pub fn output_bytes(&self) -> u64 {
+        self.trials() as u64 * self.out_samples as u64 * 4
+    }
+
+    /// The minimum achievable wall-clock GFLOP/s for real-time operation:
+    /// dedispersing one second of data must take at most one second
+    /// (paper, Figures 6–7, "real-time" line). Scales linearly with the
+    /// number of trials.
+    pub fn realtime_gflops(&self) -> f64 {
+        // flop() is per out_samples; normalize to one second of data.
+        let per_second = self.flop() as f64 * self.sample_rate as f64 / self.out_samples as f64;
+        per_second / 1e9
+    }
+
+    /// MFLOP per trial DM per second of data — the paper quotes 20 MFLOP
+    /// for Apertif and 6 MFLOP for LOFAR (Section IV).
+    pub fn mflop_per_dm(&self) -> f64 {
+        self.sample_rate as f64 * self.channels() as f64 / 1e6
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_plan(trials: usize) -> DedispersionPlan {
+        DedispersionPlan::builder()
+            .band(FrequencyBand::new(1420.0, 0.29, 64).unwrap())
+            .dm_grid(DmGrid::paper_grid(trials).unwrap())
+            .sample_rate(1000)
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn shapes_follow_delays() {
+        let plan = small_plan(32);
+        assert_eq!(plan.channels(), 64);
+        assert_eq!(plan.trials(), 32);
+        assert_eq!(plan.out_samples(), 1000);
+        assert_eq!(
+            plan.in_samples(),
+            1000 + plan.delays().max_delay(),
+            "input must cover the worst-case delay"
+        );
+    }
+
+    #[test]
+    fn flop_and_bytes() {
+        let plan = small_plan(32);
+        assert_eq!(plan.flop(), 32 * 1000 * 64);
+        assert_eq!(plan.output_bytes(), 32 * 1000 * 4);
+        assert_eq!(plan.input_bytes(), 64 * plan.in_samples() as u64 * 4);
+    }
+
+    #[test]
+    fn paper_mflop_per_dm() {
+        // Apertif: 20,000 samples/s × 1,024 channels ≈ 20 MFLOP per DM.
+        let apertif = DedispersionPlan::builder()
+            .band(FrequencyBand::from_edges(1420.0, 1720.0, 1024).unwrap())
+            .dm_grid(DmGrid::paper_grid(2).unwrap())
+            .sample_rate(20_000)
+            .out_samples(100) // keep the test allocation tiny
+            .build()
+            .unwrap();
+        assert!((apertif.mflop_per_dm() - 20.48).abs() < 0.01);
+
+        // LOFAR: 200,000 samples/s × 32 channels = 6.4 MFLOP per DM.
+        let lofar = DedispersionPlan::builder()
+            .band(FrequencyBand::new(138.0, 6.0 / 32.0, 32).unwrap())
+            .dm_grid(DmGrid::paper_grid(2).unwrap())
+            .sample_rate(200_000)
+            .out_samples(100)
+            .build()
+            .unwrap();
+        assert!((lofar.mflop_per_dm() - 6.4).abs() < 0.01);
+    }
+
+    #[test]
+    fn realtime_threshold_scales_with_trials() {
+        let p1 = small_plan(16);
+        let p2 = small_plan(32);
+        let r = p2.realtime_gflops() / p1.realtime_gflops();
+        assert!((r - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn realtime_normalizes_partial_seconds() {
+        let full = small_plan(16);
+        let partial = DedispersionPlan::builder()
+            .band(FrequencyBand::new(1420.0, 0.29, 64).unwrap())
+            .dm_grid(DmGrid::paper_grid(16).unwrap())
+            .sample_rate(1000)
+            .out_samples(100)
+            .build()
+            .unwrap();
+        assert!((full.realtime_gflops() - partial.realtime_gflops()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn zero_dm_plan_has_no_delays() {
+        let plan = DedispersionPlan::builder()
+            .band(FrequencyBand::new(138.0, 0.19, 32).unwrap())
+            .dm_grid(DmGrid::paper_grid(64).unwrap())
+            .sample_rate(1000)
+            .zero_dm(true)
+            .build()
+            .unwrap();
+        assert!(plan.is_zero_dm());
+        assert!(plan.delays().is_zero());
+        assert_eq!(plan.in_samples(), plan.out_samples());
+    }
+
+    #[test]
+    fn missing_fields_error() {
+        assert!(DedispersionPlan::builder().build().is_err());
+        assert!(DedispersionPlan::builder()
+            .band(FrequencyBand::new(1420.0, 0.29, 64).unwrap())
+            .build()
+            .is_err());
+        assert!(DedispersionPlan::builder()
+            .band(FrequencyBand::new(1420.0, 0.29, 64).unwrap())
+            .dm_grid(DmGrid::paper_grid(4).unwrap())
+            .build()
+            .is_err());
+    }
+
+    #[test]
+    fn allocation_guard_trips() {
+        let err = DedispersionPlan::builder()
+            .band(FrequencyBand::new(138.0, 0.19, 32).unwrap())
+            .dm_grid(DmGrid::paper_grid(4096).unwrap())
+            .sample_rate(200_000)
+            .allocation_limit(1 << 20)
+            .build()
+            .unwrap_err();
+        assert!(matches!(err, DedispError::AllocationTooLarge { .. }));
+    }
+
+    #[test]
+    fn zero_out_samples_rejected() {
+        let err = DedispersionPlan::builder()
+            .band(FrequencyBand::new(1420.0, 0.29, 8).unwrap())
+            .dm_grid(DmGrid::paper_grid(4).unwrap())
+            .sample_rate(1000)
+            .out_samples(0)
+            .build()
+            .unwrap_err();
+        assert!(matches!(err, DedispError::InvalidParameter { .. }));
+    }
+}

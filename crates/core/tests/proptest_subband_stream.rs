@@ -1,0 +1,137 @@
+//! Property-based tests for the extension modules: the two-stage
+//! subband kernel's error bound and the streaming window's equivalence
+//! to offline slicing.
+
+use dedisp_core::prelude::*;
+use proptest::prelude::*;
+
+fn arb_plan() -> impl Strategy<Value = DedispersionPlan> {
+    (
+        100.0f64..400.0, // low band => meaningful delays
+        0.1f64..0.6,
+        prop::sample::select(vec![8usize, 16, 24, 32]),
+        100u32..400,
+        2usize..16,
+    )
+        .prop_map(|(low, width, channels, rate, trials)| {
+            DedispersionPlan::builder()
+                .band(FrequencyBand::new(low, width, channels).expect("valid band"))
+                .dm_grid(DmGrid::new(0.0, 0.5, trials).expect("valid grid"))
+                .sample_rate(rate)
+                .allocation_limit(64 << 20)
+                .build()
+                .expect("plan fits")
+        })
+        .prop_filter("bounded", |p| p.in_samples() * p.channels() < 400_000)
+}
+
+fn fill(plan: &DedispersionPlan, seed: u64) -> InputBuffer {
+    let mut buf = InputBuffer::for_plan(plan);
+    let samples = buf.samples();
+    for ch in 0..buf.channels() {
+        for (s, v) in buf.channel_mut(ch).iter_mut().enumerate() {
+            let mut x = seed ^ ((ch * samples + s) as u64);
+            x = x.wrapping_mul(0x9E37_79B9_7F4A_7C15).rotate_left(27);
+            x = x.wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            *v = ((x >> 40) as f32 / (1u64 << 24) as f32) - 0.5;
+        }
+    }
+    buf
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn subband_conserves_total_flux(
+        plan in arb_plan(),
+        subbands in prop::sample::select(vec![1usize, 2, 4, 8]),
+        stride in 1usize..6,
+    ) {
+        prop_assume!(plan.channels() % subbands == 0);
+        // A constant input dedisperses to channels x value through any
+        // correct shifting scheme: no sample is lost or double counted.
+        let input = InputBuffer::constant(&plan, 0.5);
+        let kernel = SubbandKernel::new(SubbandConfig::new(subbands, stride).unwrap());
+        let mut out = OutputBuffer::for_plan(&plan);
+        kernel.dedisperse(&plan, &input, &mut out).unwrap();
+        let expected = 0.5 * plan.channels() as f32;
+        for &v in out.as_slice() {
+            prop_assert!((v - expected).abs() < 1e-3, "{v} != {expected}");
+        }
+    }
+
+    #[test]
+    fn subband_exact_when_unstrided_single_channel_bands(
+        plan in arb_plan(),
+        seed in any::<u64>(),
+    ) {
+        // One channel per subband + stride 1 degenerates to brute force.
+        let input = fill(&plan, seed);
+        let kernel = SubbandKernel::new(SubbandConfig::new(plan.channels(), 1).unwrap());
+        prop_assert_eq!(kernel.max_smear_samples(&plan), 0);
+        let mut out = OutputBuffer::for_plan(&plan);
+        kernel.dedisperse(&plan, &input, &mut out).unwrap();
+        let reference = dedisp_core::kernel::dedisperse(&plan, &input).unwrap();
+        prop_assert!(out.max_abs_diff(&reference) < 1e-3);
+    }
+
+    #[test]
+    fn subband_smear_monotone_in_stride(
+        plan in arb_plan(),
+        subbands in prop::sample::select(vec![2usize, 4, 8]),
+    ) {
+        prop_assume!(plan.channels() % subbands == 0);
+        let mut last = 0;
+        for stride in [1usize, 2, 4] {
+            let k = SubbandKernel::new(SubbandConfig::new(subbands, stride).unwrap());
+            let smear = k.max_smear_samples(&plan);
+            prop_assert!(smear >= last, "stride {stride}: {smear} < {last}");
+            last = smear;
+        }
+    }
+
+    #[test]
+    fn stream_window_equals_offline(
+        plan in arb_plan(),
+        seed in any::<u64>(),
+        seconds in 2usize..5,
+    ) {
+        let s = plan.out_samples();
+        let total = s * seconds + plan.delays().max_delay();
+        // One long continuous stream per channel.
+        let signal: Vec<Vec<f32>> = (0..plan.channels())
+            .map(|ch| {
+                (0..total)
+                    .map(|i| {
+                        let mut x = seed ^ ((ch * total + i) as u64);
+                        x = x.wrapping_mul(0xD6E8_FEB8_6659_FD93).rotate_left(23);
+                        (x >> 40) as f32 / (1u64 << 24) as f32
+                    })
+                    .collect()
+            })
+            .collect();
+
+        let mut window = StreamWindow::for_plan(&plan);
+        for second in 0..seconds {
+            let blocks: Vec<&[f32]> = signal
+                .iter()
+                .map(|chan| &chan[second * s..(second + 1) * s])
+                .collect();
+            window.push_second(&blocks).unwrap();
+        }
+        prop_assume!(window.warmed_up());
+
+        let streamed = dedisp_core::kernel::dedisperse(&plan, window.window()).unwrap();
+
+        let start = seconds * s - plan.in_samples();
+        let mut offline_in = InputBuffer::for_plan(&plan);
+        for ch in 0..plan.channels() {
+            offline_in
+                .channel_mut(ch)
+                .copy_from_slice(&signal[ch][start..start + plan.in_samples()]);
+        }
+        let offline = dedisp_core::kernel::dedisperse(&plan, &offline_in).unwrap();
+        prop_assert_eq!(streamed.max_abs_diff(&offline), 0.0);
+    }
+}

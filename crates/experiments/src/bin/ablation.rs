@@ -1,0 +1,4 @@
+//! Runs the model ablation study (see DESIGN.md §5 and §7).
+fn main() {
+    print!("{}", experiments::ablation::ablation_study());
+}

@@ -1,0 +1,10 @@
+//! Regenerates Figures 2 and 3: tuned work-items per work-group.
+use experiments::figures::{fig_workitems, PaperData};
+use experiments::Harness;
+
+fn main() {
+    let data = PaperData::collect(Harness::paper());
+    print!("{}", fig_workitems(&data, "Apertif", 2));
+    println!();
+    print!("{}", fig_workitems(&data, "LOFAR", 3));
+}

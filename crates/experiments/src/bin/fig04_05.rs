@@ -1,0 +1,10 @@
+//! Regenerates Figures 4 and 5: tuned registers per work-item.
+use experiments::figures::{fig_registers, PaperData};
+use experiments::Harness;
+
+fn main() {
+    let data = PaperData::collect(Harness::paper());
+    print!("{}", fig_registers(&data, "Apertif", 4));
+    println!();
+    print!("{}", fig_registers(&data, "LOFAR", 5));
+}

@@ -1,0 +1,10 @@
+//! Regenerates Figures 6 and 7: tuned performance + real-time line.
+use experiments::figures::{fig_performance, PaperData};
+use experiments::Harness;
+
+fn main() {
+    let data = PaperData::collect(Harness::paper());
+    print!("{}", fig_performance(&data, "Apertif", 6));
+    println!();
+    print!("{}", fig_performance(&data, "LOFAR", 7));
+}

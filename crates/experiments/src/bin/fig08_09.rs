@@ -1,0 +1,10 @@
+//! Regenerates Figures 8 and 9: SNR of the optimum.
+use experiments::figures::{fig_snr, PaperData};
+use experiments::Harness;
+
+fn main() {
+    let data = PaperData::collect(Harness::paper());
+    print!("{}", fig_snr(&data, "Apertif", 8));
+    println!();
+    print!("{}", fig_snr(&data, "LOFAR", 9));
+}

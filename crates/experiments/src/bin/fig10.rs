@@ -1,0 +1,8 @@
+//! Regenerates Figure 10: performance histogram (HD7970, Apertif).
+use experiments::figures::{fig_histogram, PaperData};
+use experiments::Harness;
+
+fn main() {
+    let data = PaperData::collect(Harness::paper());
+    print!("{}", fig_histogram(&data));
+}

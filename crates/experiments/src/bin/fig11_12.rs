@@ -1,0 +1,10 @@
+//! Regenerates Figures 11 and 12: the 0-DM perfect-reuse scenario.
+use experiments::figures::{fig_zero_dm, PaperData};
+use experiments::Harness;
+
+fn main() {
+    let data = PaperData::collect(Harness::paper());
+    print!("{}", fig_zero_dm(&data, "Apertif", 11));
+    println!();
+    print!("{}", fig_zero_dm(&data, "LOFAR", 12));
+}

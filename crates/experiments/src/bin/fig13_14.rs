@@ -1,0 +1,10 @@
+//! Regenerates Figures 13 and 14: speedup over the best fixed config.
+use experiments::figures::{fig_fixed_speedup, PaperData};
+use experiments::Harness;
+
+fn main() {
+    let data = PaperData::collect(Harness::paper());
+    print!("{}", fig_fixed_speedup(&data, "Apertif", 13));
+    println!();
+    print!("{}", fig_fixed_speedup(&data, "LOFAR", 14));
+}

@@ -1,0 +1,10 @@
+//! Regenerates Figures 15 and 16: speedup over the CPU implementation.
+use experiments::figures::{fig_cpu_speedup, PaperData};
+use experiments::Harness;
+
+fn main() {
+    let data = PaperData::collect(Harness::paper());
+    print!("{}", fig_cpu_speedup(&data, "Apertif", 15));
+    println!();
+    print!("{}", fig_cpu_speedup(&data, "LOFAR", 16));
+}

@@ -1,0 +1,8 @@
+//! Regenerates the Section V-D Apertif survey sizing.
+use experiments::figures::{sizing, PaperData};
+use experiments::Harness;
+
+fn main() {
+    let data = PaperData::collect(Harness::paper());
+    print!("{}", sizing(&data));
+}

@@ -1,0 +1,4 @@
+//! Regenerates Table I.
+fn main() {
+    print!("{}", experiments::figures::table1());
+}

@@ -1,0 +1,8 @@
+//! Quantifies the paper's Section IV PCIe-exclusion assumption.
+use experiments::figures::{transfer_analysis, PaperData};
+use experiments::Harness;
+
+fn main() {
+    let data = PaperData::collect(Harness::paper());
+    print!("{}", transfer_analysis(&data));
+}

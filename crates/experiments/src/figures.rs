@@ -1,0 +1,474 @@
+//! Figure and table generators.
+//!
+//! [`PaperData::collect`] runs the complete tuning campaign once (every
+//! device × setup × instance, real and 0-DM delays); each `fig_*`
+//! function then renders one of the paper's figures from it.
+
+use autotune::{best_fixed_config, stats::Histogram, SweepReport, TuningDatabase, TuningResult};
+use cpu_baseline::tuned_cpu_gflops;
+use manycore_sim::{all_devices, TransferEstimate, PCIE2_X16};
+use radioastro::{ObservationalSetup, RealtimeCheck, SurveySizing};
+
+use crate::render::{figure_table, kv_table, Series};
+use crate::{workload_for, Harness};
+
+/// Every tuning result needed to regenerate the paper's evaluation.
+pub struct PaperData {
+    /// The harness that produced the data.
+    pub harness: Harness,
+    /// Both observational setups, in figure order (Apertif, LOFAR).
+    pub setups: Vec<ObservationalSetup>,
+    /// `[setup][device]` sweeps with real delays.
+    pub real: Vec<Vec<SweepReport>>,
+    /// `[setup][device]` sweeps with all-zero delays (Section IV-C).
+    pub zero_dm: Vec<Vec<SweepReport>>,
+    /// `[setup][device][instance]` raw tuning results (real delays),
+    /// retained for fixed-configuration and histogram analyses.
+    pub raw: Vec<Vec<Vec<TuningResult>>>,
+}
+
+impl PaperData {
+    /// Runs the full campaign.
+    pub fn collect(harness: Harness) -> Self {
+        let setups = vec![ObservationalSetup::apertif(), ObservationalSetup::lofar()];
+        let devices = all_devices();
+        let mut real = Vec::new();
+        let mut zero = Vec::new();
+        let mut raw = Vec::new();
+        for setup in &setups {
+            let mut real_s = Vec::new();
+            let mut raw_s = Vec::new();
+            for dev in &devices {
+                let results = harness.sweep_results(dev, setup, false);
+                let instances = harness
+                    .instances
+                    .iter()
+                    .zip(&results)
+                    .map(|(&t, r)| autotune::InstanceResult::from_tuning(t, r))
+                    .collect();
+                real_s.push(SweepReport {
+                    device: dev.name.clone(),
+                    setup: setup.name.clone(),
+                    instances,
+                });
+                raw_s.push(results);
+            }
+            real.push(real_s);
+            raw.push(raw_s);
+            zero.push(harness.sweep_all_devices(setup, true));
+        }
+        Self {
+            harness,
+            setups,
+            real,
+            zero_dm: zero,
+            raw,
+        }
+    }
+
+    /// Collects every tuned optimum into the persistent database format
+    /// (the paper's "set of tuples" output, Section IV-A).
+    pub fn tuning_database(&self) -> TuningDatabase {
+        let mut db = TuningDatabase::new();
+        for (setup_reports, setup) in self.real.iter().zip(&self.setups) {
+            for rep in setup_reports {
+                for inst in &rep.instances {
+                    db.insert(
+                        &rep.device,
+                        &setup.name,
+                        inst.trials,
+                        inst.best_config,
+                        inst.best_gflops,
+                    );
+                }
+            }
+        }
+        db
+    }
+
+    fn setup_index(&self, name: &str) -> usize {
+        self.setups
+            .iter()
+            .position(|s| s.name == name)
+            .unwrap_or_else(|| panic!("unknown setup {name}"))
+    }
+}
+
+/// Table I: characteristics of the used many-core accelerators.
+pub fn table1() -> String {
+    let rows = all_devices()
+        .iter()
+        .map(|d| {
+            (
+                d.name.clone(),
+                format!(
+                    "CEs {:>4} ({} x {:>3})   {:>6.0} GFLOP/s   {:>4.0} GB/s",
+                    d.compute_elements(),
+                    d.elems_per_cu,
+                    d.compute_units,
+                    d.peak_gflops,
+                    d.peak_bandwidth_gbs
+                ),
+            )
+        })
+        .collect::<Vec<_>>();
+    kv_table(
+        "Table I: characteristics of the used many-core accelerators",
+        &rows,
+    )
+}
+
+/// Figures 2 (Apertif) and 3 (LOFAR): tuned work-items per work-group.
+pub fn fig_workitems(data: &PaperData, setup: &str, fignum: u32) -> String {
+    let idx = data.setup_index(setup);
+    let series: Vec<Series> = data.real[idx]
+        .iter()
+        .map(|rep| {
+            Series::new(
+                rep.device.clone(),
+                rep.instances
+                    .iter()
+                    .map(|r| f64::from(r.work_items))
+                    .collect(),
+            )
+        })
+        .collect();
+    figure_table(
+        &format!("Figure {fignum}: tuned work-items per work-group, {setup}"),
+        "work-items",
+        &data.harness.instances,
+        &series,
+    )
+}
+
+/// Figures 4 (Apertif) and 5 (LOFAR): tuned registers per work-item.
+pub fn fig_registers(data: &PaperData, setup: &str, fignum: u32) -> String {
+    let idx = data.setup_index(setup);
+    let series: Vec<Series> = data.real[idx]
+        .iter()
+        .map(|rep| {
+            Series::new(
+                rep.device.clone(),
+                rep.instances
+                    .iter()
+                    .map(|r| f64::from(r.registers))
+                    .collect(),
+            )
+        })
+        .collect();
+    figure_table(
+        &format!("Figure {fignum}: tuned registers per work-item, {setup}"),
+        "registers (el_time x el_dm)",
+        &data.harness.instances,
+        &series,
+    )
+}
+
+/// Figures 6 (Apertif) and 7 (LOFAR): performance of auto-tuned
+/// dedispersion, with the real-time threshold as the final column.
+pub fn fig_performance(data: &PaperData, setup: &str, fignum: u32) -> String {
+    let idx = data.setup_index(setup);
+    let mut series: Vec<Series> = data.real[idx]
+        .iter()
+        .map(|rep| {
+            Series::new(
+                rep.device.clone(),
+                rep.instances.iter().map(|r| r.best_gflops).collect(),
+            )
+        })
+        .collect();
+    let setup_cfg = &data.setups[idx];
+    series.push(Series::new(
+        "real-time",
+        data.harness
+            .instances
+            .iter()
+            .map(|&t| RealtimeCheck::for_setup(setup_cfg, t).required_gflops)
+            .collect(),
+    ));
+    figure_table(
+        &format!(
+            "Figure {fignum}: performance of auto-tuned dedispersion, {setup} (higher is better)"
+        ),
+        "GFLOP/s",
+        &data.harness.instances,
+        &series,
+    )
+}
+
+/// Figures 8 (Apertif) and 9 (LOFAR): signal-to-noise ratio of the
+/// optimum over the optimization space.
+pub fn fig_snr(data: &PaperData, setup: &str, fignum: u32) -> String {
+    let idx = data.setup_index(setup);
+    let series: Vec<Series> = data.real[idx]
+        .iter()
+        .map(|rep| {
+            Series::new(
+                rep.device.clone(),
+                rep.instances.iter().map(|r| r.snr()).collect(),
+            )
+        })
+        .collect();
+    figure_table(
+        &format!("Figure {fignum}: signal-to-noise ratio of the optimum, {setup}"),
+        "SNR (sigma above the mean)",
+        &data.harness.instances,
+        &series,
+    )
+}
+
+/// Figure 10: distribution of configurations over performance for the
+/// HD7970 on Apertif (largest instance ≤ 2,048 trials).
+pub fn fig_histogram(data: &PaperData) -> String {
+    let idx = data.setup_index("Apertif");
+    let hd = 0; // devices are in Table I order; HD7970 first
+    let inst = data
+        .harness
+        .instances
+        .iter()
+        .position(|&t| t == 2048)
+        .unwrap_or(data.harness.instances.len() - 1);
+    let result = &data.raw[idx][hd][inst];
+    let scores: Vec<f64> = result.samples.iter().map(|s| s.gflops).collect();
+    let hist = Histogram::of_scores(&scores, 40);
+    let mut out = String::new();
+    out.push_str(&format!(
+        "# Figure 10: performance histogram, {} @ {} DMs ({} configurations)\n",
+        result.label,
+        data.harness.instances[inst],
+        scores.len()
+    ));
+    out.push_str("# columns: bin center GFLOP/s, configurations\n");
+    for (center, count) in hist.bars() {
+        out.push_str(&format!("{center:>10.2} {count:>6}\n"));
+    }
+    out.push_str(&format!(
+        "# optimum: {:.2} GFLOP/s; mean {:.2}; top-bin population {}\n",
+        result.best_gflops(),
+        result.stats().mean,
+        hist.top_bin_count()
+    ));
+    out
+}
+
+/// Figures 11 (Apertif) and 12 (LOFAR): tuned performance when every
+/// trial DM is 0 — theoretically perfect data-reuse.
+pub fn fig_zero_dm(data: &PaperData, setup: &str, fignum: u32) -> String {
+    let idx = data.setup_index(setup);
+    let series: Vec<Series> = data.zero_dm[idx]
+        .iter()
+        .map(|rep| {
+            Series::new(
+                rep.device.clone(),
+                rep.instances.iter().map(|r| r.best_gflops).collect(),
+            )
+        })
+        .collect();
+    figure_table(
+        &format!("Figure {fignum}: performance in a 0 DM scenario, {setup} (higher is better)"),
+        "GFLOP/s",
+        &data.harness.instances,
+        &series,
+    )
+}
+
+/// Figures 13 (Apertif) and 14 (LOFAR): speedup of the tuned optimum
+/// over the best fixed configuration.
+pub fn fig_fixed_speedup(data: &PaperData, setup: &str, fignum: u32) -> String {
+    let idx = data.setup_index(setup);
+    let series: Vec<Series> = data.raw[idx]
+        .iter()
+        .zip(&data.real[idx])
+        .map(|(raw, rep)| {
+            let cmp = best_fixed_config(raw);
+            Series::new(rep.device.clone(), cmp.speedups())
+        })
+        .collect();
+    figure_table(
+        &format!("Figure {fignum}: speedup over fixed configuration, {setup} (higher is better)"),
+        "speedup (tuned / fixed)",
+        &data.harness.instances,
+        &series,
+    )
+}
+
+/// Figures 15 (Apertif) and 16 (LOFAR): speedup of each tuned
+/// accelerator over the optimized CPU implementation.
+pub fn fig_cpu_speedup(data: &PaperData, setup: &str, fignum: u32) -> String {
+    let idx = data.setup_index(setup);
+    let setup_cfg = &data.setups[idx];
+    let cpu: Vec<f64> = data
+        .harness
+        .instances
+        .iter()
+        .map(|&t| tuned_cpu_gflops(&workload_for(setup_cfg, t, false)))
+        .collect();
+    let series: Vec<Series> = data.real[idx]
+        .iter()
+        .map(|rep| {
+            Series::new(
+                rep.device.clone(),
+                rep.instances
+                    .iter()
+                    .zip(&cpu)
+                    .map(|(r, c)| r.best_gflops / c)
+                    .collect(),
+            )
+        })
+        .collect();
+    figure_table(
+        &format!("Figure {fignum}: speedup over a CPU implementation, {setup} (higher is better)"),
+        "speedup (device / Xeon E5-2620)",
+        &data.harness.instances,
+        &series,
+    )
+}
+
+/// Section V-D: the Apertif survey sizing (2,000 DMs × 450 beams).
+pub fn sizing(data: &PaperData) -> String {
+    let idx = data.setup_index("Apertif");
+    let survey = SurveySizing::apertif_survey();
+    // Use the largest-instance tuned performance as the sustained rate.
+    let mut rows = Vec::new();
+    for rep in &data.real[idx] {
+        let sustained = rep.instances.last().expect("non-empty sweep").best_gflops;
+        let seconds = survey.seconds_per_beam(sustained);
+        let beams = survey.beams_per_device(sustained);
+        let devices = survey.devices_needed(sustained);
+        rows.push((
+            rep.device.clone(),
+            if beams == 0 {
+                format!("{sustained:>7.1} GFLOP/s  cannot dedisperse one beam in real time")
+            } else {
+                format!(
+                    "{sustained:>7.1} GFLOP/s  {seconds:.3} s per 2,000-DM beam-second  {beams:>2} beams/device  {devices:>4} devices for 450 beams"
+                )
+            },
+        ));
+    }
+    let cpu = tuned_cpu_gflops(&workload_for(&data.setups[idx], 2000, false));
+    let cpu_beams = survey.beams_per_device(cpu);
+    rows.push((
+        "Intel Xeon E5-2620 (CPU)".into(),
+        if cpu_beams == 0 {
+            format!("{cpu:>7.1} GFLOP/s  cannot dedisperse one beam in real time")
+        } else {
+            format!(
+                "{cpu:>7.1} GFLOP/s  {} beams/device  {} devices for 450 beams",
+                cpu_beams,
+                survey.devices_needed(cpu)
+            )
+        },
+    ));
+    kv_table(
+        "Section V-D: real-time Apertif survey sizing (2,000 DMs x 450 beams)",
+        &rows,
+    )
+}
+
+/// Host↔device transfer analysis: quantifies the paper's Section IV
+/// assumption that PCIe traffic can be excluded.
+pub fn transfer_analysis(data: &PaperData) -> String {
+    let mut out = String::new();
+    out.push_str(
+        "# Transfer analysis: PCIe 2.0 x16, per second of data (paper Section IV exclusion)\n",
+    );
+    out.push_str("# columns: setup, DMs, upload s, download s, total s, fits real-time alongside tuned HD7970 compute\n");
+    for (idx, setup) in data.setups.iter().enumerate() {
+        for inst in &data.real[idx][0].instances {
+            let w = workload_for(setup, inst.trials, false);
+            let t = TransferEstimate::estimate(&PCIE2_X16, &w);
+            let compute_s = w.useful_flop as f64 / (inst.best_gflops * 1e9);
+            out.push_str(&format!(
+                "{:>8} {:>6} {:>9.4} {:>9.4} {:>9.4} {}\n",
+                setup.name,
+                inst.trials,
+                t.upload_s,
+                t.download_s,
+                t.total_s(),
+                if t.realtime_with_overlap(compute_s) {
+                    "yes"
+                } else {
+                    "NO"
+                }
+            ));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quick_data() -> PaperData {
+        PaperData::collect(Harness::quick())
+    }
+
+    #[test]
+    fn all_figures_render() {
+        let data = quick_data();
+        for s in ["Apertif", "LOFAR"] {
+            assert!(fig_workitems(&data, s, 2).contains("work-items"));
+            assert!(fig_registers(&data, s, 4).contains("registers"));
+            assert!(fig_performance(&data, s, 6).contains("real-time"));
+            assert!(fig_snr(&data, s, 8).contains("SNR"));
+            assert!(fig_zero_dm(&data, s, 11).contains("0 DM"));
+            assert!(fig_fixed_speedup(&data, s, 13).contains("speedup"));
+            assert!(fig_cpu_speedup(&data, s, 15).contains("E5-2620"));
+        }
+        assert!(fig_histogram(&data).contains("histogram"));
+        assert!(sizing(&data).contains("450 beams"));
+        assert!(table1().contains("AMD HD7970"));
+        assert!(transfer_analysis(&data).contains("PCIe"));
+    }
+
+    #[test]
+    fn database_holds_every_tuned_cell() {
+        let data = quick_data();
+        let db = data.tuning_database();
+        // 5 devices x 2 setups x 3 quick instances.
+        assert_eq!(db.len(), 30);
+        let (_, entry) = db
+            .get_nearest("AMD HD7970", "Apertif", 10_000)
+            .expect("largest instance matches");
+        assert!(entry.gflops > 0.0);
+        let roundtrip = TuningDatabase::from_json(&db.to_json()).unwrap();
+        assert_eq!(roundtrip.len(), db.len());
+    }
+
+    #[test]
+    fn paper_claims_hold_on_quick_harness() {
+        let data = quick_data();
+        let ap = data.setup_index("Apertif");
+        let lo = data.setup_index("LOFAR");
+        // Devices in Table I order.
+        let hd = &data.real[ap][0];
+        let phi = &data.real[ap][1];
+        let largest = hd.instances.len() - 1;
+
+        // HD7970 dominates Apertif; the Phi trails far behind.
+        let hd_g = hd.instances[largest].best_gflops;
+        let phi_g = phi.instances[largest].best_gflops;
+        assert!(hd_g > 4.0 * phi_g, "HD {hd_g} vs Phi {phi_g}");
+
+        // Every device is slower on LOFAR than on Apertif (real delays).
+        for (a, l) in data.real[ap].iter().zip(&data.real[lo]) {
+            assert!(
+                l.instances[largest].best_gflops < a.instances[largest].best_gflops,
+                "{}",
+                a.device
+            );
+        }
+
+        // 0-DM LOFAR recovers to within 2x of 0-DM Apertif for the GPUs
+        // (the paper: "results are higher and in line with Apertif").
+        for (a, l) in data.zero_dm[ap].iter().zip(&data.zero_dm[lo]) {
+            if a.device.contains("Phi") {
+                continue;
+            }
+            let ratio = a.instances[largest].best_gflops / l.instances[largest].best_gflops;
+            assert!(ratio < 2.0, "{}: 0-DM ratio {ratio}", a.device);
+        }
+    }
+}

@@ -1,0 +1,111 @@
+//! Plain-text rendering of figure series and tables.
+//!
+//! Each figure becomes a gnuplot-style table: one row per input
+//! instance, one column per device — the same data the paper plots.
+
+use std::fmt::Write as _;
+
+/// A named series over the instance sweep.
+#[derive(Debug, Clone)]
+pub struct Series {
+    /// Legend label (device name).
+    pub name: String,
+    /// One value per instance, aligned with the instance list.
+    pub values: Vec<f64>,
+}
+
+impl Series {
+    /// Creates a series.
+    pub fn new(name: impl Into<String>, values: Vec<f64>) -> Self {
+        Self {
+            name: name.into(),
+            values,
+        }
+    }
+}
+
+/// Renders a figure as an aligned text table.
+///
+/// # Panics
+///
+/// Panics if any series length differs from the instance count.
+pub fn figure_table(title: &str, ylabel: &str, instances: &[usize], series: &[Series]) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "# {title}");
+    let _ = writeln!(out, "# y: {ylabel}");
+    let _ = write!(out, "{:>6}", "DMs");
+    for s in series {
+        let _ = write!(out, " {:>22}", s.name);
+        assert_eq!(
+            s.values.len(),
+            instances.len(),
+            "series {} has wrong length",
+            s.name
+        );
+    }
+    let _ = writeln!(out);
+    for (i, &trials) in instances.iter().enumerate() {
+        let _ = write!(out, "{trials:>6}");
+        for s in series {
+            let _ = write!(out, " {:>22.3}", s.values[i]);
+        }
+        let _ = writeln!(out);
+    }
+    out
+}
+
+/// Renders a simple two-column table (label, value).
+pub fn kv_table(title: &str, rows: &[(String, String)]) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "# {title}");
+    let width = rows.iter().map(|(k, _)| k.len()).max().unwrap_or(0);
+    for (k, v) in rows {
+        let _ = writeln!(out, "{k:<width$}  {v}");
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_layout() {
+        let t = figure_table(
+            "Figure X",
+            "GFLOP/s",
+            &[2, 4],
+            &[
+                Series::new("dev-a", vec![1.5, 2.5]),
+                Series::new("dev-b", vec![3.0, 4.0]),
+            ],
+        );
+        assert!(t.starts_with("# Figure X\n"));
+        assert!(t.contains("dev-a"));
+        assert!(t.contains("dev-b"));
+        let lines: Vec<&str> = t.lines().collect();
+        assert_eq!(lines.len(), 5); // 2 headers + column row + 2 data rows
+        assert!(lines[3].trim_start().starts_with('2'));
+        assert!(lines[3].contains("1.500"));
+        assert!(lines[4].contains("4.000"));
+    }
+
+    #[test]
+    #[should_panic(expected = "wrong length")]
+    fn mismatched_series_panics() {
+        let _ = figure_table("t", "y", &[2, 4], &[Series::new("a", vec![1.0])]);
+    }
+
+    #[test]
+    fn kv_layout() {
+        let t = kv_table(
+            "Table",
+            &[
+                ("alpha".into(), "1".into()),
+                ("betagamma".into(), "2".into()),
+            ],
+        );
+        assert!(t.contains("alpha      1") || t.contains("alpha"));
+        assert!(t.lines().count() == 3);
+    }
+}

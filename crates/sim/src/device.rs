@@ -1,0 +1,162 @@
+//! Device descriptors: the hardware parameters of a many-core accelerator.
+//!
+//! The first five fields mirror the paper's Table I (compute elements,
+//! peak GFLOP/s, peak GB/s); the rest are the microarchitectural
+//! quantities the paper's analysis appeals to — wavefront width,
+//! work-group and register limits, local-memory size, cache-line size —
+//! plus explicitly-named model calibration factors.
+
+use serde::{Deserialize, Serialize};
+
+/// Accelerator vendor, used for grouping results as the paper does
+/// ("the three NVIDIA GPUs ... sit in the middle").
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Vendor {
+    /// AMD (GCN GPUs).
+    Amd,
+    /// NVIDIA (Kepler GPUs).
+    Nvidia,
+    /// Intel (Xeon Phi / MIC).
+    Intel,
+}
+
+/// Everything the cost model knows about one accelerator.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DeviceDescriptor {
+    /// Marketing name, e.g. "AMD HD7970".
+    pub name: String,
+    /// Vendor, for grouping.
+    pub vendor: Vendor,
+    /// Compute units (GCN CUs, Kepler SMXs, Phi cores).
+    pub compute_units: u32,
+    /// Compute elements per compute unit (Table I column "CEs" is
+    /// `elems_per_cu × compute_units`).
+    pub elems_per_cu: u32,
+    /// Peak single-precision throughput in GFLOP/s (Table I).
+    pub peak_gflops: f64,
+    /// Peak memory bandwidth in GB/s (Table I).
+    pub peak_bandwidth_gbs: f64,
+    /// SIMD execution width in work-items (AMD wavefront 64, NVIDIA warp
+    /// 32, Phi 512-bit vector = 16 floats).
+    pub simd_width: u32,
+    /// Maximum work-items per work-group the runtime accepts.
+    pub max_wg_size: u32,
+    /// 32-bit registers per compute unit.
+    pub regfile_per_cu: u32,
+    /// Maximum registers one work-item may use.
+    pub max_regs_per_item: u32,
+    /// Local (shared) memory per compute unit, in bytes (shared by all
+    /// resident work-groups).
+    pub local_mem_per_cu: u32,
+    /// Largest local-memory allocation a single work-group may make.
+    pub max_local_per_wg: u32,
+    /// Cache-line / memory-transaction granularity, in bytes.
+    pub cache_line_bytes: u32,
+    /// Maximum resident work-groups per compute unit.
+    pub max_wg_per_cu: u32,
+    /// Maximum resident wavefronts per compute unit.
+    pub max_waves_per_cu: u32,
+    /// Fixed kernel launch overhead, in microseconds.
+    pub launch_overhead_us: f64,
+    /// Issue-slot cost of one accumulate, including address arithmetic
+    /// and loop control (instructions per useful flop).
+    pub instr_per_flop: f64,
+    /// Fraction of the theoretical issue rate the compiled kernel
+    /// sustains (runtime/compiler maturity; ILP ceiling of the core).
+    pub compute_efficiency: f64,
+    /// Fraction of pump bandwidth achievable by streaming loads.
+    pub bandwidth_efficiency: f64,
+    /// How strongly per-item unrolled accumulators contribute to latency
+    /// hiding (memory-level parallelism weight).
+    pub ilp_hiding: f64,
+    /// How strongly per-item unrolling amortizes the per-element
+    /// address/loop instruction overhead. Kepler's compiler depends on
+    /// unrolled ILP to approach its issue rate, so this is significant
+    /// for NVIDIA; GCN offloads addressing to its scalar unit, so for
+    /// AMD it is zero — the reason the paper's K20/Titan optima are
+    /// register-heavy while the HD7970's stay light (Figures 4-5).
+    pub unroll_amortization: f64,
+    /// Wavefronts per compute unit needed for full latency hiding.
+    pub waves_saturate: f64,
+}
+
+impl DeviceDescriptor {
+    /// Total compute elements, as reported in Table I.
+    pub fn compute_elements(&self) -> u32 {
+        self.compute_units * self.elems_per_cu
+    }
+
+    /// Theoretical peak without fused multiply-add. Dedispersion's inner
+    /// operation is a plain add, so at most half the FMA-rated peak is
+    /// reachable (paper, Section VI).
+    pub fn no_fma_peak_gflops(&self) -> f64 {
+        self.peak_gflops / 2.0
+    }
+
+    /// The effective compute ceiling for dedispersion: no-FMA peak,
+    /// divided by per-element instruction overhead, scaled by the
+    /// compiled-code efficiency.
+    pub fn dedispersion_compute_ceiling_gflops(&self) -> f64 {
+        self.no_fma_peak_gflops() / self.instr_per_flop * self.compute_efficiency
+    }
+
+    /// Effective streaming bandwidth in GB/s.
+    pub fn effective_bandwidth_gbs(&self) -> f64 {
+        self.peak_bandwidth_gbs * self.bandwidth_efficiency
+    }
+
+    /// Elements of a cache line when holding `f32` values.
+    pub fn cache_line_elems(&self) -> u32 {
+        self.cache_line_bytes / 4
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> DeviceDescriptor {
+        DeviceDescriptor {
+            name: "test".into(),
+            vendor: Vendor::Amd,
+            compute_units: 4,
+            elems_per_cu: 64,
+            peak_gflops: 1000.0,
+            peak_bandwidth_gbs: 100.0,
+            simd_width: 64,
+            max_wg_size: 256,
+            regfile_per_cu: 65536,
+            max_regs_per_item: 128,
+            local_mem_per_cu: 32768,
+            max_local_per_wg: 32768,
+            cache_line_bytes: 64,
+            max_wg_per_cu: 16,
+            max_waves_per_cu: 40,
+            launch_overhead_us: 5.0,
+            instr_per_flop: 4.0,
+            compute_efficiency: 0.8,
+            bandwidth_efficiency: 0.9,
+            ilp_hiding: 0.3,
+            unroll_amortization: 0.0,
+            waves_saturate: 24.0,
+        }
+    }
+
+    #[test]
+    fn derived_quantities() {
+        let d = sample();
+        assert_eq!(d.compute_elements(), 256);
+        assert_eq!(d.no_fma_peak_gflops(), 500.0);
+        assert!((d.dedispersion_compute_ceiling_gflops() - 100.0).abs() < 1e-9);
+        assert!((d.effective_bandwidth_gbs() - 90.0).abs() < 1e-9);
+        assert_eq!(d.cache_line_elems(), 16);
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        let d = sample();
+        let json = serde_json::to_string(&d).unwrap();
+        let back: DeviceDescriptor = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, d);
+    }
+}

@@ -1,0 +1,278 @@
+//! The five accelerators of the paper's Table I.
+//!
+//! The first block of each descriptor (compute elements, peak GFLOP/s,
+//! peak GB/s) is copied verbatim from Table I. The microarchitectural
+//! block (SIMD width, work-group and register limits, local memory,
+//! cache line) comes from the vendors' published specifications for each
+//! chip. The final block holds the *model calibration factors* — the
+//! quantities a measurement on real hardware would determine — chosen
+//! once so that the model's performance plateaus land near the paper's
+//! Figures 6 and 7, and then held fixed for every experiment.
+
+use crate::device::{DeviceDescriptor, Vendor};
+
+/// AMD Radeon HD7970 (GCN "Tahiti"): 32 CUs × 64 lanes; the paper's
+/// fastest device in both observational setups, thanks to its high
+/// memory bandwidth and well-balanced occupancy limits.
+pub fn amd_hd7970() -> DeviceDescriptor {
+    DeviceDescriptor {
+        name: "AMD HD7970".into(),
+        vendor: Vendor::Amd,
+        compute_units: 32,
+        elems_per_cu: 64,
+        peak_gflops: 3788.0,
+        peak_bandwidth_gbs: 264.0,
+        simd_width: 64,
+        // The HD7970's OpenCL runtime caps work-groups at 256 work-items —
+        // the hardware limit the paper observes in Figures 2-3.
+        max_wg_size: 256,
+        regfile_per_cu: 65536,
+        max_regs_per_item: 128,
+        // GCN: 64 KiB of LDS per CU, at most 32 KiB per work-group.
+        local_mem_per_cu: 65536,
+        max_local_per_wg: 32768,
+        cache_line_bytes: 64,
+        max_wg_per_cu: 16,
+        max_waves_per_cu: 40,
+        launch_overhead_us: 8.0,
+        // GCN issues one VALU op per lane per cycle plus scalar address
+        // arithmetic handled by the scalar unit: low per-flop overhead.
+        instr_per_flop: 4.4,
+        compute_efficiency: 0.82,
+        bandwidth_efficiency: 0.92,
+        ilp_hiding: 0.25,
+        // GCN's scalar unit handles address arithmetic: unrolling buys
+        // nothing, so the tuner keeps HD7970 work-items light.
+        unroll_amortization: 0.0,
+        waves_saturate: 24.0,
+    }
+}
+
+/// Intel Xeon Phi 5110P: 60 in-order cores with 512-bit vectors and
+/// 4-way hardware threading. The paper attributes its poor showing to
+/// the immaturity of Intel's OpenCL stack for MIC (Sections V-D and
+/// VII); the two efficiency factors below encode exactly that.
+pub fn intel_xeon_phi_5110p() -> DeviceDescriptor {
+    DeviceDescriptor {
+        name: "Intel Xeon Phi 5110P".into(),
+        vendor: Vendor::Intel,
+        compute_units: 60,
+        elems_per_cu: 2,
+        peak_gflops: 2022.0,
+        peak_bandwidth_gbs: 320.0,
+        simd_width: 16,
+        max_wg_size: 8192,
+        // A CPU-like core: the "register file" is effectively the L1
+        // working set; model it as roomy so occupancy is governed by the
+        // 4 hardware threads instead.
+        regfile_per_cu: 1 << 20,
+        max_regs_per_item: 64,
+        // Local memory is emulated in cache on MIC.
+        local_mem_per_cu: 32768,
+        max_local_per_wg: 32768,
+        cache_line_bytes: 64,
+        max_wg_per_cu: 4,
+        max_waves_per_cu: 4,
+        // OpenCL kernel dispatch on the Phi traverses the host runtime:
+        // an order of magnitude costlier than a GPU launch.
+        launch_overhead_us: 60.0,
+        instr_per_flop: 4.5,
+        // Immature OpenCL code generation for MIC (paper, Section VII).
+        compute_efficiency: 0.163,
+        // The OpenCL runtime reaches only a fraction of the card's GDDR5
+        // bandwidth (paper: "we hope that dedispersion will be able to
+        // benefit from the high memory bandwidth of this accelerator").
+        bandwidth_efficiency: 0.35,
+        ilp_hiding: 0.40,
+        unroll_amortization: 0.008,
+        waves_saturate: 4.0,
+    }
+}
+
+/// NVIDIA GTX 680 (GK104 "Kepler"): 8 SMX × 192 cores. Its 63-register
+/// per-thread ceiling forces the tuner toward many light work-items —
+/// the 1,024-work-item optimum of Figures 2-3.
+pub fn nvidia_gtx680() -> DeviceDescriptor {
+    DeviceDescriptor {
+        name: "NVIDIA GTX 680".into(),
+        vendor: Vendor::Nvidia,
+        compute_units: 8,
+        elems_per_cu: 192,
+        peak_gflops: 3090.0,
+        peak_bandwidth_gbs: 192.0,
+        simd_width: 32,
+        max_wg_size: 1024,
+        regfile_per_cu: 65536,
+        // GK104 architectural limit; GK110 raised it to 255.
+        max_regs_per_item: 63,
+        local_mem_per_cu: 49152,
+        max_local_per_wg: 49152,
+        cache_line_bytes: 128,
+        max_wg_per_cu: 16,
+        max_waves_per_cu: 64,
+        launch_overhead_us: 6.0,
+        instr_per_flop: 4.0,
+        // Kepler needs compiler-scheduled ILP to dual-issue; integer
+        // address arithmetic competes with the FP pipes.
+        compute_efficiency: 0.287,
+        bandwidth_efficiency: 0.82,
+        ilp_hiding: 0.30,
+        // Kepler needs compiler-unrolled ILP; GK104's 63-register cap
+        // bounds how far the tuner can push it.
+        unroll_amortization: 0.012,
+        waves_saturate: 44.0,
+    }
+}
+
+/// NVIDIA K20 (GK110): 13 SMX × 192 cores, 255 registers per thread.
+/// The paper calls it "a poor match for a memory-bound algorithm ...
+/// because it does not have enough memory bandwidth to feed its compute
+/// elements" (Section V-D).
+pub fn nvidia_k20() -> DeviceDescriptor {
+    DeviceDescriptor {
+        name: "NVIDIA K20".into(),
+        vendor: Vendor::Nvidia,
+        compute_units: 13,
+        elems_per_cu: 192,
+        peak_gflops: 3519.0,
+        peak_bandwidth_gbs: 208.0,
+        simd_width: 32,
+        max_wg_size: 1024,
+        regfile_per_cu: 65536,
+        max_regs_per_item: 255,
+        local_mem_per_cu: 49152,
+        max_local_per_wg: 49152,
+        cache_line_bytes: 128,
+        max_wg_per_cu: 16,
+        max_waves_per_cu: 64,
+        launch_overhead_us: 6.0,
+        instr_per_flop: 4.0,
+        compute_efficiency: 0.24,
+        bandwidth_efficiency: 0.82,
+        ilp_hiding: 0.35,
+        // GK110: 255 registers per thread reward deep unrolling — the
+        // paper's 25x4 register optimum on Apertif.
+        unroll_amortization: 0.012,
+        waves_saturate: 44.0,
+    }
+}
+
+/// NVIDIA GTX Titan (GK110): 14 SMX × 192 cores; the same silicon as the
+/// K20 with higher clocks and more bandwidth — on LOFAR (bandwidth-bound)
+/// it joins the HD7970 at the top of Figure 7.
+pub fn nvidia_gtx_titan() -> DeviceDescriptor {
+    DeviceDescriptor {
+        name: "NVIDIA GTX Titan".into(),
+        vendor: Vendor::Nvidia,
+        compute_units: 14,
+        elems_per_cu: 192,
+        peak_gflops: 4500.0,
+        peak_bandwidth_gbs: 288.0,
+        simd_width: 32,
+        max_wg_size: 1024,
+        regfile_per_cu: 65536,
+        max_regs_per_item: 255,
+        local_mem_per_cu: 49152,
+        max_local_per_wg: 49152,
+        cache_line_bytes: 128,
+        max_wg_per_cu: 16,
+        max_waves_per_cu: 64,
+        launch_overhead_us: 6.0,
+        instr_per_flop: 4.0,
+        compute_efficiency: 0.23,
+        bandwidth_efficiency: 0.82,
+        ilp_hiding: 0.35,
+        unroll_amortization: 0.012,
+        waves_saturate: 44.0,
+    }
+}
+
+/// All five Table I devices, in the paper's listing order.
+pub fn all_devices() -> Vec<DeviceDescriptor> {
+    vec![
+        amd_hd7970(),
+        intel_xeon_phi_5110p(),
+        nvidia_gtx680(),
+        nvidia_k20(),
+        nvidia_gtx_titan(),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_one_values() {
+        // Compute elements, GFLOP/s and GB/s as printed in Table I.
+        let cases = [
+            (amd_hd7970(), 64 * 32, 3788.0, 264.0),
+            (intel_xeon_phi_5110p(), 2 * 60, 2022.0, 320.0),
+            (nvidia_gtx680(), 192 * 8, 3090.0, 192.0),
+            (nvidia_k20(), 192 * 13, 3519.0, 208.0),
+            (nvidia_gtx_titan(), 192 * 14, 4500.0, 288.0),
+        ];
+        for (dev, ces, gf, bw) in cases {
+            assert_eq!(dev.compute_elements(), ces, "{}", dev.name);
+            assert_eq!(dev.peak_gflops, gf, "{}", dev.name);
+            assert_eq!(dev.peak_bandwidth_gbs, bw, "{}", dev.name);
+        }
+    }
+
+    #[test]
+    fn five_devices_in_order() {
+        let names: Vec<String> = all_devices().into_iter().map(|d| d.name).collect();
+        assert_eq!(
+            names,
+            [
+                "AMD HD7970",
+                "Intel Xeon Phi 5110P",
+                "NVIDIA GTX 680",
+                "NVIDIA K20",
+                "NVIDIA GTX Titan"
+            ]
+        );
+    }
+
+    #[test]
+    fn hd7970_wg_limit_is_hardware_fact() {
+        // Figures 2-3: "The HD7970 maintains its optimum at 256
+        // work-items per work-group, its hardware limit".
+        assert_eq!(amd_hd7970().max_wg_size, 256);
+        assert_eq!(nvidia_gtx680().max_wg_size, 1024);
+    }
+
+    #[test]
+    fn gk104_register_ceiling_below_gk110() {
+        assert!(nvidia_gtx680().max_regs_per_item < nvidia_k20().max_regs_per_item);
+        assert_eq!(nvidia_k20().max_regs_per_item, 255);
+    }
+
+    #[test]
+    fn phi_efficiencies_reflect_immature_runtime() {
+        let phi = intel_xeon_phi_5110p();
+        for gpu in [
+            amd_hd7970(),
+            nvidia_gtx680(),
+            nvidia_k20(),
+            nvidia_gtx_titan(),
+        ] {
+            assert!(phi.compute_efficiency < gpu.compute_efficiency);
+            assert!(phi.bandwidth_efficiency < gpu.bandwidth_efficiency);
+        }
+    }
+
+    #[test]
+    fn all_sanity_bounds() {
+        for d in all_devices() {
+            assert!(d.compute_units > 0);
+            assert!(d.peak_gflops > 0.0 && d.peak_bandwidth_gbs > 0.0);
+            assert!(d.simd_width.is_power_of_two());
+            assert!(d.max_wg_size >= d.simd_width);
+            assert!((0.0..=1.0).contains(&d.compute_efficiency));
+            assert!((0.0..=1.0).contains(&d.bandwidth_efficiency));
+            assert!(d.waves_saturate as u32 <= d.max_waves_per_cu);
+            assert!(d.cache_line_bytes % 4 == 0);
+        }
+    }
+}

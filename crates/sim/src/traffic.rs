@@ -1,0 +1,229 @@
+//! Global-memory traffic of a tiled dedispersion launch.
+//!
+//! Implements the paper's memory reasoning (Section III-B):
+//!
+//! * Reads and writes are coalesced; the transaction granularity is the
+//!   device cache line.
+//! * Reads shifted by a delay are generally *unaligned*: each contiguous
+//!   segment costs up to one extra line (the paper's worst-case factor
+//!   two, amortized when the segment spans many lines).
+//! * A tile covering `D` trial DMs reads, per channel, the **union** of
+//!   the trials' sample windows: `tile_time + (D−1)·min(gradient,
+//!   tile_time)` — when consecutive trials' delays differ by more than a
+//!   tile width, the windows are disjoint and there is no reuse at all
+//!   (the LOFAR low-channel regime); when delays coincide, one window
+//!   serves all trials (the Apertif / 0-DM regime).
+//! * The delay table is small and hot, so only a fraction of its lookups
+//!   reach DRAM.
+
+use dedisp_core::KernelConfig;
+use serde::{Deserialize, Serialize};
+
+use crate::device::DeviceDescriptor;
+use crate::workload::Workload;
+
+/// Fraction of delay-table lookups missing the on-chip caches.
+pub const DELAY_TABLE_MISS_RATE: f64 = 0.1;
+
+/// Estimated DRAM traffic of one dedispersion launch.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TrafficEstimate {
+    /// Bytes read from the input time-series (line-granular).
+    pub read_bytes: f64,
+    /// Bytes written to the output (coalesced, aligned).
+    pub write_bytes: f64,
+    /// Bytes read from the delay table (after caching).
+    pub delay_bytes: f64,
+    /// Output elements actually computed, including partial-tile padding
+    /// (`≥` the useful `d·s`).
+    pub computed_elements: f64,
+    /// Flop actually executed (`computed_elements × channels`).
+    pub computed_flop: f64,
+}
+
+impl TrafficEstimate {
+    /// Estimates the traffic of launching `config` on `workload` against
+    /// `device`'s memory system.
+    pub fn estimate(device: &DeviceDescriptor, workload: &Workload, config: &KernelConfig) -> Self {
+        let line = f64::from(device.cache_line_elems());
+        let line_bytes = f64::from(device.cache_line_bytes);
+        let t = f64::from(config.tile_time());
+        let d = f64::from(config.tile_dm());
+        let (n_time, n_dm) = config.grid(workload.out_samples, workload.trials);
+        let n_wg = (n_time * n_dm) as f64;
+
+        // Per-work-group read lines, channel by channel.
+        let mut lines_per_wg = 0.0;
+        for &g in &workload.gradient {
+            if g >= t {
+                // Disjoint windows: D separate unaligned segments.
+                lines_per_wg += d * ((t / line).ceil() + 1.0);
+            } else {
+                // Overlapping windows: one segment spanning the union.
+                let span = t + (d - 1.0) * g;
+                let misalign = if g > 0.0 {
+                    1.0
+                } else if (config.tile_time() % device.cache_line_elems()) != 0 {
+                    1.0
+                } else {
+                    0.0
+                };
+                lines_per_wg += (span / line).ceil() + misalign;
+            }
+        }
+        let read_bytes = n_wg * lines_per_wg * line_bytes;
+
+        let computed_elements = n_wg * t * d;
+        let write_bytes = computed_elements * 4.0;
+        let delay_bytes = n_wg * workload.channels as f64 * d * 4.0 * DELAY_TABLE_MISS_RATE;
+        let computed_flop = computed_elements * workload.channels as f64;
+
+        Self {
+            read_bytes,
+            write_bytes,
+            delay_bytes,
+            computed_elements,
+            computed_flop,
+        }
+    }
+
+    /// Total DRAM bytes moved.
+    pub fn total_bytes(&self) -> f64 {
+        self.read_bytes + self.write_bytes + self.delay_bytes
+    }
+
+    /// Effective arithmetic intensity (useful flop per byte moved).
+    pub fn achieved_ai(&self, useful_flop: u64) -> f64 {
+        useful_flop as f64 / self.total_bytes()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::presets::amd_hd7970;
+    use dedisp_core::{DmGrid, FrequencyBand};
+
+    fn apertif(trials: usize) -> Workload {
+        Workload::analytic(
+            "Apertif",
+            &FrequencyBand::from_edges(1420.0, 1720.0, 1024).unwrap(),
+            &DmGrid::paper_grid(trials).unwrap(),
+            20_000,
+        )
+        .unwrap()
+    }
+
+    fn lofar(trials: usize) -> Workload {
+        Workload::analytic(
+            "LOFAR",
+            &FrequencyBand::new(138.0, 6.0 / 32.0, 32).unwrap(),
+            &DmGrid::paper_grid(trials).unwrap(),
+            200_000,
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn no_reuse_ai_obeys_eq2() {
+        // A single-trial tile on a real workload: AI < 1/4 (Eq. 2).
+        let dev = amd_hd7970();
+        let w = apertif(256);
+        let c = KernelConfig::new(256, 1, 1, 1).unwrap();
+        let t = TrafficEstimate::estimate(&dev, &w, &c);
+        let ai = t.achieved_ai(w.useful_flop);
+        assert!(ai < 0.25, "AI {ai}");
+        assert!(ai > 0.15, "AI {ai} unreasonably low");
+    }
+
+    #[test]
+    fn dm_tiling_raises_ai_on_apertif() {
+        let dev = amd_hd7970();
+        let w = apertif(4096);
+        let narrow = KernelConfig::new(64, 1, 4, 1).unwrap();
+        let wide = KernelConfig::new(64, 4, 4, 8).unwrap(); // D = 32
+        let ai_narrow = TrafficEstimate::estimate(&dev, &w, &narrow).achieved_ai(w.useful_flop);
+        let ai_wide = TrafficEstimate::estimate(&dev, &w, &wide).achieved_ai(w.useful_flop);
+        assert!(
+            ai_wide > 4.0 * ai_narrow,
+            "narrow {ai_narrow}, wide {ai_wide}"
+        );
+    }
+
+    #[test]
+    fn lofar_low_channels_defeat_reuse() {
+        // On LOFAR the same DM tiling buys far less than on Apertif.
+        let dev = amd_hd7970();
+        let ap = apertif(1024);
+        let lo = lofar(1024);
+        let c = KernelConfig::new(64, 4, 1, 4).unwrap(); // D = 16
+        let gain_ap = TrafficEstimate::estimate(&dev, &ap, &c).achieved_ai(ap.useful_flop)
+            / TrafficEstimate::estimate(&dev, &ap, &KernelConfig::new(64, 1, 1, 1).unwrap())
+                .achieved_ai(ap.useful_flop);
+        let gain_lo = TrafficEstimate::estimate(&dev, &lo, &c).achieved_ai(lo.useful_flop)
+            / TrafficEstimate::estimate(&dev, &lo, &KernelConfig::new(64, 1, 1, 1).unwrap())
+                .achieved_ai(lo.useful_flop);
+        assert!(
+            gain_ap > 3.0 * gain_lo,
+            "apertif gain {gain_ap}, lofar gain {gain_lo}"
+        );
+    }
+
+    #[test]
+    fn zero_dm_restores_perfect_reuse() {
+        let dev = amd_hd7970();
+        let lo = lofar(1024);
+        let zero = lo.zero_dm();
+        let c = KernelConfig::new(64, 4, 1, 4).unwrap();
+        let ai_real = TrafficEstimate::estimate(&dev, &lo, &c).achieved_ai(lo.useful_flop);
+        let ai_zero = TrafficEstimate::estimate(&dev, &zero, &c).achieved_ai(zero.useful_flop);
+        assert!(ai_zero > 2.0 * ai_real, "real {ai_real}, zero {ai_zero}");
+    }
+
+    #[test]
+    fn small_tiles_pay_misalignment_overhead() {
+        // The paper's worst case: a tile of one cache line pays up to 2x.
+        let dev = amd_hd7970(); // 16-element lines
+        let w = apertif(256);
+        let tiny = KernelConfig::new(16, 1, 1, 1).unwrap();
+        let big = KernelConfig::new(256, 1, 4, 1).unwrap(); // 1024 samples
+        let r_tiny = TrafficEstimate::estimate(&dev, &w, &tiny);
+        let r_big = TrafficEstimate::estimate(&dev, &w, &big);
+        // Useful bytes are identical; the tiny tile moves almost twice as
+        // much, the big tile is near 1x.
+        let useful = (w.trials * w.out_samples * w.channels) as f64 * 4.0;
+        assert!(r_tiny.read_bytes > 1.8 * useful);
+        assert!(r_big.read_bytes < 1.1 * useful);
+    }
+
+    #[test]
+    fn partial_tiles_inflate_computed_elements() {
+        let dev = amd_hd7970();
+        let w = apertif(256);
+        // 20,000 samples with a 4,096-sample tile: 5 tiles cover 20,480.
+        let c = KernelConfig::new(256, 1, 16, 1).unwrap();
+        let t = TrafficEstimate::estimate(&dev, &w, &c);
+        let useful = (w.trials * w.out_samples) as f64;
+        assert!(t.computed_elements > useful);
+        assert_eq!(t.computed_elements, 5.0 * 4096.0 * 256.0);
+        assert_eq!(t.computed_flop, t.computed_elements * 1024.0);
+    }
+
+    #[test]
+    fn writes_scale_with_computed_elements() {
+        let dev = amd_hd7970();
+        let w = apertif(64);
+        let c = KernelConfig::new(100, 1, 2, 1).unwrap(); // divides evenly
+        let t = TrafficEstimate::estimate(&dev, &w, &c);
+        assert_eq!(t.write_bytes, (64 * 20_000 * 4) as f64);
+    }
+
+    #[test]
+    fn delay_traffic_is_small() {
+        let dev = amd_hd7970();
+        let w = apertif(1024);
+        let c = KernelConfig::new(64, 4, 2, 4).unwrap();
+        let t = TrafficEstimate::estimate(&dev, &w, &c);
+        assert!(t.delay_bytes < 0.1 * t.read_bytes);
+    }
+}

@@ -1,0 +1,153 @@
+//! Property-based tests of the analytic device model: physical
+//! invariants that must hold for every device, workload, and meaningful
+//! configuration.
+
+use dedisp_core::{DmGrid, FrequencyBand, KernelConfig};
+use manycore_sim::{all_devices, check_config, CostModel, Occupancy, TrafficEstimate, Workload};
+use proptest::prelude::*;
+
+fn arb_workload() -> impl Strategy<Value = Workload> {
+    (
+        100.0f64..1800.0, // low MHz
+        0.1f64..1.0,      // channel width
+        8usize..256,      // channels
+        prop::sample::select(vec![1_000u32, 5_000, 20_000, 200_000]),
+        prop::sample::select(vec![2usize, 8, 32, 128, 1024, 4096]),
+    )
+        .prop_map(|(low, width, channels, rate, trials)| {
+            Workload::analytic(
+                "prop",
+                &FrequencyBand::new(low, width, channels).expect("valid band"),
+                &DmGrid::paper_grid(trials).expect("valid grid"),
+                rate,
+            )
+            .expect("valid workload")
+        })
+}
+
+fn arb_config() -> impl Strategy<Value = KernelConfig> {
+    (
+        prop::sample::select(vec![
+            2u32, 4, 8, 16, 25, 32, 64, 100, 128, 250, 256, 512, 1024,
+        ]),
+        prop::sample::select(vec![1u32, 2, 4, 8, 16, 32]),
+        prop::sample::select(vec![1u32, 2, 4, 5, 8, 16, 25, 32]),
+        prop::sample::select(vec![1u32, 2, 4, 8]),
+    )
+        .prop_map(|(wt, wd, et, ed)| KernelConfig::new(wt, wd, et, ed).expect("non-zero"))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn estimates_are_finite_positive_and_consistent(
+        w in arb_workload(),
+        c in arb_config(),
+        dev_idx in 0usize..5,
+    ) {
+        let dev = all_devices().swap_remove(dev_idx);
+        prop_assume!(check_config(&dev, &w, &c).is_ok());
+        let model = CostModel::new(dev);
+        let e = model.evaluate(&w, &c).unwrap();
+        prop_assert!(e.time_s.is_finite() && e.time_s > 0.0);
+        prop_assert!(e.gflops.is_finite() && e.gflops > 0.0);
+        prop_assert!(e.mem_time_s > 0.0 && e.compute_time_s > 0.0);
+        prop_assert!(e.utilization > 0.0 && e.utilization <= 1.0);
+        prop_assert!(e.achieved_ai > 0.0);
+        // GFLOP/s metric is definitionally useful_flop / time.
+        let expect = w.useful_flop as f64 / e.time_s / 1e9;
+        prop_assert!((e.gflops - expect).abs() / expect < 1e-9);
+        // The physical ceiling: never faster than the roofline with
+        // perfect reuse and zero overheads.
+        prop_assert!(e.gflops < model.device().peak_gflops);
+    }
+
+    #[test]
+    fn evaluation_is_deterministic(
+        w in arb_workload(),
+        c in arb_config(),
+        dev_idx in 0usize..5,
+    ) {
+        let dev = all_devices().swap_remove(dev_idx);
+        prop_assume!(check_config(&dev, &w, &c).is_ok());
+        let model = CostModel::new(dev);
+        let a = model.evaluate(&w, &c).unwrap();
+        let b = model.evaluate(&w, &c).unwrap();
+        prop_assert_eq!(a.time_s, b.time_s);
+        prop_assert_eq!(a.gflops, b.gflops);
+    }
+
+    #[test]
+    fn traffic_covers_at_least_the_output(
+        w in arb_workload(),
+        c in arb_config(),
+        dev_idx in 0usize..5,
+    ) {
+        let dev = all_devices().swap_remove(dev_idx);
+        prop_assume!(check_config(&dev, &w, &c).is_ok());
+        let t = TrafficEstimate::estimate(&dev, &w, &c);
+        let useful_out = (w.trials * w.out_samples * 4) as f64;
+        prop_assert!(t.write_bytes >= useful_out - 1.0);
+        // Reads are never below one line-rounded pass over the samples
+        // each work-group column touches... at minimum the output count
+        // of elements must be read across channels once per reuse tile.
+        prop_assert!(t.read_bytes > 0.0);
+        prop_assert!(t.computed_flop >= w.useful_flop as f64);
+        // Zero-DM (perfect reuse) never increases traffic.
+        let z = TrafficEstimate::estimate(&dev, &w.zero_dm(), &c);
+        prop_assert!(z.read_bytes <= t.read_bytes + 1.0);
+    }
+
+    #[test]
+    fn occupancy_within_device_limits(
+        w in arb_workload(),
+        c in arb_config(),
+        dev_idx in 0usize..5,
+    ) {
+        let dev = all_devices().swap_remove(dev_idx);
+        prop_assume!(check_config(&dev, &w, &c).is_ok());
+        let (nt, nd) = c.grid(w.out_samples, w.trials);
+        let occ = Occupancy::compute(&dev, &w, &c, (nt * nd) as u64);
+        prop_assert!(occ.waves_per_wg >= 1);
+        prop_assert!(occ.wg_per_cu_limit >= 1);
+        prop_assert!(occ.wg_per_cu_actual <= f64::from(occ.wg_per_cu_limit));
+        prop_assert!(occ.active_waves <= f64::from(dev.max_waves_per_cu) + 1e-9);
+        prop_assert!(occ.simd_efficiency > 0.0 && occ.simd_efficiency <= 1.0);
+        let h = occ.hiding(&dev, &c);
+        prop_assert!(h > 0.0 && h <= 1.0);
+    }
+
+    #[test]
+    fn more_trials_never_reduce_total_flop_rate_potential(
+        w in arb_workload(),
+        dev_idx in 0usize..5,
+    ) {
+        // Growing the instance can only grow the amount of exploitable
+        // parallelism: the best simple configuration's utilization is
+        // monotone (weakly) in the grid size.
+        let dev = all_devices().swap_remove(dev_idx);
+        let c = KernelConfig::new(dev.simd_width.min(dev.max_wg_size), 1, 2, 1).unwrap();
+        prop_assume!(check_config(&dev, &w, &c).is_ok());
+        let mut big = w.clone();
+        big.trials *= 2;
+        big.useful_flop *= 2;
+        let (nt, nd) = c.grid(w.out_samples, w.trials);
+        let (bt, bd) = c.grid(big.out_samples, big.trials);
+        let occ_small = Occupancy::compute(&dev, &w, &c, (nt * nd) as u64);
+        let occ_big = Occupancy::compute(&dev, &big, &c, (bt * bd) as u64);
+        prop_assert!(occ_big.active_waves >= occ_small.active_waves - 1e-9);
+    }
+
+    #[test]
+    fn violations_are_stable_under_repeat(
+        w in arb_workload(),
+        c in arb_config(),
+        dev_idx in 0usize..5,
+    ) {
+        let dev = all_devices().swap_remove(dev_idx);
+        let first = check_config(&dev, &w, &c);
+        let second = check_config(&dev, &w, &c);
+        prop_assert_eq!(first, second);
+    }
+}

@@ -1,0 +1,202 @@
+//! Persistent tuning results.
+//!
+//! The output of the paper's first experiment is "a set of tuples
+//! representing the optimal configuration of the algorithm's parameters;
+//! there is a tuple for every combination of platform, observational
+//! setup and input instance" (Section IV-A). Production pipelines ship
+//! exactly such files. [`TuningDatabase`] is that artifact: store tuned
+//! optima, serialize to JSON, and look configurations up — falling back
+//! to the nearest smaller instance when the exact one was never tuned
+//! (configurations stay valid when the problem grows, not when it
+//! shrinks).
+
+use std::collections::BTreeMap;
+
+use dedisp_core::KernelConfig;
+use serde::{Deserialize, Serialize};
+
+/// One stored optimum.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TunedEntry {
+    /// The optimal configuration.
+    pub config: KernelConfig,
+    /// Its score when tuned, GFLOP/s.
+    pub gflops: f64,
+}
+
+/// Key: platform and setup names (instance count is the inner map key).
+fn key(platform: &str, setup: &str) -> String {
+    format!("{platform}\u{1f}{setup}")
+}
+
+/// A persistent store of tuned optima.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct TuningDatabase {
+    // platform␟setup → trials → entry. BTreeMaps keep serialization
+    // stable and make nearest-instance lookups ordered.
+    entries: BTreeMap<String, BTreeMap<usize, TunedEntry>>,
+}
+
+impl TuningDatabase {
+    /// Creates an empty database.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records an optimum for `(platform, setup, trials)`.
+    pub fn insert(
+        &mut self,
+        platform: &str,
+        setup: &str,
+        trials: usize,
+        config: KernelConfig,
+        gflops: f64,
+    ) {
+        self.entries
+            .entry(key(platform, setup))
+            .or_default()
+            .insert(trials, TunedEntry { config, gflops });
+    }
+
+    /// Exact lookup.
+    pub fn get(&self, platform: &str, setup: &str, trials: usize) -> Option<TunedEntry> {
+        self.entries
+            .get(&key(platform, setup))
+            .and_then(|m| m.get(&trials))
+            .copied()
+    }
+
+    /// Lookup with fallback: the entry for the largest tuned instance
+    /// not exceeding `trials` (whose tile necessarily fits the larger
+    /// problem). Returns the instance actually matched.
+    pub fn get_nearest(
+        &self,
+        platform: &str,
+        setup: &str,
+        trials: usize,
+    ) -> Option<(usize, TunedEntry)> {
+        self.entries.get(&key(platform, setup)).and_then(|m| {
+            m.range(..=trials)
+                .next_back()
+                .map(|(&t, &entry)| (t, entry))
+        })
+    }
+
+    /// Number of stored tuples.
+    pub fn len(&self) -> usize {
+        self.entries.values().map(BTreeMap::len).sum()
+    }
+
+    /// Whether the database is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Serializes to pretty JSON.
+    ///
+    /// # Panics
+    ///
+    /// Panics only if serde_json fails on a plain map, which cannot
+    /// happen for this type.
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).expect("plain maps always serialize")
+    }
+
+    /// Deserializes from JSON.
+    ///
+    /// # Errors
+    ///
+    /// Returns the serde error for malformed input.
+    pub fn from_json(json: &str) -> Result<Self, serde_json::Error> {
+        serde_json::from_str(json)
+    }
+
+    /// Iterates `(platform, setup, trials, entry)` over everything
+    /// stored, in deterministic order.
+    pub fn iter(&self) -> impl Iterator<Item = (&str, &str, usize, TunedEntry)> + '_ {
+        self.entries.iter().flat_map(|(k, m)| {
+            let (platform, setup) = k.split_once('\u{1f}').expect("keys are two-part");
+            m.iter()
+                .map(move |(&trials, &entry)| (platform, setup, trials, entry))
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg(wt: u32, wd: u32) -> KernelConfig {
+        KernelConfig::new(wt, wd, 1, 1).unwrap()
+    }
+
+    #[test]
+    fn insert_get_roundtrip() {
+        let mut db = TuningDatabase::new();
+        assert!(db.is_empty());
+        db.insert("AMD HD7970", "Apertif", 1024, cfg(64, 4), 342.0);
+        db.insert("AMD HD7970", "LOFAR", 1024, cfg(100, 2), 109.0);
+        db.insert("NVIDIA K20", "Apertif", 1024, cfg(32, 1), 163.0);
+        assert_eq!(db.len(), 3);
+        let e = db.get("AMD HD7970", "Apertif", 1024).unwrap();
+        assert_eq!(e.config, cfg(64, 4));
+        assert_eq!(e.gflops, 342.0);
+        assert!(db.get("AMD HD7970", "Apertif", 2048).is_none());
+        assert!(db.get("Intel Xeon Phi 5110P", "Apertif", 1024).is_none());
+    }
+
+    #[test]
+    fn nearest_falls_back_downward_only() {
+        let mut db = TuningDatabase::new();
+        db.insert("dev", "setup", 64, cfg(8, 2), 10.0);
+        db.insert("dev", "setup", 1024, cfg(64, 4), 40.0);
+        // Exact.
+        assert_eq!(db.get_nearest("dev", "setup", 1024).unwrap().0, 1024);
+        // Between: picks the largest not exceeding.
+        assert_eq!(db.get_nearest("dev", "setup", 512).unwrap().0, 64);
+        // Above everything: picks the largest stored.
+        assert_eq!(db.get_nearest("dev", "setup", 4096).unwrap().0, 1024);
+        // Below everything: nothing fits.
+        assert!(db.get_nearest("dev", "setup", 32).is_none());
+    }
+
+    #[test]
+    fn json_roundtrip_preserves_everything() {
+        let mut db = TuningDatabase::new();
+        db.insert("A", "Apertif", 2, cfg(2, 1), 1.5);
+        db.insert("A", "Apertif", 4096, cfg(256, 1), 300.25);
+        db.insert("B", "LOFAR", 16, cfg(25, 2), 77.0);
+        let back = TuningDatabase::from_json(&db.to_json()).unwrap();
+        assert_eq!(back.len(), db.len());
+        for (p, s, t, e) in db.iter() {
+            let b = back.get(p, s, t).unwrap();
+            assert_eq!(b.config, e.config);
+            assert!((b.gflops - e.gflops).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn iter_is_deterministic_and_complete() {
+        let mut db = TuningDatabase::new();
+        db.insert("B", "LOFAR", 16, cfg(25, 2), 1.0);
+        db.insert("A", "Apertif", 2, cfg(2, 1), 2.0);
+        db.insert("A", "Apertif", 64, cfg(8, 4), 3.0);
+        let items: Vec<_> = db
+            .iter()
+            .map(|(p, s, t, _)| (p.to_string(), s.to_string(), t))
+            .collect();
+        assert_eq!(
+            items,
+            vec![
+                ("A".to_string(), "Apertif".to_string(), 2),
+                ("A".to_string(), "Apertif".to_string(), 64),
+                ("B".to_string(), "LOFAR".to_string(), 16),
+            ]
+        );
+    }
+
+    #[test]
+    fn malformed_json_is_an_error() {
+        assert!(TuningDatabase::from_json("{not json").is_err());
+    }
+}

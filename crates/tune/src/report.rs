@@ -1,0 +1,153 @@
+//! Serializable sweep reports for the figure harnesses.
+//!
+//! Every figure in the paper's evaluation is a family of series indexed
+//! by device over the 12 input instances. [`SweepReport`] is that table:
+//! one [`InstanceResult`] per (device, instance), JSON-serializable so
+//! the harness binaries can persist and diff results.
+
+use dedisp_core::KernelConfig;
+use serde::{Deserialize, Serialize};
+
+use crate::stats::OptimizationStats;
+use crate::tuner::TuningResult;
+
+/// The tuned outcome for one (device, setup, instance) cell.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct InstanceResult {
+    /// Number of trial DMs of this instance.
+    pub trials: usize,
+    /// The tuned optimal configuration.
+    pub best_config: KernelConfig,
+    /// The optimum's GFLOP/s.
+    pub best_gflops: f64,
+    /// Work-items per work-group of the optimum (Figures 2–3).
+    pub work_items: u32,
+    /// Registers per work-item of the optimum (Figures 4–5).
+    pub registers: u32,
+    /// Population statistics of the optimization space (Figures 8–10).
+    pub stats: OptimizationStats,
+    /// Configurations in the space.
+    pub space_size: usize,
+}
+
+impl InstanceResult {
+    /// Summarizes one tuning result.
+    pub fn from_tuning(trials: usize, result: &TuningResult) -> Self {
+        let best = result.best_config();
+        Self {
+            trials,
+            best_config: best,
+            best_gflops: result.best_gflops(),
+            work_items: best.work_items(),
+            registers: best.registers_per_item(),
+            stats: result.stats(),
+            space_size: result.samples.len(),
+        }
+    }
+
+    /// SNR of the optimum for this instance (Figures 8–9).
+    pub fn snr(&self) -> f64 {
+        self.stats.snr_of_max()
+    }
+}
+
+/// A full sweep: one device and setup over many input instances.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SweepReport {
+    /// Device name.
+    pub device: String,
+    /// Setup name ("Apertif", "LOFAR", possibly "-0dm" suffixed).
+    pub setup: String,
+    /// Per-instance results, ordered by instance size.
+    pub instances: Vec<InstanceResult>,
+}
+
+impl SweepReport {
+    /// The `(trials, value)` series for one figure metric.
+    pub fn series(&self, metric: impl Fn(&InstanceResult) -> f64) -> Vec<(usize, f64)> {
+        self.instances
+            .iter()
+            .map(|r| (r.trials, metric(r)))
+            .collect()
+    }
+
+    /// Mean best GFLOP/s over instances (used for cross-device ratios).
+    pub fn mean_best_gflops(&self) -> f64 {
+        let s: f64 = self.instances.iter().map(|r| r.best_gflops).sum();
+        s / self.instances.len() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::space::ConfigSpace;
+    use crate::tuner::{SimExecutor, Tuner};
+    use dedisp_core::{DmGrid, FrequencyBand};
+    use manycore_sim::{amd_hd7970, CostModel, Workload};
+
+    fn report() -> SweepReport {
+        let space = ConfigSpace::reduced();
+        let model = CostModel::new(amd_hd7970());
+        let instances = [8usize, 64, 512]
+            .iter()
+            .map(|&t| {
+                let w = Workload::analytic(
+                    "Apertif",
+                    &FrequencyBand::from_edges(1420.0, 1720.0, 1024).unwrap(),
+                    &DmGrid::paper_grid(t).unwrap(),
+                    20_000,
+                )
+                .unwrap();
+                let r = Tuner.tune(&SimExecutor::new(&model, &w, &space));
+                InstanceResult::from_tuning(t, &r)
+            })
+            .collect();
+        SweepReport {
+            device: "AMD HD7970".into(),
+            setup: "Apertif".into(),
+            instances,
+        }
+    }
+
+    #[test]
+    fn instance_result_summaries_match() {
+        let rep = report();
+        for r in &rep.instances {
+            assert_eq!(r.work_items, r.best_config.work_items());
+            assert_eq!(r.registers, r.best_config.registers_per_item());
+            assert!(r.best_gflops > 0.0);
+            assert!(r.space_size > 0);
+            assert!(r.snr() >= 0.0);
+        }
+    }
+
+    #[test]
+    fn series_extraction() {
+        let rep = report();
+        let perf = rep.series(|r| r.best_gflops);
+        assert_eq!(perf.len(), 3);
+        assert_eq!(perf[0].0, 8);
+        assert_eq!(perf[2].0, 512);
+        assert!(rep.mean_best_gflops() > 0.0);
+    }
+
+    #[test]
+    fn json_roundtrip() {
+        // serde_json's default float parsing is shortest-repr, not
+        // bit-exact, so compare structure and values with a tolerance.
+        let rep = report();
+        let json = serde_json::to_string(&rep).unwrap();
+        let back: SweepReport = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.device, rep.device);
+        assert_eq!(back.setup, rep.setup);
+        assert_eq!(back.instances.len(), rep.instances.len());
+        for (a, b) in back.instances.iter().zip(&rep.instances) {
+            assert_eq!(a.trials, b.trials);
+            assert_eq!(a.best_config, b.best_config);
+            assert_eq!(a.space_size, b.space_size);
+            assert!((a.best_gflops - b.best_gflops).abs() < 1e-9);
+            assert!((a.stats.mean - b.stats.mean).abs() < 1e-9);
+        }
+    }
+}

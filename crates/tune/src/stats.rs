@@ -1,0 +1,190 @@
+//! Optimization-space statistics (paper, Section V-B).
+//!
+//! The paper quantifies the impact of auto-tuning by treating the set of
+//! meaningful configurations as a population and asking how exceptional
+//! the optimum is: its signal-to-noise ratio (distance from the mean in
+//! units of standard deviation, Figures 8–9), the Chebyshev upper bound
+//! on the probability of guessing a configuration that good (< 39% in
+//! the best case, < 5% in the worst), and the shape of the performance
+//! histogram (Figure 10).
+
+use serde::{Deserialize, Serialize};
+
+/// Summary statistics of an optimization space's GFLOP/s population.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct OptimizationStats {
+    /// Number of configurations.
+    pub count: usize,
+    /// Population mean.
+    pub mean: f64,
+    /// Population standard deviation.
+    pub std: f64,
+    /// Best configuration's score.
+    pub max: f64,
+    /// Worst configuration's score.
+    pub min: f64,
+}
+
+impl OptimizationStats {
+    /// Computes statistics from a stream of scores.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an empty population.
+    pub fn from_samples(samples: impl IntoIterator<Item = f64>) -> Self {
+        let values: Vec<f64> = samples.into_iter().collect();
+        assert!(!values.is_empty(), "empty population");
+        let n = values.len() as f64;
+        let mean = values.iter().sum::<f64>() / n;
+        let var = values.iter().map(|v| (v - mean).powi(2)).sum::<f64>() / n;
+        Self {
+            count: values.len(),
+            mean,
+            std: var.sqrt(),
+            max: values.iter().copied().fold(f64::MIN, f64::max),
+            min: values.iter().copied().fold(f64::MAX, f64::min),
+        }
+    }
+
+    /// The signal-to-noise ratio of the optimum: `(max − mean) / σ` —
+    /// the quantity plotted in the paper's Figures 8 and 9.
+    pub fn snr_of_max(&self) -> f64 {
+        if self.std == 0.0 {
+            return 0.0;
+        }
+        (self.max - self.mean) / self.std
+    }
+
+    /// Chebyshev upper bound on the probability that a uniformly guessed
+    /// configuration performs within `k` standard deviations of the mean
+    /// or better, i.e. `P(X ≥ mean + k·σ) ≤ 1/k²`.
+    pub fn guess_probability_bound(&self) -> f64 {
+        chebyshev_upper_bound(self.snr_of_max())
+    }
+}
+
+/// Chebyshev's inequality: `P(|X − µ| ≥ k·σ) ≤ 1/k²`, clamped to 1.
+pub fn chebyshev_upper_bound(k: f64) -> f64 {
+    if k <= 1.0 {
+        1.0
+    } else {
+        1.0 / (k * k)
+    }
+}
+
+/// A fixed-width histogram over scores — the paper's Figure 10.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Histogram {
+    /// Left edge of the first bin.
+    pub start: f64,
+    /// Bin width.
+    pub width: f64,
+    /// Configuration counts per bin.
+    pub counts: Vec<usize>,
+}
+
+impl Histogram {
+    /// Builds a histogram with `bins` equal-width bins spanning
+    /// `[0, max]` (the paper plots from zero so the distance between the
+    /// bulk and the optimum is visible).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bins` is zero or the population is empty.
+    pub fn of_scores(scores: &[f64], bins: usize) -> Self {
+        assert!(bins > 0, "bins must be non-zero");
+        assert!(!scores.is_empty(), "empty population");
+        let max = scores.iter().copied().fold(f64::MIN, f64::max);
+        let width = (max / bins as f64).max(f64::MIN_POSITIVE);
+        let mut counts = vec![0usize; bins];
+        for &s in scores {
+            let mut idx = (s / width) as usize;
+            if idx >= bins {
+                idx = bins - 1;
+            }
+            counts[idx] += 1;
+        }
+        Self {
+            start: 0.0,
+            width,
+            counts,
+        }
+    }
+
+    /// `(bin center, count)` pairs for plotting.
+    pub fn bars(&self) -> Vec<(f64, usize)> {
+        self.counts
+            .iter()
+            .enumerate()
+            .map(|(i, &c)| (self.start + (i as f64 + 0.5) * self.width, c))
+            .collect()
+    }
+
+    /// The number of configurations in the top bin — the paper observes
+    /// "there is exactly one configuration that leads to the best
+    /// performance".
+    pub fn top_bin_count(&self) -> usize {
+        *self.counts.last().expect("bins is non-zero")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stats_of_known_population() {
+        let s = OptimizationStats::from_samples([2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0]);
+        assert_eq!(s.count, 8);
+        assert!((s.mean - 5.0).abs() < 1e-12);
+        assert!((s.std - 2.0).abs() < 1e-12);
+        assert_eq!(s.max, 9.0);
+        assert_eq!(s.min, 2.0);
+        assert!((s.snr_of_max() - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn chebyshev_matches_paper_quotes() {
+        // "in the best case scenario this probability is less than 39%,
+        // while in the worst case it is less than 5%" — SNR ≈ 1.6 gives
+        // 39%, SNR ≈ 4.5 gives 5%.
+        assert!((chebyshev_upper_bound(1.6) - 0.3906).abs() < 1e-3);
+        assert!((chebyshev_upper_bound(4.5) - 0.0494).abs() < 1e-3);
+        assert_eq!(chebyshev_upper_bound(0.5), 1.0);
+        assert_eq!(chebyshev_upper_bound(1.0), 1.0);
+    }
+
+    #[test]
+    fn guess_probability_uses_snr() {
+        let s = OptimizationStats::from_samples([2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0]);
+        assert!((s.guess_probability_bound() - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn degenerate_population() {
+        let s = OptimizationStats::from_samples([3.0, 3.0, 3.0]);
+        assert_eq!(s.std, 0.0);
+        assert_eq!(s.snr_of_max(), 0.0);
+    }
+
+    #[test]
+    fn histogram_bins_and_tail() {
+        let mut scores = vec![1.0f64; 95];
+        scores.extend([9.9, 10.0]);
+        let h = Histogram::of_scores(&scores, 10);
+        assert_eq!(h.counts.len(), 10);
+        assert_eq!(h.counts.iter().sum::<usize>(), 97);
+        // The bulk sits in the low bins, the optimum alone at the top.
+        assert_eq!(h.counts[1], 95); // 1.0 / 1.0 = bin 1
+        assert_eq!(h.top_bin_count(), 2);
+        let bars = h.bars();
+        assert_eq!(bars.len(), 10);
+        assert!((bars[0].0 - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty population")]
+    fn empty_population_panics() {
+        let _ = OptimizationStats::from_samples(std::iter::empty());
+    }
+}

@@ -1,0 +1,274 @@
+//! The exhaustive tuner.
+//!
+//! As in the paper's first experiment (Section IV-A): execute the
+//! algorithm for every meaningful configuration and select the one with
+//! the highest single-precision GFLOP/s. The tuner is generic over an
+//! [`Executor`] so the same driver tunes the analytic device model, a
+//! measured host kernel, or anything else that can score a
+//! configuration.
+
+use dedisp_core::KernelConfig;
+use manycore_sim::{CostModel, Workload};
+use rayon::prelude::*;
+use serde::{Deserialize, Serialize};
+
+use crate::space::ConfigSpace;
+use crate::stats::OptimizationStats;
+
+/// Something that can score kernel configurations in GFLOP/s.
+pub trait Executor: Sync {
+    /// Label for reports (typically the device name).
+    fn label(&self) -> String;
+
+    /// The meaningful configurations to search.
+    fn configs(&self) -> Vec<KernelConfig>;
+
+    /// Scores one configuration; `None` if it fails at execution time.
+    fn measure(&self, config: &KernelConfig) -> Option<f64>;
+}
+
+/// An [`Executor`] backed by the analytic device model.
+pub struct SimExecutor<'a> {
+    model: &'a CostModel,
+    workload: &'a Workload,
+    space: &'a ConfigSpace,
+}
+
+impl<'a> SimExecutor<'a> {
+    /// Wraps a cost model and workload as a tunable executor.
+    pub fn new(model: &'a CostModel, workload: &'a Workload, space: &'a ConfigSpace) -> Self {
+        Self {
+            model,
+            workload,
+            space,
+        }
+    }
+}
+
+impl Executor for SimExecutor<'_> {
+    fn label(&self) -> String {
+        format!("{} / {}", self.model.device().name, self.workload.name)
+    }
+
+    fn configs(&self) -> Vec<KernelConfig> {
+        self.space.meaningful(self.model.device(), self.workload)
+    }
+
+    fn measure(&self, config: &KernelConfig) -> Option<f64> {
+        self.model
+            .evaluate(self.workload, config)
+            .ok()
+            .map(|e| e.gflops)
+    }
+}
+
+/// One scored configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Sample {
+    /// The configuration.
+    pub config: KernelConfig,
+    /// Its score in GFLOP/s.
+    pub gflops: f64,
+}
+
+/// The outcome of tuning one executor.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TuningResult {
+    /// Executor label.
+    pub label: String,
+    /// Every scored configuration (the optimization space).
+    pub samples: Vec<Sample>,
+    /// Index of the optimum in `samples`.
+    pub best_index: usize,
+}
+
+impl TuningResult {
+    /// The optimal configuration.
+    pub fn best_config(&self) -> KernelConfig {
+        self.samples[self.best_index].config
+    }
+
+    /// The optimal score in GFLOP/s.
+    pub fn best_gflops(&self) -> f64 {
+        self.samples[self.best_index].gflops
+    }
+
+    /// Statistics of the whole optimization space.
+    pub fn stats(&self) -> OptimizationStats {
+        OptimizationStats::from_samples(self.samples.iter().map(|s| s.gflops))
+    }
+
+    /// The score of a specific configuration, if it was in the space.
+    pub fn gflops_of(&self, config: &KernelConfig) -> Option<f64> {
+        self.samples
+            .iter()
+            .find(|s| s.config == *config)
+            .map(|s| s.gflops)
+    }
+}
+
+/// The exhaustive tuning driver.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Tuner;
+
+impl Tuner {
+    /// Scores every configuration of `executor` (in parallel) and
+    /// selects the optimum.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no configuration can be measured — an empty optimization
+    /// space means the (device, workload) pair is misconfigured.
+    pub fn tune<E: Executor>(&self, executor: &E) -> TuningResult {
+        let configs = executor.configs();
+        let samples: Vec<Sample> = configs
+            .par_iter()
+            .filter_map(|c| {
+                executor
+                    .measure(c)
+                    .map(|gflops| Sample { config: *c, gflops })
+            })
+            .collect();
+        assert!(
+            !samples.is_empty(),
+            "empty optimization space for {}",
+            executor.label()
+        );
+        let best_index = samples
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.gflops.total_cmp(&b.1.gflops))
+            .expect("non-empty")
+            .0;
+        TuningResult {
+            label: executor.label(),
+            samples,
+            best_index,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dedisp_core::{DmGrid, FrequencyBand};
+    use manycore_sim::{amd_hd7970, intel_xeon_phi_5110p, nvidia_gtx680, nvidia_k20};
+
+    fn workload(name: &str, trials: usize) -> Workload {
+        match name {
+            "Apertif" => Workload::analytic(
+                "Apertif",
+                &FrequencyBand::from_edges(1420.0, 1720.0, 1024).unwrap(),
+                &DmGrid::paper_grid(trials).unwrap(),
+                20_000,
+            )
+            .unwrap(),
+            _ => Workload::analytic(
+                "LOFAR",
+                &FrequencyBand::new(138.0, 6.0 / 32.0, 32).unwrap(),
+                &DmGrid::paper_grid(trials).unwrap(),
+                200_000,
+            )
+            .unwrap(),
+        }
+    }
+
+    fn tune(
+        dev: manycore_sim::DeviceDescriptor,
+        w: &Workload,
+        space: &ConfigSpace,
+    ) -> TuningResult {
+        let model = CostModel::new(dev);
+        let exec = SimExecutor::new(&model, w, space);
+        Tuner.tune(&exec)
+    }
+
+    #[test]
+    fn optimum_dominates_every_sample() {
+        let space = ConfigSpace::reduced();
+        let w = workload("Apertif", 256);
+        let r = tune(amd_hd7970(), &w, &space);
+        let best = r.best_gflops();
+        assert!(r.samples.iter().all(|s| s.gflops <= best));
+        assert_eq!(r.gflops_of(&r.best_config()), Some(best));
+    }
+
+    #[test]
+    fn tuning_is_deterministic() {
+        let space = ConfigSpace::reduced();
+        let w = workload("LOFAR", 64);
+        let a = tune(nvidia_gtx680(), &w, &space);
+        let b = tune(nvidia_gtx680(), &w, &space);
+        assert_eq!(a.best_config(), b.best_config());
+        assert_eq!(a.samples.len(), b.samples.len());
+    }
+
+    #[test]
+    fn hd7970_optimum_respects_wg_cap() {
+        let space = ConfigSpace::paper();
+        let w = workload("Apertif", 1024);
+        let r = tune(amd_hd7970(), &w, &space);
+        // The paper: the HD7970 never exceeds its 256 work-item hardware
+        // ceiling (the model's flat optimum plateau may select smaller
+        // groups of equivalent occupancy; see EXPERIMENTS.md).
+        assert!(r.best_config().work_items() <= 256);
+    }
+
+    #[test]
+    fn apertif_optimum_exploits_dm_reuse() {
+        // Tuned Apertif configurations tile multiple DMs per work-group.
+        let space = ConfigSpace::paper();
+        let w = workload("Apertif", 1024);
+        for dev in [amd_hd7970(), nvidia_k20()] {
+            let r = tune(dev, &w, &space);
+            assert!(
+                r.best_config().tile_dm() >= 8,
+                "{}: tile_dm {}",
+                r.label,
+                r.best_config().tile_dm()
+            );
+        }
+    }
+
+    #[test]
+    fn lofar_optimum_uses_smaller_dm_tiles_than_apertif() {
+        // The paper's adaptation story (Section V-A): less reuse in the
+        // LOFAR setup ⇒ the tuner shifts from reuse to occupancy.
+        let space = ConfigSpace::paper();
+        for dev in [amd_hd7970(), nvidia_k20()] {
+            let ap = tune(dev.clone(), &workload("Apertif", 1024), &space);
+            let lo = tune(dev, &workload("LOFAR", 1024), &space);
+            assert!(
+                lo.best_config().tile_dm() < ap.best_config().tile_dm(),
+                "{}: LOFAR {} !< Apertif {}",
+                ap.label,
+                lo.best_config().tile_dm(),
+                ap.best_config().tile_dm()
+            );
+        }
+    }
+
+    #[test]
+    fn phi_prefers_small_work_groups() {
+        let space = ConfigSpace::paper();
+        let w = workload("Apertif", 1024);
+        let r = tune(intel_xeon_phi_5110p(), &w, &space);
+        assert!(
+            r.best_config().work_items() <= 64,
+            "Phi optimum {}",
+            r.best_config().work_items()
+        );
+    }
+
+    #[test]
+    fn stats_are_consistent() {
+        let space = ConfigSpace::reduced();
+        let w = workload("Apertif", 128);
+        let r = tune(amd_hd7970(), &w, &space);
+        let st = r.stats();
+        assert_eq!(st.count, r.samples.len());
+        assert!(st.max <= r.best_gflops() + 1e-12);
+        assert!(st.mean < st.max);
+        assert!(st.snr_of_max() > 0.0);
+    }
+}

@@ -1,0 +1,92 @@
+//! Property-based tests of the tuner: optimality, statistics, and
+//! fixed-configuration invariants over arbitrary (device, workload)
+//! pairs.
+
+use autotune::{best_fixed_config, ConfigSpace, OptimizationStats, SimExecutor, Tuner};
+use dedisp_core::{DmGrid, FrequencyBand};
+use manycore_sim::{all_devices, CostModel, Workload};
+use proptest::prelude::*;
+
+fn workload(channels: usize, rate: u32, trials: usize) -> Workload {
+    Workload::analytic(
+        "prop",
+        &FrequencyBand::new(200.0, 0.5, channels).expect("valid band"),
+        &DmGrid::paper_grid(trials).expect("valid grid"),
+        rate,
+    )
+    .expect("valid workload")
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    #[test]
+    fn optimum_dominates_space(
+        dev_idx in 0usize..5,
+        channels in 8usize..128,
+        trials in prop::sample::select(vec![2usize, 16, 128, 1024]),
+    ) {
+        let model = CostModel::new(all_devices().swap_remove(dev_idx));
+        let w = workload(channels, 5_000, trials);
+        let space = ConfigSpace::reduced();
+        let r = Tuner.tune(&SimExecutor::new(&model, &w, &space));
+        let best = r.best_gflops();
+        prop_assert!(r.samples.iter().all(|s| s.gflops <= best));
+        // The optimum never violates the tile-fits-problem constraint.
+        prop_assert!(r.best_config().tile_dm() as usize <= trials);
+    }
+
+    #[test]
+    fn stats_match_manual_computation(
+        scores in prop::collection::vec(0.1f64..500.0, 2..200),
+    ) {
+        let s = OptimizationStats::from_samples(scores.iter().copied());
+        let n = scores.len() as f64;
+        let mean = scores.iter().sum::<f64>() / n;
+        let var = scores.iter().map(|v| (v - mean).powi(2)).sum::<f64>() / n;
+        prop_assert!((s.mean - mean).abs() < 1e-9);
+        prop_assert!((s.std - var.sqrt()).abs() < 1e-9);
+        prop_assert!(s.max >= s.mean && s.mean >= s.min);
+        prop_assert!(s.snr_of_max() >= 0.0);
+        // Chebyshev bound is a probability.
+        let p = s.guess_probability_bound();
+        prop_assert!((0.0..=1.0).contains(&p));
+    }
+
+    #[test]
+    fn fixed_config_never_beats_tuned(
+        dev_idx in 0usize..5,
+        trials_pair in prop::sample::select(vec![(2usize, 64usize), (4, 256), (16, 1024)]),
+    ) {
+        let model = CostModel::new(all_devices().swap_remove(dev_idx));
+        let space = ConfigSpace::reduced();
+        let sweep: Vec<_> = [trials_pair.0, trials_pair.1]
+            .iter()
+            .map(|&t| {
+                let w = workload(32, 5_000, t);
+                Tuner.tune(&SimExecutor::new(&model, &w, &space))
+            })
+            .collect();
+        let cmp = best_fixed_config(&sweep);
+        for sp in cmp.speedups() {
+            prop_assert!(sp >= 1.0 - 1e-12, "speedup {sp}");
+        }
+        // The fixed configuration is valid on the small instance.
+        prop_assert!(cmp.fixed_config.tile_dm() as usize <= trials_pair.0);
+    }
+
+    #[test]
+    fn meaningful_space_respects_all_constraints(
+        dev_idx in 0usize..5,
+        trials in prop::sample::select(vec![2usize, 32, 512]),
+    ) {
+        let dev = all_devices().swap_remove(dev_idx);
+        let w = workload(64, 5_000, trials);
+        let space = ConfigSpace::paper();
+        for c in space.meaningful(&dev, &w) {
+            prop_assert!(manycore_sim::check_config(&dev, &w, &c).is_ok());
+            prop_assert!(c.work_items() <= dev.max_wg_size);
+            prop_assert!(c.tile_dm() as usize <= trials);
+        }
+    }
+}

@@ -1,0 +1,71 @@
+//! Quickstart: dedisperse a synthetic dispersed pulse and recover it.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+//!
+//! Builds a small LOFAR-flavored observation, injects a pulse at
+//! DM = 12 pc/cm³ into noisy channelized data, dedisperses with the
+//! tiled kernel, and shows that the detection peaks at the injected DM.
+
+use dedisp_repro::dedisp_core::prelude::*;
+use dedisp_repro::radioastro::{detect_best_trial, PulseSpec, SignalGenerator};
+
+fn main() {
+    // 1. Describe the observation: 32 channels of 0.19 MHz above
+    //    138 MHz (the paper's LOFAR band), 2,000 samples/s (scaled down
+    //    from 200,000 so the example runs instantly), 64 trial DMs.
+    let plan = DedispersionPlan::builder()
+        .band(FrequencyBand::new(138.0, 6.0 / 32.0, 32).expect("valid band"))
+        .dm_grid(DmGrid::new(0.0, 0.5, 64).expect("valid grid"))
+        .sample_rate(2_000)
+        .build()
+        .expect("valid plan");
+    println!(
+        "plan: {} channels x {} input samples -> {} trials x {} output samples",
+        plan.channels(),
+        plan.in_samples(),
+        plan.trials(),
+        plan.out_samples()
+    );
+    println!(
+        "delays: up to {} samples at DM {:.2} pc/cm3",
+        plan.delays().max_delay(),
+        plan.dm_grid().max_dm()
+    );
+
+    // 2. Synthesize one second of data: Gaussian noise plus a broadband
+    //    pulse at DM 12, emitted so it lands in output bin 700.
+    let true_dm = 12.0;
+    let input = SignalGenerator::new(2024)
+        .noise_sigma(1.0)
+        .pulse(PulseSpec::impulse(true_dm, 700, 2.5))
+        .generate(&plan);
+
+    // 3. Dedisperse with a configuration-specialized tiled kernel
+    //    (8x4 work-items, 2x2 elements each: a 16-sample x 8-DM tile).
+    let config = KernelConfig::new(8, 4, 2, 2).expect("valid configuration");
+    let kernel = TiledKernel::new(config);
+    let mut output = OutputBuffer::for_plan(&plan);
+    kernel
+        .dedisperse(&plan, &input, &mut output)
+        .expect("buffers match plan");
+
+    // 4. Scan every trial for the most significant sample.
+    let detection = detect_best_trial(&output);
+    let best = detection.best();
+    println!(
+        "strongest candidate: DM {:.2} pc/cm3, sample {}, S/N {:.1}",
+        plan.dm_grid().dm(best.trial),
+        best.peak_sample,
+        best.snr
+    );
+
+    let recovered = plan.dm_grid().dm(best.trial);
+    assert!(
+        (recovered - true_dm).abs() <= plan.dm_grid().step(),
+        "expected the pulse at DM {true_dm}, found {recovered}"
+    );
+    assert_eq!(best.peak_sample, 700);
+    println!("recovered the injected pulse at the injected DM ✓");
+}

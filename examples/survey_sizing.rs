@@ -1,0 +1,95 @@
+//! Deployment sizing: how many devices does a real survey need?
+//!
+//! ```sh
+//! cargo run --release --example survey_sizing
+//! ```
+//!
+//! Reproduces the paper's Section V-D arithmetic: Apertif must
+//! dedisperse 2,000 trial DMs for 450 beams in real time. For each
+//! modeled accelerator we auto-tune the kernel at 2,000 DMs, derive the
+//! sustained GFLOP/s, and compute beams per device and devices per
+//! survey — the paper's "50 GPUs instead of 1,800 CPUs".
+
+use dedisp_repro::autotune::{ConfigSpace, SimExecutor, Tuner};
+use dedisp_repro::cpu_baseline::tuned_cpu_gflops;
+use dedisp_repro::manycore_sim::{all_devices, CostModel, Workload};
+use dedisp_repro::radioastro::{ObservationalSetup, SurveySizing};
+
+fn main() {
+    let survey = SurveySizing::apertif_survey();
+    let setup = ObservationalSetup::apertif();
+    println!(
+        "survey: {} x {} trial DMs x {} beams, {:.1} GFLOP per beam-second",
+        setup.name,
+        survey.trials,
+        survey.beams,
+        survey.trials as f64 * setup.mflop_per_dm() / 1e3
+    );
+    println!();
+
+    let grid = setup.dm_grid(survey.trials).expect("valid grid");
+    let workload = Workload::analytic(setup.name.clone(), &setup.band, &grid, setup.sample_rate)
+        .expect("valid workload");
+    let space = ConfigSpace::paper();
+
+    println!(
+        "{:<22} {:>10} {:>12} {:>12} {:>10}",
+        "device", "GFLOP/s", "s per beam", "beams/dev", "devices"
+    );
+    let mut best_gpu_devices = usize::MAX;
+    for device in all_devices() {
+        let model = CostModel::new(device);
+        let tuned = Tuner.tune(&SimExecutor::new(&model, &workload, &space));
+        let gflops = tuned.best_gflops();
+        let per_beam = survey.seconds_per_beam(gflops);
+        let beams = survey.beams_per_device(gflops);
+        let devices = survey.devices_needed(gflops);
+        println!(
+            "{:<22} {:>10.1} {:>12.3} {:>12} {:>10}",
+            model.device().name,
+            gflops,
+            per_beam,
+            beams,
+            if devices == usize::MAX {
+                "n/a".to_string()
+            } else {
+                devices.to_string()
+            }
+        );
+        if beams > 0 {
+            best_gpu_devices = best_gpu_devices.min(devices);
+        }
+    }
+
+    // The CPU comparator: how many Xeon E5-2620s for the same survey?
+    let cpu = tuned_cpu_gflops(&workload);
+    let cpu_beams = survey.beams_per_device(cpu);
+    let cpu_devices = if cpu_beams == 0 {
+        // One CPU cannot even hold one beam: count fractional beams.
+        (survey.beams as f64 / (1.0 / survey.seconds_per_beam(cpu))).ceil() as usize
+    } else {
+        survey.devices_needed(cpu)
+    };
+    println!(
+        "{:<22} {:>10.1} {:>12.3} {:>12} {:>10}",
+        "Xeon E5-2620 (CPU)",
+        cpu,
+        survey.seconds_per_beam(cpu),
+        cpu_beams,
+        cpu_devices
+    );
+
+    println!();
+    println!(
+        "best accelerator deployment: {best_gpu_devices} devices; CPU deployment: {cpu_devices} sockets ({}x more hardware)",
+        cpu_devices / best_gpu_devices
+    );
+    assert!(
+        best_gpu_devices < 100,
+        "a GPU deployment should need well under 100 devices"
+    );
+    assert!(
+        cpu_devices > 10 * best_gpu_devices,
+        "the CPU deployment should be an order of magnitude larger"
+    );
+}

@@ -1,0 +1,144 @@
+//! Per-beam stream feeding: raw seconds in, dedispersable chunks out.
+//!
+//! A telescope backend delivers each beam as a stream of one-second
+//! channelized blocks (`channels × s` samples), but dedispersing a
+//! second needs `s + max_delay` samples of context. [`BeamFeeder`] owns
+//! one [`StreamWindow`] per beam and converts raw seconds into the
+//! overlapped [`Chunk`]s the [`StreamingPipeline`](crate::pipeline::StreamingPipeline)
+//! consumes — the glue
+//! between an acquisition stage and the dedispersion workers.
+
+use dedisp_core::{DedispersionPlan, InputBuffer, Result, StreamWindow};
+
+use crate::pipeline::Chunk;
+
+/// Converts raw per-beam seconds into overlapped pipeline chunks.
+pub struct BeamFeeder {
+    plan: std::sync::Arc<DedispersionPlan>,
+    windows: Vec<StreamWindow>,
+    seconds_emitted: Vec<u64>,
+}
+
+impl BeamFeeder {
+    /// Creates a feeder for `beams` independent beams of `plan`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `beams` is zero.
+    pub fn new(plan: std::sync::Arc<DedispersionPlan>, beams: usize) -> Self {
+        assert!(beams > 0, "need at least one beam");
+        Self {
+            windows: (0..beams).map(|_| StreamWindow::for_plan(&plan)).collect(),
+            seconds_emitted: vec![0; beams],
+            plan,
+        }
+    }
+
+    /// Number of beams.
+    pub fn beams(&self) -> usize {
+        self.windows.len()
+    }
+
+    /// Pushes one raw second (`fresh[ch]` of exactly `out_samples`
+    /// values) for `beam` and returns the dedispersable chunk — `None`
+    /// while the window is still warming up (the first
+    /// `ceil(max_delay / s)` seconds, whose output would include the
+    /// zero-filled cold start).
+    ///
+    /// # Errors
+    ///
+    /// Returns a shape error for wrong channel counts or block lengths.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `beam` is out of range.
+    pub fn push_second(&mut self, beam: usize, fresh: &[&[f32]]) -> Result<Option<Chunk>> {
+        let window = &mut self.windows[beam];
+        window.push_second(fresh)?;
+        if !window.warmed_up() {
+            return Ok(None);
+        }
+        // Copy the current window into a chunk-owned buffer; workers run
+        // concurrently with subsequent pushes.
+        let mut data = InputBuffer::for_plan(&self.plan);
+        data.as_mut_slice()
+            .copy_from_slice(window.window().as_slice());
+        let second = self.seconds_emitted[beam];
+        self.seconds_emitted[beam] += 1;
+        Ok(Some(Chunk { beam, second, data }))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dedisp_core::{DmGrid, FrequencyBand};
+    use std::sync::Arc;
+
+    fn plan() -> Arc<DedispersionPlan> {
+        Arc::new(
+            DedispersionPlan::builder()
+                .band(FrequencyBand::new(140.0, 0.5, 8).unwrap())
+                .dm_grid(DmGrid::new(0.0, 2.0, 6).unwrap())
+                .sample_rate(100)
+                .build()
+                .unwrap(),
+        )
+    }
+
+    fn second(plan: &DedispersionPlan, value: f32) -> Vec<Vec<f32>> {
+        vec![vec![value; plan.out_samples()]; plan.channels()]
+    }
+
+    #[test]
+    fn warms_up_then_emits_sequenced_chunks() {
+        let plan = plan();
+        assert!(plan.in_samples() > plan.out_samples(), "needs overlap");
+        let mut feeder = BeamFeeder::new(Arc::clone(&plan), 2);
+        assert_eq!(feeder.beams(), 2);
+
+        let blocks = second(&plan, 1.0);
+        let refs: Vec<&[f32]> = blocks.iter().map(Vec::as_slice).collect();
+
+        // 100-sample seconds with a sub-second max delay: the first push
+        // already warms the window up.
+        let chunk = feeder.push_second(0, &refs).unwrap();
+        let chunk = chunk.expect("warmed up after one second here");
+        assert_eq!(chunk.beam, 0);
+        assert_eq!(chunk.second, 0);
+        assert_eq!(chunk.data.channels(), plan.channels());
+        assert_eq!(chunk.data.samples(), plan.in_samples());
+
+        let chunk = feeder.push_second(0, &refs).unwrap().unwrap();
+        assert_eq!(chunk.second, 1);
+        // The other beam has its own sequence.
+        let chunk = feeder.push_second(1, &refs).unwrap().unwrap();
+        assert_eq!(chunk.beam, 1);
+        assert_eq!(chunk.second, 0);
+    }
+
+    #[test]
+    fn chunks_carry_the_overlap() {
+        let plan = plan();
+        let mut feeder = BeamFeeder::new(Arc::clone(&plan), 1);
+        let first = second(&plan, 1.0);
+        let refs: Vec<&[f32]> = first.iter().map(Vec::as_slice).collect();
+        feeder.push_second(0, &refs).unwrap();
+        let next = second(&plan, 2.0);
+        let refs: Vec<&[f32]> = next.iter().map(Vec::as_slice).collect();
+        let chunk = feeder.push_second(0, &refs).unwrap().unwrap();
+        let overlap = plan.in_samples() - plan.out_samples();
+        // The chunk starts with the tail of the previous second.
+        assert!(chunk.data.channel(0)[..overlap].iter().all(|&v| v == 1.0));
+        assert!(chunk.data.channel(0)[overlap..].iter().all(|&v| v == 2.0));
+    }
+
+    #[test]
+    fn shape_errors_propagate() {
+        let plan = plan();
+        let mut feeder = BeamFeeder::new(plan, 1);
+        let bad = vec![vec![0.0f32; 3]; 8];
+        let refs: Vec<&[f32]> = bad.iter().map(Vec::as_slice).collect();
+        assert!(feeder.push_second(0, &refs).is_err());
+    }
+}

@@ -1,0 +1,25 @@
+//! # dedisp-repro — workspace facade and end-to-end pipelines
+//!
+//! Reproduction of *Sclocco et al., "Auto-Tuning Dedispersion for
+//! Many-Core Accelerators" (IPDPS 2014)*. This crate re-exports the
+//! workspace libraries and adds the one piece the paper assumes around
+//! the kernel: a real-time *pipeline* ("dedispersion is always used as
+//! part of a larger pipeline", Section IV) that streams channelized
+//! seconds of data through dedispersion into detection, for one or many
+//! beams.
+//!
+//! See the `examples/` directory for runnable entry points and the
+//! `experiments` crate for the binaries regenerating every table and
+//! figure of the paper.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub use autotune;
+pub use cpu_baseline;
+pub use dedisp_core;
+pub use manycore_sim;
+pub use radioastro;
+
+pub mod feeder;
+pub mod pipeline;

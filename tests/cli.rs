@@ -1,0 +1,136 @@
+//! End-to-end tests of the `dedisp` command-line binary, exercised as a
+//! real subprocess.
+
+use std::process::{Command, Output};
+
+fn dedisp(args: &[&str]) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_dedisp"))
+        .args(args)
+        .output()
+        .expect("binary runs")
+}
+
+fn stdout(out: &Output) -> String {
+    String::from_utf8_lossy(&out.stdout).into_owned()
+}
+
+fn stderr(out: &Output) -> String {
+    String::from_utf8_lossy(&out.stderr).into_owned()
+}
+
+#[test]
+fn info_prints_setup_summary() {
+    let out = dedisp(&[
+        "info", "--setup", "lofar", "--rate", "1000", "--trials", "32",
+    ]);
+    assert!(out.status.success(), "{}", stderr(&out));
+    let text = stdout(&out);
+    assert!(text.contains("LOFAR"));
+    assert!(text.contains("32 channels"));
+    assert!(text.contains("real-time"));
+}
+
+#[test]
+fn generate_then_search_recovers_pulse() {
+    let dir = std::env::temp_dir().join(format!("dedisp-cli-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let file = dir.join("obs.fb");
+    let file = file.to_str().unwrap();
+
+    let out = dedisp(&[
+        "generate",
+        "--setup",
+        "lofar",
+        "--rate",
+        "1000",
+        "--trials",
+        "24",
+        "--seed",
+        "5",
+        "--pulse",
+        "4.0:300:4.0",
+        "--out",
+        file,
+    ]);
+    assert!(out.status.success(), "{}", stderr(&out));
+    assert!(stdout(&out).contains("1 pulse(s)"));
+
+    let out = dedisp(&[
+        "search", "--setup", "lofar", "--rate", "1000", "--trials", "24", "--in", file,
+    ]);
+    assert!(out.status.success(), "{}", stderr(&out));
+    let text = stdout(&out);
+    assert!(text.contains("DM 4.00"), "{text}");
+    assert!(text.contains("sample 300"), "{text}");
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn search_rejects_mismatched_plan() {
+    let dir = std::env::temp_dir().join(format!("dedisp-cli-mm-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let file = dir.join("obs.fb");
+    let file = file.to_str().unwrap();
+
+    let out = dedisp(&[
+        "generate", "--setup", "lofar", "--rate", "1000", "--trials", "8", "--out", file,
+    ]);
+    assert!(out.status.success(), "{}", stderr(&out));
+
+    // Searching with a different trial count changes the expected input
+    // length; the CLI must explain rather than crash.
+    let out = dedisp(&[
+        "search", "--setup", "lofar", "--rate", "1000", "--trials", "64", "--in", file,
+    ]);
+    assert!(!out.status.success());
+    assert!(stderr(&out).contains("match how the file was generated"));
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn tune_filters_by_device() {
+    let out = dedisp(&[
+        "tune", "--setup", "lofar", "--trials", "64", "--device", "hd7970",
+    ]);
+    assert!(out.status.success(), "{}", stderr(&out));
+    let text = stdout(&out);
+    assert!(text.contains("AMD HD7970"));
+    assert!(!text.contains("NVIDIA"));
+    assert!(text.contains("GFLOP/s"));
+}
+
+#[test]
+fn plan_dms_prints_segments() {
+    let out = dedisp(&[
+        "plan-dms", "--setup", "apertif", "--max-dm", "500", "--width", "0.001",
+    ]);
+    assert!(out.status.success(), "{}", stderr(&out));
+    let text = stdout(&out);
+    assert!(text.contains("trial DMs to DM"), "{text}");
+    assert!(text.contains("trials"), "{text}");
+    assert!(text.contains("step"), "{text}");
+}
+
+#[test]
+fn bad_usage_reports_errors() {
+    let out = dedisp(&["frobnicate"]);
+    assert!(!out.status.success());
+    assert!(stderr(&out).contains("unknown command"));
+    assert!(stderr(&out).contains("usage:"));
+
+    let out = dedisp(&["info"]);
+    assert!(!out.status.success());
+    assert!(stderr(&out).contains("--setup"));
+
+    let out = dedisp(&["info", "--setup", "vla"]);
+    assert!(!out.status.success());
+    assert!(stderr(&out).contains("unknown setup"));
+
+    let out = dedisp(&[
+        "generate", "--setup", "lofar", "--pulse", "nope", "--out", "/tmp/x",
+    ]);
+    assert!(!out.status.success());
+    assert!(stderr(&out).contains("DM:SAMPLE:AMP"));
+}
