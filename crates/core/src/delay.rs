@@ -272,8 +272,8 @@ mod tests {
         let table = DelayTable::build(&band, &grid, 200_000).unwrap();
         let row = table.trial_row(5);
         assert_eq!(row.len(), 32);
-        for ch in 0..32 {
-            assert_eq!(row[ch] as usize, table.delay(5, ch));
+        for (ch, &d) in row.iter().enumerate() {
+            assert_eq!(d as usize, table.delay(5, ch));
         }
     }
 

@@ -38,9 +38,8 @@ impl Dedisperser for NaiveKernel {
             let series = output.series_mut(trial);
             for (sample, out) in series.iter_mut().enumerate().take(out_samples) {
                 let mut acc = 0.0f32;
-                for ch in 0..channels {
-                    let shift = row[ch] as usize;
-                    acc += input.channel(ch)[sample + shift];
+                for (ch, &shift) in row.iter().enumerate().take(channels) {
+                    acc += input.channel(ch)[sample + shift as usize];
                 }
                 *out = acc;
             }

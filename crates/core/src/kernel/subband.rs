@@ -97,7 +97,7 @@ impl SubbandKernel {
     /// Returns an error if the subband count does not divide the
     /// channel count.
     pub fn validate(&self, plan: &DedispersionPlan) -> Result<()> {
-        if plan.channels() % self.config.subbands != 0 {
+        if !plan.channels().is_multiple_of(self.config.subbands) {
             return Err(DedispError::incompatible(format!(
                 "{} subbands do not divide {} channels",
                 self.config.subbands,

@@ -163,10 +163,10 @@ mod tests {
         // Offline: build the same absolute slice directly.
         let start = 3 * s - window.overlap();
         let mut offline_in = InputBuffer::for_plan(&plan);
-        for ch in 0..plan.channels() {
+        for (ch, chan) in signal.iter().enumerate().take(plan.channels()) {
             offline_in
                 .channel_mut(ch)
-                .copy_from_slice(&signal[ch][start..start + plan.in_samples()]);
+                .copy_from_slice(&chan[start..start + plan.in_samples()]);
         }
         let offline = dedisperse(&plan, &offline_in).unwrap();
         assert_eq!(streamed.max_abs_diff(&offline), 0.0);

@@ -74,8 +74,8 @@ impl Dedisperser for OpenMpAvxKernel {
                     let (vec_len, _tail) = (len / VECTOR_WIDTH * VECTOR_WIDTH, len % VECTOR_WIDTH);
                     let out_block = &mut series[t0..t0 + len];
                     out_block.fill(0.0);
-                    for ch in 0..channels {
-                        let shift = row[ch] as usize;
+                    for (ch, &shift) in row.iter().enumerate().take(channels) {
+                        let shift = shift as usize;
                         let src = &input.channel(ch)[t0 + shift..t0 + shift + len];
                         // 8-wide chunks: the vectorized body.
                         for (dst8, src8) in out_block[..vec_len]

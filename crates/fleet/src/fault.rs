@@ -1,0 +1,98 @@
+//! Deterministic device-failure schedules.
+//!
+//! A [`FaultPlan`] states, per device, the virtual time at which it
+//! dies. Plans are plain data handed to the *workers*, not the
+//! dispatcher: the dispatcher only learns of a death when the dead
+//! device bounces work back, exactly as a real cluster manager learns
+//! from failed RPCs rather than from an omniscient schedule.
+
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// A deterministic schedule of device deaths.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct FaultPlan {
+    kills: BTreeMap<usize, f64>,
+}
+
+impl FaultPlan {
+    /// No failures.
+    pub fn none() -> Self {
+        Self::default()
+    }
+
+    /// Schedules `device` to die at virtual time `at`.
+    #[must_use]
+    pub fn with_kill(mut self, device: usize, at: f64) -> Self {
+        self.kills.insert(device, at);
+        self
+    }
+
+    /// Kills `ceil(devices × fraction)` devices at time `at`, spread
+    /// evenly across the id range so heterogeneous groups are all hit.
+    pub fn kill_fraction(devices: usize, fraction: f64, at: f64) -> Self {
+        let mut plan = Self::none();
+        if devices == 0 || fraction <= 0.0 {
+            return plan;
+        }
+        let victims = ((devices as f64 * fraction).ceil() as usize).min(devices);
+        for v in 0..victims {
+            plan.kills.insert(v * devices / victims, at);
+        }
+        plan
+    }
+
+    /// When (if ever) `device` dies.
+    pub fn kill_time(&self, device: usize) -> Option<f64> {
+        self.kills.get(&device).copied()
+    }
+
+    /// Number of scheduled deaths.
+    pub fn len(&self) -> usize {
+        self.kills.len()
+    }
+
+    /// Whether the plan kills nobody.
+    pub fn is_empty(&self) -> bool {
+        self.kills.is_empty()
+    }
+
+    /// Iterates `(device, kill_time)` in device order.
+    pub fn iter(&self) -> impl Iterator<Item = (usize, f64)> + '_ {
+        self.kills.iter().map(|(&d, &t)| (d, t))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kill_fraction_is_deterministic_and_spread() {
+        let plan = FaultPlan::kill_fraction(50, 0.1, 0.5);
+        assert_eq!(plan.len(), 5);
+        let victims: Vec<usize> = plan.iter().map(|(d, _)| d).collect();
+        assert_eq!(victims, vec![0, 10, 20, 30, 40]);
+        assert_eq!(plan.kill_time(10), Some(0.5));
+        assert_eq!(plan.kill_time(11), None);
+        // Identical inputs give identical plans.
+        assert_eq!(plan, FaultPlan::kill_fraction(50, 0.1, 0.5));
+    }
+
+    #[test]
+    fn kill_fraction_edge_cases() {
+        assert!(FaultPlan::kill_fraction(0, 0.5, 1.0).is_empty());
+        assert!(FaultPlan::kill_fraction(10, 0.0, 1.0).is_empty());
+        // Killing everything is allowed (the scheduler must then shed).
+        assert_eq!(FaultPlan::kill_fraction(4, 1.0, 0.0).len(), 4);
+        // A tiny fraction still kills at least one device.
+        assert_eq!(FaultPlan::kill_fraction(3, 0.01, 1.0).len(), 1);
+    }
+
+    #[test]
+    fn builder_composes() {
+        let plan = FaultPlan::none().with_kill(2, 1.5).with_kill(7, 0.25);
+        assert_eq!(plan.len(), 2);
+        assert_eq!(plan.kill_time(7), Some(0.25));
+    }
+}

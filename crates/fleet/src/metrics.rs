@@ -1,0 +1,355 @@
+//! Outcome accounting and the serializable fleet report.
+//!
+//! Every admitted beam-second ends in exactly one terminal state, and
+//! every shed — partial (trailing DM tiers dropped to make a deadline)
+//! or whole (no device left alive to run the beam) — is recorded. The
+//! [`FleetReport`] is the serde artifact an operator would ship to a
+//! dashboard: per-device utilization and queue depth, deadline misses,
+//! and the full shed ledger.
+
+use crate::descriptor::ResolvedFleet;
+use crate::survey::SurveyLoad;
+use serde::{Deserialize, Serialize};
+
+/// Terminal state of one beam-second.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum BeamOutcome {
+    /// All trial DMs dedispersed before the deadline.
+    Completed {
+        /// Device that ran the beam.
+        device: usize,
+        /// Virtual completion time.
+        finish: f64,
+    },
+    /// Finished before the deadline, but with trailing DM tiers shed.
+    Degraded {
+        /// Device that ran the beam.
+        device: usize,
+        /// Virtual completion time.
+        finish: f64,
+        /// Trial DMs actually dedispersed.
+        kept_trials: usize,
+        /// Trial DMs dropped.
+        shed_trials: usize,
+    },
+    /// Finished after its deadline — a real-time miss.
+    Missed {
+        /// Device that ran the beam.
+        device: usize,
+        /// Virtual completion time (past the deadline).
+        finish: f64,
+        /// Trial DMs dedispersed (sheds cannot rescue a miss).
+        kept_trials: usize,
+    },
+    /// Never ran: no device was alive to take it.
+    ShedWhole {
+        /// Virtual time the scheduler gave up on the beam.
+        at: f64,
+    },
+}
+
+/// One beam's ledger row.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BeamRecord {
+    /// Global job index.
+    pub index: usize,
+    /// Releasing tick.
+    pub tick: usize,
+    /// Beam number within the tick.
+    pub beam: usize,
+    /// How the beam ended.
+    pub outcome: BeamOutcome,
+}
+
+/// Why DM trials were shed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ShedReason {
+    /// Trailing tiers dropped so the beam could make its deadline.
+    DeadlinePressure,
+    /// The whole beam dropped: no alive device remained.
+    NoAliveDevices,
+}
+
+/// One recorded shed — nothing is dropped silently.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ShedRecord {
+    /// Global job index of the beam.
+    pub index: usize,
+    /// Releasing tick.
+    pub tick: usize,
+    /// Beam number within the tick.
+    pub beam: usize,
+    /// Trial DMs dropped.
+    pub shed_trials: usize,
+    /// Trial DMs still dedispersed (0 for whole-beam sheds).
+    pub kept_trials: usize,
+    /// Why the shed happened.
+    pub reason: ShedReason,
+}
+
+/// Per-device utilization and health over the run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DeviceMetrics {
+    /// Fleet-wide device index.
+    pub id: usize,
+    /// Instance name.
+    pub name: String,
+    /// Sustained rate used for placement, GFLOP/s.
+    pub gflops: f64,
+    /// Beams this device finished.
+    pub beams_done: usize,
+    /// Virtual seconds spent dedispersing.
+    pub busy_s: f64,
+    /// `busy_s / makespan` — fraction of the run spent working.
+    pub utilization: f64,
+    /// Deepest its work queue ever got (admitted, not yet started).
+    pub max_queue_depth: usize,
+    /// Virtual time the fault plan killed it, if it was killed.
+    pub died_at: Option<f64>,
+}
+
+/// The run summary an operator would export.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FleetReport {
+    /// Setup name.
+    pub setup: String,
+    /// Trial DMs per beam.
+    pub trials: usize,
+    /// Beams per tick.
+    pub beams: usize,
+    /// Ticks simulated.
+    pub ticks: usize,
+    /// Beam-seconds admitted (`beams × ticks`).
+    pub admitted: usize,
+    /// Beams fully dedispersed on time.
+    pub completed: usize,
+    /// Beams finished on time with tiers shed.
+    pub degraded: usize,
+    /// Beams finished after their deadline.
+    pub deadline_misses: usize,
+    /// Beams dropped whole (no alive devices).
+    pub shed_whole: usize,
+    /// Total trial DMs shed across all beams.
+    pub total_shed_trials: usize,
+    /// Every shed, itemized.
+    pub sheds: Vec<ShedRecord>,
+    /// Per-device metrics, id order.
+    pub devices: Vec<DeviceMetrics>,
+    /// Virtual time the last beam finished (or was dropped).
+    pub makespan: f64,
+}
+
+impl FleetReport {
+    /// Builds the report from the per-beam ledger and worker statistics.
+    pub(crate) fn build(
+        fleet: &ResolvedFleet,
+        load: &SurveyLoad,
+        records: &[BeamRecord],
+        stats: &[WorkerStats],
+        died_at: &[Option<f64>],
+    ) -> Self {
+        let mut completed = 0;
+        let mut degraded = 0;
+        let mut misses = 0;
+        let mut shed_whole = 0;
+        let mut total_shed = 0;
+        let mut sheds = Vec::new();
+        let mut makespan: f64 = 0.0;
+        for r in records {
+            match r.outcome {
+                BeamOutcome::Completed { finish, .. } => {
+                    completed += 1;
+                    makespan = makespan.max(finish);
+                }
+                BeamOutcome::Degraded {
+                    finish,
+                    kept_trials,
+                    shed_trials,
+                    ..
+                } => {
+                    degraded += 1;
+                    total_shed += shed_trials;
+                    makespan = makespan.max(finish);
+                    sheds.push(ShedRecord {
+                        index: r.index,
+                        tick: r.tick,
+                        beam: r.beam,
+                        shed_trials,
+                        kept_trials,
+                        reason: ShedReason::DeadlinePressure,
+                    });
+                }
+                BeamOutcome::Missed { finish, .. } => {
+                    misses += 1;
+                    makespan = makespan.max(finish);
+                }
+                BeamOutcome::ShedWhole { at } => {
+                    shed_whole += 1;
+                    total_shed += load.trials;
+                    makespan = makespan.max(at);
+                    sheds.push(ShedRecord {
+                        index: r.index,
+                        tick: r.tick,
+                        beam: r.beam,
+                        shed_trials: load.trials,
+                        kept_trials: 0,
+                        reason: ShedReason::NoAliveDevices,
+                    });
+                }
+            }
+        }
+        let devices = fleet
+            .devices
+            .iter()
+            .map(|d| DeviceMetrics {
+                id: d.id,
+                name: d.name.clone(),
+                gflops: d.gflops,
+                beams_done: stats[d.id].beams_done,
+                busy_s: stats[d.id].busy_s,
+                utilization: if makespan > 0.0 {
+                    stats[d.id].busy_s / makespan
+                } else {
+                    0.0
+                },
+                max_queue_depth: stats[d.id].max_queue_depth,
+                died_at: died_at[d.id],
+            })
+            .collect();
+        Self {
+            setup: load.setup.clone(),
+            trials: load.trials,
+            beams: load.beams,
+            ticks: load.ticks,
+            admitted: load.total_beams(),
+            completed,
+            degraded,
+            deadline_misses: misses,
+            shed_whole,
+            total_shed_trials: total_shed,
+            sheds,
+            devices,
+            makespan,
+        }
+    }
+
+    /// Whether every admitted beam is accounted for exactly once:
+    /// completed, degraded, missed, or shed — never lost.
+    pub fn conservation_ok(&self) -> bool {
+        self.completed + self.degraded + self.deadline_misses + self.shed_whole == self.admitted
+    }
+
+    /// Mean utilization across surviving (never-killed) devices.
+    pub fn mean_surviving_utilization(&self) -> f64 {
+        let survivors: Vec<&DeviceMetrics> = self
+            .devices
+            .iter()
+            .filter(|d| d.died_at.is_none())
+            .collect();
+        if survivors.is_empty() {
+            return 0.0;
+        }
+        survivors.iter().map(|d| d.utilization).sum::<f64>() / survivors.len() as f64
+    }
+
+    /// Serializes to pretty JSON.
+    ///
+    /// # Panics
+    ///
+    /// Panics only if serde_json fails on plain data, which cannot
+    /// happen for this type.
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).expect("plain report always serializes")
+    }
+
+    /// Deserializes from JSON.
+    ///
+    /// # Errors
+    ///
+    /// Returns the serde error for malformed input.
+    pub fn from_json(json: &str) -> Result<Self, serde_json::Error> {
+        serde_json::from_str(json)
+    }
+}
+
+/// Final statistics a worker thread reports as it retires.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub(crate) struct WorkerStats {
+    pub busy_s: f64,
+    pub beams_done: usize,
+    pub max_queue_depth: usize,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn report_json_roundtrip() {
+        let fleet = ResolvedFleet::synthetic(100, &[0.2, 0.5]);
+        let load = SurveyLoad::custom(100, 2, 1);
+        let records = vec![
+            BeamRecord {
+                index: 0,
+                tick: 0,
+                beam: 0,
+                outcome: BeamOutcome::Completed {
+                    device: 0,
+                    finish: 0.2,
+                },
+            },
+            BeamRecord {
+                index: 1,
+                tick: 0,
+                beam: 1,
+                outcome: BeamOutcome::Degraded {
+                    device: 1,
+                    finish: 0.9,
+                    kept_trials: 75,
+                    shed_trials: 25,
+                },
+            },
+        ];
+        let stats = vec![
+            WorkerStats {
+                busy_s: 0.2,
+                beams_done: 1,
+                max_queue_depth: 1,
+            },
+            WorkerStats {
+                busy_s: 0.5,
+                beams_done: 1,
+                max_queue_depth: 1,
+            },
+        ];
+        let report = FleetReport::build(&fleet, &load, &records, &stats, &[None, Some(5.0)]);
+        assert!(report.conservation_ok());
+        assert_eq!(report.completed, 1);
+        assert_eq!(report.degraded, 1);
+        assert_eq!(report.total_shed_trials, 25);
+        assert_eq!(report.sheds.len(), 1);
+        assert_eq!(report.sheds[0].reason, ShedReason::DeadlinePressure);
+        assert!((report.makespan - 0.9).abs() < 1e-12);
+        let back = FleetReport::from_json(&report.to_json()).unwrap();
+        assert_eq!(back, report);
+    }
+
+    #[test]
+    fn conservation_detects_loss() {
+        let fleet = ResolvedFleet::synthetic(10, &[0.5]);
+        let load = SurveyLoad::custom(10, 2, 1);
+        let stats = vec![WorkerStats::default()];
+        // Only one of two admitted beams recorded.
+        let records = vec![BeamRecord {
+            index: 0,
+            tick: 0,
+            beam: 0,
+            outcome: BeamOutcome::ShedWhole { at: 0.0 },
+        }];
+        let report = FleetReport::build(&fleet, &load, &records, &stats, &[None]);
+        assert!(!report.conservation_ok());
+        assert_eq!(report.shed_whole, 1);
+        assert_eq!(report.total_shed_trials, 10);
+        assert_eq!(report.sheds[0].reason, ShedReason::NoAliveDevices);
+    }
+}

@@ -1,0 +1,565 @@
+//! The beam scheduler: placement, admission control, and recovery.
+//!
+//! The scheduler runs a virtual-time simulation on real threads: one
+//! worker thread per device, fed through a bounded crossbeam channel
+//! (the device's work queue — a full queue blocks the dispatcher, which
+//! is the backpressure), with an unbounded event channel flowing back.
+//!
+//! Placement is greedy earliest-predicted-finish: each beam goes to the
+//! alive device that the cost model says will finish it soonest. For a
+//! feasible fleet this is optimal in the §V-D sense — if per-device
+//! capacities sum to at least the batch size, some device can always
+//! absorb one more beam within the period, so the minimum-finish device
+//! certainly can.
+//!
+//! Admission control works against the real-time deadline budget at
+//! batch granularity: before a tick's beams are placed, the dispatcher
+//! picks the largest per-beam DM count — full resolution first, then
+//! one shed tier at a time, never below the configured floor — at which
+//! the whole batch fits the fleet's remaining capacity. Individual
+//! beams under further pressure (e.g. re-placed orphans) shed extra
+//! tiers on their own; every shed is recorded. A beam that cannot fit
+//! even at maximum shed runs anyway, at full resolution, and is
+//! reported as a deadline miss.
+//!
+//! Faults are discovered, not announced: the fault plan is wired into
+//! the workers, and a dead device *bounces* everything it is handed.
+//! The dispatcher learns of the death from the bounce, marks the device
+//! dead, and re-places orphaned beams on the survivors — or records
+//! them shed whole when nobody is left. Every admitted beam therefore
+//! ends in exactly one reported outcome; nothing is lost silently.
+
+use crate::descriptor::{FleetError, ResolvedFleet};
+use crate::fault::FaultPlan;
+use crate::metrics::{BeamOutcome, BeamRecord, FleetReport, WorkerStats};
+use crate::survey::{BeamJob, SurveyLoad};
+use crossbeam::channel::{self, Receiver, Sender};
+use parking_lot::Mutex;
+
+/// Slack tolerated when comparing virtual times against deadlines, so
+/// exact-fit packings are not rejected over float rounding.
+const DEADLINE_EPS: f64 = 1e-9;
+
+/// Tunables for the scheduler.
+#[derive(Debug, Clone)]
+pub struct SchedulerConfig {
+    /// Bounded per-device queue capacity; a full queue blocks the
+    /// dispatcher (backpressure).
+    pub queue_depth: usize,
+    /// Number of equal DM tiers a beam is divided into for shedding.
+    pub shed_tiers: usize,
+    /// Most tiers admission control may shed from one beam.
+    pub max_shed_tiers: usize,
+}
+
+impl Default for SchedulerConfig {
+    fn default() -> Self {
+        Self {
+            queue_depth: 4,
+            shed_tiers: 8,
+            max_shed_tiers: 4,
+        }
+    }
+}
+
+/// The result of a run: the exportable report plus the full ledger.
+#[derive(Debug, Clone)]
+pub struct FleetRun {
+    /// Aggregated, serializable summary.
+    pub report: FleetReport,
+    /// Terminal state of every admitted beam, in job-index order.
+    pub records: Vec<BeamRecord>,
+}
+
+/// One beam placed on one device, with its predicted window.
+#[derive(Debug, Clone, Copy)]
+struct Assignment {
+    job: BeamJob,
+    device: usize,
+    kept_trials: usize,
+    start: f64,
+    finish: f64,
+}
+
+/// What workers report back to the dispatcher.
+enum Event {
+    /// First refusal from a dead device.
+    Died { device: usize },
+    /// A beam bounced off a dead device at virtual time `at`.
+    Orphaned { assignment: Assignment, at: f64 },
+    /// A beam ran to completion (possibly past its deadline).
+    Finished { assignment: Assignment },
+}
+
+/// The fleet scheduler.
+#[derive(Debug, Clone, Default)]
+pub struct Scheduler {
+    config: SchedulerConfig,
+}
+
+impl Scheduler {
+    /// A scheduler with explicit tunables.
+    pub fn new(config: SchedulerConfig) -> Self {
+        Self { config }
+    }
+
+    /// Runs `load` over `fleet` under `faults`.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`FleetError`] for an empty fleet, a zero-trial load,
+    /// a negative per-beam cost, or (defensively) if any beam fails to
+    /// reach a terminal state.
+    pub fn run(
+        &self,
+        fleet: &ResolvedFleet,
+        load: &SurveyLoad,
+        faults: &FaultPlan,
+    ) -> Result<FleetRun, FleetError> {
+        if fleet.is_empty() {
+            return Err(FleetError::new("cannot schedule on an empty fleet"));
+        }
+        if load.trials == 0 {
+            return Err(FleetError::new("load must have at least one trial DM"));
+        }
+        if fleet.devices.iter().any(|d| d.seconds_per_beam < 0.0) {
+            return Err(FleetError::new("negative seconds-per-beam"));
+        }
+        let n = fleet.len();
+        let admitted = load.total_beams();
+        let stats = Mutex::new(vec![WorkerStats::default(); n]);
+        let mut dispatcher = Dispatcher::new(fleet, load, &self.config);
+
+        let records = std::thread::scope(|scope| {
+            let (event_tx, event_rx) = channel::unbounded::<Event>();
+            let mut senders = Vec::with_capacity(n);
+            for device in &fleet.devices {
+                let (tx, rx) = channel::bounded::<Assignment>(self.config.queue_depth.max(1));
+                senders.push(tx);
+                let events = event_tx.clone();
+                let kill = faults.kill_time(device.id);
+                let id = device.id;
+                let stats = &stats;
+                scope.spawn(move || worker(id, rx, events, kill, stats));
+            }
+            drop(event_tx);
+            dispatcher.senders = senders;
+
+            for tick in 0..load.ticks {
+                while let Ok(ev) = event_rx.try_recv() {
+                    dispatcher.handle(ev);
+                }
+                let release = load.release(tick);
+                let deadline = load.deadline(tick);
+                let kept = dispatcher.tick_kept(release, deadline, load.beams);
+                for beam in 0..load.beams {
+                    while let Ok(ev) = event_rx.try_recv() {
+                        dispatcher.handle(ev);
+                    }
+                    let job = BeamJob {
+                        index: tick * load.beams + beam,
+                        tick,
+                        beam,
+                        release,
+                        deadline,
+                    };
+                    dispatcher.place(job, job.release, kept);
+                }
+            }
+            while dispatcher.accounted < admitted {
+                match event_rx.recv() {
+                    Ok(ev) => dispatcher.handle(ev),
+                    Err(_) => break, // all workers retired; loss is caught below
+                }
+            }
+            dispatcher.senders.clear(); // hang up; workers drain and retire
+            std::mem::take(&mut dispatcher.records)
+        });
+
+        let records: Vec<BeamRecord> = records
+            .into_iter()
+            .collect::<Option<Vec<_>>>()
+            .ok_or_else(|| FleetError::new("beam lost without a terminal outcome"))?;
+        let stats = stats.into_inner();
+        let died_at: Vec<Option<f64>> = (0..n).map(|d| faults.kill_time(d)).collect();
+        let report = FleetReport::build(fleet, load, &records, &stats, &died_at);
+        Ok(FleetRun { report, records })
+    }
+}
+
+/// Dispatcher state: the virtual clocks and the beam ledger.
+struct Dispatcher {
+    /// Per-device predicted time the queue drains.
+    avail: Vec<f64>,
+    /// Devices not yet observed dead.
+    alive: Vec<bool>,
+    /// Full-resolution seconds-per-beam, per device.
+    spb: Vec<f64>,
+    /// Work queues (populated inside the thread scope).
+    senders: Vec<Sender<Assignment>>,
+    /// One slot per admitted beam.
+    records: Vec<Option<BeamRecord>>,
+    /// Beams with a terminal outcome so far.
+    accounted: usize,
+    trials: usize,
+    /// Admissible degraded sizes, largest first.
+    kept_options: Vec<usize>,
+}
+
+impl Dispatcher {
+    fn new(fleet: &ResolvedFleet, load: &SurveyLoad, config: &SchedulerConfig) -> Self {
+        let tier = load.trials.div_ceil(config.shed_tiers.max(1));
+        let mut kept_options = Vec::new();
+        for shed in 1..=config.max_shed_tiers.min(config.shed_tiers) {
+            let kept = load.trials.saturating_sub(shed * tier);
+            if kept == 0 {
+                break;
+            }
+            kept_options.push(kept);
+        }
+        Self {
+            avail: vec![0.0; fleet.len()],
+            alive: vec![true; fleet.len()],
+            spb: fleet.devices.iter().map(|d| d.seconds_per_beam).collect(),
+            senders: Vec::new(),
+            records: vec![None; load.total_beams()],
+            accounted: 0,
+            trials: load.trials,
+            kept_options,
+        }
+    }
+
+    /// The alive device with the earliest predicted finish for a beam
+    /// of `kept` trials released at `release`.
+    fn choose(&self, release: f64, kept: usize) -> Option<(usize, f64, f64)> {
+        let frac = kept as f64 / self.trials as f64;
+        let mut best: Option<(usize, f64, f64)> = None;
+        for (d, (&avail, &spb)) in self.avail.iter().zip(&self.spb).enumerate() {
+            if !self.alive[d] {
+                continue;
+            }
+            let start = avail.max(release);
+            let finish = start + spb * frac;
+            if best.is_none_or(|(_, _, bf)| finish < bf) {
+                best = Some((d, start, finish));
+            }
+        }
+        best
+    }
+
+    /// Beams the alive fleet can still finish by `deadline` at `kept`
+    /// trials each — the §V-D capacity sum, restricted to the budget
+    /// each device has left.
+    fn capacity(&self, release: f64, deadline: f64, kept: usize, cap: usize) -> usize {
+        let frac = kept as f64 / self.trials as f64;
+        let mut total = 0usize;
+        for (d, (&avail, &spb)) in self.avail.iter().zip(&self.spb).enumerate() {
+            if !self.alive[d] {
+                continue;
+            }
+            let budget = (deadline - avail.max(release)).max(0.0);
+            let cost = spb * frac;
+            let slots = if cost > 0.0 {
+                ((budget + DEADLINE_EPS) / cost) as usize
+            } else {
+                cap
+            };
+            total += slots.min(cap);
+            if total >= cap {
+                return cap;
+            }
+        }
+        total
+    }
+
+    /// Admission control for one tick's batch: the largest per-beam DM
+    /// count (full resolution first, then one shed tier at a time) at
+    /// which the whole batch still fits the fleet's remaining budget.
+    /// When even maximum shedding cannot fit the batch, the maximum
+    /// shed level is used and the stragglers will miss.
+    fn tick_kept(&self, release: f64, deadline: f64, beams: usize) -> usize {
+        for &kept in std::iter::once(&self.trials).chain(&self.kept_options) {
+            if self.capacity(release, deadline, kept, beams) >= beams {
+                return kept;
+            }
+        }
+        self.kept_options.last().copied().unwrap_or(self.trials)
+    }
+
+    /// Places (or sheds) one beam that becomes available at `release`,
+    /// preferring `preferred` kept trials (the tick's admission level).
+    fn place(&mut self, job: BeamJob, release: f64, preferred: usize) {
+        if self.choose(release, self.trials).is_none() {
+            self.record(BeamRecord {
+                index: job.index,
+                tick: job.tick,
+                beam: job.beam,
+                outcome: BeamOutcome::ShedWhole { at: release },
+            });
+            return;
+        }
+        if let Some((device, start, finish)) = self.choose(release, preferred) {
+            if finish <= job.deadline + DEADLINE_EPS {
+                self.assign(job, device, preferred, start, finish);
+                return;
+            }
+        }
+        // Deadline pressure beyond the tick level: shed further trailing
+        // tiers until the beam fits.
+        for i in 0..self.kept_options.len() {
+            let kept = self.kept_options[i];
+            if kept >= preferred {
+                continue;
+            }
+            if let Some((d, s, f)) = self.choose(release, kept) {
+                if f <= job.deadline + DEADLINE_EPS {
+                    self.assign(job, d, kept, s, f);
+                    return;
+                }
+            }
+        }
+        // Even maximum shedding misses: run in full and report the miss.
+        let (device, start, finish) = self
+            .choose(release, self.trials)
+            .expect("alive device checked above");
+        self.assign(job, device, self.trials, start, finish);
+    }
+
+    /// Commits a placement and hands it to the device's worker.
+    fn assign(&mut self, job: BeamJob, device: usize, kept: usize, start: f64, finish: f64) {
+        self.avail[device] = finish;
+        let assignment = Assignment {
+            job,
+            device,
+            kept_trials: kept,
+            start,
+            finish,
+        };
+        if self.senders[device].send(assignment).is_err() {
+            // Worker hung up (cannot happen before teardown, but never
+            // drop a beam): treat as a death and place elsewhere.
+            self.alive[device] = false;
+            self.place(job, start, kept);
+        }
+    }
+
+    fn handle(&mut self, event: Event) {
+        match event {
+            Event::Died { device } => self.alive[device] = false,
+            Event::Finished { assignment } => {
+                let job = assignment.job;
+                let outcome = if assignment.finish <= job.deadline + DEADLINE_EPS {
+                    if assignment.kept_trials == self.trials {
+                        BeamOutcome::Completed {
+                            device: assignment.device,
+                            finish: assignment.finish,
+                        }
+                    } else {
+                        BeamOutcome::Degraded {
+                            device: assignment.device,
+                            finish: assignment.finish,
+                            kept_trials: assignment.kept_trials,
+                            shed_trials: self.trials - assignment.kept_trials,
+                        }
+                    }
+                } else {
+                    BeamOutcome::Missed {
+                        device: assignment.device,
+                        finish: assignment.finish,
+                        kept_trials: assignment.kept_trials,
+                    }
+                };
+                self.record(BeamRecord {
+                    index: job.index,
+                    tick: job.tick,
+                    beam: job.beam,
+                    outcome,
+                });
+            }
+            Event::Orphaned { assignment, at } => {
+                // Recover: the beam re-enters placement at the moment the
+                // failure was detected, competing with fresh releases.
+                let job = assignment.job;
+                self.place(job, job.release.max(at), self.trials);
+            }
+        }
+    }
+
+    fn record(&mut self, record: BeamRecord) {
+        let slot = &mut self.records[record.index];
+        assert!(slot.is_none(), "beam {} recorded twice", record.index);
+        *slot = Some(record);
+        self.accounted += 1;
+    }
+}
+
+/// Device worker: executes assignments in virtual time, or bounces them
+/// once its kill time has passed.
+fn worker(
+    id: usize,
+    rx: Receiver<Assignment>,
+    events: Sender<Event>,
+    kill: Option<f64>,
+    stats: &Mutex<Vec<WorkerStats>>,
+) {
+    let mut busy = 0.0;
+    let mut done = 0usize;
+    let mut max_depth = 0usize;
+    let mut died_sent = false;
+    for assignment in rx.iter() {
+        max_depth = max_depth.max(rx.len());
+        let dead = match kill {
+            Some(k) if assignment.start >= k => Some(k),
+            Some(k) if assignment.finish > k => {
+                // Died mid-beam: the partial work is wasted, the beam
+                // must be redone elsewhere.
+                busy += (k - assignment.start).max(0.0);
+                Some(k)
+            }
+            _ => None,
+        };
+        match dead {
+            Some(k) => {
+                if !died_sent {
+                    died_sent = true;
+                    let _ = events.send(Event::Died { device: id });
+                }
+                let _ = events.send(Event::Orphaned { assignment, at: k });
+            }
+            None => {
+                busy += assignment.finish - assignment.start;
+                done += 1;
+                let _ = events.send(Event::Finished { assignment });
+            }
+        }
+    }
+    stats.lock()[id] = WorkerStats {
+        busy_s: busy,
+        beams_done: done,
+        max_queue_depth: max_depth,
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run(spb: &[f64], trials: usize, beams: usize, ticks: usize, faults: &FaultPlan) -> FleetRun {
+        let fleet = ResolvedFleet::synthetic(trials, spb);
+        let load = SurveyLoad::custom(trials, beams, ticks);
+        Scheduler::default().run(&fleet, &load, faults).unwrap()
+    }
+
+    #[test]
+    fn feasible_fleet_completes_everything_on_time() {
+        // 4 devices × 5 beams/s capacity vs 18 beams/tick offered.
+        let run = run(&[0.2; 4], 1000, 18, 3, &FaultPlan::none());
+        let r = &run.report;
+        assert!(r.conservation_ok());
+        assert_eq!(r.completed, 54);
+        assert_eq!(r.deadline_misses, 0);
+        assert_eq!(r.degraded, 0);
+        assert_eq!(r.shed_whole, 0);
+        assert!(r.sheds.is_empty());
+        assert!(r.makespan <= 3.0 + DEADLINE_EPS);
+    }
+
+    #[test]
+    fn exact_fit_packing_is_admitted() {
+        // Capacity exactly equals offered load: 2 devices × 4 = 8 beams.
+        let run = run(&[0.25, 0.25], 800, 8, 2, &FaultPlan::none());
+        assert_eq!(run.report.completed, 16);
+        assert_eq!(run.report.deadline_misses, 0);
+    }
+
+    #[test]
+    fn overload_sheds_tiers_instead_of_missing() {
+        // One device, 4 beams/s capacity, 5 beams offered: the default
+        // policy may shed up to half of each beam, so up to 8 degraded
+        // beams fit per second.
+        let run = run(&[0.25], 1000, 5, 2, &FaultPlan::none());
+        let r = &run.report;
+        assert!(r.conservation_ok());
+        assert_eq!(r.deadline_misses, 0, "sheds should absorb the overload");
+        assert!(r.degraded > 0);
+        assert_eq!(r.completed + r.degraded, 10);
+        assert_eq!(r.sheds.len(), r.degraded);
+        // Every shed is itemized with consistent arithmetic.
+        for shed in &r.sheds {
+            assert_eq!(shed.kept_trials + shed.shed_trials, 1000);
+            assert!(shed.kept_trials >= 500, "never sheds below the floor");
+        }
+        assert_eq!(
+            r.total_shed_trials,
+            r.sheds.iter().map(|s| s.shed_trials).sum::<usize>()
+        );
+    }
+
+    #[test]
+    fn hopeless_overload_reports_misses() {
+        // One device needing 3 s/beam: even a full shed cannot fit one
+        // beam into the 1 s budget.
+        let run = run(&[3.0], 100, 2, 1, &FaultPlan::none());
+        let r = &run.report;
+        assert!(r.conservation_ok());
+        assert_eq!(r.deadline_misses, 2);
+        assert_eq!(r.completed + r.degraded, 0);
+        // Missed beams still run in full — no stealth shedding.
+        for rec in &run.records {
+            if let BeamOutcome::Missed { kept_trials, .. } = rec.outcome {
+                assert_eq!(kept_trials, 100);
+            }
+        }
+    }
+
+    #[test]
+    fn killing_a_device_loses_no_beams() {
+        // Two fast devices; one dies mid-run.
+        let faults = FaultPlan::none().with_kill(0, 1.5);
+        let run = run(&[0.1, 0.1], 1000, 10, 4, &faults);
+        let r = &run.report;
+        assert!(r.conservation_ok());
+        assert_eq!(r.admitted, 40);
+        // The survivor can absorb the whole load (10 beams/s), so no
+        // beam is dropped whole.
+        assert_eq!(r.shed_whole, 0);
+        assert_eq!(r.completed + r.degraded + r.deadline_misses, 40);
+        assert_eq!(r.devices[0].died_at, Some(1.5));
+        assert_eq!(r.devices[1].died_at, None);
+    }
+
+    #[test]
+    fn killing_everything_sheds_everything_loudly() {
+        let faults = FaultPlan::kill_fraction(2, 1.0, 0.0);
+        let run = run(&[0.2, 0.2], 500, 4, 2, &faults);
+        let r = &run.report;
+        assert!(r.conservation_ok());
+        assert_eq!(r.shed_whole, 8);
+        assert_eq!(r.sheds.len(), 8);
+        assert_eq!(r.total_shed_trials, 8 * 500);
+        assert_eq!(r.completed + r.degraded + r.deadline_misses, 0);
+    }
+
+    #[test]
+    fn empty_fleet_and_zero_trials_are_errors() {
+        let load = SurveyLoad::custom(100, 1, 1);
+        let empty = ResolvedFleet::synthetic(100, &[]);
+        assert!(Scheduler::default()
+            .run(&empty, &load, &FaultPlan::none())
+            .is_err());
+        let fleet = ResolvedFleet::synthetic(0, &[0.5]);
+        let zero = SurveyLoad::custom(0, 1, 1);
+        assert!(Scheduler::default()
+            .run(&fleet, &zero, &FaultPlan::none())
+            .is_err());
+    }
+
+    #[test]
+    fn utilization_and_queue_metrics_are_populated() {
+        let run = run(&[0.5], 100, 2, 2, &FaultPlan::none());
+        let dev = &run.report.devices[0];
+        assert_eq!(dev.beams_done, 4);
+        assert!((dev.busy_s - 2.0).abs() < 1e-9);
+        assert!(dev.utilization > 0.9);
+    }
+}

@@ -1,0 +1,102 @@
+//! The offered load: a survey emitting beam batches on a fixed cadence.
+//!
+//! §V-D of the paper sizes Apertif as 450 beams, each needing 2,000
+//! trial DMs dedispersed every second of observation. [`SurveyLoad`]
+//! generalizes that: every `period_s` of virtual time (a *tick*) the
+//! front-end releases one batch of `beams` beam-seconds, and each must
+//! be finished one period later or the telescope falls behind — the
+//! real-time deadline budget the scheduler works against.
+
+use radioastro::SurveySizing;
+use serde::{Deserialize, Serialize};
+
+/// A survey's offered load over a finite horizon of ticks.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SurveyLoad {
+    /// Setup name, for reports.
+    pub setup: String,
+    /// Trial DMs per beam.
+    pub trials: usize,
+    /// Beams released per tick.
+    pub beams: usize,
+    /// Number of ticks simulated.
+    pub ticks: usize,
+    /// Seconds of data per tick — and the deadline budget for the batch.
+    pub period_s: f64,
+}
+
+impl SurveyLoad {
+    /// A load derived from a [`SurveySizing`] estimate, run for `ticks`
+    /// seconds of observation.
+    pub fn from_sizing(sizing: &SurveySizing, ticks: usize) -> Self {
+        Self {
+            setup: sizing.setup.name.clone(),
+            trials: sizing.trials,
+            beams: sizing.beams,
+            ticks,
+            period_s: 1.0,
+        }
+    }
+
+    /// The paper's Apertif survey (2,000 DMs × 450 beams) for `ticks`
+    /// seconds.
+    pub fn apertif(ticks: usize) -> Self {
+        Self::from_sizing(&SurveySizing::apertif_survey(), ticks)
+    }
+
+    /// A hand-rolled load (used by tests and benchmarks).
+    pub fn custom(trials: usize, beams: usize, ticks: usize) -> Self {
+        Self {
+            setup: "custom".to_string(),
+            trials,
+            beams,
+            ticks,
+            period_s: 1.0,
+        }
+    }
+
+    /// Total beam-seconds the survey will offer.
+    pub fn total_beams(&self) -> usize {
+        self.beams * self.ticks
+    }
+
+    /// Release time of tick `t`.
+    pub fn release(&self, tick: usize) -> f64 {
+        tick as f64 * self.period_s
+    }
+
+    /// Deadline for beams released at tick `t`.
+    pub fn deadline(&self, tick: usize) -> f64 {
+        self.release(tick) + self.period_s
+    }
+}
+
+/// One beam-second of data to dedisperse.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BeamJob {
+    /// Global job index: `tick * beams + beam`.
+    pub index: usize,
+    /// Tick that released the job.
+    pub tick: usize,
+    /// Beam number within the tick.
+    pub beam: usize,
+    /// Virtual time the data became available.
+    pub release: f64,
+    /// Virtual time by which it must be dedispersed.
+    pub deadline: f64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn apertif_matches_the_paper_sizing() {
+        let load = SurveyLoad::apertif(3);
+        assert_eq!(load.trials, 2000);
+        assert_eq!(load.beams, 450);
+        assert_eq!(load.total_beams(), 1350);
+        assert_eq!(load.release(2), 2.0);
+        assert_eq!(load.deadline(2), 3.0);
+    }
+}

@@ -1,0 +1,138 @@
+//! Property-based scheduler invariants.
+//!
+//! Three properties the fleet scheduler must hold under any fleet
+//! shape, load, and failure schedule:
+//!
+//! 1. **Conservation** — every admitted beam ends in exactly one
+//!    terminal outcome (completed, degraded, missed, or shed whole);
+//!    nothing is lost and nothing is double-counted.
+//! 2. **Feasibility** — a healthy fleet whose §V-D capacity covers the
+//!    offered batch never misses a deadline and never sheds.
+//! 3. **Fault tolerance** — killing devices never loses a beam: the
+//!    ledger stays conserved and every shed is itemized.
+
+use dedisp_fleet::{FaultPlan, FleetRun, ResolvedFleet, Scheduler, SurveyLoad};
+use proptest::prelude::*;
+
+/// Runs the scheduler over a synthetic fleet.
+fn run(spb: &[f64], trials: usize, beams: usize, ticks: usize, faults: &FaultPlan) -> FleetRun {
+    let fleet = ResolvedFleet::synthetic(trials, spb);
+    let load = SurveyLoad::custom(trials, beams, ticks);
+    Scheduler::default()
+        .run(&fleet, &load, faults)
+        .expect("valid inputs")
+}
+
+/// Builds a fault plan killing `kills.len()` distinct devices.
+fn plan_from(kills: &[(usize, f64)], devices: usize) -> FaultPlan {
+    let mut plan = FaultPlan::none();
+    for &(victim, at) in kills {
+        plan = plan.with_kill(victim % devices, at);
+    }
+    plan
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Invariant 1: every admitted beam is completed or shed exactly
+    /// once, under arbitrary (even infeasible) fleets and loads.
+    #[test]
+    fn every_admitted_beam_has_exactly_one_outcome(
+        spb in prop::collection::vec(0.01f64..2.0, 1..10),
+        trials in 8usize..4096,
+        beams in 1usize..40,
+        ticks in 1usize..5,
+    ) {
+        let run = run(&spb, trials, beams, ticks, &FaultPlan::none());
+        let r = &run.report;
+        prop_assert!(r.conservation_ok());
+        prop_assert_eq!(r.admitted, beams * ticks);
+        prop_assert_eq!(run.records.len(), r.admitted);
+        // The ledger is indexed and each slot holds its own beam.
+        for (i, rec) in run.records.iter().enumerate() {
+            prop_assert_eq!(rec.index, i);
+            prop_assert_eq!(rec.index, rec.tick * beams + rec.beam);
+        }
+        // Aggregates agree with the itemized sheds.
+        prop_assert_eq!(r.sheds.len(), r.degraded + r.shed_whole);
+    }
+
+    /// Invariant 2: a healthy fleet with enough §V-D capacity for the
+    /// batch never misses a deadline and never sheds.
+    #[test]
+    fn feasible_healthy_fleet_never_misses(
+        spb in prop::collection::vec(0.05f64..0.9, 1..12),
+        trials in 8usize..4096,
+        ticks in 1usize..5,
+        batch_frac in 0.1f64..1.0,
+    ) {
+        let fleet = ResolvedFleet::synthetic(trials, &spb);
+        let capacity = fleet.beams_capacity();
+        prop_assume!(capacity > 0);
+        // Offer at most the fleet's sustainable batch size.
+        let beams = ((capacity as f64 * batch_frac).floor() as usize).max(1);
+        let run = run(&spb, trials, beams, ticks, &FaultPlan::none());
+        let r = &run.report;
+        prop_assert!(r.conservation_ok());
+        prop_assert_eq!(r.deadline_misses, 0);
+        prop_assert_eq!(r.degraded, 0);
+        prop_assert_eq!(r.shed_whole, 0);
+        prop_assert_eq!(r.completed, beams * ticks);
+        prop_assert!(r.sheds.is_empty());
+    }
+
+    /// Invariant 3: killing devices never loses a beam — outcomes stay
+    /// conserved and every shed is itemized with consistent arithmetic.
+    #[test]
+    fn killing_devices_never_loses_beams(
+        spb in prop::collection::vec(0.05f64..1.5, 2..10),
+        trials in 8usize..4096,
+        beams in 1usize..30,
+        ticks in 1usize..5,
+        kills in prop::collection::vec((0usize..64, 0.0f64..4.0), 1..6),
+    ) {
+        let devices = spb.len();
+        let faults = plan_from(&kills, devices);
+        let run = run(&spb, trials, beams, ticks, &faults);
+        let r = &run.report;
+        prop_assert!(r.conservation_ok());
+        prop_assert_eq!(
+            r.completed + r.degraded + r.deadline_misses + r.shed_whole,
+            beams * ticks
+        );
+        // Sheds are all accounted, with kept + shed = trials.
+        for shed in &r.sheds {
+            prop_assert_eq!(
+                shed.kept_trials + shed.shed_trials,
+                trials,
+                "shed arithmetic for beam {}",
+                shed.index
+            );
+        }
+        prop_assert_eq!(
+            r.total_shed_trials,
+            r.sheds.iter().map(|s| s.shed_trials).sum::<usize>()
+        );
+        // Killed devices are flagged; survivors are not.
+        for d in &r.devices {
+            prop_assert_eq!(d.died_at, faults.kill_time(d.id));
+        }
+    }
+
+    /// Killing the whole fleet is the degenerate fault case: everything
+    /// is shed whole, loudly.
+    #[test]
+    fn killing_everything_sheds_everything(
+        spb in prop::collection::vec(0.1f64..0.5, 1..6),
+        beams in 1usize..10,
+    ) {
+        let faults = FaultPlan::kill_fraction(spb.len(), 1.0, 0.0);
+        let run = run(&spb, 64, beams, 2, &faults);
+        let r = &run.report;
+        prop_assert!(r.conservation_ok());
+        prop_assert_eq!(r.shed_whole, r.admitted);
+        prop_assert_eq!(r.sheds.len(), r.admitted);
+        prop_assert_eq!(r.completed + r.degraded + r.deadline_misses, 0);
+    }
+}

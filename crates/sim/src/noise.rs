@@ -65,7 +65,7 @@ mod tests {
         for wt in [2u32, 16, 64, 250] {
             for ed in [1u32, 2, 4] {
                 let m = time_multiplier("AMD HD7970", "Apertif", 1024, &cfg(wt, 2, 3, ed));
-                assert!(m >= 1.0 - NOISE_AMPLITUDE && m <= 1.0 + NOISE_AMPLITUDE);
+                assert!((1.0 - NOISE_AMPLITUDE..=1.0 + NOISE_AMPLITUDE).contains(&m));
             }
         }
     }

@@ -69,11 +69,10 @@ impl Occupancy {
         let regs = registers_per_item(config);
         let by_regs = device.regfile_per_cu / (regs * wi).max(1);
         let lmem = local_bytes(config, workload);
-        let by_local = if lmem == 0 {
-            u32::MAX
-        } else {
-            (u64::from(device.local_mem_per_cu) / lmem).min(u64::from(u32::MAX)) as u32
-        };
+        let by_local = u64::from(device.local_mem_per_cu)
+            .checked_div(lmem)
+            .unwrap_or(u64::from(u32::MAX))
+            .min(u64::from(u32::MAX)) as u32;
         let by_slots = device.max_wg_per_cu;
         let by_waves = device.max_waves_per_cu / waves_per_wg;
 

@@ -61,13 +61,9 @@ impl TrafficEstimate {
             } else {
                 // Overlapping windows: one segment spanning the union.
                 let span = t + (d - 1.0) * g;
-                let misalign = if g > 0.0 {
-                    1.0
-                } else if (config.tile_time() % device.cache_line_elems()) != 0 {
-                    1.0
-                } else {
-                    0.0
-                };
+                let aligned =
+                    g <= 0.0 && config.tile_time().is_multiple_of(device.cache_line_elems());
+                let misalign = if aligned { 0.0 } else { 1.0 };
                 lines_per_wg += (span / line).ceil() + misalign;
             }
         }

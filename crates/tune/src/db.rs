@@ -82,6 +82,26 @@ impl TuningDatabase {
         })
     }
 
+    /// Total lookup: like [`TuningDatabase::get_nearest`], but when no
+    /// tuned instance is small enough it falls back *upward* to the
+    /// smallest tuned instance above `trials` (its configuration may
+    /// over-tile the smaller problem, but remains a sane starting point
+    /// and its throughput a usable estimate). Returns `None` only when
+    /// `(platform, setup)` has no entries at all, which makes fleet
+    /// lookups total for any platform that has been tuned at least once.
+    pub fn resolve(
+        &self,
+        platform: &str,
+        setup: &str,
+        trials: usize,
+    ) -> Option<(usize, TunedEntry)> {
+        let m = self.entries.get(&key(platform, setup))?;
+        m.range(..=trials)
+            .next_back()
+            .or_else(|| m.range(trials..).next())
+            .map(|(&t, &entry)| (t, entry))
+    }
+
     /// Number of stored tuples.
     pub fn len(&self) -> usize {
         self.entries.values().map(BTreeMap::len).sum()
@@ -158,6 +178,23 @@ mod tests {
         assert_eq!(db.get_nearest("dev", "setup", 4096).unwrap().0, 1024);
         // Below everything: nothing fits.
         assert!(db.get_nearest("dev", "setup", 32).is_none());
+    }
+
+    #[test]
+    fn resolve_is_total_once_any_instance_is_tuned() {
+        let mut db = TuningDatabase::new();
+        db.insert("dev", "setup", 64, cfg(8, 2), 10.0);
+        db.insert("dev", "setup", 1024, cfg(64, 4), 40.0);
+        // Exact and downward matches agree with get_nearest.
+        assert_eq!(db.resolve("dev", "setup", 1024).unwrap().0, 1024);
+        assert_eq!(db.resolve("dev", "setup", 512).unwrap().0, 64);
+        assert_eq!(db.resolve("dev", "setup", 4096).unwrap().0, 1024);
+        // Below everything: falls back upward instead of failing.
+        assert_eq!(db.resolve("dev", "setup", 32).unwrap().0, 64);
+        assert_eq!(db.resolve("dev", "setup", 1).unwrap().0, 64);
+        // Unknown pair: still None.
+        assert!(db.resolve("dev", "other", 64).is_none());
+        assert!(db.resolve("other", "setup", 64).is_none());
     }
 
     #[test]

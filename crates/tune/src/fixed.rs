@@ -67,7 +67,7 @@ pub fn best_fixed_config(sweep: &[TuningResult]) -> FixedComparison {
                 None => continue 'cand,
             }
         }
-        if best.map_or(true, |(_, s)| sum > s) {
+        if best.is_none_or(|(_, s)| sum > s) {
             best = Some((sample.config, sum));
         }
     }

@@ -77,7 +77,7 @@ fn main() {
         .try_iter()
         .map(|c| (c.beam, c.second, c.dm))
         .collect();
-    found.sort_unstable_by(|a, b| (a.0, a.1).cmp(&(b.0, b.1)));
+    found.sort_unstable_by_key(|f| (f.0, f.1));
     for (beam, second, dm) in &found {
         println!("  candidate: beam {beam}, second {second}, DM {dm:.1} pc/cm3");
     }

@@ -18,6 +18,7 @@
 pub use autotune;
 pub use cpu_baseline;
 pub use dedisp_core;
+pub use dedisp_fleet;
 pub use manycore_sim;
 pub use radioastro;
 

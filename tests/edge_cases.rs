@@ -16,7 +16,9 @@ fn one_by_one_problem_works_end_to_end() {
         .build()
         .unwrap();
     let mut input = InputBuffer::for_plan(&plan);
-    input.channel_mut(0).copy_from_slice(&[1., 2., 3., 4., 5., 6., 7., 8.]);
+    input
+        .channel_mut(0)
+        .copy_from_slice(&[1., 2., 3., 4., 5., 6., 7., 8.]);
     let out = dedisp_repro::dedisp_core::kernel::dedisperse(&plan, &input).unwrap();
     // One channel, zero delay: the output is the input's first second.
     assert_eq!(out.series(0), input.channel(0));

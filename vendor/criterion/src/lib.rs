@@ -1,0 +1,271 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! Provides the group/bench/iter API shape the workspace's benches use,
+//! backed by a simple adaptive wall-clock timer: each benchmark warms
+//! up once, then runs batches until enough time has accumulated for a
+//! stable mean. Results are printed one line per benchmark. There is no
+//! statistical analysis, HTML report, or baseline comparison.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Top-level benchmark driver.
+pub struct Criterion {
+    /// Target measurement time per benchmark.
+    measurement: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Self {
+            measurement: Duration::from_millis(200),
+        }
+    }
+}
+
+impl Criterion {
+    /// Accepted for CLI compatibility; returns `self` unchanged.
+    #[must_use]
+    pub fn configure_from_args(self) -> Self {
+        self
+    }
+
+    /// Sets the target measurement time per benchmark.
+    #[must_use]
+    pub fn measurement_time(mut self, d: Duration) -> Self {
+        self.measurement = d;
+        self
+    }
+
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            throughput: None,
+            sample_scale: 1.0,
+        }
+    }
+}
+
+/// Units processed per iteration, for derived rates.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Logical elements per iteration.
+    Elements(u64),
+    /// Bytes per iteration.
+    Bytes(u64),
+}
+
+/// A named set of benchmarks sharing throughput settings.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+    sample_scale: f64,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Scales measurement effort; mirrors criterion's sample count knob.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        // Real criterion defaults to 100 samples; scale our measurement
+        // window proportionally so `sample_size(10)` runs ~10x shorter.
+        self.sample_scale = (n as f64 / 100.0).clamp(0.01, 10.0);
+        self
+    }
+
+    /// Sets the per-iteration throughput used for derived rates.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Runs one benchmark.
+    pub fn bench_function<F>(&mut self, id: impl IntoBenchmarkId, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let label = format!("{}/{}", self.name, id.into_benchmark_id());
+        let budget = self.criterion.measurement.mul_f64(self.sample_scale);
+        run_one(&label, budget, self.throughput, &mut f);
+        self
+    }
+
+    /// Runs one benchmark with an explicit input value.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: impl IntoBenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        self.bench_function(id, |b| f(b, input))
+    }
+
+    /// Ends the group. No-op beyond API compatibility.
+    pub fn finish(&mut self) {}
+}
+
+/// Identifies one benchmark within a group.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// A function name plus a parameter, rendered `name/param`.
+    pub fn new(name: impl Into<String>, parameter: impl Display) -> Self {
+        Self {
+            id: format!("{}/{}", name.into(), parameter),
+        }
+    }
+
+    /// A parameter-only id.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        Self {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+/// Anything accepted as a benchmark id.
+pub trait IntoBenchmarkId {
+    /// The rendered id string.
+    fn into_benchmark_id(self) -> String;
+}
+
+impl IntoBenchmarkId for BenchmarkId {
+    fn into_benchmark_id(self) -> String {
+        self.id
+    }
+}
+
+impl IntoBenchmarkId for &str {
+    fn into_benchmark_id(self) -> String {
+        self.to_string()
+    }
+}
+
+impl IntoBenchmarkId for String {
+    fn into_benchmark_id(self) -> String {
+        self
+    }
+}
+
+/// Timing handle passed to each benchmark closure.
+pub struct Bencher {
+    iters_done: u64,
+    elapsed: Duration,
+    budget: Duration,
+}
+
+impl Bencher {
+    /// Times `routine`, repeating it until the measurement budget is
+    /// spent (at least twice, after one untimed warm-up call).
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        black_box(routine());
+        let start = Instant::now();
+        loop {
+            black_box(routine());
+            self.iters_done += 1;
+            self.elapsed = start.elapsed();
+            if self.elapsed >= self.budget && self.iters_done >= 2 {
+                break;
+            }
+            if self.iters_done >= 1_000_000 {
+                break;
+            }
+        }
+    }
+}
+
+fn run_one<F: FnMut(&mut Bencher)>(
+    label: &str,
+    budget: Duration,
+    throughput: Option<Throughput>,
+    f: &mut F,
+) {
+    let mut b = Bencher {
+        iters_done: 0,
+        elapsed: Duration::ZERO,
+        budget,
+    };
+    f(&mut b);
+    if b.iters_done == 0 {
+        println!("{label:<56} (no iterations recorded)");
+        return;
+    }
+    let per_iter = b.elapsed.as_secs_f64() / b.iters_done as f64;
+    let time = if per_iter < 1e-6 {
+        format!("{:>10.1} ns/iter", per_iter * 1e9)
+    } else if per_iter < 1e-3 {
+        format!("{:>10.2} \u{3bc}s/iter", per_iter * 1e6)
+    } else {
+        format!("{:>10.3} ms/iter", per_iter * 1e3)
+    };
+    let rate = match throughput {
+        Some(Throughput::Elements(n)) => {
+            format!("  {:>12.0} elem/s", n as f64 / per_iter)
+        }
+        Some(Throughput::Bytes(n)) => {
+            format!("  {:>12.1} MiB/s", n as f64 / per_iter / (1024.0 * 1024.0))
+        }
+        None => String::new(),
+    };
+    println!("{label:<56} {time}{rate}  ({} iters)", b.iters_done);
+}
+
+/// Declares a group of benchmark functions.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $config;
+            $( $target(&mut criterion); )+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        );
+    };
+}
+
+/// Declares the benchmark binary's entry point.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_bench(c: &mut Criterion) {
+        let mut group = c.benchmark_group("stub/demo");
+        group.sample_size(10);
+        group.throughput(Throughput::Elements(128));
+        group.bench_function("sum", |b| b.iter(|| (0..128u64).sum::<u64>()));
+        group.bench_with_input(BenchmarkId::from_parameter(7), &7u64, |b, n| {
+            b.iter(|| n * 3)
+        });
+        group.bench_function(BenchmarkId::new("named", "param"), |b| b.iter(|| 1 + 1));
+        group.finish();
+    }
+
+    #[test]
+    fn harness_runs_every_bench() {
+        let mut c = Criterion::default().measurement_time(Duration::from_millis(5));
+        sample_bench(&mut c);
+    }
+}

@@ -1,0 +1,354 @@
+//! Offline stand-in for the `crossbeam` crate.
+//!
+//! Provides [`channel`]: multi-producer multi-consumer bounded and
+//! unbounded channels with crossbeam's disconnect semantics, implemented
+//! over `std::sync::{Mutex, Condvar}`. Throughput is lower than real
+//! crossbeam but the blocking/backpressure behaviour — which the
+//! streaming pipeline and the fleet scheduler rely on — is identical.
+
+pub mod channel {
+    //! MPMC channels with bounded-capacity backpressure.
+
+    use std::collections::VecDeque;
+    use std::fmt;
+    use std::sync::{Arc, Condvar, Mutex};
+    use std::time::{Duration, Instant};
+
+    struct State<T> {
+        buf: VecDeque<T>,
+        cap: Option<usize>,
+        senders: usize,
+        receivers: usize,
+    }
+
+    struct Shared<T> {
+        state: Mutex<State<T>>,
+        not_empty: Condvar,
+        not_full: Condvar,
+    }
+
+    /// Error returned by [`Sender::send`] when all receivers are gone.
+    pub struct SendError<T>(pub T);
+
+    impl<T> fmt::Debug for SendError<T> {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            f.write_str("SendError(..)")
+        }
+    }
+
+    impl<T> fmt::Display for SendError<T> {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            f.write_str("sending on a disconnected channel")
+        }
+    }
+
+    /// Error returned by [`Receiver::recv`] when the channel is empty
+    /// and all senders are gone.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub struct RecvError;
+
+    impl fmt::Display for RecvError {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            f.write_str("receiving on an empty and disconnected channel")
+        }
+    }
+
+    /// Error returned by [`Receiver::try_recv`].
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub enum TryRecvError {
+        /// Channel momentarily empty.
+        Empty,
+        /// Channel empty and all senders dropped.
+        Disconnected,
+    }
+
+    /// Error returned by [`Receiver::recv_timeout`].
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub enum RecvTimeoutError {
+        /// Deadline passed with no message.
+        Timeout,
+        /// Channel empty and all senders dropped.
+        Disconnected,
+    }
+
+    /// The sending half; clonable for multiple producers.
+    pub struct Sender<T>(Arc<Shared<T>>);
+
+    /// The receiving half; clonable for multiple consumers.
+    pub struct Receiver<T>(Arc<Shared<T>>);
+
+    /// Creates a channel holding at most `cap` in-flight messages.
+    ///
+    /// A `cap` of zero is treated as one (the smallest queue this
+    /// implementation supports; real crossbeam's zero-capacity
+    /// rendezvous behaviour is not needed by this workspace).
+    pub fn bounded<T>(cap: usize) -> (Sender<T>, Receiver<T>) {
+        new_channel(Some(cap.max(1)))
+    }
+
+    /// Creates a channel with unlimited capacity.
+    pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+        new_channel(None)
+    }
+
+    fn new_channel<T>(cap: Option<usize>) -> (Sender<T>, Receiver<T>) {
+        let shared = Arc::new(Shared {
+            state: Mutex::new(State {
+                buf: VecDeque::new(),
+                cap,
+                senders: 1,
+                receivers: 1,
+            }),
+            not_empty: Condvar::new(),
+            not_full: Condvar::new(),
+        });
+        (Sender(Arc::clone(&shared)), Receiver(shared))
+    }
+
+    impl<T> Sender<T> {
+        /// Sends `value`, blocking while the channel is full.
+        ///
+        /// # Errors
+        ///
+        /// Returns the value if every receiver has been dropped.
+        pub fn send(&self, value: T) -> Result<(), SendError<T>> {
+            let mut st = self.0.state.lock().unwrap();
+            loop {
+                if st.receivers == 0 {
+                    return Err(SendError(value));
+                }
+                let full = st.cap.is_some_and(|c| st.buf.len() >= c);
+                if !full {
+                    st.buf.push_back(value);
+                    self.0.not_empty.notify_one();
+                    return Ok(());
+                }
+                st = self.0.not_full.wait(st).unwrap();
+            }
+        }
+
+        /// Number of messages currently queued.
+        pub fn len(&self) -> usize {
+            self.0.state.lock().unwrap().buf.len()
+        }
+
+        /// Whether the queue is currently empty.
+        pub fn is_empty(&self) -> bool {
+            self.len() == 0
+        }
+    }
+
+    impl<T> Receiver<T> {
+        /// Receives the next message, blocking while the channel is
+        /// empty and senders remain.
+        ///
+        /// # Errors
+        ///
+        /// Returns an error once the channel is empty and every sender
+        /// has been dropped.
+        pub fn recv(&self) -> Result<T, RecvError> {
+            let mut st = self.0.state.lock().unwrap();
+            loop {
+                if let Some(v) = st.buf.pop_front() {
+                    self.0.not_full.notify_one();
+                    return Ok(v);
+                }
+                if st.senders == 0 {
+                    return Err(RecvError);
+                }
+                st = self.0.not_empty.wait(st).unwrap();
+            }
+        }
+
+        /// Receives without blocking.
+        ///
+        /// # Errors
+        ///
+        /// [`TryRecvError::Empty`] when nothing is queued,
+        /// [`TryRecvError::Disconnected`] when additionally every sender
+        /// has been dropped.
+        pub fn try_recv(&self) -> Result<T, TryRecvError> {
+            let mut st = self.0.state.lock().unwrap();
+            if let Some(v) = st.buf.pop_front() {
+                self.0.not_full.notify_one();
+                return Ok(v);
+            }
+            if st.senders == 0 {
+                Err(TryRecvError::Disconnected)
+            } else {
+                Err(TryRecvError::Empty)
+            }
+        }
+
+        /// Receives with a deadline.
+        ///
+        /// # Errors
+        ///
+        /// Timeout or disconnect, as for [`Receiver::recv`].
+        pub fn recv_timeout(&self, timeout: Duration) -> Result<T, RecvTimeoutError> {
+            let deadline = Instant::now() + timeout;
+            let mut st = self.0.state.lock().unwrap();
+            loop {
+                if let Some(v) = st.buf.pop_front() {
+                    self.0.not_full.notify_one();
+                    return Ok(v);
+                }
+                if st.senders == 0 {
+                    return Err(RecvTimeoutError::Disconnected);
+                }
+                let now = Instant::now();
+                if now >= deadline {
+                    return Err(RecvTimeoutError::Timeout);
+                }
+                let (next, timed_out) = self.0.not_empty.wait_timeout(st, deadline - now).unwrap();
+                st = next;
+                if timed_out.timed_out() && st.buf.is_empty() && st.senders > 0 {
+                    return Err(RecvTimeoutError::Timeout);
+                }
+            }
+        }
+
+        /// A blocking iterator that ends when the channel disconnects.
+        pub fn iter(&self) -> Iter<'_, T> {
+            Iter { rx: self }
+        }
+
+        /// A non-blocking iterator over currently queued messages.
+        pub fn try_iter(&self) -> TryIter<'_, T> {
+            TryIter { rx: self }
+        }
+
+        /// Number of messages currently queued.
+        pub fn len(&self) -> usize {
+            self.0.state.lock().unwrap().buf.len()
+        }
+
+        /// Whether the queue is currently empty.
+        pub fn is_empty(&self) -> bool {
+            self.len() == 0
+        }
+    }
+
+    impl<T> Clone for Sender<T> {
+        fn clone(&self) -> Self {
+            self.0.state.lock().unwrap().senders += 1;
+            Sender(Arc::clone(&self.0))
+        }
+    }
+
+    impl<T> Clone for Receiver<T> {
+        fn clone(&self) -> Self {
+            self.0.state.lock().unwrap().receivers += 1;
+            Receiver(Arc::clone(&self.0))
+        }
+    }
+
+    impl<T> Drop for Sender<T> {
+        fn drop(&mut self) {
+            let mut st = self.0.state.lock().unwrap();
+            st.senders -= 1;
+            if st.senders == 0 {
+                self.0.not_empty.notify_all();
+            }
+        }
+    }
+
+    impl<T> Drop for Receiver<T> {
+        fn drop(&mut self) {
+            let mut st = self.0.state.lock().unwrap();
+            st.receivers -= 1;
+            if st.receivers == 0 {
+                self.0.not_full.notify_all();
+            }
+        }
+    }
+
+    /// Blocking iterator returned by [`Receiver::iter`].
+    pub struct Iter<'a, T> {
+        rx: &'a Receiver<T>,
+    }
+
+    impl<T> Iterator for Iter<'_, T> {
+        type Item = T;
+        fn next(&mut self) -> Option<T> {
+            self.rx.recv().ok()
+        }
+    }
+
+    /// Non-blocking iterator returned by [`Receiver::try_iter`].
+    pub struct TryIter<'a, T> {
+        rx: &'a Receiver<T>,
+    }
+
+    impl<T> Iterator for TryIter<'_, T> {
+        type Item = T;
+        fn next(&mut self) -> Option<T> {
+            self.rx.try_recv().ok()
+        }
+    }
+
+    impl<'a, T> IntoIterator for &'a Receiver<T> {
+        type Item = T;
+        type IntoIter = Iter<'a, T>;
+        fn into_iter(self) -> Iter<'a, T> {
+            self.iter()
+        }
+    }
+
+    #[cfg(test)]
+    mod tests {
+        use super::*;
+        use std::thread;
+
+        #[test]
+        fn mpmc_delivers_everything_once() {
+            let (tx, rx) = bounded::<usize>(4);
+            let n = 200;
+            let producers: Vec<_> = (0..4)
+                .map(|p| {
+                    let tx = tx.clone();
+                    thread::spawn(move || {
+                        for i in 0..n {
+                            tx.send(p * n + i).unwrap();
+                        }
+                    })
+                })
+                .collect();
+            drop(tx);
+            let consumers: Vec<_> = (0..3)
+                .map(|_| {
+                    let rx = rx.clone();
+                    thread::spawn(move || rx.iter().count())
+                })
+                .collect();
+            drop(rx);
+            for p in producers {
+                p.join().unwrap();
+            }
+            let total: usize = consumers.into_iter().map(|c| c.join().unwrap()).sum();
+            assert_eq!(total, 4 * n);
+        }
+
+        #[test]
+        fn disconnect_semantics() {
+            let (tx, rx) = bounded::<u32>(2);
+            tx.send(1).unwrap();
+            drop(tx);
+            assert_eq!(rx.recv(), Ok(1));
+            assert_eq!(rx.recv(), Err(RecvError));
+            let (tx, rx) = bounded::<u32>(2);
+            drop(rx);
+            assert!(tx.send(9).is_err());
+        }
+
+        #[test]
+        fn bounded_blocks_until_drained() {
+            let (tx, rx) = bounded::<u32>(1);
+            tx.send(1).unwrap();
+            let h = thread::spawn(move || tx.send(2));
+            assert_eq!(rx.recv(), Ok(1));
+            assert_eq!(rx.recv(), Ok(2));
+            h.join().unwrap().unwrap();
+        }
+    }
+}

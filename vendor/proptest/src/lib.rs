@@ -1,0 +1,613 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! Implements the subset of the proptest API this workspace uses:
+//! [`Strategy`] with `prop_map` / `prop_filter` / `prop_flat_map`,
+//! range and tuple strategies, [`Just`], [`any`], `sample::select`,
+//! `collection::vec`, and the `proptest!` / `prop_assert*` /
+//! `prop_assume!` macros. Case generation is deterministic: the RNG is
+//! seeded from the test's module path and name, so failures reproduce
+//! exactly on re-run. There is no shrinking — a failing case reports
+//! the assertion message and the case number instead of a minimized
+//! input.
+
+use rand::{Rng, RngCore, SeedableRng};
+use std::fmt::Debug;
+use std::marker::PhantomData;
+use std::ops::{Range, RangeInclusive};
+
+// ---------------------------------------------------------------- rng
+
+/// Deterministic per-test random source.
+pub struct TestRng {
+    inner: rand::rngs::StdRng,
+}
+
+impl TestRng {
+    /// Seeds the RNG from a stable hash of the test's full name.
+    pub fn for_test(name: &str) -> Self {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in name.bytes() {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        Self {
+            inner: rand::rngs::StdRng::seed_from_u64(h),
+        }
+    }
+}
+
+impl RngCore for TestRng {
+    fn next_u64(&mut self) -> u64 {
+        self.inner.next_u64()
+    }
+}
+
+// ---------------------------------------------------------------- errors
+
+/// A generated case was rejected (by a filter or `prop_assume!`).
+#[derive(Debug, Clone)]
+pub struct Rejected(pub String);
+
+/// Outcome of one test case beyond plain success.
+#[derive(Debug, Clone)]
+pub enum TestCaseError {
+    /// The case did not satisfy an assumption; try another input.
+    Reject(String),
+    /// An assertion failed; the whole test fails.
+    Fail(String),
+}
+
+impl TestCaseError {
+    /// A rejection with the given reason.
+    pub fn reject(reason: impl Into<String>) -> Self {
+        Self::Reject(reason.into())
+    }
+
+    /// A failure with the given message.
+    pub fn fail(message: impl Into<String>) -> Self {
+        Self::Fail(message.into())
+    }
+}
+
+// ---------------------------------------------------------------- config
+
+/// Runner configuration. Only `cases` is honoured.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of accepted cases each property must pass.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A config running `cases` accepted cases per property.
+    pub fn with_cases(cases: u32) -> Self {
+        Self { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        Self { cases: 64 }
+    }
+}
+
+// ---------------------------------------------------------------- strategy
+
+/// A recipe for generating values of `Self::Value`.
+pub trait Strategy {
+    /// The type of generated values.
+    type Value: Debug;
+
+    /// Draws one value, or rejects the attempt.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Rejected`] when a filter declined the drawn value.
+    fn generate(&self, rng: &mut TestRng) -> Result<Self::Value, Rejected>;
+
+    /// Maps generated values through `f`.
+    fn prop_map<U, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        U: Debug,
+        F: Fn(Self::Value) -> U,
+    {
+        Map { base: self, f }
+    }
+
+    /// Rejects values for which `pred` is false.
+    fn prop_filter<F>(self, reason: impl Into<String>, pred: F) -> Filter<Self, F>
+    where
+        Self: Sized,
+        F: Fn(&Self::Value) -> bool,
+    {
+        Filter {
+            base: self,
+            reason: reason.into(),
+            pred,
+        }
+    }
+
+    /// Feeds each generated value into `f` to pick a dependent strategy.
+    fn prop_flat_map<S2, F>(self, f: F) -> FlatMap<Self, F>
+    where
+        Self: Sized,
+        S2: Strategy,
+        F: Fn(Self::Value) -> S2,
+    {
+        FlatMap { base: self, f }
+    }
+}
+
+/// See [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    base: S,
+    f: F,
+}
+
+impl<S, U, F> Strategy for Map<S, F>
+where
+    S: Strategy,
+    U: Debug,
+    F: Fn(S::Value) -> U,
+{
+    type Value = U;
+
+    fn generate(&self, rng: &mut TestRng) -> Result<U, Rejected> {
+        self.base.generate(rng).map(&self.f)
+    }
+}
+
+/// See [`Strategy::prop_filter`].
+pub struct Filter<S, F> {
+    base: S,
+    reason: String,
+    pred: F,
+}
+
+impl<S, F> Strategy for Filter<S, F>
+where
+    S: Strategy,
+    F: Fn(&S::Value) -> bool,
+{
+    type Value = S::Value;
+
+    fn generate(&self, rng: &mut TestRng) -> Result<S::Value, Rejected> {
+        let v = self.base.generate(rng)?;
+        if (self.pred)(&v) {
+            Ok(v)
+        } else {
+            Err(Rejected(self.reason.clone()))
+        }
+    }
+}
+
+/// See [`Strategy::prop_flat_map`].
+pub struct FlatMap<S, F> {
+    base: S,
+    f: F,
+}
+
+impl<S, S2, F> Strategy for FlatMap<S, F>
+where
+    S: Strategy,
+    S2: Strategy,
+    F: Fn(S::Value) -> S2,
+{
+    type Value = S2::Value;
+
+    fn generate(&self, rng: &mut TestRng) -> Result<S2::Value, Rejected> {
+        let seed = self.base.generate(rng)?;
+        (self.f)(seed).generate(rng)
+    }
+}
+
+/// A strategy that always yields a clone of one value.
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone + Debug>(pub T);
+
+impl<T: Clone + Debug> Strategy for Just<T> {
+    type Value = T;
+
+    fn generate(&self, _rng: &mut TestRng) -> Result<T, Rejected> {
+        Ok(self.0.clone())
+    }
+}
+
+// Ranges are strategies directly, like in the real crate.
+impl<T> Strategy for Range<T>
+where
+    T: Debug + Copy,
+    Range<T>: rand::SampleRange<T>,
+{
+    type Value = T;
+
+    fn generate(&self, rng: &mut TestRng) -> Result<T, Rejected> {
+        Ok(rng.gen_range(self.clone()))
+    }
+}
+
+impl<T> Strategy for RangeInclusive<T>
+where
+    T: Debug + Copy,
+    RangeInclusive<T>: rand::SampleRange<T>,
+{
+    type Value = T;
+
+    fn generate(&self, rng: &mut TestRng) -> Result<T, Rejected> {
+        Ok(rng.gen_range(self.clone()))
+    }
+}
+
+macro_rules! tuple_strategy {
+    ($(($($s:ident / $idx:tt),+);)+) => {$(
+        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+            type Value = ($($s::Value,)+);
+
+            fn generate(&self, rng: &mut TestRng) -> Result<Self::Value, Rejected> {
+                Ok(($(self.$idx.generate(rng)?,)+))
+            }
+        }
+    )+};
+}
+
+tuple_strategy! {
+    (S0 / 0);
+    (S0 / 0, S1 / 1);
+    (S0 / 0, S1 / 1, S2 / 2);
+    (S0 / 0, S1 / 1, S2 / 2, S3 / 3);
+    (S0 / 0, S1 / 1, S2 / 2, S3 / 3, S4 / 4);
+    (S0 / 0, S1 / 1, S2 / 2, S3 / 3, S4 / 4, S5 / 5);
+    (S0 / 0, S1 / 1, S2 / 2, S3 / 3, S4 / 4, S5 / 5, S6 / 6);
+    (S0 / 0, S1 / 1, S2 / 2, S3 / 3, S4 / 4, S5 / 5, S6 / 6, S7 / 7);
+}
+
+// ---------------------------------------------------------------- any
+
+/// Types with a canonical whole-domain strategy.
+pub trait Arbitrary: Sized + Debug {
+    /// Draws one arbitrary value.
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+macro_rules! arbitrary_uint {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut TestRng) -> Self {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+
+arbitrary_uint!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl Arbitrary for f64 {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        // Finite values only; the workspace never relies on NaN/inf inputs.
+        rng.gen_range(-1.0e12..1.0e12)
+    }
+}
+
+impl Arbitrary for f32 {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        rng.gen_range(-1.0e6f32..1.0e6)
+    }
+}
+
+/// The strategy returned by [`any`].
+pub struct Any<T>(PhantomData<T>);
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut TestRng) -> Result<T, Rejected> {
+        Ok(T::arbitrary(rng))
+    }
+}
+
+/// A strategy over the whole domain of `T`.
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any(PhantomData)
+}
+
+// ---------------------------------------------------------------- sample
+
+/// Uniform selection from a fixed set of options.
+pub mod sample {
+    use super::{Rejected, Rng, Strategy, TestRng};
+    use std::fmt::Debug;
+
+    /// See [`select`].
+    #[derive(Debug, Clone)]
+    pub struct Select<T: Clone + Debug> {
+        options: Vec<T>,
+    }
+
+    /// A strategy choosing uniformly from `options`.
+    ///
+    /// # Panics
+    ///
+    /// Panics at generation time if `options` is empty.
+    pub fn select<T: Clone + Debug>(options: Vec<T>) -> Select<T> {
+        Select { options }
+    }
+
+    impl<T: Clone + Debug> Strategy for Select<T> {
+        type Value = T;
+
+        fn generate(&self, rng: &mut TestRng) -> Result<T, Rejected> {
+            assert!(!self.options.is_empty(), "select: no options");
+            let idx = rng.gen_range(0..self.options.len());
+            Ok(self.options[idx].clone())
+        }
+    }
+}
+
+// ---------------------------------------------------------------- collection
+
+/// Strategies for collections.
+pub mod collection {
+    use super::{Rejected, Rng, Strategy, TestRng};
+
+    /// Inclusive bounds on a generated collection's length.
+    #[derive(Debug, Clone, Copy)]
+    pub struct SizeRange {
+        min: usize,
+        max: usize,
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            Self { min: n, max: n }
+        }
+    }
+
+    impl From<std::ops::Range<usize>> for SizeRange {
+        fn from(r: std::ops::Range<usize>) -> Self {
+            assert!(r.start < r.end, "empty size range");
+            Self {
+                min: r.start,
+                max: r.end - 1,
+            }
+        }
+    }
+
+    impl From<std::ops::RangeInclusive<usize>> for SizeRange {
+        fn from(r: std::ops::RangeInclusive<usize>) -> Self {
+            Self {
+                min: *r.start(),
+                max: *r.end(),
+            }
+        }
+    }
+
+    /// See [`vec`].
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    /// A strategy for vectors of `element` values with length in `size`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn generate(&self, rng: &mut TestRng) -> Result<Self::Value, Rejected> {
+            let len = rng.gen_range(self.size.min..=self.size.max);
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+// ---------------------------------------------------------------- macros
+
+/// Defines property tests. Mirrors the real crate's block form:
+///
+/// ```ignore
+/// proptest! {
+///     #![proptest_config(ProptestConfig::with_cases(32))]
+///     #[test]
+///     fn my_property(x in 0u32..100, (a, b) in arb_pair()) { ... }
+/// }
+/// ```
+#[macro_export]
+macro_rules! proptest {
+    (
+        #![proptest_config($config:expr)]
+        $(
+            $(#[$meta:meta])*
+            fn $name:ident( $($pat:pat in $strat:expr),+ $(,)? ) $body:block
+        )*
+    ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let __config: $crate::ProptestConfig = $config;
+                let __strategy = ( $($strat,)+ );
+                let mut __rng = $crate::TestRng::for_test(
+                    concat!(module_path!(), "::", stringify!($name)),
+                );
+                let mut __accepted: u32 = 0;
+                let mut __rejected: u32 = 0;
+                let __max_rejects: u32 = __config.cases.saturating_mul(64).saturating_add(1024);
+                let mut __case: u64 = 0;
+                while __accepted < __config.cases {
+                    __case += 1;
+                    assert!(
+                        __rejected <= __max_rejects,
+                        "proptest {}: too many rejected cases ({} rejects for {} accepted)",
+                        stringify!($name), __rejected, __accepted,
+                    );
+                    let __vals = match $crate::Strategy::generate(&__strategy, &mut __rng) {
+                        Ok(v) => v,
+                        Err(_) => {
+                            __rejected += 1;
+                            continue;
+                        }
+                    };
+                    let __outcome: ::std::result::Result<(), $crate::TestCaseError> =
+                        (|| {
+                            let ($($pat,)+) = __vals;
+                            $body
+                            ::std::result::Result::Ok(())
+                        })();
+                    match __outcome {
+                        Ok(()) => __accepted += 1,
+                        Err($crate::TestCaseError::Reject(_)) => __rejected += 1,
+                        Err($crate::TestCaseError::Fail(msg)) => {
+                            panic!(
+                                "proptest {} failed at case {}: {}",
+                                stringify!($name), __case, msg,
+                            );
+                        }
+                    }
+                }
+            }
+        )*
+    };
+    ( $($rest:tt)* ) => {
+        $crate::proptest! {
+            #![proptest_config($crate::ProptestConfig::default())]
+            $($rest)*
+        }
+    };
+}
+
+/// Asserts a condition inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        $crate::prop_assert!($cond, concat!("assertion failed: ", stringify!($cond)))
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::TestCaseError::fail(format!($($fmt)+)));
+        }
+    };
+}
+
+/// Asserts equality inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (__l, __r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *__l == *__r,
+            "assertion failed: {} == {}\n  left: {:?}\n right: {:?}",
+            stringify!($left), stringify!($right), __l, __r,
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (__l, __r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *__l == *__r,
+            "assertion failed: {} == {} ({})\n  left: {:?}\n right: {:?}",
+            stringify!($left), stringify!($right), format!($($fmt)+), __l, __r,
+        );
+    }};
+}
+
+/// Asserts inequality inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (__l, __r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *__l != *__r,
+            "assertion failed: {} != {}\n  both: {:?}",
+            stringify!($left),
+            stringify!($right),
+            __l,
+        );
+    }};
+}
+
+/// Rejects the current case unless the assumption holds.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr $(,)?) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::TestCaseError::reject(concat!(
+                "assumption failed: ",
+                stringify!($cond)
+            )));
+        }
+    };
+}
+
+/// The glob-import surface tests use.
+pub mod prelude {
+    pub use crate::{any, Arbitrary, Just, ProptestConfig, Strategy, TestCaseError};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest};
+
+    /// Namespace mirror so `prop::sample::select` etc. resolve.
+    pub mod prop {
+        pub use crate::collection;
+        pub use crate::sample;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn ranges_stay_in_bounds(
+            x in 3u32..17,
+            y in -2.5f64..2.5,
+            z in 1usize..=4,
+        ) {
+            prop_assert!((3..17).contains(&x));
+            prop_assert!((-2.5..2.5).contains(&y));
+            prop_assert!((1..=4).contains(&z));
+        }
+
+        #[test]
+        fn combinators_compose(
+            (base, offset) in (1u32..10).prop_flat_map(|b| (Just(b), 0u32..5)),
+            picked in prop::sample::select(vec![10u32, 20, 30]),
+            v in prop::collection::vec(0u32..100, 2..6usize),
+        ) {
+            prop_assert!((1..10).contains(&base));
+            prop_assert!(offset < 5);
+            prop_assert_eq!(picked % 10, 0);
+            prop_assert!((2..6).contains(&v.len()));
+        }
+
+        #[test]
+        fn filters_and_assumptions_resample(
+            n in (0u32..100).prop_filter("even only", |n| n % 2 == 0),
+        ) {
+            prop_assume!(n != 2);
+            prop_assert_eq!(n % 2, 0);
+            prop_assert_ne!(n, 2);
+        }
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        let gen_once = || {
+            let mut rng = crate::TestRng::for_test("fixed::name");
+            (0..8)
+                .map(|_| crate::Strategy::generate(&(0u64..1_000_000), &mut rng).unwrap())
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(gen_once(), gen_once());
+    }
+}

@@ -1,0 +1,259 @@
+//! Offline stand-in for the `rayon` crate.
+//!
+//! Implements the parallel-iterator adaptors this workspace actually
+//! uses — `par_iter().map/filter_map().collect()`, `par_iter().for_each()`
+//! and `par_chunks_mut().enumerate().for_each()` — with *real*
+//! parallelism: work is split into contiguous index ranges and executed
+//! on `std::thread::scope` threads, one per available core. Result
+//! order is preserved, so the adaptors are drop-in replacements for
+//! rayon's on these call shapes.
+
+use std::num::NonZeroUsize;
+
+fn worker_count(items: usize) -> usize {
+    std::thread::available_parallelism()
+        .map(NonZeroUsize::get)
+        .unwrap_or(1)
+        .min(items.max(1))
+}
+
+/// Runs `f` over every item of `items`, in parallel, preserving order,
+/// keeping only `Some` results.
+fn parallel_filter_map<'a, T, R, F>(items: &'a [T], f: &F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&'a T) -> Option<R> + Sync,
+{
+    let workers = worker_count(items.len());
+    if workers <= 1 {
+        return items.iter().filter_map(f).collect();
+    }
+    let chunk = items.len().div_ceil(workers);
+    let mut parts: Vec<Vec<R>> = Vec::with_capacity(workers);
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = items
+            .chunks(chunk)
+            .map(|slice| scope.spawn(move || slice.iter().filter_map(f).collect::<Vec<R>>()))
+            .collect();
+        parts.extend(
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("worker panicked")),
+        );
+    });
+    parts.into_iter().flatten().collect()
+}
+
+/// Runs `f` over an owned list of work units, in parallel.
+fn parallel_for_each<I, F>(units: Vec<I>, f: &F)
+where
+    I: Send,
+    F: Fn(I) + Sync,
+{
+    let workers = worker_count(units.len());
+    if workers <= 1 {
+        units.into_iter().for_each(f);
+        return;
+    }
+    let chunk = units.len().div_ceil(workers);
+    let mut units = units;
+    std::thread::scope(|scope| {
+        while !units.is_empty() {
+            let take = chunk.min(units.len());
+            let group: Vec<I> = units.drain(..take).collect();
+            scope.spawn(move || group.into_iter().for_each(f));
+        }
+    });
+}
+
+/// A parallel iterator over `&[T]`.
+pub struct ParIter<'a, T> {
+    items: &'a [T],
+}
+
+impl<'a, T: Sync> ParIter<'a, T> {
+    /// Maps each item through `f`.
+    pub fn map<R, F>(self, f: F) -> ParMap<'a, T, F>
+    where
+        R: Send,
+        F: Fn(&'a T) -> R + Sync,
+    {
+        ParMap {
+            items: self.items,
+            f,
+        }
+    }
+
+    /// Maps each item through `f`, keeping `Some` results.
+    pub fn filter_map<R, F>(self, f: F) -> ParFilterMap<'a, T, F>
+    where
+        R: Send,
+        F: Fn(&'a T) -> Option<R> + Sync,
+    {
+        ParFilterMap {
+            items: self.items,
+            f,
+        }
+    }
+
+    /// Applies `f` to every item.
+    pub fn for_each<F>(self, f: F)
+    where
+        F: Fn(&'a T) + Sync,
+    {
+        parallel_filter_map(self.items, &|t| {
+            f(t);
+            None::<()>
+        });
+    }
+}
+
+/// The result of [`ParIter::map`].
+pub struct ParMap<'a, T, F> {
+    items: &'a [T],
+    f: F,
+}
+
+impl<'a, T, F> ParMap<'a, T, F> {
+    /// Executes in parallel and collects the results in order.
+    pub fn collect<R, C>(self) -> C
+    where
+        T: Sync,
+        R: Send,
+        F: Fn(&'a T) -> R + Sync,
+        C: FromIterator<R>,
+    {
+        let f = self.f;
+        parallel_filter_map(self.items, &|t| Some(f(t)))
+            .into_iter()
+            .collect()
+    }
+}
+
+/// The result of [`ParIter::filter_map`].
+pub struct ParFilterMap<'a, T, F> {
+    items: &'a [T],
+    f: F,
+}
+
+impl<'a, T, F> ParFilterMap<'a, T, F> {
+    /// Executes in parallel and collects the `Some` results in order.
+    pub fn collect<R, C>(self) -> C
+    where
+        T: Sync,
+        R: Send,
+        F: Fn(&'a T) -> Option<R> + Sync,
+        C: FromIterator<R>,
+    {
+        parallel_filter_map(self.items, &self.f)
+            .into_iter()
+            .collect()
+    }
+}
+
+/// `par_iter()` on slices and anything that derefs to one.
+pub trait IntoParallelRefIterator<T> {
+    /// A parallel iterator borrowing the items.
+    fn par_iter(&self) -> ParIter<'_, T>;
+}
+
+impl<T: Sync> IntoParallelRefIterator<T> for [T] {
+    fn par_iter(&self) -> ParIter<'_, T> {
+        ParIter { items: self }
+    }
+}
+
+/// Disjoint mutable chunks processed in parallel.
+pub struct ParChunksMut<'a, T> {
+    chunks: Vec<&'a mut [T]>,
+}
+
+impl<'a, T> ParChunksMut<'a, T> {
+    /// Pairs each chunk with its index.
+    pub fn enumerate(self) -> ParChunksMutEnumerate<'a, T> {
+        ParChunksMutEnumerate {
+            chunks: self.chunks,
+        }
+    }
+
+    /// Applies `f` to every chunk.
+    pub fn for_each<F>(self, f: F)
+    where
+        T: Send,
+        F: Fn(&'a mut [T]) + Sync,
+    {
+        parallel_for_each(self.chunks, &f);
+    }
+}
+
+/// The result of [`ParChunksMut::enumerate`].
+pub struct ParChunksMutEnumerate<'a, T> {
+    chunks: Vec<&'a mut [T]>,
+}
+
+impl<'a, T> ParChunksMutEnumerate<'a, T> {
+    /// Applies `f` to every `(index, chunk)` pair.
+    pub fn for_each<F>(self, f: F)
+    where
+        T: Send,
+        F: Fn((usize, &'a mut [T])) + Sync,
+    {
+        let units: Vec<(usize, &'a mut [T])> = self.chunks.into_iter().enumerate().collect();
+        parallel_for_each(units, &f);
+    }
+}
+
+/// `par_chunks_mut()` on mutable slices.
+pub trait ParallelSliceMut<T> {
+    /// Splits into chunks of at most `size` elements, processed in
+    /// parallel.
+    fn par_chunks_mut(&mut self, size: usize) -> ParChunksMut<'_, T>;
+}
+
+impl<T: Send> ParallelSliceMut<T> for [T] {
+    fn par_chunks_mut(&mut self, size: usize) -> ParChunksMut<'_, T> {
+        ParChunksMut {
+            chunks: self.chunks_mut(size).collect(),
+        }
+    }
+}
+
+pub mod prelude {
+    //! Glob-import surface mirroring `rayon::prelude`.
+    pub use crate::{IntoParallelRefIterator, ParallelSliceMut};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn filter_map_collect_preserves_order() {
+        let input: Vec<u64> = (0..10_000).collect();
+        let out: Vec<u64> = input
+            .par_iter()
+            .filter_map(|&x| (x % 3 == 0).then_some(x * 2))
+            .collect();
+        let expected: Vec<u64> = (0..10_000).filter(|x| x % 3 == 0).map(|x| x * 2).collect();
+        assert_eq!(out, expected);
+    }
+
+    #[test]
+    fn map_collect_matches_sequential() {
+        let input: Vec<u32> = (0..1_000).collect();
+        let out: Vec<u32> = input.par_iter().map(|&x| x + 1).collect();
+        assert_eq!(out, (1..=1_000).collect::<Vec<u32>>());
+    }
+
+    #[test]
+    fn chunks_mut_enumerate_writes_disjoint() {
+        let mut data = vec![0usize; 1024];
+        data.par_chunks_mut(100)
+            .enumerate()
+            .for_each(|(i, chunk)| chunk.iter_mut().for_each(|v| *v = i));
+        for (i, v) in data.iter().enumerate() {
+            assert_eq!(*v, i / 100);
+        }
+    }
+}

@@ -1,0 +1,480 @@
+//! Offline stand-in for the `serde` crate.
+//!
+//! The registry is unreachable in this build environment, so the
+//! workspace vendors a simplified serialization framework under serde's
+//! name: types convert to and from a JSON-shaped [`Value`] tree via the
+//! [`Serialize`]/[`Deserialize`] traits, and `#[derive(Serialize,
+//! Deserialize)]` (from the sibling `serde_derive` stand-in) generates
+//! the field-by-field conversions. `vendor/serde_json` renders the tree
+//! as standard JSON text, so files written by this stand-in are plain
+//! JSON and round-trip exactly.
+//!
+//! Deliberate simplifications versus real serde: no zero-copy
+//! deserialization, no custom Serializer/Deserializer back-ends, no
+//! `#[serde(...)]` attributes. Nothing in this workspace uses those.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+use std::collections::{BTreeMap, HashMap};
+use std::fmt;
+use std::hash::BuildHasher;
+
+/// A JSON-shaped value tree.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// JSON `null`.
+    Null,
+    /// JSON boolean.
+    Bool(bool),
+    /// Negative integer (always `< 0`; non-negatives use [`Value::UInt`]).
+    Int(i64),
+    /// Non-negative integer.
+    UInt(u64),
+    /// Floating-point number. Non-finite values render as `null`.
+    Float(f64),
+    /// String.
+    Str(String),
+    /// Array.
+    Array(Vec<Value>),
+    /// Object with deterministically ordered keys.
+    Object(Map),
+}
+
+/// The object representation: ordered for stable output.
+pub type Map = BTreeMap<String, Value>;
+
+impl Value {
+    /// The object contents, if this is an object.
+    pub fn as_object(&self) -> Option<&Map> {
+        match self {
+            Value::Object(m) => Some(m),
+            _ => None,
+        }
+    }
+
+    /// The array contents, if this is an array.
+    pub fn as_array(&self) -> Option<&Vec<Value>> {
+        match self {
+            Value::Array(a) => Some(a),
+            _ => None,
+        }
+    }
+
+    /// The string contents, if this is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// A numeric view, if this is any number.
+    pub fn as_f64(&self) -> Option<f64> {
+        match *self {
+            Value::Int(v) => Some(v as f64),
+            Value::UInt(v) => Some(v as f64),
+            Value::Float(v) => Some(v),
+            Value::Null => Some(f64::NAN),
+            _ => None,
+        }
+    }
+
+    /// An unsigned view, if this is a non-negative integer.
+    pub fn as_u64(&self) -> Option<u64> {
+        match *self {
+            Value::UInt(v) => Some(v),
+            Value::Int(v) if v >= 0 => Some(v as u64),
+            _ => None,
+        }
+    }
+
+    /// A signed view, if this is an integer in `i64` range.
+    pub fn as_i64(&self) -> Option<i64> {
+        match *self {
+            Value::Int(v) => Some(v),
+            Value::UInt(v) => i64::try_from(v).ok(),
+            _ => None,
+        }
+    }
+
+    /// The boolean, if this is a boolean.
+    pub fn as_bool(&self) -> Option<bool> {
+        match *self {
+            Value::Bool(b) => Some(b),
+            _ => None,
+        }
+    }
+
+    /// A short name of the value's kind, for error messages.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Value::Null => "null",
+            Value::Bool(_) => "bool",
+            Value::Int(_) | Value::UInt(_) => "integer",
+            Value::Float(_) => "number",
+            Value::Str(_) => "string",
+            Value::Array(_) => "array",
+            Value::Object(_) => "object",
+        }
+    }
+}
+
+/// A deserialization (or serialization) error with a context trail.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DeError {
+    message: String,
+}
+
+impl DeError {
+    /// Creates an error from a message.
+    pub fn new<S: AsRef<str>>(message: S) -> Self {
+        Self {
+            message: message.as_ref().to_string(),
+        }
+    }
+
+    /// Prefixes the error with the location it occurred at.
+    #[must_use]
+    pub fn context(self, at: &str) -> Self {
+        Self {
+            message: format!("{at}: {}", self.message),
+        }
+    }
+}
+
+impl fmt::Display for DeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.message)
+    }
+}
+
+impl std::error::Error for DeError {}
+
+/// Conversion into the [`Value`] tree.
+pub trait Serialize {
+    /// Serializes `self` as a value tree.
+    fn to_value(&self) -> Value;
+}
+
+/// Conversion out of the [`Value`] tree.
+pub trait Deserialize: Sized {
+    /// Reconstructs `Self` from a value tree.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`DeError`] describing the first mismatch.
+    fn from_value(value: &Value) -> Result<Self, DeError>;
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+// ------------------------------------------------------------- primitives
+
+macro_rules! impl_signed {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                let v = i64::from(*self);
+                if v >= 0 { Value::UInt(v as u64) } else { Value::Int(v) }
+            }
+        }
+        impl Deserialize for $t {
+            fn from_value(value: &Value) -> Result<Self, DeError> {
+                value
+                    .as_i64()
+                    .and_then(|v| <$t>::try_from(v).ok())
+                    .ok_or_else(|| DeError::new(format!(
+                        "expected {}, found {}", stringify!($t), value.kind()
+                    )))
+            }
+        }
+    )*};
+}
+impl_signed!(i8, i16, i32, i64);
+
+macro_rules! impl_unsigned {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                Value::UInt(*self as u64)
+            }
+        }
+        impl Deserialize for $t {
+            fn from_value(value: &Value) -> Result<Self, DeError> {
+                value
+                    .as_u64()
+                    .and_then(|v| <$t>::try_from(v).ok())
+                    .ok_or_else(|| DeError::new(format!(
+                        "expected {}, found {}", stringify!($t), value.kind()
+                    )))
+            }
+        }
+    )*};
+}
+impl_unsigned!(u8, u16, u32, u64, usize);
+
+impl Serialize for isize {
+    fn to_value(&self) -> Value {
+        (*self as i64).to_value()
+    }
+}
+impl Deserialize for isize {
+    fn from_value(value: &Value) -> Result<Self, DeError> {
+        i64::from_value(value).map(|v| v as isize)
+    }
+}
+
+impl Serialize for f64 {
+    fn to_value(&self) -> Value {
+        Value::Float(*self)
+    }
+}
+impl Deserialize for f64 {
+    fn from_value(value: &Value) -> Result<Self, DeError> {
+        value
+            .as_f64()
+            .ok_or_else(|| DeError::new(format!("expected f64, found {}", value.kind())))
+    }
+}
+
+impl Serialize for f32 {
+    fn to_value(&self) -> Value {
+        Value::Float(f64::from(*self))
+    }
+}
+impl Deserialize for f32 {
+    fn from_value(value: &Value) -> Result<Self, DeError> {
+        f64::from_value(value).map(|v| v as f32)
+    }
+}
+
+impl Serialize for bool {
+    fn to_value(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+impl Deserialize for bool {
+    fn from_value(value: &Value) -> Result<Self, DeError> {
+        value
+            .as_bool()
+            .ok_or_else(|| DeError::new(format!("expected bool, found {}", value.kind())))
+    }
+}
+
+impl Serialize for String {
+    fn to_value(&self) -> Value {
+        Value::Str(self.clone())
+    }
+}
+impl Deserialize for String {
+    fn from_value(value: &Value) -> Result<Self, DeError> {
+        value
+            .as_str()
+            .map(str::to_string)
+            .ok_or_else(|| DeError::new(format!("expected string, found {}", value.kind())))
+    }
+}
+
+impl Serialize for str {
+    fn to_value(&self) -> Value {
+        Value::Str(self.to_string())
+    }
+}
+
+impl Deserialize for &'static str {
+    fn from_value(value: &Value) -> Result<Self, DeError> {
+        // Only small interned labels (device names, dimension tags) use
+        // this; the per-call leak is deliberate and bounded.
+        String::from_value(value).map(|s| &*Box::leak(s.into_boxed_str()))
+    }
+}
+
+impl Serialize for char {
+    fn to_value(&self) -> Value {
+        Value::Str(self.to_string())
+    }
+}
+impl Deserialize for char {
+    fn from_value(value: &Value) -> Result<Self, DeError> {
+        let s = String::from_value(value)?;
+        let mut chars = s.chars();
+        match (chars.next(), chars.next()) {
+            (Some(c), None) => Ok(c),
+            _ => Err(DeError::new("expected single-character string")),
+        }
+    }
+}
+
+// ------------------------------------------------------------- containers
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_value(&self) -> Value {
+        match self {
+            None => Value::Null,
+            Some(v) => v.to_value(),
+        }
+    }
+}
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn from_value(value: &Value) -> Result<Self, DeError> {
+        match value {
+            Value::Null => Ok(None),
+            other => T::from_value(other).map(Some),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn from_value(value: &Value) -> Result<Self, DeError> {
+        value
+            .as_array()
+            .ok_or_else(|| DeError::new(format!("expected array, found {}", value.kind())))?
+            .iter()
+            .map(T::from_value)
+            .collect()
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn to_value(&self) -> Value {
+        self.as_slice().to_value()
+    }
+}
+
+macro_rules! impl_tuple {
+    ($(($($T:ident . $idx:tt),+))*) => {$(
+        impl<$($T: Serialize),+> Serialize for ($($T,)+) {
+            fn to_value(&self) -> Value {
+                Value::Array(vec![$(self.$idx.to_value()),+])
+            }
+        }
+        impl<$($T: Deserialize),+> Deserialize for ($($T,)+) {
+            fn from_value(value: &Value) -> Result<Self, DeError> {
+                let items = value
+                    .as_array()
+                    .ok_or_else(|| DeError::new("expected array for tuple"))?;
+                let arity = [$($idx),+].len();
+                if items.len() != arity {
+                    return Err(DeError::new(format!(
+                        "expected {arity}-tuple, found {} items", items.len()
+                    )));
+                }
+                Ok(($($T::from_value(&items[$idx])?,)+))
+            }
+        }
+    )*};
+}
+impl_tuple! {
+    (A.0)
+    (A.0, B.1)
+    (A.0, B.1, C.2)
+    (A.0, B.1, C.2, D.3)
+}
+
+/// Map keys: values usable as JSON object keys.
+pub trait MapKey: Sized + Ord {
+    /// Encodes the key as a string.
+    fn to_key(&self) -> String;
+    /// Decodes the key from a string.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`DeError`] when the string is not a valid key.
+    fn from_key(s: &str) -> Result<Self, DeError>;
+}
+
+impl MapKey for String {
+    fn to_key(&self) -> String {
+        self.clone()
+    }
+    fn from_key(s: &str) -> Result<Self, DeError> {
+        Ok(s.to_string())
+    }
+}
+
+macro_rules! impl_int_map_key {
+    ($($t:ty),*) => {$(
+        impl MapKey for $t {
+            fn to_key(&self) -> String {
+                self.to_string()
+            }
+            fn from_key(s: &str) -> Result<Self, DeError> {
+                s.parse().map_err(|_| {
+                    DeError::new(format!("bad {} map key: {s:?}", stringify!($t)))
+                })
+            }
+        }
+    )*};
+}
+impl_int_map_key!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl<K: MapKey, V: Serialize> Serialize for BTreeMap<K, V> {
+    fn to_value(&self) -> Value {
+        Value::Object(
+            self.iter()
+                .map(|(k, v)| (k.to_key(), v.to_value()))
+                .collect(),
+        )
+    }
+}
+impl<K: MapKey, V: Deserialize> Deserialize for BTreeMap<K, V> {
+    fn from_value(value: &Value) -> Result<Self, DeError> {
+        value
+            .as_object()
+            .ok_or_else(|| DeError::new(format!("expected object, found {}", value.kind())))?
+            .iter()
+            .map(|(k, v)| Ok((K::from_key(k)?, V::from_value(v)?)))
+            .collect()
+    }
+}
+
+impl<K: MapKey + std::hash::Hash, V: Serialize, S: BuildHasher> Serialize for HashMap<K, V, S> {
+    fn to_value(&self) -> Value {
+        // Via BTreeMap ordering for deterministic output.
+        let ordered: BTreeMap<&K, &V> = self.iter().collect();
+        Value::Object(
+            ordered
+                .into_iter()
+                .map(|(k, v)| (k.to_key(), v.to_value()))
+                .collect(),
+        )
+    }
+}
+impl<K: MapKey + std::hash::Hash, V: Deserialize, S: BuildHasher + Default> Deserialize
+    for HashMap<K, V, S>
+{
+    fn from_value(value: &Value) -> Result<Self, DeError> {
+        value
+            .as_object()
+            .ok_or_else(|| DeError::new(format!("expected object, found {}", value.kind())))?
+            .iter()
+            .map(|(k, v)| Ok((K::from_key(k)?, V::from_value(v)?)))
+            .collect()
+    }
+}
+
+impl Serialize for Value {
+    fn to_value(&self) -> Value {
+        self.clone()
+    }
+}
+impl Deserialize for Value {
+    fn from_value(value: &Value) -> Result<Self, DeError> {
+        Ok(value.clone())
+    }
+}

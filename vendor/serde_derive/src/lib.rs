@@ -1,0 +1,414 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! Derives the *vendored* `serde`'s [`Serialize`]/[`Deserialize`]
+//! traits (a simplified value-tree model, see `vendor/serde`) for the
+//! shapes this workspace uses:
+//!
+//! * structs with named fields,
+//! * enums with unit, named-field, and tuple variants.
+//!
+//! The input token stream is parsed by hand — `syn`/`quote` are not
+//! available offline — and the generated impl is assembled as source
+//! text and re-parsed, which keeps the generator small and auditable.
+//! Generics and `#[serde(...)]` attributes are intentionally rejected:
+//! nothing in this workspace needs them, and a loud error beats a
+//! silently wrong encoding.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+#[derive(Debug)]
+enum VariantKind {
+    Unit,
+    Named(Vec<String>),
+    Tuple(usize),
+}
+
+#[derive(Debug)]
+enum Shape {
+    Struct(Vec<String>),
+    Enum(Vec<(String, VariantKind)>),
+}
+
+/// Derives the vendored `serde::Serialize`.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    expand(input, true)
+}
+
+/// Derives the vendored `serde::Deserialize`.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    expand(input, false)
+}
+
+fn expand(input: TokenStream, serialize: bool) -> TokenStream {
+    let (name, shape) = match parse_input(input) {
+        Ok(parsed) => parsed,
+        Err(msg) => {
+            return format!("compile_error!({msg:?});").parse().unwrap();
+        }
+    };
+    let code = if serialize {
+        gen_serialize(&name, &shape)
+    } else {
+        gen_deserialize(&name, &shape)
+    };
+    code.parse().unwrap_or_else(|e| {
+        format!("compile_error!(\"serde_derive internal error: {e:?}\");")
+            .parse()
+            .unwrap()
+    })
+}
+
+// ---------------------------------------------------------------- parsing
+
+fn parse_input(input: TokenStream) -> Result<(String, Shape), String> {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+
+    // Skip attributes, doc comments and visibility down to the keyword.
+    let keyword = loop {
+        match tokens.get(i) {
+            None => return Err("serde_derive: no struct/enum found".into()),
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                i += 1; // '#'
+                if matches!(tokens.get(i), Some(TokenTree::Group(_))) {
+                    i += 1;
+                }
+            }
+            Some(TokenTree::Ident(id)) => {
+                let word = id.to_string();
+                if word == "struct" || word == "enum" {
+                    i += 1;
+                    break word;
+                }
+                // `pub`, `pub(crate)`, `crate`, …
+                i += 1;
+                if matches!(tokens.get(i), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis)
+                {
+                    i += 1;
+                }
+            }
+            Some(_) => i += 1,
+        }
+    };
+
+    let name = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => return Err(format!("serde_derive: expected type name, got {other:?}")),
+    };
+    i += 1;
+
+    if matches!(tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        return Err(format!(
+            "serde_derive: generic type `{name}` is not supported by the vendored derive"
+        ));
+    }
+
+    // The body is the next brace group (no generics ⇒ no where clause).
+    let body = loop {
+        match tokens.get(i) {
+            None => {
+                return Err(format!(
+                    "serde_derive: `{name}` has no braced body (tuple/unit shapes unsupported)"
+                ))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => break g.stream(),
+            Some(TokenTree::Punct(p)) if p.as_char() == ';' => {
+                return Err(format!("serde_derive: unit struct `{name}` unsupported"))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                return Err(format!("serde_derive: tuple struct `{name}` unsupported"));
+            }
+            Some(_) => i += 1,
+        }
+    };
+
+    let shape = if keyword == "struct" {
+        Shape::Struct(parse_named_fields(body)?)
+    } else {
+        Shape::Enum(parse_variants(body)?)
+    };
+    Ok((name, shape))
+}
+
+/// Parses `name: Type, …` from the inside of a brace group.
+fn parse_named_fields(stream: TokenStream) -> Result<Vec<String>, String> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut i = 0;
+    let mut fields = Vec::new();
+    while i < tokens.len() {
+        match &tokens[i] {
+            TokenTree::Punct(p) if p.as_char() == '#' => {
+                i += 1;
+                if matches!(tokens.get(i), Some(TokenTree::Group(_))) {
+                    i += 1;
+                }
+            }
+            TokenTree::Ident(id) if id.to_string() == "pub" => {
+                i += 1;
+                if matches!(tokens.get(i), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis)
+                {
+                    i += 1;
+                }
+            }
+            TokenTree::Ident(id) => {
+                fields.push(id.to_string());
+                i += 1;
+                match tokens.get(i) {
+                    Some(TokenTree::Punct(p)) if p.as_char() == ':' => i += 1,
+                    other => {
+                        return Err(format!(
+                            "serde_derive: expected `:` after field, got {other:?}"
+                        ))
+                    }
+                }
+                // Skip the type up to the next top-level comma. Commas
+                // inside `<…>` belong to the type; parenthesized and
+                // bracketed commas are hidden inside groups already.
+                let mut angle_depth = 0i32;
+                while i < tokens.len() {
+                    match &tokens[i] {
+                        TokenTree::Punct(p) if p.as_char() == '<' => angle_depth += 1,
+                        TokenTree::Punct(p) if p.as_char() == '>' => angle_depth -= 1,
+                        TokenTree::Punct(p) if p.as_char() == ',' && angle_depth == 0 => {
+                            i += 1;
+                            break;
+                        }
+                        _ => {}
+                    }
+                    i += 1;
+                }
+            }
+            other => {
+                return Err(format!(
+                    "serde_derive: unexpected token in fields: {other:?}"
+                ))
+            }
+        }
+    }
+    Ok(fields)
+}
+
+/// Parses enum variants from the inside of a brace group.
+fn parse_variants(stream: TokenStream) -> Result<Vec<(String, VariantKind)>, String> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut i = 0;
+    let mut variants = Vec::new();
+    while i < tokens.len() {
+        match &tokens[i] {
+            TokenTree::Punct(p) if p.as_char() == '#' => {
+                i += 1;
+                if matches!(tokens.get(i), Some(TokenTree::Group(_))) {
+                    i += 1;
+                }
+            }
+            TokenTree::Punct(p) if p.as_char() == ',' => i += 1,
+            TokenTree::Ident(id) => {
+                let variant = id.to_string();
+                i += 1;
+                let kind = match tokens.get(i) {
+                    Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                        i += 1;
+                        VariantKind::Named(parse_named_fields(g.stream())?)
+                    }
+                    Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                        i += 1;
+                        VariantKind::Tuple(count_tuple_fields(g.stream()))
+                    }
+                    _ => VariantKind::Unit,
+                };
+                variants.push((variant, kind));
+            }
+            other => return Err(format!("serde_derive: unexpected token in enum: {other:?}")),
+        }
+    }
+    Ok(variants)
+}
+
+/// Counts top-level comma-separated items of a tuple variant's payload.
+fn count_tuple_fields(stream: TokenStream) -> usize {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    if tokens.is_empty() {
+        return 0;
+    }
+    let mut count = 1;
+    let mut angle_depth = 0i32;
+    let mut trailing_comma = false;
+    for (idx, t) in tokens.iter().enumerate() {
+        match t {
+            TokenTree::Punct(p) if p.as_char() == '<' => angle_depth += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => angle_depth -= 1,
+            TokenTree::Punct(p) if p.as_char() == ',' && angle_depth == 0 => {
+                if idx + 1 == tokens.len() {
+                    trailing_comma = true;
+                } else {
+                    count += 1;
+                }
+            }
+            _ => {}
+        }
+    }
+    let _ = trailing_comma;
+    count
+}
+
+// ---------------------------------------------------------------- codegen
+
+fn gen_serialize(name: &str, shape: &Shape) -> String {
+    let body = match shape {
+        Shape::Struct(fields) => {
+            let mut s = String::from("let mut __map = ::serde::Map::new();\n");
+            for f in fields {
+                s.push_str(&format!(
+                    "__map.insert(::std::string::String::from({f:?}), \
+                     ::serde::Serialize::to_value(&self.{f}));\n"
+                ));
+            }
+            s.push_str("::serde::Value::Object(__map)");
+            s
+        }
+        Shape::Enum(variants) => {
+            let mut arms = String::new();
+            for (v, kind) in variants {
+                match kind {
+                    VariantKind::Unit => arms.push_str(&format!(
+                        "{name}::{v} => ::serde::Value::Str(::std::string::String::from({v:?})),\n"
+                    )),
+                    VariantKind::Named(fields) => {
+                        let bindings = fields.join(", ");
+                        let mut inner = String::from("let mut __fields = ::serde::Map::new();\n");
+                        for f in fields {
+                            inner.push_str(&format!(
+                                "__fields.insert(::std::string::String::from({f:?}), \
+                                 ::serde::Serialize::to_value({f}));\n"
+                            ));
+                        }
+                        arms.push_str(&format!(
+                            "{name}::{v} {{ {bindings} }} => {{\n{inner}\
+                             let mut __outer = ::serde::Map::new();\n\
+                             __outer.insert(::std::string::String::from({v:?}), \
+                             ::serde::Value::Object(__fields));\n\
+                             ::serde::Value::Object(__outer)\n}}\n"
+                        ));
+                    }
+                    VariantKind::Tuple(n) => {
+                        let bindings: Vec<String> = (0..*n).map(|k| format!("__x{k}")).collect();
+                        let pattern = bindings.join(", ");
+                        let mut inner = String::from(
+                            "let mut __items: ::std::vec::Vec<::serde::Value> = \
+                             ::std::vec::Vec::new();\n",
+                        );
+                        for b in &bindings {
+                            inner.push_str(&format!(
+                                "__items.push(::serde::Serialize::to_value({b}));\n"
+                            ));
+                        }
+                        arms.push_str(&format!(
+                            "{name}::{v}({pattern}) => {{\n{inner}\
+                             let mut __outer = ::serde::Map::new();\n\
+                             __outer.insert(::std::string::String::from({v:?}), \
+                             ::serde::Value::Array(__items));\n\
+                             ::serde::Value::Object(__outer)\n}}\n"
+                        ));
+                    }
+                }
+            }
+            format!("match self {{\n{arms}}}")
+        }
+    };
+    format!(
+        "impl ::serde::Serialize for {name} {{\n\
+         fn to_value(&self) -> ::serde::Value {{\n{body}\n}}\n}}\n"
+    )
+}
+
+fn gen_deserialize(name: &str, shape: &Shape) -> String {
+    let body = match shape {
+        Shape::Struct(fields) => {
+            let mut s = format!(
+                "let __map = __value.as_object().ok_or_else(|| \
+                 ::serde::DeError::new(\"expected object for {name}\"))?;\n"
+            );
+            s.push_str(&format!("::std::result::Result::Ok({name} {{\n"));
+            for f in fields {
+                s.push_str(&format!(
+                    "{f}: ::serde::Deserialize::from_value(\
+                     __map.get({f:?}).unwrap_or(&::serde::Value::Null))\
+                     .map_err(|e| e.context(\"{name}.{f}\"))?,\n"
+                ));
+            }
+            s.push_str("})");
+            s
+        }
+        Shape::Enum(variants) => {
+            let mut unit_arms = String::new();
+            let mut data_arms = String::new();
+            for (v, kind) in variants {
+                match kind {
+                    VariantKind::Unit => {
+                        unit_arms.push_str(&format!(
+                            "{v:?} => ::std::result::Result::Ok({name}::{v}),\n"
+                        ));
+                        // External tagging also accepts {"Variant": null}.
+                        data_arms.push_str(&format!(
+                            "{v:?} => ::std::result::Result::Ok({name}::{v}),\n"
+                        ));
+                    }
+                    VariantKind::Named(fields) => {
+                        let mut inner = format!(
+                            "let __fields = __inner.as_object().ok_or_else(|| \
+                             ::serde::DeError::new(\"expected object for {name}::{v}\"))?;\n"
+                        );
+                        inner.push_str(&format!("::std::result::Result::Ok({name}::{v} {{\n"));
+                        for f in fields {
+                            inner.push_str(&format!(
+                                "{f}: ::serde::Deserialize::from_value(\
+                                 __fields.get({f:?}).unwrap_or(&::serde::Value::Null))\
+                                 .map_err(|e| e.context(\"{name}::{v}.{f}\"))?,\n"
+                            ));
+                        }
+                        inner.push_str("})");
+                        data_arms.push_str(&format!("{v:?} => {{\n{inner}\n}}\n"));
+                    }
+                    VariantKind::Tuple(n) => {
+                        let mut inner = format!(
+                            "let __items = __inner.as_array().ok_or_else(|| \
+                             ::serde::DeError::new(\"expected array for {name}::{v}\"))?;\n\
+                             if __items.len() != {n} {{ return ::std::result::Result::Err(\
+                             ::serde::DeError::new(\"wrong arity for {name}::{v}\")); }}\n"
+                        );
+                        inner.push_str(&format!("::std::result::Result::Ok({name}::{v}("));
+                        for k in 0..*n {
+                            inner.push_str(&format!(
+                                "::serde::Deserialize::from_value(&__items[{k}])\
+                                 .map_err(|e| e.context(\"{name}::{v}\"))?,"
+                            ));
+                        }
+                        inner.push_str("))");
+                        data_arms.push_str(&format!("{v:?} => {{\n{inner}\n}}\n"));
+                    }
+                }
+            }
+            format!(
+                "match __value {{\n\
+                 ::serde::Value::Str(__s) => match __s.as_str() {{\n{unit_arms}\
+                 __other => ::std::result::Result::Err(::serde::DeError::new(\
+                 &::std::format!(\"unknown variant {{__other}} for {name}\"))),\n}},\n\
+                 ::serde::Value::Object(__m) if __m.len() == 1 => {{\n\
+                 let (__tag, __inner) = __m.iter().next().expect(\"len checked\");\n\
+                 let _ = &__inner;\n\
+                 match __tag.as_str() {{\n{data_arms}\
+                 __other => ::std::result::Result::Err(::serde::DeError::new(\
+                 &::std::format!(\"unknown variant {{__other}} for {name}\"))),\n}}\n}}\n\
+                 _ => ::std::result::Result::Err(::serde::DeError::new(\
+                 \"expected string or single-key object for {name}\")),\n}}"
+            )
+        }
+    };
+    format!(
+        "impl ::serde::Deserialize for {name} {{\n\
+         fn from_value(__value: &::serde::Value) -> \
+         ::std::result::Result<Self, ::serde::DeError> {{\n{body}\n}}\n}}\n"
+    )
+}
