@@ -27,10 +27,10 @@ fn bench_placement_throughput(c: &mut Criterion) {
             BenchmarkId::new("healthy", fleet_size),
             &fleet_size,
             |b, _| {
-                let scheduler = Scheduler::default();
                 b.iter(|| {
-                    let run = scheduler
-                        .run(black_box(&fleet), black_box(&load), &FaultPlan::none())
+                    let run = Scheduler::session(black_box(&fleet))
+                        .load(black_box(&load))
+                        .run()
                         .unwrap();
                     assert!(run.report.conservation_ok());
                     black_box(run.report.completed)
@@ -53,10 +53,11 @@ fn bench_fault_recovery(c: &mut Criterion) {
             BenchmarkId::new("kill_10pct", fleet_size),
             &fleet_size,
             |b, _| {
-                let scheduler = Scheduler::default();
                 b.iter(|| {
-                    let run = scheduler
-                        .run(black_box(&fleet), black_box(&load), black_box(&faults))
+                    let run = Scheduler::session(black_box(&fleet))
+                        .load(black_box(&load))
+                        .faults(black_box(&faults))
+                        .run()
                         .unwrap();
                     assert!(run.report.conservation_ok());
                     black_box(run.report.degraded)

@@ -1,0 +1,95 @@
+//! Grid overhead: what sharding one survey across N schedulers costs
+//! (or saves) against a single scheduler over the union fleet. The
+//! grid adds a partitioning pass and one thread per shard, but each
+//! shard's greedy placement scan is O(devices/N) per beam — so wider
+//! grids should win once the union fleet's scan dominates. A second
+//! group prices whole-shard failure: partition-time re-homing plus the
+//! dying shard's own recovery.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use dedisp_fleet::{Grid, GridFaultPlan, RebalancePolicy, ResolvedFleet, Scheduler, SurveyLoad};
+use std::hint::black_box;
+
+/// Mildly heterogeneous per-beam costs, as in the fleet bench.
+fn costs(n: usize) -> Vec<f64> {
+    (0..n).map(|d| 0.09 + 0.002 * (d % 5) as f64).collect()
+}
+
+/// `shards` identical fleets of `devices_each` devices.
+fn grid_of(shards: usize, devices_each: usize) -> Vec<ResolvedFleet> {
+    (0..shards)
+        .map(|_| ResolvedFleet::synthetic(2000, &costs(devices_each)))
+        .collect()
+}
+
+fn bench_sharding_overhead(c: &mut Criterion) {
+    let mut group = c.benchmark_group("grid/beams_placed");
+    const DEVICES_TOTAL: usize = 32;
+    let union = ResolvedFleet::synthetic(2000, &costs(DEVICES_TOTAL));
+    // Offer ~90% of capacity so every variant is busy but feasible.
+    let beams = union.beams_capacity() * 9 / 10;
+    let load = SurveyLoad::custom(2000, beams, 3);
+    group.throughput(Throughput::Elements(load.total_beams() as u64));
+    group.bench_function("single_scheduler", |b| {
+        b.iter(|| {
+            let run = Scheduler::session(black_box(&union))
+                .load(black_box(&load))
+                .run()
+                .unwrap();
+            assert!(run.report.conservation_ok());
+            black_box(run.report.completed)
+        });
+    });
+    for shards in [2usize, 4, 8] {
+        let fleets = grid_of(shards, DEVICES_TOTAL / shards);
+        group.bench_with_input(BenchmarkId::new("sharded", shards), &shards, |b, _| {
+            b.iter(|| {
+                let run = Grid::session(black_box(&fleets))
+                    .load(black_box(&load))
+                    .run()
+                    .unwrap();
+                assert!(run.report.conservation_ok());
+                black_box(run.report.completed)
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_shard_kill_recovery(c: &mut Criterion) {
+    let mut group = c.benchmark_group("grid/shard_kill");
+    for shards in [2usize, 4] {
+        let fleets = grid_of(shards, 8);
+        let beams: usize = fleets
+            .iter()
+            .map(ResolvedFleet::beams_capacity)
+            .sum::<usize>()
+            * 9
+            / 10;
+        let load = SurveyLoad::custom(2000, beams, 3);
+        let faults = GridFaultPlan::none().with_shard_kill(0, 1.5);
+        group.throughput(Throughput::Elements(load.total_beams() as u64));
+        for policy in [RebalancePolicy::StaticHash, RebalancePolicy::LoadAware] {
+            group.bench_with_input(
+                BenchmarkId::new(format!("{policy:?}"), shards),
+                &shards,
+                |b, _| {
+                    b.iter(|| {
+                        let run = Grid::session(black_box(&fleets))
+                            .policy(black_box(policy))
+                            .load(black_box(&load))
+                            .faults(black_box(&faults))
+                            .run()
+                            .unwrap();
+                        assert!(run.report.conservation_ok());
+                        black_box(run.report.rehomed)
+                    });
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_sharding_overhead, bench_shard_kill_recovery);
+criterion_main!(benches);

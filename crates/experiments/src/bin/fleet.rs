@@ -44,7 +44,6 @@ fn summarize(run: &FleetRun) {
 fn main() {
     let sizing = SurveySizing::apertif_survey();
     let load = SurveyLoad::from_sizing(&sizing, TICKS);
-    let scheduler = Scheduler::default();
     let mut db = TuningDatabase::new();
     let space = ConfigSpace::paper();
 
@@ -58,8 +57,9 @@ fn main() {
     ));
     let measured =
         ResolvedFleet::synthetic(sizing.trials, &vec![MEASURED_SECONDS_PER_BEAM; quoted]);
-    let run = scheduler
-        .run(&measured, &load, &FaultPlan::none())
+    let run = Scheduler::session(&measured)
+        .load(&load)
+        .run()
         .expect("measured fleet runs");
     summarize(&run);
     assert_eq!(run.report.deadline_misses, 0, "the paper's 50 GPUs keep up");
@@ -79,8 +79,9 @@ fn main() {
     let model_fleet = FleetSpec::homogeneous(amd_hd7970(), model_count)
         .resolve(&mut db, &sizing.setup, sizing.trials, &space)
         .expect("model fleet resolves");
-    let run = scheduler
-        .run(&model_fleet, &load, &FaultPlan::none())
+    let run = Scheduler::session(&model_fleet)
+        .load(&load)
+        .run()
         .expect("model fleet runs");
     summarize(&run);
     assert_eq!(run.report.deadline_misses, 0, "model-sized fleet keeps up");
@@ -108,8 +109,9 @@ fn main() {
         hetero.len(),
         hetero.beams_capacity()
     ));
-    let run = scheduler
-        .run(&hetero, &load, &FaultPlan::none())
+    let run = Scheduler::session(&hetero)
+        .load(&load)
+        .run()
         .expect("heterogeneous fleet runs");
     summarize(&run);
     assert_eq!(run.report.deadline_misses, 0, "mixed fleet keeps up");
@@ -121,8 +123,10 @@ fn main() {
         faults.len(),
         measured.len()
     ));
-    let run = scheduler
-        .run(&measured, &load, &faults)
+    let run = Scheduler::session(&measured)
+        .load(&load)
+        .faults(&faults)
+        .run()
         .expect("fault run completes");
     summarize(&run);
     assert!(

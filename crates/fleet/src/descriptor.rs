@@ -10,7 +10,7 @@
 //! assigns every physical device a sustained GFLOP/s rate and a
 //! seconds-per-beam cost, which is all the scheduler needs.
 
-use autotune::{ConfigSpace, SimExecutor, Tuner, TuningDatabase};
+use autotune::{ConfigSpace, SimExecutor, Tuner, TuningDatabase, TuningResult};
 use dedisp_core::KernelConfig;
 use manycore_sim::{CostModel, DeviceDescriptor, Workload};
 use radioastro::{ObservationalSetup, RealtimeCheck};
@@ -39,6 +39,50 @@ impl fmt::Display for FleetError {
 
 impl std::error::Error for FleetError {}
 
+/// Where a device group's sustained rate comes from at resolution time.
+///
+/// The paper tunes on real accelerators; this reproduction usually
+/// substitutes the analytic device model. A production fleet mixes
+/// both: platforms that have been benchmarked for real carry a
+/// *measured* rate (e.g. from [`autotune::host`]'s wall-clock
+/// executor), everything else falls back to the model via the tuning
+/// database.
+#[derive(Debug, Clone, PartialEq)]
+pub enum RateSource {
+    /// Resolve the rate from the tuning database / analytic cost model.
+    Modeled,
+    /// Use a rate measured on the physical device, bypassing the model.
+    Measured {
+        /// Sustained GFLOP/s observed on the device.
+        gflops: f64,
+        /// The kernel configuration that achieved it, when known.
+        config: Option<KernelConfig>,
+    },
+}
+
+impl RateSource {
+    /// A measured rate with no recorded configuration.
+    pub fn measured(gflops: f64) -> Self {
+        Self::Measured {
+            gflops,
+            config: None,
+        }
+    }
+
+    /// A measured rate taken from a tuning run's optimum — typically a
+    /// [`autotune::HostExecutor`] sweep on the real device.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `result` holds no samples (nothing was measured).
+    pub fn from_tuning(result: &TuningResult) -> Self {
+        Self::Measured {
+            gflops: result.best_gflops(),
+            config: Some(result.best_config()),
+        }
+    }
+}
+
 /// A group of `count` identical devices.
 #[derive(Debug, Clone)]
 pub struct DeviceGroup {
@@ -46,6 +90,8 @@ pub struct DeviceGroup {
     pub descriptor: DeviceDescriptor,
     /// How many physical devices of this model the fleet has.
     pub count: usize,
+    /// Where the group's sustained rate comes from.
+    pub rate: RateSource,
 }
 
 /// A declared (unresolved) fleet: heterogeneous groups of accelerators.
@@ -65,11 +111,40 @@ impl FleetSpec {
         Self::new().with_group(descriptor, count)
     }
 
-    /// Adds a group of `count` identical devices.
+    /// Adds a group of `count` identical devices whose rate will be
+    /// resolved from the tuning database / analytic model.
     #[must_use]
-    pub fn with_group(mut self, descriptor: DeviceDescriptor, count: usize) -> Self {
-        self.groups.push(DeviceGroup { descriptor, count });
+    pub fn with_group(self, descriptor: DeviceDescriptor, count: usize) -> Self {
+        self.with_rated_group(descriptor, count, RateSource::Modeled)
+    }
+
+    /// Adds a group of `count` identical devices with an explicit rate
+    /// source, letting one fleet mix measured and modeled platforms.
+    #[must_use]
+    pub fn with_rated_group(
+        mut self,
+        descriptor: DeviceDescriptor,
+        count: usize,
+        rate: RateSource,
+    ) -> Self {
+        self.groups.push(DeviceGroup {
+            descriptor,
+            count,
+            rate,
+        });
         self
+    }
+
+    /// Adds a group of `count` identical devices at a measured
+    /// sustained rate (GFLOP/s), bypassing the model.
+    #[must_use]
+    pub fn with_measured_group(
+        self,
+        descriptor: DeviceDescriptor,
+        count: usize,
+        gflops: f64,
+    ) -> Self {
+        self.with_rated_group(descriptor, count, RateSource::measured(gflops))
     }
 
     /// The declared groups.
@@ -85,7 +160,10 @@ impl FleetSpec {
     /// Resolves every device's kernel configuration and sustained rate
     /// for `trials` DMs under `setup`, consulting (and extending) `db`.
     ///
-    /// Resolution per platform, in order of preference:
+    /// A group declared with a measured [`RateSource`] uses its
+    /// measured GFLOP/s directly (the database is neither consulted nor
+    /// extended). Modeled groups resolve per platform, in order of
+    /// preference:
     ///
     /// 1. an exact `(platform, setup, trials)` tuple from `db`;
     /// 2. the nearest tuned instance ([`TuningDatabase::resolve`]),
@@ -117,8 +195,22 @@ impl FleetSpec {
 
         let mut devices = Vec::with_capacity(self.device_count());
         for group in &self.groups {
-            let (config, gflops) =
-                resolve_platform(db, &group.descriptor, setup, trials, &workload, space)?;
+            let (config, gflops) = match &group.rate {
+                RateSource::Modeled => {
+                    resolve_platform(db, &group.descriptor, setup, trials, &workload, space)?
+                }
+                RateSource::Measured { gflops, config } => {
+                    if *gflops <= 0.0 {
+                        return Err(FleetError::new(format!(
+                            "measured rate for {} must be positive, got {gflops}",
+                            group.descriptor.name
+                        )));
+                    }
+                    let config =
+                        config.unwrap_or_else(|| KernelConfig::new(1, 1, 1, 1).expect("non-zero"));
+                    (config, *gflops)
+                }
+            };
             for _ in 0..group.count {
                 let id = devices.len();
                 devices.push(ResolvedDevice {
@@ -313,6 +405,71 @@ mod tests {
         assert_eq!(fleet.devices[0].config, entry.config);
         // Re-scored on the larger workload, not copied verbatim.
         assert!(fleet.devices[0].gflops > 0.0);
+    }
+
+    #[test]
+    fn measured_and_modeled_groups_mix_in_one_fleet() {
+        let mut db = TuningDatabase::new();
+        let setup = ObservationalSetup::apertif();
+        let space = ConfigSpace::reduced();
+        // The paper's §V-D HD7970 measurement: 0.106 s per 2,000-DM
+        // beam-second. Declare it as a measured rate alongside a
+        // modeled K20 group.
+        let check = radioastro::RealtimeCheck::for_setup(&setup, 2000);
+        let measured_gflops = check.required_gflops / 0.106;
+        let spec = FleetSpec::new()
+            .with_measured_group(amd_hd7970(), 2, measured_gflops)
+            .with_group(manycore_sim::nvidia_k20(), 1);
+        let fleet = spec.resolve(&mut db, &setup, 2000, &space).unwrap();
+        assert_eq!(fleet.len(), 3);
+        // Only the modeled platform touched the tuning database.
+        assert_eq!(db.len(), 1);
+        assert!(db.resolve("AMD HD7970", "Apertif", 2000).is_none());
+        // Measured devices carry exactly the measured rate...
+        assert!((fleet.devices[0].gflops - measured_gflops).abs() < 1e-12);
+        // ...and the seconds-per-beam it implies.
+        assert!((fleet.devices[0].seconds_per_beam - 0.106).abs() < 1e-9);
+        // The modeled device got a genuine tuning result instead.
+        assert!(fleet.devices[2].gflops > 0.0);
+        assert!(fleet.devices[2].gflops != measured_gflops);
+    }
+
+    #[test]
+    fn measured_rate_from_a_tuning_result_keeps_its_config() {
+        let mut db = TuningDatabase::new();
+        let setup = ObservationalSetup::apertif();
+        let space = ConfigSpace::reduced();
+        // Stand in for a real host measurement with a model sweep: what
+        // matters is that the TuningResult's optimum is carried over.
+        let probe = FleetSpec::homogeneous(amd_hd7970(), 1)
+            .resolve(&mut db, &setup, 64, &space)
+            .unwrap();
+        let rate = RateSource::Measured {
+            gflops: probe.devices[0].gflops,
+            config: Some(probe.devices[0].config),
+        };
+        let mut fresh = TuningDatabase::new();
+        let fleet = FleetSpec::new()
+            .with_rated_group(amd_hd7970(), 2, rate)
+            .resolve(&mut fresh, &setup, 64, &space)
+            .unwrap();
+        assert_eq!(fresh.len(), 0, "measured groups never tune");
+        assert_eq!(fleet.devices[0].config, probe.devices[0].config);
+        assert_eq!(fleet.devices[1].gflops, probe.devices[0].gflops);
+    }
+
+    #[test]
+    fn non_positive_measured_rate_is_an_error() {
+        let mut db = TuningDatabase::new();
+        let err = FleetSpec::new()
+            .with_measured_group(amd_hd7970(), 1, 0.0)
+            .resolve(
+                &mut db,
+                &ObservationalSetup::apertif(),
+                64,
+                &ConfigSpace::reduced(),
+            );
+        assert!(err.is_err());
     }
 
     #[test]

@@ -1,0 +1,527 @@
+//! The grid: cooperating schedulers behind one global ledger.
+//!
+//! A [`Grid`] session partitions a survey's beams over N *shards* —
+//! each an independent [`Scheduler`] over its own [`ResolvedFleet`],
+//! running on its own thread — and merges the per-shard
+//! [`FleetReport`]s back into a single [`GridReport`]: global deadline
+//! misses, a shed ledger with global beam identities, per-shard
+//! sub-reports, and a conservation check that holds *across* shards
+//! (every admitted beam of the whole survey ends in exactly one
+//! terminal outcome on exactly one shard).
+//!
+//! ```ignore
+//! let run = Grid::session(&shards)
+//!     .policy(RebalancePolicy::LoadAware)
+//!     .load(&load)
+//!     .faults(&grid_faults)
+//!     .run()?;
+//! assert!(run.report.conservation_ok());
+//! ```
+//!
+//! Fault handling is two-layered. Device-level kills inside a shard
+//! are the shard scheduler's business (bounced work, orphan
+//! re-queueing, tier shedding). A *whole-shard* kill additionally
+//! reaches the grid front-end: beams released after the kill are
+//! re-homed to surviving shards per the [`RebalancePolicy`], while
+//! beams already in flight on the dying shard end as recorded
+//! whole-beam sheds in its own ledger — so nothing is ever silently
+//! lost, only loudly degraded.
+
+use crate::descriptor::{FleetError, ResolvedFleet};
+use crate::load::LoadSource;
+use crate::metrics::{BeamOutcome, FleetReport, ShedReason};
+use crate::scheduler::{FleetRun, Scheduler, SchedulerConfig};
+use crate::shard::{partition, GridFaultPlan, Partition, RebalancePolicy};
+use serde::{Deserialize, Serialize};
+
+/// Entry point for sharded fleet scheduling.
+///
+/// `Grid` is only a namespace: [`Grid::session`] opens a builder-style
+/// [`GridSession`] mirroring [`Scheduler::session`].
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Grid;
+
+impl Grid {
+    /// Opens a grid session over `shards`, one scheduler per entry.
+    ///
+    /// The session must be given a load before it can run; rebalance
+    /// policy, scheduler tunables, and a [`GridFaultPlan`] are
+    /// optional.
+    pub fn session(shards: &[ResolvedFleet]) -> GridSession<'_> {
+        GridSession {
+            shards,
+            config: SchedulerConfig::default(),
+            policy: RebalancePolicy::default(),
+            load: None,
+            faults: None,
+        }
+    }
+}
+
+/// A builder-style sharded scheduling session.
+#[derive(Clone)]
+pub struct GridSession<'a> {
+    shards: &'a [ResolvedFleet],
+    config: SchedulerConfig,
+    policy: RebalancePolicy,
+    load: Option<&'a dyn LoadSource>,
+    faults: Option<&'a GridFaultPlan>,
+}
+
+impl<'a> GridSession<'a> {
+    /// Overrides the per-shard scheduler tunables.
+    #[must_use]
+    pub fn config(mut self, config: SchedulerConfig) -> Self {
+        self.config = config;
+        self
+    }
+
+    /// Sets how beams are routed (and re-homed) across shards.
+    #[must_use]
+    pub fn policy(mut self, policy: RebalancePolicy) -> Self {
+        self.policy = policy;
+        self
+    }
+
+    /// Sets the load the grid will schedule (required).
+    #[must_use]
+    pub fn load(mut self, load: &'a dyn LoadSource) -> Self {
+        self.load = Some(load);
+        self
+    }
+
+    /// Sets the grid failure schedule (defaults to no failures).
+    #[must_use]
+    pub fn faults(mut self, faults: &'a GridFaultPlan) -> Self {
+        self.faults = Some(faults);
+        self
+    }
+
+    /// Runs every shard's scheduler on its own thread and merges the
+    /// results into the global ledger.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`FleetError`] for a grid with no shards, a session
+    /// without a load, a fault plan referring to shards that do not
+    /// exist, any per-shard scheduling error (empty shard fleet,
+    /// zero-trial load), or — defensively — if a beam fails to appear
+    /// exactly once in the merged ledger.
+    pub fn run(self) -> Result<GridRun, FleetError> {
+        let shards = self.shards;
+        if shards.is_empty() {
+            return Err(FleetError::new("grid has no shards"));
+        }
+        let load = self
+            .load
+            .ok_or_else(|| FleetError::new("grid session has no load (call .load(...))"))?;
+        let no_faults = GridFaultPlan::none();
+        let faults = self.faults.unwrap_or(&no_faults);
+        if let Some(max) = faults.max_shard() {
+            if max >= shards.len() {
+                return Err(FleetError::new(format!(
+                    "fault plan refers to shard {max} but the grid has {} shards",
+                    shards.len()
+                )));
+            }
+        }
+
+        let Partition {
+            shard_loads,
+            rehomed,
+        } = partition(load, shards, self.policy, faults);
+        let plans: Vec<_> = (0..shards.len())
+            .map(|s| faults.plan_for(s, shards[s].len()))
+            .collect();
+
+        // One real thread per shard; each shard session spawns its own
+        // per-device workers underneath.
+        let results: Vec<Result<FleetRun, FleetError>> = std::thread::scope(|scope| {
+            let handles: Vec<_> = shards
+                .iter()
+                .zip(&shard_loads)
+                .zip(&plans)
+                .map(|((fleet, shard_load), plan)| {
+                    let config = self.config.clone();
+                    scope.spawn(move || {
+                        Scheduler::session(fleet)
+                            .config(config)
+                            .load(shard_load)
+                            .faults(plan)
+                            .run()
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("shard scheduler thread panicked"))
+                .collect()
+        });
+        let mut shard_runs = Vec::with_capacity(shards.len());
+        for (shard, result) in results.into_iter().enumerate() {
+            shard_runs.push(result.map_err(|e| FleetError::new(format!("shard {shard}: {e}")))?);
+        }
+
+        // Merge: re-key every shard-local ledger row by its global beam.
+        let admitted = load.total_beams();
+        let mut merged: Vec<Option<GridBeamRecord>> = vec![None; admitted];
+        for (shard, (run, shard_load)) in shard_runs.iter().zip(&shard_loads).enumerate() {
+            let globals = shard_load.global_beams();
+            if globals.len() != run.records.len() {
+                return Err(FleetError::new(format!(
+                    "shard {shard} reported {} outcomes for {} beams",
+                    run.records.len(),
+                    globals.len()
+                )));
+            }
+            for (record, global) in run.records.iter().zip(globals) {
+                let slot = &mut merged[global.index];
+                if slot.is_some() {
+                    return Err(FleetError::new(format!(
+                        "beam {} reported by two shards",
+                        global.index
+                    )));
+                }
+                *slot = Some(GridBeamRecord {
+                    index: global.index,
+                    tick: global.tick,
+                    beam: global.beam,
+                    shard,
+                    outcome: record.outcome,
+                });
+            }
+        }
+        let records: Vec<GridBeamRecord> = merged
+            .into_iter()
+            .collect::<Option<_>>()
+            .ok_or_else(|| FleetError::new("beam lost across shards"))?;
+
+        let report = GridReport::build(load, self.policy, &shard_runs, &records, rehomed);
+        Ok(GridRun {
+            report,
+            records,
+            shard_runs,
+        })
+    }
+}
+
+/// One beam's terminal outcome in the global ledger.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct GridBeamRecord {
+    /// Global job index over the whole survey.
+    pub index: usize,
+    /// Releasing tick.
+    pub tick: usize,
+    /// Beam number within the tick, across all shards.
+    pub beam: usize,
+    /// Shard that owned the beam.
+    pub shard: usize,
+    /// How the beam ended.
+    pub outcome: BeamOutcome,
+}
+
+/// One recorded shed in the global ledger, tagged with its shard.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct GridShedRecord {
+    /// Shard that shed the beam.
+    pub shard: usize,
+    /// Global job index of the beam.
+    pub index: usize,
+    /// Releasing tick.
+    pub tick: usize,
+    /// Beam number within the tick, across all shards.
+    pub beam: usize,
+    /// Trial DMs dropped.
+    pub shed_trials: usize,
+    /// Trial DMs still dedispersed (0 for whole-beam sheds).
+    pub kept_trials: usize,
+    /// Why the shed happened.
+    pub reason: ShedReason,
+}
+
+/// The result of a grid run: the merged report plus both ledgers.
+#[derive(Debug, Clone)]
+pub struct GridRun {
+    /// Aggregated, serializable global summary.
+    pub report: GridReport,
+    /// Terminal state of every admitted beam, in global index order.
+    pub records: Vec<GridBeamRecord>,
+    /// The underlying per-shard runs, in shard order.
+    pub shard_runs: Vec<FleetRun>,
+}
+
+/// The merged, serializable summary of a grid run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct GridReport {
+    /// Setup name.
+    pub setup: String,
+    /// Trial DMs per beam.
+    pub trials: usize,
+    /// Ticks simulated.
+    pub ticks: usize,
+    /// Routing policy the grid ran under.
+    pub policy: RebalancePolicy,
+    /// Beam-seconds admitted across all shards.
+    pub admitted: usize,
+    /// Beams fully dedispersed on time, grid-wide.
+    pub completed: usize,
+    /// Beams finished on time with tiers shed, grid-wide.
+    pub degraded: usize,
+    /// Beams finished after their deadline, grid-wide.
+    pub deadline_misses: usize,
+    /// Beams dropped whole, grid-wide.
+    pub shed_whole: usize,
+    /// Total trial DMs shed across all shards.
+    pub total_shed_trials: usize,
+    /// Beams routed away from their healthy-grid home shard.
+    pub rehomed: usize,
+    /// Every shed, itemized with global identity and owning shard.
+    pub sheds: Vec<GridShedRecord>,
+    /// The per-shard sub-reports, in shard order.
+    pub shards: Vec<FleetReport>,
+    /// Virtual time the last beam finished anywhere on the grid.
+    pub makespan: f64,
+}
+
+impl GridReport {
+    /// Builds the merged report from the global ledger and shard runs.
+    fn build(
+        load: &dyn LoadSource,
+        policy: RebalancePolicy,
+        shard_runs: &[FleetRun],
+        records: &[GridBeamRecord],
+        rehomed: usize,
+    ) -> Self {
+        let mut completed = 0;
+        let mut degraded = 0;
+        let mut deadline_misses = 0;
+        let mut shed_whole = 0;
+        let mut total_shed_trials = 0;
+        let mut sheds = Vec::new();
+        let mut makespan: f64 = 0.0;
+        for r in records {
+            match r.outcome {
+                BeamOutcome::Completed { finish, .. } => {
+                    completed += 1;
+                    makespan = makespan.max(finish);
+                }
+                BeamOutcome::Degraded {
+                    finish,
+                    kept_trials,
+                    shed_trials,
+                    ..
+                } => {
+                    degraded += 1;
+                    total_shed_trials += shed_trials;
+                    makespan = makespan.max(finish);
+                    sheds.push(GridShedRecord {
+                        shard: r.shard,
+                        index: r.index,
+                        tick: r.tick,
+                        beam: r.beam,
+                        shed_trials,
+                        kept_trials,
+                        reason: ShedReason::DeadlinePressure,
+                    });
+                }
+                BeamOutcome::Missed { finish, .. } => {
+                    deadline_misses += 1;
+                    makespan = makespan.max(finish);
+                }
+                BeamOutcome::ShedWhole { at } => {
+                    shed_whole += 1;
+                    total_shed_trials += load.trials();
+                    makespan = makespan.max(at);
+                    sheds.push(GridShedRecord {
+                        shard: r.shard,
+                        index: r.index,
+                        tick: r.tick,
+                        beam: r.beam,
+                        shed_trials: load.trials(),
+                        kept_trials: 0,
+                        reason: ShedReason::NoAliveDevices,
+                    });
+                }
+            }
+        }
+        Self {
+            setup: load.setup().to_string(),
+            trials: load.trials(),
+            ticks: load.ticks(),
+            policy,
+            admitted: load.total_beams(),
+            completed,
+            degraded,
+            deadline_misses,
+            shed_whole,
+            total_shed_trials,
+            rehomed,
+            sheds,
+            shards: shard_runs.iter().map(|r| r.report.clone()).collect(),
+            makespan,
+        }
+    }
+
+    /// Whether the global ledger is conserved *and* agrees with the
+    /// shard ledgers: every admitted beam of the survey ended in
+    /// exactly one outcome, each shard's own ledger conserves, and the
+    /// merged totals equal the sums over shards.
+    pub fn conservation_ok(&self) -> bool {
+        let global = self.completed + self.degraded + self.deadline_misses + self.shed_whole
+            == self.admitted;
+        let shards_conserve = self.shards.iter().all(FleetReport::conservation_ok);
+        let sum = |f: fn(&FleetReport) -> usize| self.shards.iter().map(f).sum::<usize>();
+        let merged_matches = self.admitted == sum(|s| s.admitted)
+            && self.completed == sum(|s| s.completed)
+            && self.degraded == sum(|s| s.degraded)
+            && self.deadline_misses == sum(|s| s.deadline_misses)
+            && self.shed_whole == sum(|s| s.shed_whole)
+            && self.total_shed_trials == sum(|s| s.total_shed_trials);
+        global && shards_conserve && merged_matches
+    }
+
+    /// Physical devices across all shards.
+    pub fn devices_total(&self) -> usize {
+        self.shards.iter().map(|s| s.devices.len()).sum()
+    }
+
+    /// Serializes to pretty JSON.
+    ///
+    /// # Panics
+    ///
+    /// Panics only if serde_json fails on plain data, which cannot
+    /// happen for this type.
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).expect("plain report always serializes")
+    }
+
+    /// Deserializes from JSON.
+    ///
+    /// # Errors
+    ///
+    /// Returns the serde error for malformed input.
+    pub fn from_json(json: &str) -> Result<Self, serde_json::Error> {
+        serde_json::from_str(json)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::survey::SurveyLoad;
+
+    fn grid(spb_per_shard: &[&[f64]], trials: usize) -> Vec<ResolvedFleet> {
+        spb_per_shard
+            .iter()
+            .map(|spb| ResolvedFleet::synthetic(trials, spb))
+            .collect()
+    }
+
+    #[test]
+    fn healthy_grid_completes_everything_and_conserves() {
+        let shards = grid(&[&[0.2, 0.2], &[0.2, 0.2]], 1000);
+        let load = SurveyLoad::custom(1000, 8, 3);
+        let run = Grid::session(&shards).load(&load).run().unwrap();
+        let r = &run.report;
+        assert!(r.conservation_ok());
+        assert_eq!(r.admitted, 24);
+        assert_eq!(r.completed, 24);
+        assert_eq!(r.deadline_misses, 0);
+        assert_eq!(r.rehomed, 0);
+        assert_eq!(r.shards.len(), 2);
+        assert_eq!(r.devices_total(), 4);
+        // The merged ledger is in global index order and complete.
+        assert_eq!(run.records.len(), 24);
+        for (i, rec) in run.records.iter().enumerate() {
+            assert_eq!(rec.index, i);
+            assert_eq!(rec.shard, rec.beam % 2, "static hash homes");
+        }
+    }
+
+    #[test]
+    fn shard_kill_rehomes_and_stays_globally_conserved() {
+        let shards = grid(&[&[0.1, 0.1], &[0.1, 0.1]], 1000);
+        let load = SurveyLoad::custom(1000, 10, 4);
+        let faults = GridFaultPlan::none().with_shard_kill(0, 1.5);
+        let run = Grid::session(&shards)
+            .load(&load)
+            .faults(&faults)
+            .run()
+            .unwrap();
+        let r = &run.report;
+        assert!(r.conservation_ok());
+        assert_eq!(r.admitted, 40);
+        assert!(r.rehomed > 0, "later ticks re-home to shard 1");
+        // Shard 0's devices are all flagged dead at the kill time.
+        for d in &r.shards[0].devices {
+            assert_eq!(d.died_at, Some(1.5));
+        }
+        for d in &r.shards[1].devices {
+            assert_eq!(d.died_at, None);
+        }
+        // From tick 2 on (release ≥ 1.5), every beam runs on shard 1.
+        for rec in &run.records {
+            if rec.tick >= 2 {
+                assert_eq!(rec.shard, 1);
+            }
+        }
+    }
+
+    #[test]
+    fn merged_totals_equal_shard_sums_by_construction_check() {
+        let shards = grid(&[&[0.3], &[0.5, 0.9]], 500);
+        let load = SurveyLoad::custom(500, 6, 2);
+        let faults = GridFaultPlan::none().with_device_kill(1, 0, 0.8);
+        let run = Grid::session(&shards)
+            .load(&load)
+            .faults(&faults)
+            .run()
+            .unwrap();
+        let r = &run.report;
+        assert!(r.conservation_ok());
+        let shard_completed: usize = r.shards.iter().map(|s| s.completed).sum();
+        assert_eq!(r.completed, shard_completed);
+        assert_eq!(
+            r.sheds.len(),
+            r.shards.iter().map(|s| s.sheds.len()).sum::<usize>()
+        );
+    }
+
+    #[test]
+    fn grid_report_json_roundtrip() {
+        let shards = grid(&[&[0.2], &[0.2]], 100);
+        let load = SurveyLoad::custom(100, 4, 2);
+        let faults = GridFaultPlan::none().with_shard_kill(1, 1.0);
+        let run = Grid::session(&shards)
+            .load(&load)
+            .faults(&faults)
+            .run()
+            .unwrap();
+        let back = GridReport::from_json(&run.report.to_json()).unwrap();
+        assert_eq!(back, run.report);
+    }
+
+    #[test]
+    fn bad_sessions_are_errors() {
+        let load = SurveyLoad::custom(100, 2, 1);
+        // No shards.
+        assert!(Grid::session(&[]).load(&load).run().is_err());
+        let shards = grid(&[&[0.2]], 100);
+        // No load.
+        assert!(Grid::session(&shards).run().is_err());
+        // Fault plan referring to a shard that does not exist.
+        let faults = GridFaultPlan::none().with_shard_kill(3, 1.0);
+        assert!(Grid::session(&shards)
+            .load(&load)
+            .faults(&faults)
+            .run()
+            .is_err());
+        // A shard with an empty fleet fails loudly, naming the shard.
+        let with_empty = vec![
+            ResolvedFleet::synthetic(100, &[0.2]),
+            ResolvedFleet::synthetic(100, &[]),
+        ];
+        let err = Grid::session(&with_empty).load(&load).run().unwrap_err();
+        assert!(err.to_string().contains("shard 1"));
+    }
+}

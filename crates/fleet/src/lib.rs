@@ -9,14 +9,25 @@
 //!   of paper devices; each resolves its optimal kernel configuration
 //!   for the survey's (setup, #DMs) instance from a [`autotune::TuningDatabase`],
 //!   falling back to the nearest tuned instance or a fresh tuning run.
+//!   Groups may instead carry a *measured* rate ([`RateSource`]), so one
+//!   fleet mixes benchmarked and modeled platforms.
 //! * [`Scheduler`] — a crossbeam work-queue dispatcher placing beam
 //!   batches by cost-model predicted throughput, with admission control
-//!   and real backpressure against the real-time deadline budget.
+//!   and real backpressure against the real-time deadline budget. Runs
+//!   are configured as builder-style sessions
+//!   (`Scheduler::session(&fleet).load(&load).run()`), and any
+//!   [`LoadSource`] — a [`SurveyLoad`] cadence, a grid shard, a future
+//!   async capture front-end — can feed one.
 //! * [`FaultPlan`] — deterministic device-failure schedules; orphaned
 //!   beams are re-queued on survivors, and under pressure trailing DM
 //!   tiers are shed (and recorded) before deadlines are missed.
 //! * [`FleetReport`] — per-device utilization, queue depth, deadline
 //!   misses, and the full shed ledger as a serde artifact.
+//! * [`Grid`] — multi-node sharding: a survey partitioned across N
+//!   independent schedulers (each with its own [`ResolvedFleet`]) on
+//!   real threads, with whole-shard kills, beam re-homing to surviving
+//!   shards ([`RebalancePolicy`]), and a merged global ledger
+//!   ([`GridReport`]) whose conservation is checked across shards.
 //!
 //! The scheduling simulation runs in virtual time on real threads: one
 //! worker per device behind a bounded queue, so dispatcher backpressure,
@@ -25,15 +36,28 @@
 //! enough to assert on (placement is driven purely by virtual clocks).
 //!
 //! ```
-//! use dedisp_fleet::{FaultPlan, ResolvedFleet, Scheduler, SurveyLoad};
+//! use dedisp_fleet::{ResolvedFleet, Scheduler, SurveyLoad};
 //!
 //! // Ten synthetic devices, each dedispersing a beam in 0.106 s — the
 //! // paper's measured HD7970 rate — serving 90 beams every second.
 //! let fleet = ResolvedFleet::synthetic(2000, &[0.106; 10]);
 //! let load = SurveyLoad::custom(2000, 90, 3);
-//! let run = Scheduler::default()
-//!     .run(&fleet, &load, &FaultPlan::none())
-//!     .unwrap();
+//! let run = Scheduler::session(&fleet).load(&load).run().unwrap();
+//! assert_eq!(run.report.deadline_misses, 0);
+//! assert!(run.report.conservation_ok());
+//! ```
+//!
+//! Sharding the same survey across cooperating schedulers:
+//!
+//! ```
+//! use dedisp_fleet::{Grid, GridFaultPlan, ResolvedFleet, SurveyLoad};
+//!
+//! let shards = vec![
+//!     ResolvedFleet::synthetic(2000, &[0.106; 5]),
+//!     ResolvedFleet::synthetic(2000, &[0.106; 5]),
+//! ];
+//! let load = SurveyLoad::custom(2000, 90, 3);
+//! let run = Grid::session(&shards).load(&load).run().unwrap();
 //! assert_eq!(run.report.deadline_misses, 0);
 //! assert!(run.report.conservation_ok());
 //! ```
@@ -42,12 +66,20 @@
 
 mod descriptor;
 mod fault;
+mod grid;
+mod load;
 mod metrics;
 mod scheduler;
+mod shard;
 mod survey;
 
-pub use descriptor::{DeviceGroup, FleetError, FleetSpec, ResolvedDevice, ResolvedFleet};
+pub use descriptor::{
+    DeviceGroup, FleetError, FleetSpec, RateSource, ResolvedDevice, ResolvedFleet,
+};
 pub use fault::FaultPlan;
+pub use grid::{Grid, GridBeamRecord, GridReport, GridRun, GridSession, GridShedRecord};
+pub use load::LoadSource;
 pub use metrics::{BeamOutcome, BeamRecord, DeviceMetrics, FleetReport, ShedReason, ShedRecord};
-pub use scheduler::{FleetRun, Scheduler, SchedulerConfig};
+pub use scheduler::{FleetRun, Scheduler, SchedulerConfig, Session};
+pub use shard::{GlobalBeam, GridFaultPlan, RebalancePolicy, ShardLoad};
 pub use survey::{BeamJob, SurveyLoad};

@@ -1,0 +1,59 @@
+//! The source-agnostic load abstraction.
+//!
+//! The scheduler does not care *where* beams come from — a synthetic
+//! survey cadence ([`crate::SurveyLoad`]), a shard of a larger survey
+//! carved out by the grid layer ([`crate::ShardLoad`]), or (on the
+//! roadmap) an async filterbank/UDP capture front-end. [`LoadSource`]
+//! is the whole contract: how many ticks, how many beams each tick
+//! releases, and the release/deadline times the real-time budget is
+//! measured against. Everything else about scheduling is independent
+//! of the source.
+
+/// A source of beam work over a finite horizon of ticks.
+///
+/// Implementors promise that `release` is non-decreasing in the tick
+/// and that every tick's `deadline` is at or after its `release`; the
+/// scheduler treats the interval as that batch's real-time budget.
+pub trait LoadSource {
+    /// Setup name, for reports.
+    fn setup(&self) -> &str;
+
+    /// Trial DMs per beam (fixed across the load).
+    fn trials(&self) -> usize;
+
+    /// Number of ticks in the horizon.
+    fn ticks(&self) -> usize;
+
+    /// Beams released at tick `tick` (may vary per tick).
+    fn beams_at(&self, tick: usize) -> usize;
+
+    /// Virtual time the data of tick `tick` becomes available.
+    fn release(&self, tick: usize) -> f64;
+
+    /// Virtual time by which tick `tick`'s beams must be dedispersed.
+    fn deadline(&self, tick: usize) -> f64;
+
+    /// Total beam-seconds the source will offer over the horizon.
+    fn total_beams(&self) -> usize {
+        (0..self.ticks()).map(|t| self.beams_at(t)).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::survey::SurveyLoad;
+
+    #[test]
+    fn survey_load_implements_the_trait() {
+        let load = SurveyLoad::custom(100, 7, 3);
+        let src: &dyn LoadSource = &load;
+        assert_eq!(src.setup(), "custom");
+        assert_eq!(src.trials(), 100);
+        assert_eq!(src.ticks(), 3);
+        assert_eq!(src.beams_at(2), 7);
+        assert_eq!(src.total_beams(), 21);
+        assert_eq!(src.release(1), 1.0);
+        assert_eq!(src.deadline(1), 2.0);
+    }
+}

@@ -8,7 +8,7 @@
 //! and the full shed ledger.
 
 use crate::descriptor::ResolvedFleet;
-use crate::survey::SurveyLoad;
+use crate::load::LoadSource;
 use serde::{Deserialize, Serialize};
 
 /// Terminal state of one beam-second.
@@ -103,6 +103,15 @@ pub struct DeviceMetrics {
     /// `busy_s / makespan` — fraction of the run spent working.
     pub utilization: f64,
     /// Deepest its work queue ever got (admitted, not yet started).
+    ///
+    /// Observed by the real worker thread as it drains the bounded
+    /// queue, so it can vary run-to-run with OS scheduling even on
+    /// healthy runs, where every other field is deterministic; compare
+    /// reports modulo this field when asserting determinism. (Faulted
+    /// runs can additionally vary in which beams end degraded, since
+    /// device death is discovered through bounced work racing tick
+    /// admission — only the conservation totals are timing-robust
+    /// there.)
     pub max_queue_depth: usize,
     /// Virtual time the fault plan killed it, if it was killed.
     pub died_at: Option<f64>,
@@ -115,11 +124,11 @@ pub struct FleetReport {
     pub setup: String,
     /// Trial DMs per beam.
     pub trials: usize,
-    /// Beams per tick.
+    /// Beams per tick (the largest tick, when the source varies).
     pub beams: usize,
     /// Ticks simulated.
     pub ticks: usize,
-    /// Beam-seconds admitted (`beams × ticks`).
+    /// Beam-seconds admitted over the whole horizon.
     pub admitted: usize,
     /// Beams fully dedispersed on time.
     pub completed: usize,
@@ -143,7 +152,7 @@ impl FleetReport {
     /// Builds the report from the per-beam ledger and worker statistics.
     pub(crate) fn build(
         fleet: &ResolvedFleet,
-        load: &SurveyLoad,
+        load: &dyn LoadSource,
         records: &[BeamRecord],
         stats: &[WorkerStats],
         died_at: &[Option<f64>],
@@ -185,13 +194,13 @@ impl FleetReport {
                 }
                 BeamOutcome::ShedWhole { at } => {
                     shed_whole += 1;
-                    total_shed += load.trials;
+                    total_shed += load.trials();
                     makespan = makespan.max(at);
                     sheds.push(ShedRecord {
                         index: r.index,
                         tick: r.tick,
                         beam: r.beam,
-                        shed_trials: load.trials,
+                        shed_trials: load.trials(),
                         kept_trials: 0,
                         reason: ShedReason::NoAliveDevices,
                     });
@@ -217,10 +226,13 @@ impl FleetReport {
             })
             .collect();
         Self {
-            setup: load.setup.clone(),
-            trials: load.trials,
-            beams: load.beams,
-            ticks: load.ticks,
+            setup: load.setup().to_string(),
+            trials: load.trials(),
+            beams: (0..load.ticks())
+                .map(|t| load.beams_at(t))
+                .max()
+                .unwrap_or(0),
+            ticks: load.ticks(),
             admitted: load.total_beams(),
             completed,
             degraded,
@@ -283,6 +295,7 @@ pub(crate) struct WorkerStats {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::survey::SurveyLoad;
 
     #[test]
     fn report_json_roundtrip() {

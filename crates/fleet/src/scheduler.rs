@@ -5,6 +5,20 @@
 //! (the device's work queue — a full queue blocks the dispatcher, which
 //! is the backpressure), with an unbounded event channel flowing back.
 //!
+//! A run is configured as a builder-style *session*:
+//!
+//! ```ignore
+//! let run = Scheduler::session(&fleet)
+//!     .load(&load)
+//!     .faults(&plan)
+//!     .run()?;
+//! ```
+//!
+//! The load reaches the scheduler only through the [`LoadSource`]
+//! trait, so survey cadences, grid shards, and future async capture
+//! front-ends all plug into the same session without touching this
+//! module.
+//!
 //! Placement is greedy earliest-predicted-finish: each beam goes to the
 //! alive device that the cost model says will finish it soonest. For a
 //! feasible fleet this is optimal in the §V-D sense — if per-device
@@ -31,6 +45,7 @@
 
 use crate::descriptor::{FleetError, ResolvedFleet};
 use crate::fault::FaultPlan;
+use crate::load::LoadSource;
 use crate::metrics::{BeamOutcome, BeamRecord, FleetReport, WorkerStats};
 use crate::survey::{BeamJob, SurveyLoad};
 use crossbeam::channel::{self, Receiver, Sender};
@@ -97,10 +112,40 @@ pub struct Scheduler {
     config: SchedulerConfig,
 }
 
+/// A builder-style scheduling session over one fleet.
+///
+/// Created by [`Scheduler::session`]; configure it with [`load`]
+/// (required), [`faults`], and [`config`], then [`run`] it.
+///
+/// [`load`]: Session::load
+/// [`faults`]: Session::faults
+/// [`config`]: Session::config
+/// [`run`]: Session::run
+#[derive(Clone)]
+pub struct Session<'a> {
+    config: SchedulerConfig,
+    fleet: &'a ResolvedFleet,
+    load: Option<&'a dyn LoadSource>,
+    faults: Option<&'a FaultPlan>,
+}
+
 impl Scheduler {
     /// A scheduler with explicit tunables.
     pub fn new(config: SchedulerConfig) -> Self {
         Self { config }
+    }
+
+    /// Opens a scheduling session over `fleet` with default tunables.
+    ///
+    /// The session must be given a load before it can run; a fault
+    /// plan is optional (none by default).
+    pub fn session(fleet: &ResolvedFleet) -> Session<'_> {
+        Session {
+            config: SchedulerConfig::default(),
+            fleet,
+            load: None,
+            faults: None,
+        }
     }
 
     /// Runs `load` over `fleet` under `faults`.
@@ -110,16 +155,64 @@ impl Scheduler {
     /// Returns a [`FleetError`] for an empty fleet, a zero-trial load,
     /// a negative per-beam cost, or (defensively) if any beam fails to
     /// reach a terminal state.
+    #[deprecated(
+        since = "0.1.0",
+        note = "use `Scheduler::session(&fleet).load(&load).faults(&plan).run()`"
+    )]
     pub fn run(
         &self,
         fleet: &ResolvedFleet,
         load: &SurveyLoad,
         faults: &FaultPlan,
     ) -> Result<FleetRun, FleetError> {
+        Scheduler::session(fleet)
+            .config(self.config.clone())
+            .load(load)
+            .faults(faults)
+            .run()
+    }
+}
+
+impl<'a> Session<'a> {
+    /// Overrides the scheduler tunables for this session.
+    #[must_use]
+    pub fn config(mut self, config: SchedulerConfig) -> Self {
+        self.config = config;
+        self
+    }
+
+    /// Sets the load the session will schedule (required).
+    #[must_use]
+    pub fn load(mut self, load: &'a dyn LoadSource) -> Self {
+        self.load = Some(load);
+        self
+    }
+
+    /// Sets the failure schedule (defaults to no failures).
+    #[must_use]
+    pub fn faults(mut self, faults: &'a FaultPlan) -> Self {
+        self.faults = Some(faults);
+        self
+    }
+
+    /// Runs the session to completion.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`FleetError`] for a session without a load, an empty
+    /// fleet, a zero-trial load, a negative per-beam cost, or
+    /// (defensively) if any beam fails to reach a terminal state.
+    pub fn run(self) -> Result<FleetRun, FleetError> {
+        let fleet = self.fleet;
+        let load = self
+            .load
+            .ok_or_else(|| FleetError::new("session has no load (call .load(...))"))?;
+        let no_faults = FaultPlan::none();
+        let faults = self.faults.unwrap_or(&no_faults);
         if fleet.is_empty() {
             return Err(FleetError::new("cannot schedule on an empty fleet"));
         }
-        if load.trials == 0 {
+        if load.trials() == 0 {
             return Err(FleetError::new("load must have at least one trial DM"));
         }
         if fleet.devices.iter().any(|d| d.seconds_per_beam < 0.0) {
@@ -145,24 +238,27 @@ impl Scheduler {
             drop(event_tx);
             dispatcher.senders = senders;
 
-            for tick in 0..load.ticks {
+            let mut next_index = 0usize;
+            for tick in 0..load.ticks() {
                 while let Ok(ev) = event_rx.try_recv() {
                     dispatcher.handle(ev);
                 }
                 let release = load.release(tick);
                 let deadline = load.deadline(tick);
-                let kept = dispatcher.tick_kept(release, deadline, load.beams);
-                for beam in 0..load.beams {
+                let beams = load.beams_at(tick);
+                let kept = dispatcher.tick_kept(release, deadline, beams);
+                for beam in 0..beams {
                     while let Ok(ev) = event_rx.try_recv() {
                         dispatcher.handle(ev);
                     }
                     let job = BeamJob {
-                        index: tick * load.beams + beam,
+                        index: next_index,
                         tick,
                         beam,
                         release,
                         deadline,
                     };
+                    next_index += 1;
                     dispatcher.place(job, job.release, kept);
                 }
             }
@@ -207,11 +303,12 @@ struct Dispatcher {
 }
 
 impl Dispatcher {
-    fn new(fleet: &ResolvedFleet, load: &SurveyLoad, config: &SchedulerConfig) -> Self {
-        let tier = load.trials.div_ceil(config.shed_tiers.max(1));
+    fn new(fleet: &ResolvedFleet, load: &dyn LoadSource, config: &SchedulerConfig) -> Self {
+        let trials = load.trials();
+        let tier = trials.div_ceil(config.shed_tiers.max(1));
         let mut kept_options = Vec::new();
         for shed in 1..=config.max_shed_tiers.min(config.shed_tiers) {
-            let kept = load.trials.saturating_sub(shed * tier);
+            let kept = trials.saturating_sub(shed * tier);
             if kept == 0 {
                 break;
             }
@@ -224,7 +321,7 @@ impl Dispatcher {
             senders: Vec::new(),
             records: vec![None; load.total_beams()],
             accounted: 0,
-            trials: load.trials,
+            trials,
             kept_options,
         }
     }
@@ -447,7 +544,11 @@ mod tests {
     fn run(spb: &[f64], trials: usize, beams: usize, ticks: usize, faults: &FaultPlan) -> FleetRun {
         let fleet = ResolvedFleet::synthetic(trials, spb);
         let load = SurveyLoad::custom(trials, beams, ticks);
-        Scheduler::default().run(&fleet, &load, faults).unwrap()
+        Scheduler::session(&fleet)
+            .load(&load)
+            .faults(faults)
+            .run()
+            .unwrap()
     }
 
     #[test]
@@ -541,17 +642,15 @@ mod tests {
     }
 
     #[test]
-    fn empty_fleet_and_zero_trials_are_errors() {
+    fn empty_fleet_zero_trials_and_missing_load_are_errors() {
         let load = SurveyLoad::custom(100, 1, 1);
         let empty = ResolvedFleet::synthetic(100, &[]);
-        assert!(Scheduler::default()
-            .run(&empty, &load, &FaultPlan::none())
-            .is_err());
+        assert!(Scheduler::session(&empty).load(&load).run().is_err());
         let fleet = ResolvedFleet::synthetic(0, &[0.5]);
         let zero = SurveyLoad::custom(0, 1, 1);
-        assert!(Scheduler::default()
-            .run(&fleet, &zero, &FaultPlan::none())
-            .is_err());
+        assert!(Scheduler::session(&fleet).load(&zero).run().is_err());
+        // A session without a load cannot run.
+        assert!(Scheduler::session(&fleet).run().is_err());
     }
 
     #[test]
@@ -561,5 +660,65 @@ mod tests {
         assert_eq!(dev.beams_done, 4);
         assert!((dev.busy_s - 2.0).abs() < 1e-9);
         assert!(dev.utilization > 0.9);
+    }
+
+    #[test]
+    fn session_config_overrides_tunables() {
+        // Forbid shedding entirely: the same overload that degrades
+        // under the default config must now miss.
+        let fleet = ResolvedFleet::synthetic(1000, &[0.25]);
+        let load = SurveyLoad::custom(1000, 5, 1);
+        let strict = SchedulerConfig {
+            max_shed_tiers: 0,
+            ..SchedulerConfig::default()
+        };
+        let run = Scheduler::session(&fleet)
+            .config(strict)
+            .load(&load)
+            .run()
+            .unwrap();
+        assert!(run.report.conservation_ok());
+        assert_eq!(run.report.degraded, 0);
+        assert!(run.report.deadline_misses > 0);
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_positional_run_matches_the_session() {
+        let fleet = ResolvedFleet::synthetic(800, &[0.2, 0.3]);
+        let load = SurveyLoad::custom(800, 6, 2);
+        // Healthy runs are fully deterministic, so the shim and the
+        // session must produce identical ledgers. (Only
+        // max_queue_depth is observed by the real worker threads and
+        // may vary with OS scheduling — compare modulo that field.)
+        let old = Scheduler::default()
+            .run(&fleet, &load, &FaultPlan::none())
+            .unwrap();
+        let new = Scheduler::session(&fleet).load(&load).run().unwrap();
+        let mut old_report = old.report.clone();
+        let mut new_report = new.report.clone();
+        for d in old_report
+            .devices
+            .iter_mut()
+            .chain(new_report.devices.iter_mut())
+        {
+            d.max_queue_depth = 0;
+        }
+        assert_eq!(old_report, new_report);
+        assert_eq!(old.records, new.records);
+        // Under faults, which beams end degraded can depend on when
+        // bounced work is discovered relative to tick admission, so
+        // compare the timing-robust facts only.
+        let faults = FaultPlan::none().with_kill(1, 0.9);
+        let old = Scheduler::default().run(&fleet, &load, &faults).unwrap();
+        let new = Scheduler::session(&fleet)
+            .load(&load)
+            .faults(&faults)
+            .run()
+            .unwrap();
+        assert!(old.report.conservation_ok());
+        assert!(new.report.conservation_ok());
+        assert_eq!(old.report.admitted, new.report.admitted);
+        assert_eq!(old.report.devices[1].died_at, new.report.devices[1].died_at);
     }
 }

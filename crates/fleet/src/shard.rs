@@ -1,0 +1,441 @@
+//! Sharding: carving one survey into per-scheduler slices.
+//!
+//! A single [`crate::Scheduler`] tops out at one dispatcher thread and
+//! one machine's worth of accelerators; the Apertif-scale surveys of
+//! §V-D (and anything aimed at the roadmap's "millions of users")
+//! partition beams across several cooperating schedulers instead. This
+//! module is the partitioning half of that grid: a [`RebalancePolicy`]
+//! routes every tick's beams to shards, a [`GridFaultPlan`] schedules
+//! per-shard device failures and whole-shard kills, and the resulting
+//! [`ShardLoad`]s — each a [`LoadSource`] remembering the *global*
+//! identity of every beam it carries — plug straight into unmodified
+//! scheduler sessions. Beams whose home shard is already dead at
+//! release are *re-homed* to survivors; beams in flight when a shard
+//! dies are handled by the shard's own recovery (re-queued on its
+//! surviving devices, or shed whole — loudly — when none remain), so
+//! the merged ledger stays conserved no matter what is killed.
+
+use crate::descriptor::ResolvedFleet;
+use crate::fault::FaultPlan;
+use crate::load::LoadSource;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// How the grid routes each tick's beams to shards.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub enum RebalancePolicy {
+    /// Beam `b` of every tick lives on shard `b mod N`; when its home
+    /// shard is dead at release it is re-homed to the next surviving
+    /// shard in id order. Placement-stable and oblivious to capacity.
+    #[default]
+    StaticHash,
+    /// Each tick's beams are apportioned over the *surviving* shards
+    /// proportionally to their full-resolution beam capacity (D'Hondt
+    /// rounding, lowest shard id wins ties), so a dead shard's load is
+    /// handed off to whoever has the most headroom.
+    LoadAware,
+}
+
+/// A beam's identity in the global survey, as carried by a shard.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct GlobalBeam {
+    /// Global job index over the whole survey horizon.
+    pub index: usize,
+    /// Releasing tick.
+    pub tick: usize,
+    /// Beam number within the tick, across all shards.
+    pub beam: usize,
+}
+
+/// One tick's slice of the survey assigned to one shard.
+#[derive(Debug, Clone, PartialEq)]
+struct TickSlice {
+    release: f64,
+    deadline: f64,
+    beams: Vec<GlobalBeam>,
+}
+
+/// The slice of a survey that one shard's scheduler sees.
+///
+/// Implements [`LoadSource`], so a plain [`crate::Scheduler`] session
+/// runs it unchanged; the shard-local job index of each beam maps back
+/// to its global identity via [`ShardLoad::global_beams`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct ShardLoad {
+    setup: String,
+    trials: usize,
+    ticks: Vec<TickSlice>,
+}
+
+impl ShardLoad {
+    /// The global identity of every beam this shard schedules, in
+    /// shard-local job-index order (the order of the shard's
+    /// [`crate::FleetRun`] ledger).
+    pub fn global_beams(&self) -> Vec<GlobalBeam> {
+        self.ticks
+            .iter()
+            .flat_map(|t| t.beams.iter().copied())
+            .collect()
+    }
+}
+
+impl LoadSource for ShardLoad {
+    fn setup(&self) -> &str {
+        &self.setup
+    }
+
+    fn trials(&self) -> usize {
+        self.trials
+    }
+
+    fn ticks(&self) -> usize {
+        self.ticks.len()
+    }
+
+    fn beams_at(&self, tick: usize) -> usize {
+        self.ticks[tick].beams.len()
+    }
+
+    fn release(&self, tick: usize) -> f64 {
+        self.ticks[tick].release
+    }
+
+    fn deadline(&self, tick: usize) -> f64 {
+        self.ticks[tick].deadline
+    }
+}
+
+/// Failure schedules for a whole grid: per-shard device kills plus
+/// whole-shard kills.
+///
+/// Device kills behave exactly like a single-scheduler [`FaultPlan`]
+/// scoped to one shard. A *shard* kill takes every device of the shard
+/// down at once; the grid front-end additionally stops routing new
+/// beams there from the kill time on (the re-homing of
+/// [`RebalancePolicy`]).
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct GridFaultPlan {
+    device_kills: BTreeMap<usize, FaultPlan>,
+    shard_kills: BTreeMap<usize, f64>,
+}
+
+impl GridFaultPlan {
+    /// No failures.
+    pub fn none() -> Self {
+        Self::default()
+    }
+
+    /// Schedules device `device` of shard `shard` to die at `at`.
+    #[must_use]
+    pub fn with_device_kill(mut self, shard: usize, device: usize, at: f64) -> Self {
+        let plan = self.device_kills.entry(shard).or_default();
+        *plan = plan.clone().with_kill(device, at);
+        self
+    }
+
+    /// Schedules the whole of shard `shard` — every device — to die at
+    /// `at`; from then on the grid re-homes its beams to survivors.
+    #[must_use]
+    pub fn with_shard_kill(mut self, shard: usize, at: f64) -> Self {
+        self.shard_kills.insert(shard, at);
+        self
+    }
+
+    /// When (if ever) shard `shard` is killed whole.
+    pub fn shard_kill_time(&self, shard: usize) -> Option<f64> {
+        self.shard_kills.get(&shard).copied()
+    }
+
+    /// Whether the plan kills nothing.
+    pub fn is_empty(&self) -> bool {
+        self.shard_kills.is_empty() && self.device_kills.values().all(FaultPlan::is_empty)
+    }
+
+    /// The largest shard index the plan refers to, if any.
+    pub fn max_shard(&self) -> Option<usize> {
+        self.device_kills
+            .keys()
+            .chain(self.shard_kills.keys())
+            .copied()
+            .max()
+    }
+
+    /// The device-level [`FaultPlan`] shard `shard` (with `devices`
+    /// devices) hands to its scheduler: its scheduled device kills,
+    /// with a whole-shard kill folded in as a kill of every device at
+    /// the earlier of the two times.
+    pub fn plan_for(&self, shard: usize, devices: usize) -> FaultPlan {
+        let mut plan = self.device_kills.get(&shard).cloned().unwrap_or_default();
+        if let Some(at) = self.shard_kill_time(shard) {
+            for device in 0..devices {
+                let effective = plan.kill_time(device).map_or(at, |t| t.min(at));
+                plan = plan.with_kill(device, effective);
+            }
+        }
+        plan
+    }
+}
+
+/// The outcome of partitioning a load over shards.
+pub(crate) struct Partition {
+    /// One load slice per shard, every tick present (possibly empty).
+    pub shard_loads: Vec<ShardLoad>,
+    /// Beams routed to a different shard than they would have been had
+    /// every shard been alive.
+    pub rehomed: usize,
+}
+
+/// Routes every beam of `load` to a shard, tick by tick.
+///
+/// A shard whose whole-shard kill time is at or before a tick's
+/// release is dead for routing from that tick on. If *no* shard
+/// survives, routing proceeds as if all were alive — the dead shards'
+/// schedulers then shed every beam whole, loudly, keeping the global
+/// ledger conserved.
+pub(crate) fn partition(
+    load: &dyn LoadSource,
+    shards: &[ResolvedFleet],
+    policy: RebalancePolicy,
+    faults: &GridFaultPlan,
+) -> Partition {
+    let n = shards.len();
+    let weights: Vec<usize> = shards.iter().map(|s| s.beams_capacity()).collect();
+    let mut shard_loads: Vec<ShardLoad> = (0..n)
+        .map(|_| ShardLoad {
+            setup: load.setup().to_string(),
+            trials: load.trials(),
+            ticks: Vec::with_capacity(load.ticks()),
+        })
+        .collect();
+    let all_alive = vec![true; n];
+    let mut rehomed = 0usize;
+    let mut next_index = 0usize;
+    for tick in 0..load.ticks() {
+        let release = load.release(tick);
+        let deadline = load.deadline(tick);
+        let beams = load.beams_at(tick);
+        for sl in &mut shard_loads {
+            sl.ticks.push(TickSlice {
+                release,
+                deadline,
+                beams: Vec::new(),
+            });
+        }
+        let mut alive: Vec<bool> = (0..n)
+            .map(|s| faults.shard_kill_time(s).is_none_or(|k| k > release))
+            .collect();
+        if !alive.iter().any(|&a| a) {
+            alive = all_alive.clone();
+        }
+        let routes = route_tick(policy, beams, &weights, &alive);
+        if alive != all_alive {
+            let baseline = route_tick(policy, beams, &weights, &all_alive);
+            rehomed += routes
+                .iter()
+                .zip(&baseline)
+                .filter(|(got, home)| got != home)
+                .count();
+        }
+        for (beam, &shard) in routes.iter().enumerate() {
+            shard_loads[shard].ticks[tick].beams.push(GlobalBeam {
+                index: next_index,
+                tick,
+                beam,
+            });
+            next_index += 1;
+        }
+    }
+    Partition {
+        shard_loads,
+        rehomed,
+    }
+}
+
+/// Chooses a shard for each of one tick's beams.
+fn route_tick(
+    policy: RebalancePolicy,
+    beams: usize,
+    weights: &[usize],
+    alive: &[bool],
+) -> Vec<usize> {
+    let n = weights.len();
+    match policy {
+        RebalancePolicy::StaticHash => (0..beams)
+            .map(|b| {
+                let home = b % n;
+                (0..n)
+                    .map(|offset| (home + offset) % n)
+                    .find(|&s| alive[s])
+                    .unwrap_or(home)
+            })
+            .collect(),
+        RebalancePolicy::LoadAware => {
+            // D'Hondt apportionment: each beam goes to the alive shard
+            // with the largest capacity-per-assigned-beam quotient, so
+            // the tick ends distributed proportionally to capacity.
+            let mut assigned = vec![0usize; n];
+            (0..beams)
+                .map(|_| {
+                    let mut best = 0usize;
+                    let mut best_quotient = f64::NEG_INFINITY;
+                    for (s, (&w, &up)) in weights.iter().zip(alive).enumerate() {
+                        if !up {
+                            continue;
+                        }
+                        let quotient = w.max(1) as f64 / (assigned[s] + 1) as f64;
+                        if quotient > best_quotient {
+                            best_quotient = quotient;
+                            best = s;
+                        }
+                    }
+                    assigned[best] += 1;
+                    best
+                })
+                .collect()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::survey::SurveyLoad;
+
+    fn shards(spb_per_shard: &[&[f64]]) -> Vec<ResolvedFleet> {
+        spb_per_shard
+            .iter()
+            .map(|spb| ResolvedFleet::synthetic(100, spb))
+            .collect()
+    }
+
+    #[test]
+    fn static_hash_partitions_round_robin_and_keeps_global_identity() {
+        let shards = shards(&[&[0.2, 0.2], &[0.2, 0.2]]);
+        let load = SurveyLoad::custom(100, 5, 2);
+        let part = partition(
+            &load,
+            &shards,
+            RebalancePolicy::StaticHash,
+            &GridFaultPlan::none(),
+        );
+        assert_eq!(part.rehomed, 0);
+        assert_eq!(part.shard_loads.len(), 2);
+        // Beams 0,2,4 home on shard 0; 1,3 on shard 1 — every tick.
+        let s0 = &part.shard_loads[0];
+        let s1 = &part.shard_loads[1];
+        assert_eq!(s0.beams_at(0), 3);
+        assert_eq!(s1.beams_at(0), 2);
+        assert_eq!(s0.total_beams() + s1.total_beams(), load.total_beams());
+        // Global identities: shard-local order maps back losslessly.
+        let globals = s0.global_beams();
+        assert_eq!(
+            globals[0],
+            GlobalBeam {
+                index: 0,
+                tick: 0,
+                beam: 0
+            }
+        );
+        assert_eq!(
+            globals[1],
+            GlobalBeam {
+                index: 2,
+                tick: 0,
+                beam: 2
+            }
+        );
+        assert_eq!(
+            globals[3],
+            GlobalBeam {
+                index: 5,
+                tick: 1,
+                beam: 0
+            }
+        );
+        // Release/deadline pass through unchanged.
+        assert_eq!(s1.release(1), 1.0);
+        assert_eq!(s1.deadline(1), 2.0);
+    }
+
+    #[test]
+    fn dead_shard_beams_rehome_to_survivors() {
+        let shards = shards(&[&[0.2, 0.2], &[0.2, 0.2]]);
+        let load = SurveyLoad::custom(100, 4, 3);
+        let faults = GridFaultPlan::none().with_shard_kill(0, 1.0);
+        let part = partition(&load, &shards, RebalancePolicy::StaticHash, &faults);
+        // Tick 0 (release 0.0): shard 0 alive, splits 2/2. Ticks 1–2
+        // (release ≥ kill): all four beams re-home to shard 1.
+        assert_eq!(part.shard_loads[0].beams_at(0), 2);
+        assert_eq!(part.shard_loads[0].beams_at(1), 0);
+        assert_eq!(part.shard_loads[0].beams_at(2), 0);
+        assert_eq!(part.shard_loads[1].beams_at(1), 4);
+        assert_eq!(part.rehomed, 4, "two home beams per tick, two ticks");
+        // Nothing is lost in the handoff.
+        let total: usize = part.shard_loads.iter().map(|s| s.total_beams()).sum();
+        assert_eq!(total, load.total_beams());
+    }
+
+    #[test]
+    fn killing_every_shard_still_routes_every_beam() {
+        let shards = shards(&[&[0.2], &[0.2]]);
+        let load = SurveyLoad::custom(100, 3, 2);
+        let faults = GridFaultPlan::none()
+            .with_shard_kill(0, 0.0)
+            .with_shard_kill(1, 0.0);
+        let part = partition(&load, &shards, RebalancePolicy::StaticHash, &faults);
+        let total: usize = part.shard_loads.iter().map(|s| s.total_beams()).sum();
+        assert_eq!(
+            total,
+            load.total_beams(),
+            "dead shards still get routed beams"
+        );
+    }
+
+    #[test]
+    fn load_aware_routing_is_proportional_to_capacity() {
+        // Shard 0 has twice shard 1's capacity (10 vs 5 beams/s).
+        let shards = shards(&[&[0.1, 0.1], &[0.1]]);
+        let load = SurveyLoad::custom(100, 9, 1);
+        let part = partition(
+            &load,
+            &shards,
+            RebalancePolicy::LoadAware,
+            &GridFaultPlan::none(),
+        );
+        assert_eq!(part.shard_loads[0].beams_at(0), 6);
+        assert_eq!(part.shard_loads[1].beams_at(0), 3);
+    }
+
+    #[test]
+    fn load_aware_hands_off_to_the_biggest_survivor() {
+        let shards = shards(&[&[0.1], &[0.1, 0.1], &[0.1]]);
+        let load = SurveyLoad::custom(100, 8, 2);
+        let faults = GridFaultPlan::none().with_shard_kill(1, 1.0);
+        let part = partition(&load, &shards, RebalancePolicy::LoadAware, &faults);
+        // Tick 1: the big middle shard is gone; the two unit shards
+        // split its share evenly.
+        assert_eq!(part.shard_loads[1].beams_at(1), 0);
+        assert_eq!(part.shard_loads[0].beams_at(1), 4);
+        assert_eq!(part.shard_loads[2].beams_at(1), 4);
+        assert!(part.rehomed > 0);
+    }
+
+    #[test]
+    fn plan_for_folds_shard_kills_over_device_kills() {
+        let plan = GridFaultPlan::none()
+            .with_device_kill(1, 0, 0.5)
+            .with_device_kill(1, 2, 3.0)
+            .with_shard_kill(1, 2.0);
+        let shard1 = plan.plan_for(1, 3);
+        // Earlier device kill survives; later one is pulled forward to
+        // the shard kill; untouched devices die at the shard kill.
+        assert_eq!(shard1.kill_time(0), Some(0.5));
+        assert_eq!(shard1.kill_time(1), Some(2.0));
+        assert_eq!(shard1.kill_time(2), Some(2.0));
+        // Other shards are untouched.
+        assert!(plan.plan_for(0, 3).is_empty());
+        assert_eq!(plan.max_shard(), Some(1));
+        assert!(!plan.is_empty());
+        assert!(GridFaultPlan::none().is_empty());
+    }
+}

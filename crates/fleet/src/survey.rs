@@ -7,6 +7,7 @@
 //! be finished one period later or the telescope falls behind — the
 //! real-time deadline budget the scheduler works against.
 
+use crate::load::LoadSource;
 use radioastro::SurveySizing;
 use serde::{Deserialize, Serialize};
 
@@ -68,6 +69,36 @@ impl SurveyLoad {
     /// Deadline for beams released at tick `t`.
     pub fn deadline(&self, tick: usize) -> f64 {
         self.release(tick) + self.period_s
+    }
+}
+
+impl LoadSource for SurveyLoad {
+    fn setup(&self) -> &str {
+        &self.setup
+    }
+
+    fn trials(&self) -> usize {
+        self.trials
+    }
+
+    fn ticks(&self) -> usize {
+        self.ticks
+    }
+
+    fn beams_at(&self, _tick: usize) -> usize {
+        self.beams
+    }
+
+    fn release(&self, tick: usize) -> f64 {
+        SurveyLoad::release(self, tick)
+    }
+
+    fn deadline(&self, tick: usize) -> f64 {
+        SurveyLoad::deadline(self, tick)
+    }
+
+    fn total_beams(&self) -> usize {
+        SurveyLoad::total_beams(self)
     }
 }
 

@@ -18,8 +18,10 @@ use proptest::prelude::*;
 fn run(spb: &[f64], trials: usize, beams: usize, ticks: usize, faults: &FaultPlan) -> FleetRun {
     let fleet = ResolvedFleet::synthetic(trials, spb);
     let load = SurveyLoad::custom(trials, beams, ticks);
-    Scheduler::default()
-        .run(&fleet, &load, faults)
+    Scheduler::session(&fleet)
+        .load(&load)
+        .faults(faults)
+        .run()
         .expect("valid inputs")
 }
 

@@ -1,0 +1,204 @@
+//! Property-based grid (sharded scheduling) invariants.
+//!
+//! Four properties the grid layer must hold for any fleet shape, shard
+//! count, load, routing policy, and failure schedule:
+//!
+//! 1. **Equivalent admission** — a sharded run admits exactly the same
+//!    set of global beams as a single scheduler over the union fleet,
+//!    and its merged ledger reports every one of them exactly once.
+//! 2. **Ledger merging** — the global totals equal the sums over the
+//!    per-shard ledgers, shed for shed.
+//! 3. **Feasibility** — a healthy grid whose every shard can absorb
+//!    its share of the batch never misses a deadline and never sheds.
+//! 4. **Fault tolerance** — whole-shard kills and device kills never
+//!    lose a beam: the global ledger stays conserved across shards.
+
+use dedisp_fleet::{
+    Grid, GridFaultPlan, GridRun, RebalancePolicy, ResolvedFleet, Scheduler, SurveyLoad,
+};
+use proptest::prelude::*;
+
+/// Deals `spb` devices round-robin into (at most) `shards` shard
+/// fleets, skipping shards that would end up empty.
+fn shard_fleets(spb: &[f64], shards: usize, trials: usize) -> Vec<ResolvedFleet> {
+    let mut per: Vec<Vec<f64>> = vec![Vec::new(); shards.max(1)];
+    for (i, &s) in spb.iter().enumerate() {
+        per[i % shards.max(1)].push(s);
+    }
+    per.into_iter()
+        .filter(|v| !v.is_empty())
+        .map(|v| ResolvedFleet::synthetic(trials, &v))
+        .collect()
+}
+
+fn run_grid(
+    fleets: &[ResolvedFleet],
+    load: &SurveyLoad,
+    policy: RebalancePolicy,
+    faults: &GridFaultPlan,
+) -> GridRun {
+    Grid::session(fleets)
+        .policy(policy)
+        .load(load)
+        .faults(faults)
+        .run()
+        .expect("valid grid inputs")
+}
+
+fn policies() -> impl Strategy<Value = RebalancePolicy> {
+    prop::sample::select(vec![
+        RebalancePolicy::StaticHash,
+        RebalancePolicy::LoadAware,
+    ])
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Invariant 1: sharding never changes *what* is admitted — only
+    /// where it runs. The sharded run and a single-scheduler run over
+    /// the union fleet admit the same global beams, and both ledgers
+    /// conserve every one.
+    #[test]
+    fn sharded_and_single_runs_admit_the_same_beams(
+        spb in prop::collection::vec(0.05f64..1.5, 1..8),
+        trials in 8usize..2048,
+        beams in 1usize..24,
+        ticks in 1usize..4,
+        shards in 1usize..5,
+        policy in policies(),
+    ) {
+        let fleets = shard_fleets(&spb, shards, trials);
+        let load = SurveyLoad::custom(trials, beams, ticks);
+        let grid = run_grid(&fleets, &load, policy, &GridFaultPlan::none());
+        let union = ResolvedFleet::synthetic(trials, &spb);
+        let single = Scheduler::session(&union).load(&load).run().expect("single run");
+
+        prop_assert!(grid.report.conservation_ok());
+        prop_assert!(single.report.conservation_ok());
+        prop_assert_eq!(grid.report.admitted, single.report.admitted);
+        prop_assert_eq!(grid.records.len(), single.records.len());
+        // Same global identities, in the same global order.
+        for (g, s) in grid.records.iter().zip(&single.records) {
+            prop_assert_eq!(g.index, s.index);
+            prop_assert_eq!(g.tick, s.tick);
+            prop_assert_eq!(g.beam, s.beam);
+            prop_assert!(g.shard < fleets.len());
+        }
+    }
+
+    /// Invariant 2: the merged ledger *is* the sum of the shard
+    /// ledgers — outcome totals, shed counts, and shed trial DMs all
+    /// agree, even under faults.
+    #[test]
+    fn merged_ledger_equals_sum_of_shard_ledgers(
+        spb in prop::collection::vec(0.05f64..1.5, 2..8),
+        trials in 8usize..2048,
+        beams in 1usize..20,
+        ticks in 1usize..4,
+        shards in 2usize..5,
+        policy in policies(),
+        kill_shard in 0usize..8,
+        kill_at in 0.0f64..3.0,
+    ) {
+        let fleets = shard_fleets(&spb, shards, trials);
+        let load = SurveyLoad::custom(trials, beams, ticks);
+        let faults = GridFaultPlan::none().with_shard_kill(kill_shard % fleets.len(), kill_at);
+        let grid = run_grid(&fleets, &load, policy, &faults);
+        let r = &grid.report;
+
+        prop_assert!(r.conservation_ok());
+        let sum = |f: fn(&dedisp_fleet::FleetReport) -> usize|
+            r.shards.iter().map(f).sum::<usize>();
+        prop_assert_eq!(r.admitted, sum(|s| s.admitted));
+        prop_assert_eq!(r.completed, sum(|s| s.completed));
+        prop_assert_eq!(r.degraded, sum(|s| s.degraded));
+        prop_assert_eq!(r.deadline_misses, sum(|s| s.deadline_misses));
+        prop_assert_eq!(r.shed_whole, sum(|s| s.shed_whole));
+        prop_assert_eq!(r.total_shed_trials, sum(|s| s.total_shed_trials));
+        prop_assert_eq!(
+            r.sheds.len(),
+            r.shards.iter().map(|s| s.sheds.len()).sum::<usize>()
+        );
+        // Shed arithmetic survives the merge.
+        for shed in &r.sheds {
+            prop_assert_eq!(shed.kept_trials + shed.shed_trials, trials);
+            prop_assert!(shed.index < r.admitted);
+        }
+    }
+
+    /// Invariant 3: a healthy grid of identical shards, offered exactly
+    /// its aggregate capacity, never misses a deadline and never sheds
+    /// — under either routing policy.
+    #[test]
+    fn feasible_healthy_grids_never_miss(
+        shard_spb in prop::collection::vec(0.05f64..0.5, 1..5),
+        shards in 1usize..5,
+        trials in 8usize..2048,
+        ticks in 1usize..4,
+        policy in policies(),
+    ) {
+        let one_shard = ResolvedFleet::synthetic(trials, &shard_spb);
+        let per_shard_capacity = one_shard.beams_capacity();
+        prop_assume!(per_shard_capacity > 0);
+        let fleets: Vec<ResolvedFleet> = (0..shards).map(|_| one_shard.clone()).collect();
+        // Exactly capacity: every shard's fair share equals what it
+        // can sustain.
+        let load = SurveyLoad::custom(trials, per_shard_capacity * shards, ticks);
+        let grid = run_grid(&fleets, &load, policy, &GridFaultPlan::none());
+        let r = &grid.report;
+        prop_assert!(r.conservation_ok());
+        prop_assert_eq!(r.deadline_misses, 0);
+        prop_assert_eq!(r.degraded, 0);
+        prop_assert_eq!(r.shed_whole, 0);
+        prop_assert_eq!(r.completed, r.admitted);
+        prop_assert!(r.sheds.is_empty());
+        prop_assert_eq!(r.rehomed, 0);
+    }
+
+    /// Invariant 4: killing shards (whole) and devices (within shards)
+    /// never loses a beam anywhere on the grid.
+    #[test]
+    fn killing_shards_never_loses_beams(
+        spb in prop::collection::vec(0.05f64..1.0, 2..10),
+        trials in 8usize..2048,
+        beams in 1usize..20,
+        ticks in 1usize..4,
+        shards in 2usize..5,
+        policy in policies(),
+        shard_kills in prop::collection::vec((0usize..8, 0.0f64..4.0), 0..3),
+        device_kills in prop::collection::vec((0usize..8, 0usize..8, 0.0f64..4.0), 0..3),
+    ) {
+        let fleets = shard_fleets(&spb, shards, trials);
+        let n = fleets.len();
+        let mut faults = GridFaultPlan::none();
+        for &(s, at) in &shard_kills {
+            faults = faults.with_shard_kill(s % n, at);
+        }
+        for &(s, d, at) in &device_kills {
+            let s = s % n;
+            faults = faults.with_device_kill(s, d % fleets[s].len(), at);
+        }
+        let grid = run_grid(&fleets, &load_of(trials, beams, ticks), policy, &faults);
+        let r = &grid.report;
+        prop_assert!(r.conservation_ok());
+        prop_assert_eq!(
+            r.completed + r.degraded + r.deadline_misses + r.shed_whole,
+            beams * ticks
+        );
+        // Whole-shard kills mark every device of the shard dead, no
+        // later than the (last-wins) scheduled shard kill time.
+        for &(s, _) in &shard_kills {
+            let s = s % n;
+            let at = faults.shard_kill_time(s).expect("kill was scheduled");
+            for d in &r.shards[s].devices {
+                let died = d.died_at.expect("whole-shard kill flags every device");
+                prop_assert!(died <= at + 1e-12);
+            }
+        }
+    }
+}
+
+fn load_of(trials: usize, beams: usize, ticks: usize) -> SurveyLoad {
+    SurveyLoad::custom(trials, beams, ticks)
+}

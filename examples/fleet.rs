@@ -52,9 +52,9 @@ fn main() {
     );
 
     // Healthy run: everything completes inside the deadline budget.
-    let scheduler = Scheduler::default();
-    let healthy = scheduler
-        .run(&fleet, &load, &FaultPlan::none())
+    let healthy = Scheduler::session(&fleet)
+        .load(&load)
+        .run()
         .expect("healthy run");
     println!(
         "healthy: {} completed, {} misses, {} sheds",
@@ -66,7 +66,11 @@ fn main() {
     // Kill two of the fast devices mid-survey and watch the fleet
     // degrade gracefully instead of dropping beams.
     let faults = FaultPlan::none().with_kill(0, 1.4).with_kill(1, 1.4);
-    let faulty = scheduler.run(&fleet, &load, &faults).expect("fault run");
+    let faulty = Scheduler::session(&fleet)
+        .load(&load)
+        .faults(&faults)
+        .run()
+        .expect("fault run");
     let r = &faulty.report;
     println!(
         "devices 0-1 killed at t=1.4: {} completed, {} degraded, {} misses, {} shed whole",
