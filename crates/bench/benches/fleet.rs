@@ -68,5 +68,48 @@ fn bench_fault_recovery(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_placement_throughput, bench_fault_recovery);
+fn bench_chaos_recovery(c: &mut Criterion) {
+    // Transient faults exercise the expensive paths the kill plan
+    // never reaches: retry re-placement, quarantine probes with
+    // backoff, and probation canaries. Flap + slowdown a quarter of
+    // the fleet so the health machine cycles end to end.
+    let mut group = c.benchmark_group("fleet/chaos_recovery");
+    for fleet_size in [16usize, 64] {
+        let fleet = fleet_of(fleet_size);
+        let beams = fleet.beams_capacity() * 9 / 10;
+        let load = SurveyLoad::custom(2000, beams, 4);
+        let mut faults = FaultPlan::none();
+        for d in 0..fleet_size / 4 {
+            faults = if d % 2 == 0 {
+                faults.with_flap(d, 1.2, 2.4)
+            } else {
+                faults.with_slowdown(d, 1.2, 2.8, 2.0)
+            };
+        }
+        group.throughput(Throughput::Elements(load.total_beams() as u64));
+        group.bench_with_input(
+            BenchmarkId::new("flap_slowdown_25pct", fleet_size),
+            &fleet_size,
+            |b, _| {
+                b.iter(|| {
+                    let run = Scheduler::session(black_box(&fleet))
+                        .load(black_box(&load))
+                        .faults(black_box(&faults))
+                        .run()
+                        .unwrap();
+                    assert!(run.report.conservation_ok());
+                    black_box(run.report.recoveries)
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_placement_throughput,
+    bench_fault_recovery,
+    bench_chaos_recovery
+);
 criterion_main!(benches);

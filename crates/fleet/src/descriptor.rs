@@ -283,6 +283,19 @@ pub struct ResolvedDevice {
     pub seconds_per_beam: f64,
 }
 
+impl ResolvedDevice {
+    /// Beams this device can sustain in real time (⌊period /
+    /// seconds-per-beam⌋ with a one-second period) — one term of the
+    /// §V-D capacity sum.
+    pub fn beams_capacity(&self) -> usize {
+        if self.seconds_per_beam > 0.0 {
+            (1.0 / self.seconds_per_beam).floor() as usize
+        } else {
+            0
+        }
+    }
+}
+
 /// A fleet with every device's throughput resolved.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct ResolvedFleet {
@@ -333,13 +346,7 @@ impl ResolvedFleet {
     pub fn beams_capacity(&self) -> usize {
         self.devices
             .iter()
-            .map(|d| {
-                if d.seconds_per_beam > 0.0 {
-                    (1.0 / d.seconds_per_beam).floor() as usize
-                } else {
-                    0
-                }
-            })
+            .map(ResolvedDevice::beams_capacity)
             .sum()
     }
 }

@@ -18,20 +18,24 @@
 //! assert!(run.report.conservation_ok());
 //! ```
 //!
-//! Fault handling is two-layered. Device-level kills inside a shard
-//! are the shard scheduler's business (bounced work, orphan
-//! re-queueing, tier shedding). A *whole-shard* kill additionally
-//! reaches the grid front-end: beams released after the kill are
-//! re-homed to surviving shards per the [`RebalancePolicy`], while
-//! beams already in flight on the dying shard end as recorded
-//! whole-beam sheds in its own ledger — so nothing is ever silently
-//! lost, only loudly degraded.
+//! Fault handling is two-layered. Device-level faults inside a shard —
+//! kills, flaps, slowdowns, transients — are the shard scheduler's
+//! business (bounced work, retries, health tracking, tier shedding). A
+//! *whole-shard* kill or flap additionally reaches the grid front-end:
+//! beams released while the shard is down are re-homed to surviving
+//! shards per the [`RebalancePolicy`], beams already in flight end as
+//! recorded whole-beam sheds in the shard's own ledger, and — for
+//! flaps — the supervisor restarts the shard when its outage window
+//! ends and homes beams back onto it. The per-shard
+//! [`crate::ShardCondition`] ledger in the report records every
+//! outage, restart, and re-homing — so nothing is ever silently lost,
+//! only loudly degraded.
 
 use crate::descriptor::{FleetError, ResolvedFleet};
 use crate::load::LoadSource;
 use crate::metrics::{BeamOutcome, FleetReport, ShedReason};
 use crate::scheduler::{FleetRun, Scheduler, SchedulerConfig};
-use crate::shard::{partition, GridFaultPlan, Partition, RebalancePolicy};
+use crate::shard::{partition, GridFaultPlan, Partition, RebalancePolicy, ShardCondition};
 use serde::{Deserialize, Serialize};
 
 /// Entry point for sharded fleet scheduling.
@@ -129,6 +133,7 @@ impl<'a> GridSession<'a> {
         let Partition {
             shard_loads,
             rehomed,
+            supervisor,
         } = partition(load, shards, self.policy, faults);
         let plans: Vec<_> = (0..shards.len())
             .map(|s| faults.plan_for(s, shards[s].len()))
@@ -196,7 +201,14 @@ impl<'a> GridSession<'a> {
             .collect::<Option<_>>()
             .ok_or_else(|| FleetError::new("beam lost across shards"))?;
 
-        let report = GridReport::build(load, self.policy, &shard_runs, &records, rehomed);
+        let report = GridReport::build(
+            load,
+            self.policy,
+            &shard_runs,
+            &records,
+            rehomed,
+            supervisor,
+        );
         Ok(GridRun {
             report,
             records,
@@ -277,6 +289,8 @@ pub struct GridReport {
     pub rehomed: usize,
     /// Every shed, itemized with global identity and owning shard.
     pub sheds: Vec<GridShedRecord>,
+    /// The supervisor's per-shard outage/restart/re-homing ledger.
+    pub supervisor: Vec<ShardCondition>,
     /// The per-shard sub-reports, in shard order.
     pub shards: Vec<FleetReport>,
     /// Virtual time the last beam finished anywhere on the grid.
@@ -291,6 +305,7 @@ impl GridReport {
         shard_runs: &[FleetRun],
         records: &[GridBeamRecord],
         rehomed: usize,
+        supervisor: Vec<ShardCondition>,
     ) -> Self {
         let mut completed = 0;
         let mut degraded = 0;
@@ -328,7 +343,7 @@ impl GridReport {
                     deadline_misses += 1;
                     makespan = makespan.max(finish);
                 }
-                BeamOutcome::ShedWhole { at } => {
+                BeamOutcome::ShedWhole { at, reason } => {
                     shed_whole += 1;
                     total_shed_trials += load.trials();
                     makespan = makespan.max(at);
@@ -339,7 +354,7 @@ impl GridReport {
                         beam: r.beam,
                         shed_trials: load.trials(),
                         kept_trials: 0,
-                        reason: ShedReason::NoAliveDevices,
+                        reason,
                     });
                 }
             }
@@ -357,6 +372,7 @@ impl GridReport {
             total_shed_trials,
             rehomed,
             sheds,
+            supervisor,
             shards: shard_runs.iter().map(|r| r.report.clone()).collect(),
             makespan,
         }
@@ -485,6 +501,58 @@ mod tests {
             r.sheds.len(),
             r.shards.iter().map(|s| s.sheds.len()).sum::<usize>()
         );
+    }
+
+    #[test]
+    fn flapped_shard_restarts_and_the_grid_recovers() {
+        use crate::metrics::HealthState;
+        // Shard 0 (2 × 10 beams/s) goes down mid-tick-0 and returns
+        // before tick 3.
+        let shards = grid(&[&[0.1, 0.1], &[0.1, 0.1]], 1000);
+        let load = SurveyLoad::custom(1000, 10, 5);
+        let faults = GridFaultPlan::none().with_shard_flap(0, 0.25, 2.9);
+        let run = Grid::session(&shards)
+            .load(&load)
+            .faults(&faults)
+            .run()
+            .unwrap();
+        let r = &run.report;
+        assert!(r.conservation_ok());
+        assert_eq!(r.admitted, 50);
+        assert_eq!(r.deadline_misses, 0);
+        // In-flight work at the outage is shed loudly by the shard's
+        // own scheduler; released work re-homes to shard 1.
+        assert!(r.shed_whole >= 1);
+        assert_eq!(r.rehomed, 10, "ticks 1–2 route shard 0's beams away");
+        let s0 = &r.supervisor[0];
+        assert_eq!(s0.flaps, 1);
+        assert_eq!(s0.restarts, 1);
+        assert_eq!(s0.rehomed_away, 10);
+        assert_eq!(s0.returned_home, 10, "ticks 3–4 run at home again");
+        assert_eq!(s0.killed_at, None);
+        // The restarted shard's devices recover all the way to Healthy
+        // (probe → probation canary → trusted), and nothing after the
+        // restart is shed or missed.
+        assert!(r.shards[0]
+            .devices
+            .iter()
+            .all(|d| d.final_health == HealthState::Healthy && d.died_at.is_none()));
+        assert!(r.shards[0].recoveries >= 2);
+        for rec in &run.records {
+            // Tick 3 is the restart tick: shard 0's devices are still on
+            // probation, so admission may shed tiers while the canaries
+            // earn trust back — but nothing misses or is dropped whole.
+            if rec.tick == 3 {
+                assert!(matches!(
+                    rec.outcome,
+                    BeamOutcome::Completed { .. } | BeamOutcome::Degraded { .. }
+                ));
+            }
+            // By tick 4 the shard is fully trusted again: full resolution.
+            if rec.tick >= 4 {
+                assert!(matches!(rec.outcome, BeamOutcome::Completed { .. }));
+            }
+        }
     }
 
     #[test]

@@ -18,22 +18,37 @@
 //!   (`Scheduler::session(&fleet).load(&load).run()`), and any
 //!   [`LoadSource`] — a [`SurveyLoad`] cadence, a grid shard, a future
 //!   async capture front-end — can feed one.
-//! * [`FaultPlan`] — deterministic device-failure schedules; orphaned
-//!   beams are re-queued on survivors, and under pressure trailing DM
-//!   tiers are shed (and recorded) before deadlines are missed.
+//! * [`FaultPlan`] — deterministic per-device [`FaultEvent`] schedules:
+//!   permanent kills, flaps (down-and-back windows), slowdowns
+//!   (throttled rate), and transient glitches. The dispatcher never
+//!   reads the plan — it discovers faults from bounced work and late
+//!   completions, tracks a per-device health state machine
+//!   ([`HealthState`]: `Healthy → Suspect → Quarantined → Probation →
+//!   Healthy`), re-places bounced beams under a bounded retry budget
+//!   with deterministic backoff, and re-trusts a recovered device only
+//!   after a probation *canary* beam completes on time. Under pressure
+//!   trailing DM tiers are shed (and recorded) before deadlines are
+//!   missed.
 //! * [`FleetReport`] — per-device utilization, queue depth, deadline
-//!   misses, and the full shed ledger as a serde artifact.
+//!   misses, the full shed ledger, and the recovery ledger (bounces,
+//!   retries, probes, canaries, [`HealthEvent`] transitions) as a
+//!   serde artifact.
 //! * [`Grid`] — multi-node sharding: a survey partitioned across N
 //!   independent schedulers (each with its own [`ResolvedFleet`]) on
-//!   real threads, with whole-shard kills, beam re-homing to surviving
-//!   shards ([`RebalancePolicy`]), and a merged global ledger
-//!   ([`GridReport`]) whose conservation is checked across shards.
+//!   real threads, with whole-shard kills *and flaps*, beam re-homing
+//!   to surviving shards ([`RebalancePolicy`]), a supervisor that
+//!   restarts flapped shards and homes beams back ([`ShardCondition`]),
+//!   and a merged global ledger ([`GridReport`]) whose conservation is
+//!   checked across shards.
 //!
 //! The scheduling simulation runs in virtual time on real threads: one
-//! worker per device behind a bounded queue, so dispatcher backpressure,
-//! failure detection by bounced work, and recovery races are exercised
-//! by the real concurrency machinery, while results stay deterministic
-//! enough to assert on (placement is driven purely by virtual clocks).
+//! worker per device behind a bounded queue, so dispatcher backpressure
+//! and failure detection by bounced work are exercised by the real
+//! concurrency machinery. Runs are nonetheless *deterministic*: the
+//! dispatcher observes worker verdicts at fixed synchronization points
+//! and processes them in virtual-time order, so identical
+//! `(fleet, load, plan, config)` inputs yield identical reports — only
+//! the observed `max_queue_depth` of each worker may vary between runs.
 //!
 //! ```
 //! use dedisp_fleet::{ResolvedFleet, Scheduler, SurveyLoad};
@@ -76,10 +91,13 @@ mod survey;
 pub use descriptor::{
     DeviceGroup, FleetError, FleetSpec, RateSource, ResolvedDevice, ResolvedFleet,
 };
-pub use fault::FaultPlan;
+pub use fault::{FaultEvent, FaultPlan};
 pub use grid::{Grid, GridBeamRecord, GridReport, GridRun, GridSession, GridShedRecord};
 pub use load::LoadSource;
-pub use metrics::{BeamOutcome, BeamRecord, DeviceMetrics, FleetReport, ShedReason, ShedRecord};
+pub use metrics::{
+    BeamOutcome, BeamRecord, DeviceMetrics, FleetReport, HealthCause, HealthEvent, HealthState,
+    ShedReason, ShedRecord,
+};
 pub use scheduler::{FleetRun, Scheduler, SchedulerConfig, Session};
-pub use shard::{GlobalBeam, GridFaultPlan, RebalancePolicy, ShardLoad};
+pub use shard::{GlobalBeam, GridFaultPlan, RebalancePolicy, ShardCondition, ShardLoad};
 pub use survey::{BeamJob, SurveyLoad};

@@ -2,10 +2,12 @@
 //!
 //! Every admitted beam-second ends in exactly one terminal state, and
 //! every shed — partial (trailing DM tiers dropped to make a deadline)
-//! or whole (no device left alive to run the beam) — is recorded. The
-//! [`FleetReport`] is the serde artifact an operator would ship to a
-//! dashboard: per-device utilization and queue depth, deadline misses,
-//! and the full shed ledger.
+//! or whole (no device left to run the beam, or its retry budget
+//! exhausted) — is recorded. The [`FleetReport`] is the serde artifact
+//! an operator would ship to a dashboard: per-device utilization,
+//! queue depth, and health, deadline misses, the full shed ledger, and
+//! the recovery ledger (bounces, retries, probes, canaries, and every
+//! health-state transition).
 
 use crate::descriptor::ResolvedFleet;
 use crate::load::LoadSource;
@@ -41,10 +43,12 @@ pub enum BeamOutcome {
         /// Trial DMs dedispersed (sheds cannot rescue a miss).
         kept_trials: usize,
     },
-    /// Never ran: no device was alive to take it.
+    /// Never ran to completion anywhere.
     ShedWhole {
         /// Virtual time the scheduler gave up on the beam.
         at: f64,
+        /// Why it was dropped whole.
+        reason: ShedReason,
     },
 }
 
@@ -66,8 +70,11 @@ pub struct BeamRecord {
 pub enum ShedReason {
     /// Trailing tiers dropped so the beam could make its deadline.
     DeadlinePressure,
-    /// The whole beam dropped: no alive device remained.
+    /// The whole beam dropped: no eligible device remained.
     NoAliveDevices,
+    /// The whole beam dropped: it bounced more times than the retry
+    /// budget allows.
+    RetryBudgetExhausted,
 }
 
 /// One recorded shed — nothing is dropped silently.
@@ -85,6 +92,57 @@ pub struct ShedRecord {
     pub kept_trials: usize,
     /// Why the shed happened.
     pub reason: ShedReason,
+}
+
+/// The dispatcher's belief about one device, from observed evidence
+/// only — bounced work, late completions, probe replies — never from
+/// reading the fault plan.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub enum HealthState {
+    /// Taking work normally.
+    #[default]
+    Healthy,
+    /// Produced suspicious evidence (a bounce, repeated late
+    /// completions); receives no new work until probed.
+    Suspect,
+    /// A probe found it down; probed again after a growing backoff.
+    Quarantined,
+    /// A probe found it up; it must complete one canary beam on time
+    /// to be trusted again.
+    Probation,
+}
+
+/// What piece of evidence moved a device between health states.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum HealthCause {
+    /// A beam bounced off the device.
+    Bounce,
+    /// Enough consecutive completions came in past their predicted
+    /// finish.
+    LateCompletion,
+    /// A health probe was answered.
+    ProbeUp,
+    /// A health probe found the device down.
+    ProbeDown,
+    /// The probation canary beam completed on time.
+    CanaryPassed,
+    /// The probation canary bounced or finished late.
+    CanaryFailed,
+}
+
+/// One health-state transition, as the dispatcher observed it.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct HealthEvent {
+    /// Virtual time of the evidence.
+    pub at: f64,
+    /// Device that transitioned.
+    pub device: usize,
+    /// State before.
+    pub from: HealthState,
+    /// State after.
+    pub to: HealthState,
+    /// The evidence that drove the transition.
+    pub cause: HealthCause,
 }
 
 /// Per-device utilization and health over the run.
@@ -105,15 +163,17 @@ pub struct DeviceMetrics {
     /// Deepest its work queue ever got (admitted, not yet started).
     ///
     /// Observed by the real worker thread as it drains the bounded
-    /// queue, so it can vary run-to-run with OS scheduling even on
-    /// healthy runs, where every other field is deterministic; compare
-    /// reports modulo this field when asserting determinism. (Faulted
-    /// runs can additionally vary in which beams end degraded, since
-    /// device death is discovered through bounced work racing tick
-    /// admission — only the conservation totals are timing-robust
-    /// there.)
+    /// queue, so it can vary run-to-run with OS scheduling; every
+    /// other field of the report is deterministic (the dispatcher
+    /// observes worker verdicts at fixed synchronization points and
+    /// orders them by virtual time), so compare reports modulo this
+    /// field when asserting determinism.
     pub max_queue_depth: usize,
-    /// Virtual time the fault plan killed it, if it was killed.
+    /// Beams that bounced off this device, as observed.
+    pub bounces: usize,
+    /// The dispatcher's final belief about the device.
+    pub final_health: HealthState,
+    /// Virtual time the fault plan killed it for good, if it did.
     pub died_at: Option<f64>,
 }
 
@@ -136,10 +196,24 @@ pub struct FleetReport {
     pub degraded: usize,
     /// Beams finished after their deadline.
     pub deadline_misses: usize,
-    /// Beams dropped whole (no alive devices).
+    /// Beams dropped whole (no eligible devices, or retries exhausted).
     pub shed_whole: usize,
     /// Total trial DMs shed across all beams.
     pub total_shed_trials: usize,
+    /// Bounces observed across the run.
+    pub bounced: usize,
+    /// Re-placements of bounced beams.
+    pub retries: usize,
+    /// Beams shed whole because their retry budget ran out.
+    pub retry_exhausted: usize,
+    /// Health probes sent.
+    pub probes: usize,
+    /// Canary beams placed on probation devices.
+    pub canaries: usize,
+    /// Transitions back to [`HealthState::Healthy`].
+    pub recoveries: usize,
+    /// Every health-state transition, in observation order.
+    pub health_events: Vec<HealthEvent>,
     /// Every shed, itemized.
     pub sheds: Vec<ShedRecord>,
     /// Per-device metrics, id order.
@@ -148,14 +222,41 @@ pub struct FleetReport {
     pub makespan: f64,
 }
 
+/// Recovery bookkeeping the dispatcher hands to the report builder.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub(crate) struct RecoveryLedger {
+    pub bounced: usize,
+    pub retries: usize,
+    pub retry_exhausted: usize,
+    pub probes: usize,
+    pub canaries: usize,
+    pub recoveries: usize,
+    pub health_events: Vec<HealthEvent>,
+    pub final_health: Vec<HealthState>,
+    pub device_bounces: Vec<usize>,
+}
+
+impl RecoveryLedger {
+    /// An all-healthy, all-quiet ledger for `n` devices.
+    pub(crate) fn quiet(n: usize) -> Self {
+        Self {
+            final_health: vec![HealthState::Healthy; n],
+            device_bounces: vec![0; n],
+            ..Self::default()
+        }
+    }
+}
+
 impl FleetReport {
-    /// Builds the report from the per-beam ledger and worker statistics.
+    /// Builds the report from the per-beam ledger, worker statistics,
+    /// and the dispatcher's recovery ledger.
     pub(crate) fn build(
         fleet: &ResolvedFleet,
         load: &dyn LoadSource,
         records: &[BeamRecord],
         stats: &[WorkerStats],
         died_at: &[Option<f64>],
+        recovery: &RecoveryLedger,
     ) -> Self {
         let mut completed = 0;
         let mut degraded = 0;
@@ -192,7 +293,7 @@ impl FleetReport {
                     misses += 1;
                     makespan = makespan.max(finish);
                 }
-                BeamOutcome::ShedWhole { at } => {
+                BeamOutcome::ShedWhole { at, reason } => {
                     shed_whole += 1;
                     total_shed += load.trials();
                     makespan = makespan.max(at);
@@ -202,7 +303,7 @@ impl FleetReport {
                         beam: r.beam,
                         shed_trials: load.trials(),
                         kept_trials: 0,
-                        reason: ShedReason::NoAliveDevices,
+                        reason,
                     });
                 }
             }
@@ -222,6 +323,8 @@ impl FleetReport {
                     0.0
                 },
                 max_queue_depth: stats[d.id].max_queue_depth,
+                bounces: recovery.device_bounces.get(d.id).copied().unwrap_or(0),
+                final_health: recovery.final_health.get(d.id).copied().unwrap_or_default(),
                 died_at: died_at[d.id],
             })
             .collect();
@@ -239,6 +342,13 @@ impl FleetReport {
             deadline_misses: misses,
             shed_whole,
             total_shed_trials: total_shed,
+            bounced: recovery.bounced,
+            retries: recovery.retries,
+            retry_exhausted: recovery.retry_exhausted,
+            probes: recovery.probes,
+            canaries: recovery.canaries,
+            recoveries: recovery.recoveries,
+            health_events: recovery.health_events.clone(),
             sheds,
             devices,
             makespan,
@@ -335,13 +445,36 @@ mod tests {
                 max_queue_depth: 1,
             },
         ];
-        let report = FleetReport::build(&fleet, &load, &records, &stats, &[None, Some(5.0)]);
+        let mut recovery = RecoveryLedger::quiet(2);
+        recovery.bounced = 1;
+        recovery.device_bounces[1] = 1;
+        recovery.final_health[1] = HealthState::Quarantined;
+        recovery.health_events.push(HealthEvent {
+            at: 0.4,
+            device: 1,
+            from: HealthState::Healthy,
+            to: HealthState::Suspect,
+            cause: HealthCause::Bounce,
+        });
+        let report = FleetReport::build(
+            &fleet,
+            &load,
+            &records,
+            &stats,
+            &[None, Some(5.0)],
+            &recovery,
+        );
         assert!(report.conservation_ok());
         assert_eq!(report.completed, 1);
         assert_eq!(report.degraded, 1);
         assert_eq!(report.total_shed_trials, 25);
         assert_eq!(report.sheds.len(), 1);
         assert_eq!(report.sheds[0].reason, ShedReason::DeadlinePressure);
+        assert_eq!(report.bounced, 1);
+        assert_eq!(report.devices[1].bounces, 1);
+        assert_eq!(report.devices[1].final_health, HealthState::Quarantined);
+        assert_eq!(report.devices[0].final_health, HealthState::Healthy);
+        assert_eq!(report.health_events.len(), 1);
         assert!((report.makespan - 0.9).abs() < 1e-12);
         let back = FleetReport::from_json(&report.to_json()).unwrap();
         assert_eq!(back, report);
@@ -357,9 +490,19 @@ mod tests {
             index: 0,
             tick: 0,
             beam: 0,
-            outcome: BeamOutcome::ShedWhole { at: 0.0 },
+            outcome: BeamOutcome::ShedWhole {
+                at: 0.0,
+                reason: ShedReason::NoAliveDevices,
+            },
         }];
-        let report = FleetReport::build(&fleet, &load, &records, &stats, &[None]);
+        let report = FleetReport::build(
+            &fleet,
+            &load,
+            &records,
+            &stats,
+            &[None],
+            &RecoveryLedger::quiet(1),
+        );
         assert!(!report.conservation_ok());
         assert_eq!(report.shed_whole, 1);
         assert_eq!(report.total_shed_trials, 10);

@@ -20,8 +20,8 @@
 //! module.
 //!
 //! Placement is greedy earliest-predicted-finish: each beam goes to the
-//! alive device that the cost model says will finish it soonest. For a
-//! feasible fleet this is optimal in the §V-D sense — if per-device
+//! eligible device that the cost model says will finish it soonest. For
+//! a feasible fleet this is optimal in the §V-D sense — if per-device
 //! capacities sum to at least the batch size, some device can always
 //! absorb one more beam within the period, so the minimum-finish device
 //! certainly can.
@@ -36,17 +36,47 @@
 //! even at maximum shed runs anyway, at full resolution, and is
 //! reported as a deadline miss.
 //!
-//! Faults are discovered, not announced: the fault plan is wired into
-//! the workers, and a dead device *bounces* everything it is handed.
-//! The dispatcher learns of the death from the bounce, marks the device
-//! dead, and re-places orphaned beams on the survivors — or records
-//! them shed whole when nobody is left. Every admitted beam therefore
-//! ends in exactly one reported outcome; nothing is lost silently.
+//! # Faults, evidence, and health
+//!
+//! Faults are discovered, not announced: the [`FaultPlan`] is wired
+//! into the workers, and a down device *bounces* everything it is
+//! handed. The dispatcher never reads the plan; it runs a per-device
+//! health state machine driven purely by observed evidence:
+//!
+//! ```text
+//! Healthy --bounce / repeated late finishes--> Suspect
+//! Suspect --probe answered--> Probation      Suspect --probe down--> Quarantined
+//! Quarantined --probe answered (after growing backoff)--> Probation
+//! Probation --canary beam on time--> Healthy
+//! Probation --canary bounced or late--> Quarantined
+//! ```
+//!
+//! Only `Healthy` devices take normal work (and count toward admission
+//! capacity); a `Probation` device takes exactly one *canary* beam at a
+//! time. Bounced beams are re-placed under a bounded retry budget with
+//! deterministic exponential backoff, and shed whole — loudly — when
+//! the budget runs out or nobody eligible remains. Every admitted beam
+//! therefore ends in exactly one reported outcome; nothing is lost
+//! silently.
+//!
+//! # Determinism
+//!
+//! The dispatcher *synchronously observes* worker verdicts: after each
+//! placement (and after each tick's probe burst) it collects every
+//! outstanding reply and handles them ordered by virtual time. Worker
+//! threads still execute concurrently between synchronization points,
+//! but no scheduling decision ever depends on OS thread timing, so
+//! identical `(fleet, load, plan, config)` inputs produce identical
+//! reports and ledgers — faulted runs included. The only field real
+//! threads still smear is each worker's observed `max_queue_depth`.
 
 use crate::descriptor::{FleetError, ResolvedFleet};
-use crate::fault::FaultPlan;
+use crate::fault::{DeviceFaults, FaultPlan, Gate};
 use crate::load::LoadSource;
-use crate::metrics::{BeamOutcome, BeamRecord, FleetReport, WorkerStats};
+use crate::metrics::{
+    BeamOutcome, BeamRecord, FleetReport, HealthCause, HealthEvent, HealthState, RecoveryLedger,
+    ShedReason, WorkerStats,
+};
 use crate::survey::{BeamJob, SurveyLoad};
 use crossbeam::channel::{self, Receiver, Sender};
 use parking_lot::Mutex;
@@ -65,6 +95,20 @@ pub struct SchedulerConfig {
     pub shed_tiers: usize,
     /// Most tiers admission control may shed from one beam.
     pub max_shed_tiers: usize,
+    /// Most times one beam may be re-placed after bouncing before it
+    /// is shed whole ([`ShedReason::RetryBudgetExhausted`]).
+    pub retry_budget: usize,
+    /// Base of the retry backoff: the first re-placement is immediate,
+    /// the `k`-th (k ≥ 2) waits `retry_backoff_s × 2^(k-2)` virtual
+    /// seconds. Zero (the default) keeps every retry immediate.
+    pub retry_backoff_s: f64,
+    /// Consecutive late completions before a device turns `Suspect`.
+    pub late_suspect_after: usize,
+    /// Initial quarantine re-probe backoff, virtual seconds; doubles
+    /// after every failed probe.
+    pub probe_backoff_s: f64,
+    /// Ceiling on the quarantine re-probe backoff.
+    pub probe_backoff_cap_s: f64,
 }
 
 impl Default for SchedulerConfig {
@@ -73,6 +117,11 @@ impl Default for SchedulerConfig {
             queue_depth: 4,
             shed_tiers: 8,
             max_shed_tiers: 4,
+            retry_budget: 16,
+            retry_backoff_s: 0.0,
+            late_suspect_after: 2,
+            probe_backoff_s: 0.25,
+            probe_backoff_cap_s: 4.0,
         }
     }
 }
@@ -94,16 +143,49 @@ struct Assignment {
     kept_trials: usize,
     start: f64,
     finish: f64,
+    /// How many times this beam has been placed (1 on first placement).
+    attempt: usize,
+    /// Whether this is the probation canary for its device.
+    canary: bool,
 }
 
-/// What workers report back to the dispatcher.
+/// What the dispatcher hands a worker.
+enum Work {
+    /// Run (or bounce) one beam.
+    Beam(Assignment),
+    /// Zero-cost health check evaluated at virtual time `at`; never
+    /// touches the beam ledger.
+    Probe { at: f64 },
+}
+
+/// What workers report back — exactly one reply per work item.
 enum Event {
-    /// First refusal from a dead device.
-    Died { device: usize },
-    /// A beam bounced off a dead device at virtual time `at`.
-    Orphaned { assignment: Assignment, at: f64 },
-    /// A beam ran to completion (possibly past its deadline).
-    Finished { assignment: Assignment },
+    /// A beam ran to completion (possibly late, possibly past its
+    /// deadline).
+    Finished {
+        assignment: Assignment,
+        actual_finish: f64,
+    },
+    /// A beam bounced off a down (or glitching) device at virtual time
+    /// `at`.
+    Bounced { assignment: Assignment, at: f64 },
+    /// A health probe came back.
+    Probed { device: usize, at: f64, up: bool },
+}
+
+impl Event {
+    /// Total order for deterministic processing: virtual time, then
+    /// kind, then device, then beam.
+    fn key(&self) -> (f64, u8, usize, usize) {
+        match self {
+            Event::Bounced { assignment, at } => (*at, 0, assignment.device, assignment.job.index),
+            Event::Finished {
+                assignment,
+                actual_finish,
+            } => (*actual_finish, 1, assignment.device, assignment.job.index),
+            Event::Probed { device, at, .. } => (*at, 2, *device, 0),
+        }
+    }
 }
 
 /// The fleet scheduler.
@@ -200,7 +282,9 @@ impl<'a> Session<'a> {
     /// # Errors
     ///
     /// Returns a [`FleetError`] for a session without a load, an empty
-    /// fleet, a zero-trial load, a negative per-beam cost, or
+    /// fleet, a zero-trial load, a negative per-beam cost, an invalid
+    /// fault plan (empty flap/slowdown windows, sub-unity slowdown
+    /// factors, zero-beam transients, non-finite times), or
     /// (defensively) if any beam fails to reach a terminal state.
     pub fn run(self) -> Result<FleetRun, FleetError> {
         let fleet = self.fleet;
@@ -209,6 +293,7 @@ impl<'a> Session<'a> {
             .ok_or_else(|| FleetError::new("session has no load (call .load(...))"))?;
         let no_faults = FaultPlan::none();
         let faults = self.faults.unwrap_or(&no_faults);
+        faults.validate()?;
         if fleet.is_empty() {
             return Err(FleetError::new("cannot schedule on an empty fleet"));
         }
@@ -219,7 +304,6 @@ impl<'a> Session<'a> {
             return Err(FleetError::new("negative seconds-per-beam"));
         }
         let n = fleet.len();
-        let admitted = load.total_beams();
         let stats = Mutex::new(vec![WorkerStats::default(); n]);
         let mut dispatcher = Dispatcher::new(fleet, load, &self.config);
 
@@ -227,30 +311,26 @@ impl<'a> Session<'a> {
             let (event_tx, event_rx) = channel::unbounded::<Event>();
             let mut senders = Vec::with_capacity(n);
             for device in &fleet.devices {
-                let (tx, rx) = channel::bounded::<Assignment>(self.config.queue_depth.max(1));
+                let (tx, rx) = channel::bounded::<Work>(self.config.queue_depth.max(1));
                 senders.push(tx);
                 let events = event_tx.clone();
-                let kill = faults.kill_time(device.id);
+                let device_faults = faults.compile(device.id);
                 let id = device.id;
                 let stats = &stats;
-                scope.spawn(move || worker(id, rx, events, kill, stats));
+                scope.spawn(move || worker(id, rx, events, device_faults, stats));
             }
             drop(event_tx);
             dispatcher.senders = senders;
 
             let mut next_index = 0usize;
             for tick in 0..load.ticks() {
-                while let Ok(ev) = event_rx.try_recv() {
-                    dispatcher.handle(ev);
-                }
                 let release = load.release(tick);
                 let deadline = load.deadline(tick);
                 let beams = load.beams_at(tick);
+                dispatcher.send_due_probes(release);
+                dispatcher.observe(&event_rx);
                 let kept = dispatcher.tick_kept(release, deadline, beams);
                 for beam in 0..beams {
-                    while let Ok(ev) = event_rx.try_recv() {
-                        dispatcher.handle(ev);
-                    }
                     let job = BeamJob {
                         index: next_index,
                         tick,
@@ -259,15 +339,11 @@ impl<'a> Session<'a> {
                         deadline,
                     };
                     next_index += 1;
-                    dispatcher.place(job, job.release, kept);
+                    dispatcher.place(job, job.release, kept, 1);
+                    dispatcher.observe(&event_rx);
                 }
             }
-            while dispatcher.accounted < admitted {
-                match event_rx.recv() {
-                    Ok(ev) => dispatcher.handle(ev),
-                    Err(_) => break, // all workers retired; loss is caught below
-                }
-            }
+            dispatcher.observe(&event_rx); // defensive: nothing may stay in flight
             dispatcher.senders.clear(); // hang up; workers drain and retire
             std::mem::take(&mut dispatcher.records)
         });
@@ -278,28 +354,50 @@ impl<'a> Session<'a> {
             .ok_or_else(|| FleetError::new("beam lost without a terminal outcome"))?;
         let stats = stats.into_inner();
         let died_at: Vec<Option<f64>> = (0..n).map(|d| faults.kill_time(d)).collect();
-        let report = FleetReport::build(fleet, load, &records, &stats, &died_at);
+        let mut recovery = std::mem::take(&mut dispatcher.recovery);
+        recovery.final_health = dispatcher.health.clone();
+        let report = FleetReport::build(fleet, load, &records, &stats, &died_at, &recovery);
         Ok(FleetRun { report, records })
     }
 }
 
-/// Dispatcher state: the virtual clocks and the beam ledger.
+/// Dispatcher state: the virtual clocks, health beliefs, and the beam
+/// ledger.
 struct Dispatcher {
     /// Per-device predicted time the queue drains.
     avail: Vec<f64>,
-    /// Devices not yet observed dead.
-    alive: Vec<bool>,
+    /// Per-device health belief, from observed evidence only.
+    health: Vec<HealthState>,
     /// Full-resolution seconds-per-beam, per device.
     spb: Vec<f64>,
     /// Work queues (populated inside the thread scope).
-    senders: Vec<Sender<Assignment>>,
+    senders: Vec<Sender<Work>>,
     /// One slot per admitted beam.
     records: Vec<Option<BeamRecord>>,
     /// Beams with a terminal outcome so far.
     accounted: usize,
+    /// Work items sent whose reply has not been observed yet.
+    outstanding: usize,
     trials: usize,
     /// Admissible degraded sizes, largest first.
     kept_options: Vec<usize>,
+    /// Consecutive late completions per device.
+    late_strikes: Vec<usize>,
+    /// Whether a probe is in flight per device.
+    probe_pending: Vec<bool>,
+    /// Earliest virtual time the next probe may go out, per device.
+    probe_at: Vec<f64>,
+    /// Current quarantine re-probe backoff, per device.
+    probe_backoff: Vec<f64>,
+    /// Whether the probation canary is in flight, per device.
+    canary_in_flight: Vec<bool>,
+    /// Recovery bookkeeping for the report.
+    recovery: RecoveryLedger,
+    retry_budget: usize,
+    retry_backoff_s: f64,
+    late_suspect_after: usize,
+    probe_backoff_s: f64,
+    probe_backoff_cap_s: f64,
 }
 
 impl Dispatcher {
@@ -314,25 +412,48 @@ impl Dispatcher {
             }
             kept_options.push(kept);
         }
+        let n = fleet.len();
         Self {
-            avail: vec![0.0; fleet.len()],
-            alive: vec![true; fleet.len()],
+            avail: vec![0.0; n],
+            health: vec![HealthState::Healthy; n],
             spb: fleet.devices.iter().map(|d| d.seconds_per_beam).collect(),
             senders: Vec::new(),
             records: vec![None; load.total_beams()],
             accounted: 0,
+            outstanding: 0,
             trials,
             kept_options,
+            late_strikes: vec![0; n],
+            probe_pending: vec![false; n],
+            probe_at: vec![0.0; n],
+            probe_backoff: vec![config.probe_backoff_s; n],
+            canary_in_flight: vec![false; n],
+            recovery: RecoveryLedger::quiet(n),
+            retry_budget: config.retry_budget,
+            retry_backoff_s: config.retry_backoff_s,
+            late_suspect_after: config.late_suspect_after.max(1),
+            probe_backoff_s: config.probe_backoff_s,
+            probe_backoff_cap_s: config.probe_backoff_cap_s,
         }
     }
 
-    /// The alive device with the earliest predicted finish for a beam
-    /// of `kept` trials released at `release`.
+    /// Whether `d` may be handed a beam right now: healthy, or on
+    /// probation with its canary slot free.
+    fn eligible(&self, d: usize) -> bool {
+        match self.health[d] {
+            HealthState::Healthy => true,
+            HealthState::Probation => !self.canary_in_flight[d],
+            _ => false,
+        }
+    }
+
+    /// The eligible device with the earliest predicted finish for a
+    /// beam of `kept` trials released at `release`.
     fn choose(&self, release: f64, kept: usize) -> Option<(usize, f64, f64)> {
         let frac = kept as f64 / self.trials as f64;
         let mut best: Option<(usize, f64, f64)> = None;
         for (d, (&avail, &spb)) in self.avail.iter().zip(&self.spb).enumerate() {
-            if !self.alive[d] {
+            if !self.eligible(d) {
                 continue;
             }
             let start = avail.max(release);
@@ -344,14 +465,15 @@ impl Dispatcher {
         best
     }
 
-    /// Beams the alive fleet can still finish by `deadline` at `kept`
+    /// Beams the healthy fleet can still finish by `deadline` at `kept`
     /// trials each — the §V-D capacity sum, restricted to the budget
-    /// each device has left.
+    /// each device has left. Probation devices are not counted: they
+    /// have one unproven canary slot, not real capacity.
     fn capacity(&self, release: f64, deadline: f64, kept: usize, cap: usize) -> usize {
         let frac = kept as f64 / self.trials as f64;
         let mut total = 0usize;
         for (d, (&avail, &spb)) in self.avail.iter().zip(&self.spb).enumerate() {
-            if !self.alive[d] {
+            if self.health[d] != HealthState::Healthy {
                 continue;
             }
             let budget = (deadline - avail.max(release)).max(0.0);
@@ -384,20 +506,24 @@ impl Dispatcher {
     }
 
     /// Places (or sheds) one beam that becomes available at `release`,
-    /// preferring `preferred` kept trials (the tick's admission level).
-    fn place(&mut self, job: BeamJob, release: f64, preferred: usize) {
+    /// preferring `preferred` kept trials (the tick's admission level);
+    /// `attempt` counts placements of this beam (1 on first).
+    fn place(&mut self, job: BeamJob, release: f64, preferred: usize, attempt: usize) {
         if self.choose(release, self.trials).is_none() {
             self.record(BeamRecord {
                 index: job.index,
                 tick: job.tick,
                 beam: job.beam,
-                outcome: BeamOutcome::ShedWhole { at: release },
+                outcome: BeamOutcome::ShedWhole {
+                    at: release,
+                    reason: ShedReason::NoAliveDevices,
+                },
             });
             return;
         }
         if let Some((device, start, finish)) = self.choose(release, preferred) {
             if finish <= job.deadline + DEADLINE_EPS {
-                self.assign(job, device, preferred, start, finish);
+                self.assign(job, device, preferred, start, finish, attempt);
                 return;
             }
         }
@@ -410,7 +536,7 @@ impl Dispatcher {
             }
             if let Some((d, s, f)) = self.choose(release, kept) {
                 if f <= job.deadline + DEADLINE_EPS {
-                    self.assign(job, d, kept, s, f);
+                    self.assign(job, d, kept, s, f, attempt);
                     return;
                 }
             }
@@ -418,51 +544,193 @@ impl Dispatcher {
         // Even maximum shedding misses: run in full and report the miss.
         let (device, start, finish) = self
             .choose(release, self.trials)
-            .expect("alive device checked above");
-        self.assign(job, device, self.trials, start, finish);
+            .expect("eligible device checked above");
+        self.assign(job, device, self.trials, start, finish, attempt);
     }
 
-    /// Commits a placement and hands it to the device's worker.
-    fn assign(&mut self, job: BeamJob, device: usize, kept: usize, start: f64, finish: f64) {
+    /// Commits a placement and hands it to the device's worker. A
+    /// placement on a probation device is its canary.
+    fn assign(
+        &mut self,
+        job: BeamJob,
+        device: usize,
+        kept: usize,
+        start: f64,
+        finish: f64,
+        attempt: usize,
+    ) {
         self.avail[device] = finish;
+        let canary = self.health[device] == HealthState::Probation;
         let assignment = Assignment {
             job,
             device,
             kept_trials: kept,
             start,
             finish,
+            attempt,
+            canary,
         };
-        if self.senders[device].send(assignment).is_err() {
+        if self.senders[device].send(Work::Beam(assignment)).is_ok() {
+            if canary {
+                self.canary_in_flight[device] = true;
+                self.recovery.canaries += 1;
+            }
+            self.outstanding += 1;
+        } else {
             // Worker hung up (cannot happen before teardown, but never
-            // drop a beam): treat as a death and place elsewhere.
-            self.alive[device] = false;
-            self.place(job, start, kept);
+            // drop a beam): treat as a bounce and place elsewhere.
+            self.transition(device, HealthState::Quarantined, HealthCause::Bounce, start);
+            self.place(job, start, kept, attempt);
         }
+    }
+
+    /// Collects every outstanding worker reply and handles them in
+    /// virtual-time order; repeats until nothing is in flight. This is
+    /// the synchronization point that makes runs deterministic.
+    fn observe(&mut self, rx: &Receiver<Event>) {
+        while self.outstanding > 0 {
+            let mut batch = Vec::with_capacity(self.outstanding);
+            while self.outstanding > 0 {
+                match rx.recv() {
+                    Ok(ev) => {
+                        self.outstanding -= 1;
+                        batch.push(ev);
+                    }
+                    Err(_) => {
+                        // All workers retired; loss is caught later.
+                        self.outstanding = 0;
+                        break;
+                    }
+                }
+            }
+            batch.sort_by(|a, b| {
+                let (ta, ka, da, ia) = a.key();
+                let (tb, kb, db, ib) = b.key();
+                ta.total_cmp(&tb)
+                    .then(ka.cmp(&kb))
+                    .then(da.cmp(&db))
+                    .then(ia.cmp(&ib))
+            });
+            for ev in batch {
+                self.handle(ev);
+            }
+        }
+    }
+
+    /// Sends health probes to every suspect/quarantined device whose
+    /// backoff has elapsed by `release`.
+    fn send_due_probes(&mut self, release: f64) {
+        for d in 0..self.health.len() {
+            let probing = matches!(
+                self.health[d],
+                HealthState::Suspect | HealthState::Quarantined
+            );
+            if probing
+                && !self.probe_pending[d]
+                && self.probe_at[d] <= release + DEADLINE_EPS
+                && self.senders[d].send(Work::Probe { at: release }).is_ok()
+            {
+                self.probe_pending[d] = true;
+                self.outstanding += 1;
+                self.recovery.probes += 1;
+            }
+        }
+    }
+
+    /// Records one health transition (no-op when the state is
+    /// unchanged).
+    fn transition(&mut self, device: usize, to: HealthState, cause: HealthCause, at: f64) {
+        let from = self.health[device];
+        if from == to {
+            return;
+        }
+        self.recovery.health_events.push(HealthEvent {
+            at,
+            device,
+            from,
+            to,
+            cause,
+        });
+        if to == HealthState::Healthy {
+            self.recovery.recoveries += 1;
+        }
+        self.health[device] = to;
+    }
+
+    /// Pushes the device's next probe out by its current backoff, then
+    /// doubles the backoff (capped).
+    fn defer_probe(&mut self, device: usize, now: f64) {
+        self.probe_at[device] = now + self.probe_backoff[device];
+        self.probe_backoff[device] =
+            (self.probe_backoff[device] * 2.0).min(self.probe_backoff_cap_s);
     }
 
     fn handle(&mut self, event: Event) {
         match event {
-            Event::Died { device } => self.alive[device] = false,
-            Event::Finished { assignment } => {
+            Event::Finished {
+                assignment,
+                actual_finish,
+            } => {
+                let d = assignment.device;
                 let job = assignment.job;
-                let outcome = if assignment.finish <= job.deadline + DEADLINE_EPS {
+                // A late actual finish corrects the optimistic clock.
+                self.avail[d] = self.avail[d].max(actual_finish);
+                let late = actual_finish > assignment.finish + DEADLINE_EPS;
+                if assignment.canary {
+                    self.canary_in_flight[d] = false;
+                    if late {
+                        self.transition(
+                            d,
+                            HealthState::Quarantined,
+                            HealthCause::CanaryFailed,
+                            actual_finish,
+                        );
+                        self.defer_probe(d, actual_finish);
+                    } else {
+                        self.transition(
+                            d,
+                            HealthState::Healthy,
+                            HealthCause::CanaryPassed,
+                            actual_finish,
+                        );
+                        self.late_strikes[d] = 0;
+                        self.probe_backoff[d] = self.probe_backoff_s;
+                    }
+                } else if late {
+                    self.late_strikes[d] += 1;
+                    if self.health[d] == HealthState::Healthy
+                        && self.late_strikes[d] >= self.late_suspect_after
+                    {
+                        self.transition(
+                            d,
+                            HealthState::Suspect,
+                            HealthCause::LateCompletion,
+                            actual_finish,
+                        );
+                        self.probe_at[d] = actual_finish;
+                        self.probe_backoff[d] = self.probe_backoff_s;
+                    }
+                } else {
+                    self.late_strikes[d] = 0;
+                }
+                let outcome = if actual_finish <= job.deadline + DEADLINE_EPS {
                     if assignment.kept_trials == self.trials {
                         BeamOutcome::Completed {
-                            device: assignment.device,
-                            finish: assignment.finish,
+                            device: d,
+                            finish: actual_finish,
                         }
                     } else {
                         BeamOutcome::Degraded {
-                            device: assignment.device,
-                            finish: assignment.finish,
+                            device: d,
+                            finish: actual_finish,
                             kept_trials: assignment.kept_trials,
                             shed_trials: self.trials - assignment.kept_trials,
                         }
                     }
                 } else {
                     BeamOutcome::Missed {
-                        device: assignment.device,
-                        finish: assignment.finish,
+                        device: d,
+                        finish: actual_finish,
                         kept_trials: assignment.kept_trials,
                     }
                 };
@@ -473,11 +741,67 @@ impl Dispatcher {
                     outcome,
                 });
             }
-            Event::Orphaned { assignment, at } => {
+            Event::Bounced { assignment, at } => {
+                let d = assignment.device;
+                self.recovery.bounced += 1;
+                self.recovery.device_bounces[d] += 1;
+                if assignment.canary {
+                    self.canary_in_flight[d] = false;
+                    self.transition(d, HealthState::Quarantined, HealthCause::CanaryFailed, at);
+                    self.defer_probe(d, at);
+                } else if self.health[d] == HealthState::Healthy {
+                    self.transition(d, HealthState::Suspect, HealthCause::Bounce, at);
+                    self.late_strikes[d] = 0;
+                    self.probe_at[d] = at;
+                    self.probe_backoff[d] = self.probe_backoff_s;
+                }
                 // Recover: the beam re-enters placement at the moment the
-                // failure was detected, competing with fresh releases.
+                // failure was detected (plus backoff from the second retry
+                // on), competing with fresh releases — or is shed whole
+                // once its retry budget is gone.
                 let job = assignment.job;
-                self.place(job, job.release.max(at), self.trials);
+                if assignment.attempt > self.retry_budget {
+                    self.recovery.retry_exhausted += 1;
+                    self.record(BeamRecord {
+                        index: job.index,
+                        tick: job.tick,
+                        beam: job.beam,
+                        outcome: BeamOutcome::ShedWhole {
+                            at,
+                            reason: ShedReason::RetryBudgetExhausted,
+                        },
+                    });
+                } else {
+                    self.recovery.retries += 1;
+                    let delay = if assignment.attempt >= 2 {
+                        self.retry_backoff_s * f64::powi(2.0, assignment.attempt as i32 - 2)
+                    } else {
+                        0.0
+                    };
+                    self.place(
+                        job,
+                        job.release.max(at) + delay,
+                        self.trials,
+                        assignment.attempt + 1,
+                    );
+                }
+            }
+            Event::Probed { device, at, up } => {
+                self.probe_pending[device] = false;
+                let probing = matches!(
+                    self.health[device],
+                    HealthState::Suspect | HealthState::Quarantined
+                );
+                if !probing {
+                    return;
+                }
+                if up {
+                    self.transition(device, HealthState::Probation, HealthCause::ProbeUp, at);
+                    self.late_strikes[device] = 0;
+                } else {
+                    self.transition(device, HealthState::Quarantined, HealthCause::ProbeDown, at);
+                    self.defer_probe(device, at);
+                }
             }
         }
     }
@@ -490,43 +814,56 @@ impl Dispatcher {
     }
 }
 
-/// Device worker: executes assignments in virtual time, or bounces them
-/// once its kill time has passed.
+/// Device worker: executes assignments in virtual time, answers health
+/// probes, and bounces work its compiled fault schedule forbids. The
+/// worker owns the only copy of the schedule — the dispatcher sees
+/// faults exclusively through these replies.
 fn worker(
     id: usize,
-    rx: Receiver<Assignment>,
+    rx: Receiver<Work>,
     events: Sender<Event>,
-    kill: Option<f64>,
+    mut faults: DeviceFaults,
     stats: &Mutex<Vec<WorkerStats>>,
 ) {
     let mut busy = 0.0;
     let mut done = 0usize;
     let mut max_depth = 0usize;
-    let mut died_sent = false;
-    for assignment in rx.iter() {
+    // Local virtual clock: when the device actually frees up, which
+    // drifts past the dispatcher's prediction under slowdowns.
+    let mut clock = 0.0f64;
+    for work in rx.iter() {
         max_depth = max_depth.max(rx.len());
-        let dead = match kill {
-            Some(k) if assignment.start >= k => Some(k),
-            Some(k) if assignment.finish > k => {
-                // Died mid-beam: the partial work is wasted, the beam
-                // must be redone elsewhere.
-                busy += (k - assignment.start).max(0.0);
-                Some(k)
+        match work {
+            Work::Probe { at } => {
+                let _ = events.send(Event::Probed {
+                    device: id,
+                    at,
+                    up: faults.up_at(at),
+                });
             }
-            _ => None,
-        };
-        match dead {
-            Some(k) => {
-                if !died_sent {
-                    died_sent = true;
-                    let _ = events.send(Event::Died { device: id });
+            Work::Beam(assignment) => {
+                let start = assignment.start.max(clock);
+                let nominal = assignment.finish - assignment.start;
+                match faults.gate(start, nominal) {
+                    Gate::Bounce { at, wasted } => {
+                        // Partial work before a mid-beam death is spent
+                        // but produces nothing.
+                        busy += wasted;
+                        if wasted > 0.0 {
+                            clock = at;
+                        }
+                        let _ = events.send(Event::Bounced { assignment, at });
+                    }
+                    Gate::Run { duration } => {
+                        busy += duration;
+                        done += 1;
+                        clock = start + duration;
+                        let _ = events.send(Event::Finished {
+                            assignment,
+                            actual_finish: clock,
+                        });
+                    }
                 }
-                let _ = events.send(Event::Orphaned { assignment, at: k });
-            }
-            None => {
-                busy += assignment.finish - assignment.start;
-                done += 1;
-                let _ = events.send(Event::Finished { assignment });
             }
         }
     }
@@ -563,6 +900,16 @@ mod tests {
         assert_eq!(r.shed_whole, 0);
         assert!(r.sheds.is_empty());
         assert!(r.makespan <= 3.0 + DEADLINE_EPS);
+        // A healthy run has a quiet recovery ledger.
+        assert_eq!(r.bounced, 0);
+        assert_eq!(r.retries, 0);
+        assert_eq!(r.probes, 0);
+        assert_eq!(r.canaries, 0);
+        assert!(r.health_events.is_empty());
+        assert!(r
+            .devices
+            .iter()
+            .all(|d| d.final_health == HealthState::Healthy && d.bounces == 0));
     }
 
     #[test]
@@ -611,6 +958,13 @@ mod tests {
                 assert_eq!(kept_trials, 100);
             }
         }
+        // Predicted misses are not *late* finishes: the device did what
+        // the model said it would, so it stays healthy.
+        assert!(run
+            .report
+            .devices
+            .iter()
+            .all(|d| d.final_health == HealthState::Healthy));
     }
 
     #[test]
@@ -627,6 +981,15 @@ mod tests {
         assert_eq!(r.completed + r.degraded + r.deadline_misses, 40);
         assert_eq!(r.devices[0].died_at, Some(1.5));
         assert_eq!(r.devices[1].died_at, None);
+        // The death was observed (bounce → Suspect), probed (down →
+        // Quarantined), and never recovered: a permanently dead device
+        // answers no probe and gets no canary.
+        assert!(r.bounced > 0);
+        assert_eq!(r.devices[0].bounces, r.bounced);
+        assert_eq!(r.canaries, 0);
+        assert_eq!(r.recoveries, 0);
+        assert_ne!(r.devices[0].final_health, HealthState::Healthy);
+        assert_eq!(r.devices[1].final_health, HealthState::Healthy);
     }
 
     #[test]
@@ -639,10 +1002,153 @@ mod tests {
         assert_eq!(r.sheds.len(), 8);
         assert_eq!(r.total_shed_trials, 8 * 500);
         assert_eq!(r.completed + r.degraded + r.deadline_misses, 0);
+        // Nobody eligible remained — the budget was never the binding
+        // constraint here.
+        assert!(r
+            .sheds
+            .iter()
+            .all(|s| s.reason == ShedReason::NoAliveDevices));
     }
 
     #[test]
-    fn empty_fleet_zero_trials_and_missing_load_are_errors() {
+    fn flapped_device_recovers_through_probation() {
+        // Device 0 is down on [0.5, 1.6) and then returns; device 1
+        // carries the survey meanwhile.
+        let faults = FaultPlan::none().with_flap(0, 0.5, 1.6);
+        let run = run(&[0.2, 0.2], 1000, 4, 5, &faults);
+        let r = &run.report;
+        assert!(r.conservation_ok());
+        assert_eq!(r.shed_whole, 0);
+        assert!(r.bounced > 0, "the outage must be observed");
+        assert!(r.probes > 0, "suspect devices are probed");
+        assert!(r.canaries > 0, "recovery goes through a canary");
+        assert_eq!(r.recoveries, 1, "device 0 comes back exactly once");
+        assert_eq!(r.devices[0].final_health, HealthState::Healthy);
+        assert_eq!(r.devices[0].died_at, None);
+        // The canonical evidence chain appears in order for device 0:
+        // bounce → Suspect, probe → Probation, canary → Healthy.
+        let causes: Vec<HealthCause> = r
+            .health_events
+            .iter()
+            .filter(|e| e.device == 0)
+            .map(|e| e.cause)
+            .collect();
+        assert!(causes.contains(&HealthCause::Bounce));
+        assert!(causes.contains(&HealthCause::ProbeUp));
+        assert_eq!(causes.last(), Some(&HealthCause::CanaryPassed));
+        // While the device was down, no beam completed on it.
+        for rec in &run.records {
+            if let BeamOutcome::Completed { device: 0, finish } = rec.outcome {
+                assert!(
+                    finish <= 0.5 + DEADLINE_EPS || finish > 1.6,
+                    "no completion inside the outage, got {finish}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn transient_bounces_are_retried_and_the_device_recovers() {
+        // Device 0 glitches once at t=1.0 without going down.
+        let faults = FaultPlan::none().with_transient(0, 1.0, 1);
+        let run = run(&[0.2, 0.2], 1000, 4, 4, &faults);
+        let r = &run.report;
+        assert!(r.conservation_ok());
+        assert_eq!(r.bounced, 1);
+        assert_eq!(r.retries, 1);
+        assert_eq!(r.retry_exhausted, 0);
+        assert_eq!(r.shed_whole, 0);
+        // The glitching device answers its probe (it was never down)
+        // and is re-trusted after one canary.
+        assert_eq!(r.recoveries, 1);
+        assert_eq!(r.devices[0].final_health, HealthState::Healthy);
+    }
+
+    #[test]
+    fn slowdown_is_observed_as_late_completions() {
+        // One device 3× slower over the whole run: completions come in
+        // late, the device turns Suspect, and — still answering probes —
+        // it cycles through Probation; its canary is late too, so it
+        // ends Quarantined, not Healthy.
+        let faults = FaultPlan::none().with_slowdown(0, 0.0, 100.0, 3.0);
+        let run = run(&[0.2, 0.2], 1000, 4, 4, &faults);
+        let r = &run.report;
+        assert!(r.conservation_ok());
+        assert_eq!(r.bounced, 0, "a slow device bounces nothing");
+        assert!(
+            r.health_events
+                .iter()
+                .any(|e| e.device == 0 && e.cause == HealthCause::LateCompletion),
+            "late completions must drive the suspicion"
+        );
+        assert_ne!(r.devices[0].final_health, HealthState::Healthy);
+        assert_eq!(r.devices[1].final_health, HealthState::Healthy);
+        assert!(r.devices[0].busy_s > 0.0);
+    }
+
+    #[test]
+    fn retry_budget_exhaustion_sheds_loudly() {
+        // Both devices glitch forever; a budget of 1 gives each beam
+        // one re-placement before it is shed whole.
+        let faults = FaultPlan::none()
+            .with_transient(0, 0.0, 1_000)
+            .with_transient(1, 0.0, 1_000);
+        let fleet = ResolvedFleet::synthetic(500, &[0.2, 0.2]);
+        let load = SurveyLoad::custom(500, 2, 1);
+        let config = SchedulerConfig {
+            retry_budget: 1,
+            ..SchedulerConfig::default()
+        };
+        let run = Scheduler::session(&fleet)
+            .config(config)
+            .load(&load)
+            .faults(&faults)
+            .run()
+            .unwrap();
+        let r = &run.report;
+        assert!(r.conservation_ok());
+        assert!(r.retry_exhausted > 0);
+        assert!(r
+            .sheds
+            .iter()
+            .any(|s| s.reason == ShedReason::RetryBudgetExhausted));
+    }
+
+    #[test]
+    fn retry_backoff_delays_second_and_later_retries() {
+        // Three devices: 0 and 1 dead from the start, 2 healthy. The
+        // first beam bounces twice; with a backoff base of 0.2 s its
+        // second re-placement is released no earlier than 0.2.
+        let faults = FaultPlan::none().with_kill(0, 0.0).with_kill(1, 0.0);
+        let fleet = ResolvedFleet::synthetic(100, &[0.1, 0.1, 0.1]);
+        let load = SurveyLoad::custom(100, 1, 1);
+        let config = SchedulerConfig {
+            retry_backoff_s: 0.2,
+            ..SchedulerConfig::default()
+        };
+        let run = Scheduler::session(&fleet)
+            .config(config)
+            .load(&load)
+            .faults(&faults)
+            .run()
+            .unwrap();
+        let r = &run.report;
+        assert!(r.conservation_ok());
+        assert_eq!(r.retries, 2);
+        match run.records[0].outcome {
+            BeamOutcome::Completed { device, finish } => {
+                assert_eq!(device, 2);
+                assert!(
+                    finish >= 0.2 + 0.1 - DEADLINE_EPS,
+                    "second retry must wait out the backoff, finished at {finish}"
+                );
+            }
+            other => panic!("expected the beam to complete on device 2, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn empty_fleet_zero_trials_missing_load_and_bad_plans_are_errors() {
         let load = SurveyLoad::custom(100, 1, 1);
         let empty = ResolvedFleet::synthetic(100, &[]);
         assert!(Scheduler::session(&empty).load(&load).run().is_err());
@@ -651,6 +1157,14 @@ mod tests {
         assert!(Scheduler::session(&fleet).load(&zero).run().is_err());
         // A session without a load cannot run.
         assert!(Scheduler::session(&fleet).run().is_err());
+        // An invalid fault plan is rejected before anything runs.
+        let fleet = ResolvedFleet::synthetic(100, &[0.5]);
+        let bad = FaultPlan::none().with_flap(0, 2.0, 1.0);
+        assert!(Scheduler::session(&fleet)
+            .load(&load)
+            .faults(&bad)
+            .run()
+            .is_err());
     }
 
     #[test]
@@ -687,10 +1201,11 @@ mod tests {
     fn deprecated_positional_run_matches_the_session() {
         let fleet = ResolvedFleet::synthetic(800, &[0.2, 0.3]);
         let load = SurveyLoad::custom(800, 6, 2);
-        // Healthy runs are fully deterministic, so the shim and the
-        // session must produce identical ledgers. (Only
+        // Runs are deterministic (the dispatcher observes worker
+        // verdicts at fixed synchronization points), so the shim and
+        // the session must produce identical ledgers. Only
         // max_queue_depth is observed by the real worker threads and
-        // may vary with OS scheduling — compare modulo that field.)
+        // may vary with OS scheduling — compare modulo that field.
         let old = Scheduler::default()
             .run(&fleet, &load, &FaultPlan::none())
             .unwrap();
@@ -706,9 +1221,7 @@ mod tests {
         }
         assert_eq!(old_report, new_report);
         assert_eq!(old.records, new.records);
-        // Under faults, which beams end degraded can depend on when
-        // bounced work is discovered relative to tick admission, so
-        // compare the timing-robust facts only.
+        // Faulted runs are deterministic too.
         let faults = FaultPlan::none().with_kill(1, 0.9);
         let old = Scheduler::default().run(&fleet, &load, &faults).unwrap();
         let new = Scheduler::session(&fleet)
@@ -718,7 +1231,7 @@ mod tests {
             .unwrap();
         assert!(old.report.conservation_ok());
         assert!(new.report.conservation_ok());
-        assert_eq!(old.report.admitted, new.report.admitted);
+        assert_eq!(old.records, new.records);
         assert_eq!(old.report.devices[1].died_at, new.report.devices[1].died_at);
     }
 }

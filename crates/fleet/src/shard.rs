@@ -6,17 +6,22 @@
 //! partition beams across several cooperating schedulers instead. This
 //! module is the partitioning half of that grid: a [`RebalancePolicy`]
 //! routes every tick's beams to shards, a [`GridFaultPlan`] schedules
-//! per-shard device failures and whole-shard kills, and the resulting
+//! per-shard device faults, whole-shard kills, and whole-shard *flaps*
+//! (the shard goes down and comes back), and the resulting
 //! [`ShardLoad`]s — each a [`LoadSource`] remembering the *global*
 //! identity of every beam it carries — plug straight into unmodified
-//! scheduler sessions. Beams whose home shard is already dead at
-//! release are *re-homed* to survivors; beams in flight when a shard
-//! dies are handled by the shard's own recovery (re-queued on its
-//! surviving devices, or shed whole — loudly — when none remain), so
-//! the merged ledger stays conserved no matter what is killed.
+//! scheduler sessions. Beams whose home shard is down at release are
+//! *re-homed* to survivors; beams in flight when a shard dies are
+//! handled by the shard's own recovery (re-queued on its surviving
+//! devices, or shed whole — loudly — when none remain), so the merged
+//! ledger stays conserved no matter what is killed. The routing layer
+//! doubles as a supervisor: a flapped shard is restarted when its down
+//! window ends, beams are homed back onto it, and the per-shard
+//! [`ShardCondition`] ledger records every outage, restart, and
+//! re-homing.
 
 use crate::descriptor::ResolvedFleet;
-use crate::fault::FaultPlan;
+use crate::fault::{FaultEvent, FaultPlan};
 use crate::load::LoadSource;
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
@@ -105,18 +110,22 @@ impl LoadSource for ShardLoad {
     }
 }
 
-/// Failure schedules for a whole grid: per-shard device kills plus
-/// whole-shard kills.
+/// Failure schedules for a whole grid: per-shard device faults,
+/// whole-shard kills, and whole-shard flaps.
 ///
-/// Device kills behave exactly like a single-scheduler [`FaultPlan`]
-/// scoped to one shard. A *shard* kill takes every device of the shard
-/// down at once; the grid front-end additionally stops routing new
-/// beams there from the kill time on (the re-homing of
-/// [`RebalancePolicy`]).
+/// Device-level events behave exactly like a single-scheduler
+/// [`FaultPlan`] scoped to one shard. A *shard* kill takes every device
+/// of the shard down at once, permanently; a shard *flap* takes every
+/// device down for a window and brings them back. In both cases the
+/// grid front-end additionally stops routing new beams there while the
+/// shard is down (the re-homing of [`RebalancePolicy`]) — and, for
+/// flaps, the supervisor restarts the shard when the window ends and
+/// homes beams back onto it.
 #[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
 pub struct GridFaultPlan {
     device_kills: BTreeMap<usize, FaultPlan>,
     shard_kills: BTreeMap<usize, f64>,
+    shard_flaps: BTreeMap<usize, Vec<(f64, f64)>>,
 }
 
 impl GridFaultPlan {
@@ -133,6 +142,15 @@ impl GridFaultPlan {
         self
     }
 
+    /// Schedules an arbitrary [`FaultEvent`] for device `device` of
+    /// shard `shard` — flaps, slowdowns, and transients included.
+    #[must_use]
+    pub fn with_device_event(mut self, shard: usize, device: usize, event: FaultEvent) -> Self {
+        let plan = self.device_kills.entry(shard).or_default();
+        *plan = plan.clone().with_event(device, event);
+        self
+    }
+
     /// Schedules the whole of shard `shard` — every device — to die at
     /// `at`; from then on the grid re-homes its beams to survivors.
     #[must_use]
@@ -141,14 +159,44 @@ impl GridFaultPlan {
         self
     }
 
+    /// Schedules the whole of shard `shard` to go down on
+    /// `[down_at, up_at)` and come back: its beams re-home to survivors
+    /// during the outage, and the supervisor homes them back once the
+    /// shard restarts.
+    #[must_use]
+    pub fn with_shard_flap(mut self, shard: usize, down_at: f64, up_at: f64) -> Self {
+        self.shard_flaps
+            .entry(shard)
+            .or_default()
+            .push((down_at, up_at));
+        self
+    }
+
     /// When (if ever) shard `shard` is killed whole.
     pub fn shard_kill_time(&self, shard: usize) -> Option<f64> {
         self.shard_kills.get(&shard).copied()
     }
 
-    /// Whether the plan kills nothing.
+    /// The scheduled whole-shard down windows of `shard`.
+    pub fn shard_flaps(&self, shard: usize) -> &[(f64, f64)] {
+        self.shard_flaps.get(&shard).map_or(&[], Vec::as_slice)
+    }
+
+    /// Whether shard `shard` is down — killed or inside a flap window —
+    /// at virtual time `t`.
+    pub fn shard_down_at(&self, shard: usize, t: f64) -> bool {
+        self.shard_kill_time(shard).is_some_and(|k| k <= t)
+            || self
+                .shard_flaps(shard)
+                .iter()
+                .any(|&(down, up)| t >= down && t < up)
+    }
+
+    /// Whether the plan schedules nothing.
     pub fn is_empty(&self) -> bool {
-        self.shard_kills.is_empty() && self.device_kills.values().all(FaultPlan::is_empty)
+        self.shard_kills.is_empty()
+            && self.shard_flaps.values().all(Vec::is_empty)
+            && self.device_kills.values().all(FaultPlan::is_empty)
     }
 
     /// The largest shard index the plan refers to, if any.
@@ -156,14 +204,16 @@ impl GridFaultPlan {
         self.device_kills
             .keys()
             .chain(self.shard_kills.keys())
+            .chain(self.shard_flaps.keys())
             .copied()
             .max()
     }
 
     /// The device-level [`FaultPlan`] shard `shard` (with `devices`
-    /// devices) hands to its scheduler: its scheduled device kills,
+    /// devices) hands to its scheduler: its scheduled device events,
     /// with a whole-shard kill folded in as a kill of every device at
-    /// the earlier of the two times.
+    /// the earlier of the two times, and every whole-shard flap window
+    /// folded in as a flap of every device.
     pub fn plan_for(&self, shard: usize, devices: usize) -> FaultPlan {
         let mut plan = self.device_kills.get(&shard).cloned().unwrap_or_default();
         if let Some(at) = self.shard_kill_time(shard) {
@@ -172,8 +222,35 @@ impl GridFaultPlan {
                 plan = plan.with_kill(device, effective);
             }
         }
+        for &(down, up) in self.shard_flaps(shard) {
+            for device in 0..devices {
+                plan = plan.with_flap(device, down, up);
+            }
+        }
         plan
     }
+}
+
+/// The supervisor's ledger for one shard: what was scheduled to go
+/// wrong, how often it was restarted, and how many beams moved because
+/// of it.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ShardCondition {
+    /// Shard index.
+    pub shard: usize,
+    /// When (if ever) the shard was killed permanently.
+    pub killed_at: Option<f64>,
+    /// Whole-shard down windows scheduled.
+    pub flaps: usize,
+    /// Down windows that ended within the survey horizon — outages the
+    /// supervisor recovered from by restarting the shard.
+    pub restarts: usize,
+    /// Beams homed on this shard that were routed elsewhere while it
+    /// was down.
+    pub rehomed_away: usize,
+    /// Beams routed onto this shard at ticks after its first restart —
+    /// the re-homing back on recovery.
+    pub returned_home: usize,
 }
 
 /// The outcome of partitioning a load over shards.
@@ -183,15 +260,18 @@ pub(crate) struct Partition {
     /// Beams routed to a different shard than they would have been had
     /// every shard been alive.
     pub rehomed: usize,
+    /// The supervisor's per-shard outage/restart accounting.
+    pub supervisor: Vec<ShardCondition>,
 }
 
 /// Routes every beam of `load` to a shard, tick by tick.
 ///
-/// A shard whose whole-shard kill time is at or before a tick's
-/// release is dead for routing from that tick on. If *no* shard
-/// survives, routing proceeds as if all were alive — the dead shards'
-/// schedulers then shed every beam whole, loudly, keeping the global
-/// ledger conserved.
+/// A shard that is down — killed, or inside a flap window — at a
+/// tick's release takes no beams that tick; a flapped shard rejoins
+/// routing at the first tick after its window ends (the supervisor's
+/// restart). If *no* shard survives, routing proceeds as if all were
+/// alive — the dead shards' schedulers then shed every beam whole,
+/// loudly, keeping the global ledger conserved.
 pub(crate) fn partition(
     load: &dyn LoadSource,
     shards: &[ResolvedFleet],
@@ -209,9 +289,23 @@ pub(crate) fn partition(
         .collect();
     let all_alive = vec![true; n];
     let mut rehomed = 0usize;
+    let mut rehomed_away = vec![0usize; n];
+    let mut returned_home = vec![0usize; n];
+    // When each flapped shard first comes back, if ever.
+    let first_restart: Vec<Option<f64>> = (0..n)
+        .map(|s| {
+            faults
+                .shard_flaps(s)
+                .iter()
+                .map(|&(_, up)| up)
+                .min_by(f64::total_cmp)
+        })
+        .collect();
     let mut next_index = 0usize;
+    let mut horizon = 0.0f64;
     for tick in 0..load.ticks() {
         let release = load.release(tick);
+        horizon = horizon.max(release);
         let deadline = load.deadline(tick);
         let beams = load.beams_at(tick);
         for sl in &mut shard_loads {
@@ -221,22 +315,24 @@ pub(crate) fn partition(
                 beams: Vec::new(),
             });
         }
-        let mut alive: Vec<bool> = (0..n)
-            .map(|s| faults.shard_kill_time(s).is_none_or(|k| k > release))
-            .collect();
+        let mut alive: Vec<bool> = (0..n).map(|s| !faults.shard_down_at(s, release)).collect();
         if !alive.iter().any(|&a| a) {
             alive = all_alive.clone();
         }
         let routes = route_tick(policy, beams, &weights, &alive);
         if alive != all_alive {
             let baseline = route_tick(policy, beams, &weights, &all_alive);
-            rehomed += routes
-                .iter()
-                .zip(&baseline)
-                .filter(|(got, home)| got != home)
-                .count();
+            for (&got, &home) in routes.iter().zip(&baseline) {
+                if got != home {
+                    rehomed += 1;
+                    rehomed_away[home] += 1;
+                }
+            }
         }
         for (beam, &shard) in routes.iter().enumerate() {
+            if first_restart[shard].is_some_and(|up| release >= up) {
+                returned_home[shard] += 1;
+            }
             shard_loads[shard].ticks[tick].beams.push(GlobalBeam {
                 index: next_index,
                 tick,
@@ -245,9 +341,23 @@ pub(crate) fn partition(
             next_index += 1;
         }
     }
+    let supervisor = (0..n)
+        .map(|s| {
+            let flaps = faults.shard_flaps(s);
+            ShardCondition {
+                shard: s,
+                killed_at: faults.shard_kill_time(s),
+                flaps: flaps.len(),
+                restarts: flaps.iter().filter(|&&(_, up)| up <= horizon).count(),
+                rehomed_away: rehomed_away[s],
+                returned_home: returned_home[s],
+            }
+        })
+        .collect();
     Partition {
         shard_loads,
         rehomed,
+        supervisor,
     }
 }
 
@@ -437,5 +547,63 @@ mod tests {
         assert_eq!(plan.max_shard(), Some(1));
         assert!(!plan.is_empty());
         assert!(GridFaultPlan::none().is_empty());
+    }
+
+    #[test]
+    fn plan_for_folds_shard_flaps_onto_every_device() {
+        let plan = GridFaultPlan::none()
+            .with_shard_flap(0, 1.0, 2.0)
+            .with_device_event(
+                0,
+                1,
+                FaultEvent::Slowdown {
+                    from: 0.0,
+                    until: 4.0,
+                    factor: 2.0,
+                },
+            );
+        assert!(!plan.is_empty());
+        assert_eq!(plan.max_shard(), Some(0));
+        assert_eq!(plan.shard_flaps(0), &[(1.0, 2.0)]);
+        assert!(plan.shard_down_at(0, 1.5));
+        assert!(!plan.shard_down_at(0, 2.0), "window is half-open");
+        assert!(!plan.shard_down_at(0, 0.5));
+        let shard0 = plan.plan_for(0, 2);
+        // Every device gets the flap; device 1 keeps its slowdown too.
+        assert_eq!(
+            shard0.events_for(0),
+            &[FaultEvent::Flap {
+                down_at: 1.0,
+                up_at: 2.0
+            }]
+        );
+        assert_eq!(shard0.events_for(1).len(), 2);
+        assert_eq!(shard0.kill_time(0), None, "a flap is not a kill");
+    }
+
+    #[test]
+    fn flapped_shard_reroutes_during_the_outage_and_returns_home() {
+        let shards = shards(&[&[0.2, 0.2], &[0.2, 0.2]]);
+        let load = SurveyLoad::custom(100, 4, 4);
+        // Shard 0 down for tick 1 only (release 1.0), back by tick 2.
+        let faults = GridFaultPlan::none().with_shard_flap(0, 0.9, 1.9);
+        let part = partition(&load, &shards, RebalancePolicy::StaticHash, &faults);
+        assert_eq!(part.shard_loads[0].beams_at(0), 2);
+        assert_eq!(part.shard_loads[0].beams_at(1), 0, "down during the flap");
+        assert_eq!(part.shard_loads[1].beams_at(1), 4);
+        assert_eq!(part.shard_loads[0].beams_at(2), 2, "restart homes it back");
+        assert_eq!(part.rehomed, 2);
+        // The supervisor ledger tells the same story.
+        let s0 = &part.supervisor[0];
+        assert_eq!(s0.flaps, 1);
+        assert_eq!(s0.restarts, 1);
+        assert_eq!(s0.rehomed_away, 2);
+        assert_eq!(s0.returned_home, 4, "ticks 2 and 3 run at home again");
+        assert_eq!(s0.killed_at, None);
+        assert_eq!(part.supervisor[1].flaps, 0);
+        assert_eq!(part.supervisor[1].rehomed_away, 0);
+        // Nothing is lost across the outage.
+        let total: usize = part.shard_loads.iter().map(|s| s.total_beams()).sum();
+        assert_eq!(total, load.total_beams());
     }
 }

@@ -1,6 +1,6 @@
 //! Property-based grid (sharded scheduling) invariants.
 //!
-//! Four properties the grid layer must hold for any fleet shape, shard
+//! Properties the grid layer must hold for any fleet shape, shard
 //! count, load, routing policy, and failure schedule:
 //!
 //! 1. **Equivalent admission** — a sharded run admits exactly the same
@@ -12,9 +12,16 @@
 //!    its share of the batch never misses a deadline and never sheds.
 //! 4. **Fault tolerance** — whole-shard kills and device kills never
 //!    lose a beam: the global ledger stays conserved across shards.
+//! 5. **Flap tolerance** — shard flaps plus arbitrary per-device
+//!    transient schedules never lose a beam either, and the supervisor
+//!    ledger's arithmetic closes (re-homed beams sum across shards).
+//! 6. **Determinism** — identical `(shards, load, policy, plan)`
+//!    inputs yield identical grid reports and records, modulo each
+//!    worker's racy `max_queue_depth`.
 
 use dedisp_fleet::{
-    Grid, GridFaultPlan, GridRun, RebalancePolicy, ResolvedFleet, Scheduler, SurveyLoad,
+    FaultEvent, Grid, GridFaultPlan, GridReport, GridRun, RebalancePolicy, ResolvedFleet,
+    Scheduler, SurveyLoad,
 };
 use proptest::prelude::*;
 
@@ -197,8 +204,102 @@ proptest! {
             }
         }
     }
+
+    /// Invariant 5: flapping shards and gliching devices never lose a
+    /// beam, and the supervisor's ledger closes: the global re-homed
+    /// count is exactly the sum of what each home shard gave away, and
+    /// a shard never restarts more often than it flapped.
+    #[test]
+    fn flapped_shards_never_lose_beams(
+        spb in prop::collection::vec(0.05f64..1.0, 2..8),
+        trials in 8usize..1024,
+        beams in 1usize..16,
+        ticks in 2usize..6,
+        shards in 2usize..5,
+        policy in policies(),
+        flaps in prop::collection::vec((0usize..8, 0.0f64..2.0, 0.1f64..1.5), 0..3),
+        events in prop::collection::vec(
+            (0usize..8, 0usize..8, 1u8..4, 0.0f64..3.0, 0.1f64..1.2, 1.2f64..3.0, 1usize..3),
+            0..4,
+        ),
+    ) {
+        let fleets = shard_fleets(&spb, shards, trials);
+        let n = fleets.len();
+        let mut faults = GridFaultPlan::none();
+        for &(s, down, dur) in &flaps {
+            faults = faults.with_shard_flap(s % n, down, down + dur);
+        }
+        for &(s, d, kind, t0, dur, factor, count) in &events {
+            let s = s % n;
+            let event = match kind {
+                1 => FaultEvent::Flap { down_at: t0, up_at: t0 + dur },
+                2 => FaultEvent::Slowdown { from: t0, until: t0 + dur, factor },
+                _ => FaultEvent::Transient { at: t0, count },
+            };
+            faults = faults.with_device_event(s, d % fleets[s].len(), event);
+        }
+        let grid = run_grid(&fleets, &load_of(trials, beams, ticks), policy, &faults);
+        let r = &grid.report;
+        prop_assert!(r.conservation_ok());
+        prop_assert_eq!(r.admitted, beams * ticks);
+        prop_assert_eq!(r.supervisor.len(), n);
+        prop_assert_eq!(
+            r.rehomed,
+            r.supervisor.iter().map(|c| c.rehomed_away).sum::<usize>()
+        );
+        for c in &r.supervisor {
+            let scheduled = flaps.iter().filter(|&&(s, _, _)| s % n == c.shard).count();
+            prop_assert_eq!(c.flaps, scheduled);
+            prop_assert!(c.restarts <= c.flaps);
+            // No kills were scheduled: the supervisor must agree, and
+            // no device anywhere may be flagged permanently dead.
+            prop_assert_eq!(c.killed_at, None);
+        }
+        for shard in &r.shards {
+            prop_assert!(shard.devices.iter().all(|d| d.died_at.is_none()));
+        }
+    }
+
+    /// Invariant 6: the grid is deterministic end to end. Two runs of
+    /// the same `(shards, load, policy, plan)` produce identical
+    /// reports and global records — modulo each worker's racy
+    /// `max_queue_depth`.
+    #[test]
+    fn identical_grid_inputs_give_identical_reports(
+        spb in prop::collection::vec(0.05f64..1.0, 2..6),
+        trials in 8usize..512,
+        beams in 1usize..12,
+        ticks in 1usize..4,
+        shards in 2usize..4,
+        policy in policies(),
+        flaps in prop::collection::vec((0usize..8, 0.0f64..2.0, 0.1f64..1.5), 0..2),
+    ) {
+        let fleets = shard_fleets(&spb, shards, trials);
+        let n = fleets.len();
+        let mut faults = GridFaultPlan::none();
+        for &(s, down, dur) in &flaps {
+            faults = faults.with_shard_flap(s % n, down, down + dur);
+        }
+        let load = load_of(trials, beams, ticks);
+        let a = run_grid(&fleets, &load, policy, &faults);
+        let b = run_grid(&fleets, &load, policy, &faults);
+        prop_assert_eq!(modulo_queue_depth(&a.report), modulo_queue_depth(&b.report));
+        prop_assert_eq!(a.records, b.records);
+    }
 }
 
 fn load_of(trials: usize, beams: usize, ticks: usize) -> SurveyLoad {
     SurveyLoad::custom(trials, beams, ticks)
+}
+
+/// A grid report with every shard device's racy `max_queue_depth`
+/// zeroed — the one field excluded from the determinism guarantee.
+fn modulo_queue_depth(report: &GridReport) -> GridReport {
+    let mut normalized = report.clone();
+    for shard in &mut normalized.shards {
+        for d in &mut shard.devices {
+            d.max_queue_depth = 0;
+        }
+    }
+    normalized
 }

@@ -1,0 +1,75 @@
+//! Serde round-trip coverage for the exported report artifacts.
+//!
+//! Operators archive `FleetReport` / `GridReport` JSON and diff runs
+//! offline, so the artifacts must survive `to_json → from_json` with
+//! nothing lost — *including* the recovery ledger (health transitions,
+//! bounce/retry/probe/canary counters, per-device final health) that a
+//! faulted run populates. These tests run real faulted sessions so
+//! every enum variant family (fault-caused sheds, health causes,
+//! probation states) actually appears in the serialized artifact.
+
+use dedisp_fleet::{
+    FaultPlan, FleetReport, Grid, GridFaultPlan, GridReport, ResolvedFleet, Scheduler, SurveyLoad,
+};
+
+/// A fleet run exercising every fault kind at once: a kill, a flap, a
+/// slowdown, and a transient glitch across four devices.
+fn faulted_fleet_report() -> FleetReport {
+    let fleet = ResolvedFleet::synthetic(256, &[0.1, 0.1, 0.1, 0.1]);
+    let load = SurveyLoad::custom(256, 8, 6);
+    let faults = FaultPlan::none()
+        .with_kill(0, 1.5)
+        .with_flap(1, 0.5, 1.6)
+        .with_slowdown(2, 0.0, 2.0, 3.0)
+        .with_transient(3, 0.5, 2);
+    Scheduler::session(&fleet)
+        .load(&load)
+        .faults(&faults)
+        .run()
+        .expect("valid inputs")
+        .report
+}
+
+#[test]
+fn fleet_report_roundtrips_through_json_with_a_full_recovery_ledger() {
+    let report = faulted_fleet_report();
+    // The run must actually have populated the interesting fields, or
+    // the round-trip proves nothing.
+    assert!(report.bounced > 0, "faulted run should observe bounces");
+    assert!(
+        !report.health_events.is_empty(),
+        "faulted run should log health transitions"
+    );
+    assert!(!report.sheds.is_empty(), "killed device should force sheds");
+
+    let back = FleetReport::from_json(&report.to_json()).expect("report JSON parses back");
+    assert_eq!(back, report);
+    // Round-tripping is idempotent byte-for-byte.
+    assert_eq!(back.to_json(), report.to_json());
+}
+
+#[test]
+fn grid_report_roundtrips_through_json_with_supervisor_and_recovery_state() {
+    let shards = vec![
+        ResolvedFleet::synthetic(128, &[0.1, 0.1]),
+        ResolvedFleet::synthetic(128, &[0.1, 0.1]),
+    ];
+    let load = SurveyLoad::custom(128, 8, 5);
+    let faults = GridFaultPlan::none()
+        .with_shard_flap(0, 0.25, 1.9)
+        .with_device_kill(1, 0, 2.5);
+    let report = Grid::session(&shards)
+        .load(&load)
+        .faults(&faults)
+        .run()
+        .expect("valid grid inputs")
+        .report;
+
+    assert_eq!(report.supervisor.len(), 2);
+    assert_eq!(report.supervisor[0].flaps, 1, "flap must reach the ledger");
+    assert!(report.rehomed > 0, "outage should re-home beams");
+
+    let back = GridReport::from_json(&report.to_json()).expect("grid JSON parses back");
+    assert_eq!(back, report);
+    assert_eq!(back.to_json(), report.to_json());
+}

@@ -83,6 +83,19 @@ impl ProptestConfig {
     pub fn with_cases(cases: u32) -> Self {
         Self { cases }
     }
+
+    /// The case count actually run: the larger of the configured count
+    /// and the `PROPTEST_CASES` environment variable. Lets CI soak
+    /// jobs deepen coverage without code changes; an unset or
+    /// unparsable variable leaves the configured count untouched.
+    pub fn effective_cases(&self) -> u32 {
+        resolve_cases(self.cases, std::env::var("PROPTEST_CASES").ok().as_deref())
+    }
+}
+
+fn resolve_cases(configured: u32, env: Option<&str>) -> u32 {
+    let env = env.and_then(|v| v.trim().parse::<u32>().ok()).unwrap_or(0);
+    configured.max(env)
 }
 
 impl Default for ProptestConfig {
@@ -436,15 +449,16 @@ macro_rules! proptest {
             $(#[$meta])*
             fn $name() {
                 let __config: $crate::ProptestConfig = $config;
+                let __cases: u32 = __config.effective_cases();
                 let __strategy = ( $($strat,)+ );
                 let mut __rng = $crate::TestRng::for_test(
                     concat!(module_path!(), "::", stringify!($name)),
                 );
                 let mut __accepted: u32 = 0;
                 let mut __rejected: u32 = 0;
-                let __max_rejects: u32 = __config.cases.saturating_mul(64).saturating_add(1024);
+                let __max_rejects: u32 = __cases.saturating_mul(64).saturating_add(1024);
                 let mut __case: u64 = 0;
-                while __accepted < __config.cases {
+                while __accepted < __cases {
                     __case += 1;
                     assert!(
                         __rejected <= __max_rejects,
@@ -598,6 +612,14 @@ mod tests {
             prop_assert_eq!(n % 2, 0);
             prop_assert_ne!(n, 2);
         }
+    }
+
+    #[test]
+    fn case_count_overrides_take_the_larger_side() {
+        assert_eq!(super::resolve_cases(64, None), 64);
+        assert_eq!(super::resolve_cases(64, Some("256")), 256);
+        assert_eq!(super::resolve_cases(64, Some(" 16 ")), 64);
+        assert_eq!(super::resolve_cases(64, Some("not a number")), 64);
     }
 
     #[test]
