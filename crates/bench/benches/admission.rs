@@ -1,0 +1,59 @@
+//! Admission-control overhead: what the policy layer and the
+//! coordinated grid planner cost on the scheduling hot path.
+//!
+//! The policy extraction put a trait call and a `CapacityView` build on
+//! every tick; the coordinated mode adds a per-tick plan (two candidate
+//! evaluations over fault-free shard clocks). Both should be noise
+//! against the real per-beam placement work — this harness prices them.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use dedisp_fleet::{Grid, GridAdmission, ResolvedFleet, SurveyLoad};
+use std::hint::black_box;
+
+/// Mildly heterogeneous per-beam costs, as in the fleet bench.
+fn costs(n: usize) -> Vec<f64> {
+    (0..n).map(|d| 0.09 + 0.002 * (d % 5) as f64).collect()
+}
+
+fn bench_admission_modes(c: &mut Criterion) {
+    let mut group = c.benchmark_group("admission/grid_mode");
+    for shards in [2usize, 4] {
+        // A skewed grid so the coordinated planner has real work: the
+        // first shard holds a quarter of the devices of the others.
+        let fleets: Vec<ResolvedFleet> = (0..shards)
+            .map(|s| {
+                let devices = if s == 0 { 4 } else { 16 };
+                ResolvedFleet::synthetic(2000, &costs(devices))
+            })
+            .collect();
+        let beams: usize = fleets
+            .iter()
+            .map(ResolvedFleet::beams_capacity)
+            .sum::<usize>()
+            * 9
+            / 10;
+        let load = SurveyLoad::custom(2000, beams, 3);
+        group.throughput(Throughput::Elements(load.total_beams() as u64));
+        for mode in [GridAdmission::PerShard, GridAdmission::Coordinated] {
+            group.bench_with_input(
+                BenchmarkId::new(format!("{mode:?}"), shards),
+                &shards,
+                |b, _| {
+                    b.iter(|| {
+                        let run = Grid::session(black_box(&fleets))
+                            .admission(black_box(mode))
+                            .load(black_box(&load))
+                            .run()
+                            .unwrap();
+                        assert!(run.report.conservation_ok());
+                        black_box(run.report.total_shed_trials)
+                    });
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_admission_modes);
+criterion_main!(benches);

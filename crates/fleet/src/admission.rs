@@ -1,0 +1,720 @@
+//! The admission policy layer: who decides how much of a tick runs.
+//!
+//! The scheduler's dispatcher used to hard-code the §V-D shed-tier
+//! arithmetic — how many trailing DM tiers a batch may drop, the floor
+//! below which no beam is degraded, and the deadline-feasibility check
+//! that picks a tier. This module pulls that logic out behind the
+//! [`AdmissionPolicy`] trait so the *same* decision procedure can run
+//! at two scopes:
+//!
+//! * **Per-fleet** — the dispatcher builds a [`CapacityView`] of its
+//!   own devices each tick and asks the session's policy (default
+//!   [`PerDeviceGreedy`], which reproduces the historical behaviour
+//!   exactly) for an [`AdmissionDecision`].
+//! * **Per-grid** — with [`GridAdmission::Coordinated`], a grid-scope
+//!   controller runs the policy over the union of every shard's
+//!   capacity view at partition time, trades shed tiers across shards
+//!   (shed one tier fleet-wide before any shard sheds two), and hands
+//!   each shard a per-tick admission ceiling.
+//!
+//! The tier arithmetic itself lives in [`TierLadder`]: `shed_tiers`
+//! equal DM tiers per beam, at most `max_shed_tiers` of which may be
+//! shed, never below the floor.
+
+use crate::metrics::ShedReason;
+use crate::scheduler::SchedulerConfig;
+use serde::{Deserialize, Serialize};
+
+/// Slack tolerated when comparing virtual times against deadlines, so
+/// exact-fit packings are not rejected over float rounding.
+pub(crate) const DEADLINE_EPS: f64 = 1e-9;
+
+/// The shed-tier ladder for one load: the admissible per-beam DM
+/// counts, from full resolution down to the floor.
+///
+/// A beam of `trials` DMs is divided into `shed_tiers` equal tiers
+/// (the last possibly short); admission may shed at most
+/// `max_shed_tiers` of them, and never sheds a beam to zero trials.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TierLadder {
+    trials: usize,
+    tier: usize,
+    /// Admissible degraded sizes, largest first.
+    kept_options: Vec<usize>,
+}
+
+impl TierLadder {
+    /// Builds the ladder for `trials` DMs under `config`'s
+    /// `shed_tiers`/`max_shed_tiers` tunables.
+    pub fn new(trials: usize, config: &SchedulerConfig) -> Self {
+        let tier = trials.div_ceil(config.shed_tiers.max(1));
+        let mut kept_options = Vec::new();
+        for shed in 1..=config.max_shed_tiers.min(config.shed_tiers) {
+            let kept = trials.saturating_sub(shed * tier);
+            if kept == 0 {
+                break;
+            }
+            kept_options.push(kept);
+        }
+        Self {
+            trials,
+            tier,
+            kept_options,
+        }
+    }
+
+    /// Full-resolution trial DMs per beam.
+    pub fn trials(&self) -> usize {
+        self.trials
+    }
+
+    /// Trial DMs per shed tier.
+    pub fn tier_size(&self) -> usize {
+        self.tier
+    }
+
+    /// The admissible degraded sizes, largest first (full resolution
+    /// excluded).
+    pub fn kept_options(&self) -> &[usize] {
+        &self.kept_options
+    }
+
+    /// Every admissible level, largest first: full resolution, then
+    /// each degraded size.
+    pub fn levels(&self) -> impl Iterator<Item = usize> + '_ {
+        std::iter::once(self.trials).chain(self.kept_options.iter().copied())
+    }
+
+    /// The smallest admissible per-beam DM count — the shed floor.
+    pub fn floor(&self) -> usize {
+        self.kept_options.last().copied().unwrap_or(self.trials)
+    }
+
+    /// The kept-trials level reached by shedding `shed_tiers` tiers
+    /// (clamped to the deepest admissible level).
+    pub fn kept_for(&self, shed_tiers: usize) -> usize {
+        if shed_tiers == 0 {
+            self.trials
+        } else {
+            self.kept_options
+                .get(shed_tiers - 1)
+                .copied()
+                .unwrap_or_else(|| self.floor())
+        }
+    }
+
+    /// How many tiers were shed to reach `kept` trials (0 at full
+    /// resolution; computed from the tier size for off-ladder values).
+    pub fn tiers_for(&self, kept: usize) -> usize {
+        if kept >= self.trials {
+            return 0;
+        }
+        if let Some(pos) = self.kept_options.iter().position(|&k| k == kept) {
+            return pos + 1;
+        }
+        (self.trials - kept).div_ceil(self.tier.max(1))
+    }
+
+    /// The largest admissible level at or below `kept` (the floor when
+    /// `kept` undercuts every level).
+    pub fn snap(&self, kept: usize) -> usize {
+        self.levels()
+            .find(|&k| k <= kept)
+            .unwrap_or_else(|| self.floor())
+    }
+}
+
+/// One tick's batch, as the admission policy sees it.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BeamDemand {
+    /// Virtual time the batch's data becomes available.
+    pub release: f64,
+    /// Virtual time by which every beam must be dedispersed.
+    pub deadline: f64,
+    /// Beams in the batch.
+    pub beams: usize,
+}
+
+/// One device's remaining capacity, as the admission policy sees it.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DeviceCapacity {
+    /// Predicted virtual time the device's queue drains.
+    pub avail: f64,
+    /// Full-resolution seconds per beam.
+    pub seconds_per_beam: f64,
+    /// Whether the device currently counts toward admission capacity.
+    /// Probation devices do not: they have one unproven canary slot,
+    /// not real capacity.
+    pub healthy: bool,
+}
+
+/// The capacity side of an admission decision: the tier ladder plus
+/// every device's remaining budget.
+#[derive(Debug, Clone, Copy)]
+pub struct CapacityView<'a> {
+    /// The load's shed-tier ladder.
+    pub ladder: &'a TierLadder,
+    /// Per-device capacity, in device order.
+    pub devices: &'a [DeviceCapacity],
+}
+
+impl CapacityView<'_> {
+    /// Beams the healthy devices can still finish by `demand.deadline`
+    /// at `kept` trials each — the §V-D capacity sum, restricted to the
+    /// budget each device has left. Saturates at `demand.beams`.
+    pub fn feasible_beams(&self, demand: &BeamDemand, kept: usize) -> usize {
+        let cap = demand.beams;
+        let frac = kept as f64 / self.ladder.trials() as f64;
+        let mut total = 0usize;
+        for d in self.devices {
+            if !d.healthy {
+                continue;
+            }
+            let budget = (demand.deadline - d.avail.max(demand.release)).max(0.0);
+            let cost = d.seconds_per_beam * frac;
+            let slots = if cost > 0.0 {
+                ((budget + DEADLINE_EPS) / cost) as usize
+            } else {
+                cap
+            };
+            total += slots.min(cap);
+            if total >= cap {
+                return cap;
+            }
+        }
+        total
+    }
+}
+
+/// What an admission policy rules for one tick's batch.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AdmissionDecision {
+    /// Admit the batch with `shed_tiers` trailing DM tiers shed from
+    /// every beam (0 = full resolution). Individual beams under further
+    /// pressure may still shed extra tiers on their own, and beams that
+    /// cannot fit even at maximum shed run at full resolution and are
+    /// reported as misses.
+    Admit {
+        /// Tiers to shed from every beam of the batch.
+        shed_tiers: usize,
+    },
+    /// Admit the batch at full resolution *without* per-beam tier
+    /// shedding: the policy declines to degrade, accepting that beams
+    /// which do not fit will miss their deadline instead.
+    Defer,
+    /// Drop the whole batch: every beam is recorded as shed whole with
+    /// this reason.
+    Shed(ShedReason),
+}
+
+/// A batch-granularity admission rule: given one tick's demand and the
+/// fleet's remaining capacity, decide how much of the batch runs.
+///
+/// The same trait runs at two scopes — per-fleet inside the scheduler's
+/// dispatcher, and per-grid inside the coordinated partition planner —
+/// which is the point of pulling it out of the scheduler. Policies must
+/// be [`Sync`]: grid sessions share one policy reference across shard
+/// threads, and a policy is a pure decision rule over the view it is
+/// handed.
+pub trait AdmissionPolicy: Sync {
+    /// Rules on one tick's batch.
+    fn decide(&self, demand: &BeamDemand, view: &CapacityView<'_>) -> AdmissionDecision;
+}
+
+/// The historical admission rule, now the default policy: the largest
+/// per-beam DM count (full resolution first, then one shed tier at a
+/// time, never below the floor) at which the whole batch fits the
+/// fleet's remaining deadline budget. When even maximum shedding cannot
+/// fit the batch, the maximum shed level is admitted and the stragglers
+/// will miss.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PerDeviceGreedy;
+
+impl AdmissionPolicy for PerDeviceGreedy {
+    fn decide(&self, demand: &BeamDemand, view: &CapacityView<'_>) -> AdmissionDecision {
+        for (tiers, kept) in view.ladder.levels().enumerate() {
+            if view.feasible_beams(demand, kept) >= demand.beams {
+                return AdmissionDecision::Admit { shed_tiers: tiers };
+            }
+        }
+        AdmissionDecision::Admit {
+            shed_tiers: view.ladder.kept_options().len(),
+        }
+    }
+}
+
+/// How a grid session runs admission control.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub enum GridAdmission {
+    /// Each shard sheds independently, exactly as a standalone
+    /// scheduler would — the historical behaviour.
+    #[default]
+    PerShard,
+    /// A grid-scope controller observes every shard's capacity view at
+    /// each tick, routes the tick by remaining headroom, and picks one
+    /// fleet-wide shed level, committing the cross-shard plan only when
+    /// it Pareto-improves on the per-shard baseline (never more
+    /// predicted misses, never more total shed trials). Shards receive
+    /// the plan as per-tick admission ceilings; faults discovered at
+    /// runtime are still absorbed by their own per-beam shedding.
+    Coordinated,
+}
+
+// ---------------------------------------------------------------------
+// Grid-scope planning: the coordinated controller.
+// ---------------------------------------------------------------------
+
+/// Virtual clocks for one shard's devices during grid-scope planning:
+/// a fault-free mirror of the shard dispatcher's placement arithmetic.
+#[derive(Debug, Clone)]
+struct ShardSim {
+    avail: Vec<f64>,
+    spb: Vec<f64>,
+}
+
+impl ShardSim {
+    /// The device with the earliest predicted finish for a beam of
+    /// `kept` trials released at `release` — the dispatcher's greedy
+    /// choice, ties to the lowest index.
+    fn choose(&self, release: f64, kept: usize, trials: usize) -> Option<(usize, f64)> {
+        let frac = kept as f64 / trials as f64;
+        let mut best: Option<(usize, f64)> = None;
+        for (d, (&avail, &spb)) in self.avail.iter().zip(&self.spb).enumerate() {
+            let finish = avail.max(release) + spb * frac;
+            if best.is_none_or(|(_, bf)| finish < bf) {
+                best = Some((d, finish));
+            }
+        }
+        best
+    }
+}
+
+/// The predicted cost of one candidate plan for one tick.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct PlanCost {
+    misses: usize,
+    shed_trials: usize,
+}
+
+impl PlanCost {
+    /// Whether `self` Pareto-improves on `other`: no worse on either
+    /// axis and strictly better on at least one.
+    fn pareto_improves(&self, other: &PlanCost) -> bool {
+        self.misses <= other.misses
+            && self.shed_trials <= other.shed_trials
+            && (self.misses < other.misses || self.shed_trials < other.shed_trials)
+    }
+}
+
+/// The coordinated grid admission planner: per-shard fault-free clock
+/// simulations that mirror the dispatcher's placement arithmetic, used
+/// to score a cross-shard plan against the per-shard baseline each
+/// tick.
+///
+/// The planner only ever hands shards admission *ceilings* — a shard's
+/// dispatcher still runs its own policy and takes the lower of the two
+/// levels — so runtime faults the planner cannot see degrade exactly as
+/// they would without coordination. Candidates are therefore evaluated
+/// under the same min-of-local-and-ceiling rule the dispatchers apply,
+/// which makes the predictions exact for fault-free runs. A tick where
+/// the baseline wins hands out an unconstrained ceiling, so a
+/// single-shard grid under coordination is *identical* to per-shard
+/// admission by construction.
+pub(crate) struct GridPlanner {
+    sims: Vec<ShardSim>,
+    ladder: TierLadder,
+    trials: usize,
+}
+
+/// What the planner rules for one tick.
+pub(crate) struct TickPlan {
+    /// Shard for each of the tick's beams.
+    pub routes: Vec<usize>,
+    /// Per-shard admission ceiling (kept trials) for the tick; the
+    /// full-resolution trial count means "unconstrained".
+    pub kept: Vec<usize>,
+}
+
+impl GridPlanner {
+    pub(crate) fn new(
+        shards: &[crate::descriptor::ResolvedFleet],
+        trials: usize,
+        config: &SchedulerConfig,
+    ) -> Self {
+        Self {
+            sims: shards
+                .iter()
+                .map(|s| ShardSim {
+                    avail: vec![0.0; s.len()],
+                    spb: s.devices.iter().map(|d| d.seconds_per_beam).collect(),
+                })
+                .collect(),
+            ladder: TierLadder::new(trials, config),
+            trials,
+        }
+    }
+
+    /// Plans one tick: evaluates the per-shard baseline (`routes` as
+    /// the grid would route them anyway, each shard shedding locally)
+    /// against a coordinated candidate (capacity-aware routing plus one
+    /// fleet-wide shed level), commits whichever the Pareto rule picks,
+    /// and returns the chosen routes and per-shard ceilings.
+    pub(crate) fn plan_tick(
+        &mut self,
+        release: f64,
+        deadline: f64,
+        alive: &[bool],
+        baseline_routes: Vec<usize>,
+    ) -> TickPlan {
+        let n = self.sims.len();
+        let demand_total = BeamDemand {
+            release,
+            deadline,
+            beams: baseline_routes.len(),
+        };
+
+        // Baseline candidate: the grid's own routing, each shard
+        // shedding locally (no ceiling).
+        let unconstrained = vec![self.trials; n];
+        let (baseline_cost, baseline_sims) =
+            self.evaluate(&baseline_routes, &unconstrained, release, deadline);
+
+        // Coordinated candidate: one fleet-wide shed level from the
+        // union view of every alive shard, routed by remaining headroom.
+        let union: Vec<DeviceCapacity> = (0..n)
+            .filter(|&s| alive[s])
+            .flat_map(|s| self.device_view(s))
+            .collect();
+        let view = CapacityView {
+            ladder: &self.ladder,
+            devices: &union,
+        };
+        let global_kept = Self::decide_kept(&self.ladder, &demand_total, &view);
+        let headroom: Vec<usize> = (0..n)
+            .map(|s| {
+                if !alive[s] {
+                    return 0;
+                }
+                let devices = self.device_view(s);
+                let shard_view = CapacityView {
+                    ladder: &self.ladder,
+                    devices: &devices,
+                };
+                shard_view.feasible_beams(&demand_total, global_kept)
+            })
+            .collect();
+        let coordinated_routes = dhondt_routes(demand_total.beams, &headroom, alive);
+        let coordinated_ceilings: Vec<usize> = (0..n)
+            .map(|s| if alive[s] { global_kept } else { self.trials })
+            .collect();
+        let (coordinated_cost, coordinated_sims) = self.evaluate(
+            &coordinated_routes,
+            &coordinated_ceilings,
+            release,
+            deadline,
+        );
+
+        if coordinated_cost.pareto_improves(&baseline_cost) {
+            self.sims = coordinated_sims;
+            TickPlan {
+                routes: coordinated_routes,
+                kept: coordinated_ceilings,
+            }
+        } else {
+            self.sims = baseline_sims;
+            TickPlan {
+                routes: baseline_routes,
+                kept: unconstrained,
+            }
+        }
+    }
+
+    /// One shard's devices as a capacity view (planning assumes they
+    /// are healthy: runtime faults are the shard's own business).
+    fn device_view(&self, shard: usize) -> Vec<DeviceCapacity> {
+        let sim = &self.sims[shard];
+        sim.avail
+            .iter()
+            .zip(&sim.spb)
+            .map(|(&avail, &spb)| DeviceCapacity {
+                avail,
+                seconds_per_beam: spb,
+                healthy: true,
+            })
+            .collect()
+    }
+
+    /// Runs [`PerDeviceGreedy`] over a view and resolves the decision
+    /// to a kept-trials level.
+    fn decide_kept(ladder: &TierLadder, demand: &BeamDemand, view: &CapacityView<'_>) -> usize {
+        match PerDeviceGreedy.decide(demand, view) {
+            AdmissionDecision::Admit { shed_tiers } => ladder.kept_for(shed_tiers),
+            AdmissionDecision::Defer => ladder.trials(),
+            AdmissionDecision::Shed(_) => ladder.floor(),
+        }
+    }
+
+    /// The level shard `s` would admit `beams` beams at, locally.
+    fn shard_kept(&self, shard: usize, release: f64, deadline: f64, beams: usize) -> usize {
+        let devices = self.device_view(shard);
+        let view = CapacityView {
+            ladder: &self.ladder,
+            devices: &devices,
+        };
+        let demand = BeamDemand {
+            release,
+            deadline,
+            beams,
+        };
+        Self::decide_kept(&self.ladder, &demand, &view)
+    }
+
+    /// Plays one tick's routed beams through cloned shard clocks under
+    /// per-shard ceilings, mirroring the dispatchers exactly: each
+    /// shard admits at the lower of its own greedy level and the
+    /// ceiling, then runs the per-beam shed cascade. Returns the
+    /// predicted cost plus the advanced clocks.
+    fn evaluate(
+        &self,
+        routes: &[usize],
+        ceilings: &[usize],
+        release: f64,
+        deadline: f64,
+    ) -> (PlanCost, Vec<ShardSim>) {
+        let n = self.sims.len();
+        let mut counts = vec![0usize; n];
+        for &s in routes {
+            counts[s] += 1;
+        }
+        let effective: Vec<usize> = (0..n)
+            .map(|s| {
+                self.shard_kept(s, release, deadline, counts[s])
+                    .min(self.ladder.snap(ceilings[s]))
+            })
+            .collect();
+        let mut sims = self.sims.clone();
+        let mut cost = PlanCost {
+            misses: 0,
+            shed_trials: 0,
+        };
+        for &shard in routes {
+            let sim = &mut sims[shard];
+            let preferred = effective[shard];
+            let mut placed = false;
+            // The dispatcher's cascade: the tick's admission level
+            // first, then deeper tiers, then a full-resolution miss.
+            for level in self.ladder.levels() {
+                if level > preferred {
+                    continue;
+                }
+                if let Some((d, finish)) = sim.choose(release, level, self.trials) {
+                    if finish <= deadline + DEADLINE_EPS {
+                        sim.avail[d] = finish;
+                        cost.shed_trials += self.trials - level;
+                        placed = true;
+                        break;
+                    }
+                }
+            }
+            if !placed {
+                if let Some((d, finish)) = sim.choose(release, self.trials, self.trials) {
+                    sim.avail[d] = finish;
+                }
+                cost.misses += 1;
+            }
+        }
+        (cost, sims)
+    }
+}
+
+/// D'Hondt apportionment of one tick's beams over alive shards by
+/// weight — the same quotient rule as
+/// [`crate::RebalancePolicy::LoadAware`], here fed with *remaining
+/// headroom* instead of static capacity.
+fn dhondt_routes(beams: usize, weights: &[usize], alive: &[bool]) -> Vec<usize> {
+    let n = weights.len();
+    let mut assigned = vec![0usize; n];
+    (0..beams)
+        .map(|_| {
+            let mut best = 0usize;
+            let mut best_quotient = f64::NEG_INFINITY;
+            for (s, (&w, &up)) in weights.iter().zip(alive).enumerate() {
+                if !up {
+                    continue;
+                }
+                let quotient = w.max(1) as f64 / (assigned[s] + 1) as f64;
+                if quotient > best_quotient {
+                    best_quotient = quotient;
+                    best = s;
+                }
+            }
+            assigned[best] += 1;
+            best
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ladder(trials: usize, shed_tiers: usize, max_shed: usize) -> TierLadder {
+        let config = SchedulerConfig {
+            shed_tiers,
+            max_shed_tiers: max_shed,
+            ..SchedulerConfig::default()
+        };
+        TierLadder::new(trials, &config)
+    }
+
+    #[test]
+    fn ladder_reproduces_the_historical_tier_arithmetic() {
+        // 1000 trials, 8 tiers of 125, at most 4 shed: 875/750/625/500.
+        let l = ladder(1000, 8, 4);
+        assert_eq!(l.trials(), 1000);
+        assert_eq!(l.tier_size(), 125);
+        assert_eq!(l.kept_options(), &[875, 750, 625, 500]);
+        assert_eq!(l.floor(), 500);
+        assert_eq!(
+            l.levels().collect::<Vec<_>>(),
+            vec![1000, 875, 750, 625, 500]
+        );
+        assert_eq!(l.kept_for(0), 1000);
+        assert_eq!(l.kept_for(2), 750);
+        assert_eq!(l.kept_for(99), 500, "deep requests clamp to the floor");
+        assert_eq!(l.tiers_for(1000), 0);
+        assert_eq!(l.tiers_for(625), 3);
+        assert_eq!(l.snap(1000), 1000);
+        assert_eq!(l.snap(700), 625);
+        assert_eq!(l.snap(10), 500, "sub-floor snaps to the floor");
+    }
+
+    #[test]
+    fn ladder_handles_uneven_tiers_and_disabled_shedding() {
+        // 10 trials over 3 tiers of ceil(10/3)=4: kept 6, then 2.
+        let l = ladder(10, 3, 3);
+        assert_eq!(l.kept_options(), &[6, 2]);
+        // max_shed_tiers = 0 disables shedding entirely.
+        let none = ladder(1000, 8, 0);
+        assert!(none.kept_options().is_empty());
+        assert_eq!(none.floor(), 1000);
+        assert_eq!(none.kept_for(3), 1000);
+    }
+
+    fn view_of<'a>(ladder: &'a TierLadder, devices: &'a [DeviceCapacity]) -> CapacityView<'a> {
+        CapacityView { ladder, devices }
+    }
+
+    fn dev(avail: f64, spb: f64) -> DeviceCapacity {
+        DeviceCapacity {
+            avail,
+            seconds_per_beam: spb,
+            healthy: true,
+        }
+    }
+
+    #[test]
+    fn feasible_beams_counts_healthy_budget_only() {
+        let l = ladder(1000, 8, 4);
+        let devices = [
+            dev(0.0, 0.25),
+            DeviceCapacity {
+                healthy: false,
+                ..dev(0.0, 0.25)
+            },
+        ];
+        let view = view_of(&l, &devices);
+        let demand = BeamDemand {
+            release: 0.0,
+            deadline: 1.0,
+            beams: 10,
+        };
+        // One healthy device, 4 beams/s at full resolution.
+        assert_eq!(view.feasible_beams(&demand, 1000), 4);
+        // At the 500-trial floor the same device doubles up.
+        assert_eq!(view.feasible_beams(&demand, 500), 8);
+        // Saturation at the batch size.
+        let small = BeamDemand { beams: 3, ..demand };
+        assert_eq!(view.feasible_beams(&small, 1000), 3);
+    }
+
+    #[test]
+    fn greedy_policy_walks_the_ladder_and_clamps_at_the_floor() {
+        let l = ladder(1000, 8, 4);
+        let devices = [dev(0.0, 0.25)];
+        let view = view_of(&l, &devices);
+        let fits_full = BeamDemand {
+            release: 0.0,
+            deadline: 1.0,
+            beams: 4,
+        };
+        assert_eq!(
+            PerDeviceGreedy.decide(&fits_full, &view),
+            AdmissionDecision::Admit { shed_tiers: 0 }
+        );
+        let needs_shed = BeamDemand {
+            beams: 5,
+            ..fits_full
+        };
+        // 5 beams need ≤0.2 s each: kept 750 (cost 0.1875) is the first
+        // level that fits.
+        assert_eq!(
+            PerDeviceGreedy.decide(&needs_shed, &view),
+            AdmissionDecision::Admit { shed_tiers: 2 }
+        );
+        let hopeless = BeamDemand {
+            beams: 100,
+            ..fits_full
+        };
+        assert_eq!(
+            PerDeviceGreedy.decide(&hopeless, &view),
+            AdmissionDecision::Admit { shed_tiers: 4 },
+            "hopeless batches admit at the deepest level and miss"
+        );
+        let empty = BeamDemand {
+            beams: 0,
+            ..fits_full
+        };
+        assert_eq!(
+            PerDeviceGreedy.decide(&empty, &view),
+            AdmissionDecision::Admit { shed_tiers: 0 }
+        );
+    }
+
+    #[test]
+    fn pareto_rule_requires_improvement_on_both_axes() {
+        let base = PlanCost {
+            misses: 3,
+            shed_trials: 100,
+        };
+        assert!(PlanCost {
+            misses: 0,
+            shed_trials: 100
+        }
+        .pareto_improves(&base));
+        assert!(PlanCost {
+            misses: 3,
+            shed_trials: 50
+        }
+        .pareto_improves(&base));
+        assert!(!base.pareto_improves(&base), "ties go to the baseline");
+        assert!(
+            !PlanCost {
+                misses: 0,
+                shed_trials: 101
+            }
+            .pareto_improves(&base),
+            "trading misses for extra shed trials is not adopted"
+        );
+    }
+
+    #[test]
+    fn grid_admission_serde_roundtrip_and_default() {
+        assert_eq!(GridAdmission::default(), GridAdmission::PerShard);
+        for mode in [GridAdmission::PerShard, GridAdmission::Coordinated] {
+            let json = serde_json::to_string(&mode).unwrap();
+            let back: GridAdmission = serde_json::from_str(&json).unwrap();
+            assert_eq!(back, mode);
+        }
+    }
+}

@@ -8,7 +8,11 @@
 //! real cluster manager learns from failed RPCs and missed heartbeats
 //! rather than from an omniscient schedule. The dispatcher's health
 //! state machine (see [`crate::scheduler`]) is driven purely by that
-//! observed evidence.
+//! observed evidence, and every inference it draws lands on the typed
+//! telemetry stream (see [`crate::telemetry`]) as `Bounce`, `Probe`,
+//! and `Health` events. The coordinated grid planner (see
+//! [`crate::admission`]) is deliberately fault-blind for the same
+//! reason: runtime faults are each shard's own business to observe.
 
 use crate::descriptor::FleetError;
 use serde::{Deserialize, Serialize};

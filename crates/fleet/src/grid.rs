@@ -31,11 +31,15 @@
 //! outage, restart, and re-homing — so nothing is ever silently lost,
 //! only loudly degraded.
 
+use crate::admission::GridAdmission;
 use crate::descriptor::{FleetError, ResolvedFleet};
 use crate::load::LoadSource;
-use crate::metrics::{BeamOutcome, FleetReport, ShedReason};
+use crate::metrics::{BeamOutcome, BeamRecord, FleetReport, ShedReason, ShedRecord};
 use crate::scheduler::{FleetRun, Scheduler, SchedulerConfig};
-use crate::shard::{partition, GridFaultPlan, Partition, RebalancePolicy, ShardCondition};
+use crate::shard::{
+    partition, GlobalBeam, GridFaultPlan, Partition, RebalancePolicy, ShardCondition,
+};
+use crate::telemetry::{StatusSnapshot, TelemetryEvent};
 use serde::{Deserialize, Serialize};
 
 /// Entry point for sharded fleet scheduling.
@@ -56,6 +60,7 @@ impl Grid {
             shards,
             config: SchedulerConfig::default(),
             policy: RebalancePolicy::default(),
+            admission: GridAdmission::default(),
             load: None,
             faults: None,
         }
@@ -68,6 +73,7 @@ pub struct GridSession<'a> {
     shards: &'a [ResolvedFleet],
     config: SchedulerConfig,
     policy: RebalancePolicy,
+    admission: GridAdmission,
     load: Option<&'a dyn LoadSource>,
     faults: Option<&'a GridFaultPlan>,
 }
@@ -84,6 +90,15 @@ impl<'a> GridSession<'a> {
     #[must_use]
     pub fn policy(mut self, policy: RebalancePolicy) -> Self {
         self.policy = policy;
+        self
+    }
+
+    /// Sets how the grid runs admission control: per-shard (default) or
+    /// [`GridAdmission::Coordinated`], where a grid-scope planner trades
+    /// shed tiers across shards through per-tick admission ceilings.
+    #[must_use]
+    pub fn admission(mut self, admission: GridAdmission) -> Self {
+        self.admission = admission;
         self
     }
 
@@ -134,9 +149,21 @@ impl<'a> GridSession<'a> {
             shard_loads,
             rehomed,
             supervisor,
-        } = partition(load, shards, self.policy, faults);
+            ceilings,
+            rebalances,
+        } = partition(
+            load,
+            shards,
+            self.policy,
+            faults,
+            self.admission,
+            &self.config,
+        );
         let plans: Vec<_> = (0..shards.len())
             .map(|s| faults.plan_for(s, shards[s].len()))
+            .collect();
+        let ceiling_slices: Vec<Option<&[usize]>> = (0..shards.len())
+            .map(|s| ceilings.as_ref().map(|c| c[s].as_slice()))
             .collect();
 
         // One real thread per shard; each shard session spawns its own
@@ -145,15 +172,18 @@ impl<'a> GridSession<'a> {
             let handles: Vec<_> = shards
                 .iter()
                 .zip(&shard_loads)
-                .zip(&plans)
-                .map(|((fleet, shard_load), plan)| {
+                .zip(plans.iter().zip(&ceiling_slices))
+                .map(|((fleet, shard_load), (plan, &ceiling))| {
                     let config = self.config.clone();
                     scope.spawn(move || {
-                        Scheduler::session(fleet)
+                        let mut session = Scheduler::session(fleet)
                             .config(config)
                             .load(shard_load)
-                            .faults(plan)
-                            .run()
+                            .faults(plan);
+                        if let Some(ceiling) = ceiling {
+                            session = session.admission_ceilings(ceiling);
+                        }
+                        session.run()
                     })
                 })
                 .collect();
@@ -201,11 +231,37 @@ impl<'a> GridSession<'a> {
             .collect::<Option<_>>()
             .ok_or_else(|| FleetError::new("beam lost across shards"))?;
 
+        // The grid's tagged telemetry stream: the partition layer's
+        // rebalance decisions first (they predate every placement),
+        // then each shard's stream re-keyed to global beam identity.
+        let mut events: Vec<ShardEvent> = rebalances
+            .iter()
+            .map(|&(tick, index, from_shard, to_shard)| ShardEvent {
+                shard: None,
+                event: TelemetryEvent::Rebalance {
+                    tick,
+                    index,
+                    from_shard,
+                    to_shard,
+                },
+            })
+            .collect();
+        for (shard, (run, shard_load)) in shard_runs.iter().zip(&shard_loads).enumerate() {
+            let globals = shard_load.global_beams();
+            for event in &run.events {
+                events.push(ShardEvent {
+                    shard: Some(shard),
+                    event: rekey(event, &globals),
+                });
+            }
+        }
+
         let report = GridReport::build(
             load,
             self.policy,
+            self.admission,
             &shard_runs,
-            &records,
+            &events,
             rehomed,
             supervisor,
         );
@@ -213,7 +269,73 @@ impl<'a> GridSession<'a> {
             report,
             records,
             shard_runs,
+            events,
         })
+    }
+}
+
+/// Re-keys one shard-local telemetry event to global beam identity via
+/// the shard's [`GlobalBeam`] table (shard-local job index → global
+/// index and tick-wide beam number). Events without a beam identity
+/// pass through unchanged; device indices stay shard-local.
+fn rekey(event: &TelemetryEvent, globals: &[GlobalBeam]) -> TelemetryEvent {
+    let global = |index: usize| globals.get(index).map_or(index, |g| g.index);
+    match *event {
+        TelemetryEvent::Placed {
+            index,
+            device,
+            at,
+            kept_trials,
+            attempt,
+            canary,
+        } => TelemetryEvent::Placed {
+            index: global(index),
+            device,
+            at,
+            kept_trials,
+            attempt,
+            canary,
+        },
+        TelemetryEvent::Bounce {
+            index,
+            device,
+            at,
+            attempt,
+        } => TelemetryEvent::Bounce {
+            index: global(index),
+            device,
+            at,
+            attempt,
+        },
+        TelemetryEvent::Retry { index, at, attempt } => TelemetryEvent::Retry {
+            index: global(index),
+            at,
+            attempt,
+        },
+        TelemetryEvent::Beam(record) => {
+            let g = globals.get(record.index);
+            TelemetryEvent::Beam(BeamRecord {
+                index: g.map_or(record.index, |g| g.index),
+                tick: record.tick,
+                beam: g.map_or(record.beam, |g| g.beam),
+                outcome: record.outcome,
+            })
+        }
+        TelemetryEvent::Shed(ref shed) => {
+            let g = globals.get(shed.index);
+            TelemetryEvent::Shed(ShedRecord {
+                index: g.map_or(shed.index, |g| g.index),
+                tick: shed.tick,
+                beam: g.map_or(shed.beam, |g| g.beam),
+                shed_trials: shed.shed_trials,
+                kept_trials: shed.kept_trials,
+                reason: shed.reason,
+            })
+        }
+        TelemetryEvent::Admission { .. }
+        | TelemetryEvent::Probe { .. }
+        | TelemetryEvent::Health(_)
+        | TelemetryEvent::Rebalance { .. } => event.clone(),
     }
 }
 
@@ -251,6 +373,20 @@ pub struct GridShedRecord {
     pub reason: ShedReason,
 }
 
+/// One event of the grid's telemetry stream, tagged with the shard that
+/// emitted it (`None` for grid-level events such as rebalances).
+///
+/// Beam identities inside the event are *global*: the grid re-keys each
+/// shard's stream through its [`GlobalBeam`] table before tagging.
+/// Device indices stay shard-local — pair them with the shard tag.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ShardEvent {
+    /// Emitting shard; `None` for the grid front-end itself.
+    pub shard: Option<usize>,
+    /// The event, with global beam identity.
+    pub event: TelemetryEvent,
+}
+
 /// The result of a grid run: the merged report plus both ledgers.
 #[derive(Debug, Clone)]
 pub struct GridRun {
@@ -260,6 +396,18 @@ pub struct GridRun {
     pub records: Vec<GridBeamRecord>,
     /// The underlying per-shard runs, in shard order.
     pub shard_runs: Vec<FleetRun>,
+    /// The grid's tagged telemetry stream: partition-layer rebalances
+    /// first, then every shard's stream re-keyed to global identity.
+    pub events: Vec<ShardEvent>,
+}
+
+impl GridRun {
+    /// Folds each shard's telemetry stream into a point-in-time
+    /// [`StatusSnapshot`], shard order — the grid-wide payload the
+    /// planned status endpoint would serve.
+    pub fn status_snapshots(&self) -> Vec<StatusSnapshot> {
+        self.shard_runs.iter().map(FleetRun::status).collect()
+    }
 }
 
 /// The merged, serializable summary of a grid run.
@@ -273,6 +421,8 @@ pub struct GridReport {
     pub ticks: usize,
     /// Routing policy the grid ran under.
     pub policy: RebalancePolicy,
+    /// Admission mode the grid ran under.
+    pub admission: GridAdmission,
     /// Beam-seconds admitted across all shards.
     pub admitted: usize,
     /// Beams fully dedispersed on time, grid-wide.
@@ -298,12 +448,15 @@ pub struct GridReport {
 }
 
 impl GridReport {
-    /// Builds the merged report from the global ledger and shard runs.
+    /// Builds the merged report as a fold over the grid's tagged
+    /// telemetry stream: beam outcomes drive the counters, shed events
+    /// the itemized ledger, both already re-keyed to global identity.
     fn build(
         load: &dyn LoadSource,
         policy: RebalancePolicy,
+        admission: GridAdmission,
         shard_runs: &[FleetRun],
-        records: &[GridBeamRecord],
+        events: &[ShardEvent],
         rehomed: usize,
         supervisor: Vec<ShardCondition>,
     ) -> Self {
@@ -314,56 +467,50 @@ impl GridReport {
         let mut total_shed_trials = 0;
         let mut sheds = Vec::new();
         let mut makespan: f64 = 0.0;
-        for r in records {
-            match r.outcome {
-                BeamOutcome::Completed { finish, .. } => {
-                    completed += 1;
-                    makespan = makespan.max(finish);
-                }
-                BeamOutcome::Degraded {
-                    finish,
-                    kept_trials,
-                    shed_trials,
-                    ..
-                } => {
-                    degraded += 1;
-                    total_shed_trials += shed_trials;
-                    makespan = makespan.max(finish);
+        for tagged in events {
+            match tagged.event {
+                TelemetryEvent::Beam(ref r) => match r.outcome {
+                    BeamOutcome::Completed { finish, .. } => {
+                        completed += 1;
+                        makespan = makespan.max(finish);
+                    }
+                    BeamOutcome::Degraded { finish, .. } => {
+                        degraded += 1;
+                        makespan = makespan.max(finish);
+                    }
+                    BeamOutcome::Missed { finish, .. } => {
+                        deadline_misses += 1;
+                        makespan = makespan.max(finish);
+                    }
+                    BeamOutcome::ShedWhole { at, .. } => {
+                        shed_whole += 1;
+                        makespan = makespan.max(at);
+                    }
+                },
+                TelemetryEvent::Shed(ref shed) => {
+                    total_shed_trials += shed.shed_trials;
                     sheds.push(GridShedRecord {
-                        shard: r.shard,
-                        index: r.index,
-                        tick: r.tick,
-                        beam: r.beam,
-                        shed_trials,
-                        kept_trials,
-                        reason: ShedReason::DeadlinePressure,
+                        shard: tagged.shard.expect("shed events come from shards"),
+                        index: shed.index,
+                        tick: shed.tick,
+                        beam: shed.beam,
+                        shed_trials: shed.shed_trials,
+                        kept_trials: shed.kept_trials,
+                        reason: shed.reason,
                     });
                 }
-                BeamOutcome::Missed { finish, .. } => {
-                    deadline_misses += 1;
-                    makespan = makespan.max(finish);
-                }
-                BeamOutcome::ShedWhole { at, reason } => {
-                    shed_whole += 1;
-                    total_shed_trials += load.trials();
-                    makespan = makespan.max(at);
-                    sheds.push(GridShedRecord {
-                        shard: r.shard,
-                        index: r.index,
-                        tick: r.tick,
-                        beam: r.beam,
-                        shed_trials: load.trials(),
-                        kept_trials: 0,
-                        reason,
-                    });
-                }
+                _ => {}
             }
         }
+        // Shard streams arrive shard-by-shard; the global ledger is
+        // ordered by global beam index.
+        sheds.sort_by_key(|s| s.index);
         Self {
             setup: load.setup().to_string(),
             trials: load.trials(),
             ticks: load.ticks(),
             policy,
+            admission,
             admitted: load.total_beams(),
             completed,
             degraded,
@@ -553,6 +700,86 @@ mod tests {
                 assert!(matches!(rec.outcome, BeamOutcome::Completed { .. }));
             }
         }
+    }
+
+    #[test]
+    fn coordinated_admission_rescues_a_skewed_grid() {
+        // StaticHash sends half the tick to the lone slow device of
+        // shard 0, which sheds to the floor and still misses; shard 1
+        // has headroom to spare. Coordination reroutes by headroom.
+        let shards = vec![
+            ResolvedFleet::synthetic(1000, &[0.5]),
+            ResolvedFleet::synthetic(1000, &[0.1, 0.1, 0.1, 0.1]),
+        ];
+        let load = SurveyLoad::custom(1000, 10, 3);
+        let per_shard = Grid::session(&shards).load(&load).run().unwrap();
+        let coordinated = Grid::session(&shards)
+            .admission(GridAdmission::Coordinated)
+            .load(&load)
+            .run()
+            .unwrap();
+        assert!(per_shard.report.conservation_ok());
+        assert!(coordinated.report.conservation_ok());
+        assert_eq!(per_shard.report.admission, GridAdmission::PerShard);
+        assert_eq!(coordinated.report.admission, GridAdmission::Coordinated);
+        let worst = |run: &GridRun| {
+            run.report
+                .shards
+                .iter()
+                .map(|s| s.deadline_misses)
+                .max()
+                .unwrap()
+        };
+        assert!(
+            per_shard.report.deadline_misses > 0,
+            "skew hurts un-coordinated"
+        );
+        assert!(worst(&coordinated) < worst(&per_shard));
+        assert!(coordinated.report.total_shed_trials <= per_shard.report.total_shed_trials);
+        // The moves show up as grid-level rebalance events.
+        let rebalances = coordinated
+            .events
+            .iter()
+            .filter(|e| e.shard.is_none() && matches!(e.event, TelemetryEvent::Rebalance { .. }))
+            .count();
+        assert!(rebalances > 0);
+        assert_eq!(rebalances, coordinated.report.rehomed);
+    }
+
+    #[test]
+    fn grid_stream_is_globally_keyed_and_snapshots_fold() {
+        let shards = grid(&[&[0.2, 0.2], &[0.2, 0.2]], 1000);
+        let load = SurveyLoad::custom(1000, 8, 3);
+        let run = Grid::session(&shards).load(&load).run().unwrap();
+        // Every terminal Beam event in the tagged stream carries the
+        // beam's *global* identity and its emitting shard agrees with
+        // the merged ledger — exactly once per beam.
+        let mut seen = vec![false; run.records.len()];
+        for tagged in &run.events {
+            if let TelemetryEvent::Beam(r) = &tagged.event {
+                assert!(!seen[r.index], "beam {} streamed twice", r.index);
+                seen[r.index] = true;
+                assert_eq!(tagged.shard, Some(run.records[r.index].shard));
+                assert_eq!(r.beam, run.records[r.index].beam);
+                assert_eq!(r.tick, run.records[r.index].tick);
+            }
+        }
+        assert!(seen.iter().all(|&s| s), "every beam reaches the stream");
+        // The per-shard snapshots fold from the same facts the report
+        // aggregates, and a finished run has drained every queue.
+        let snapshots = run.status_snapshots();
+        assert_eq!(snapshots.len(), 2);
+        assert_eq!(
+            snapshots.iter().map(|s| s.completed).sum::<usize>(),
+            run.report.completed
+        );
+        assert!(snapshots
+            .iter()
+            .all(|s| s.devices.iter().all(|d| d.queue_depth == 0)));
+        // The tagged stream itself round-trips through serde.
+        let json = serde_json::to_string(&run.events[0]).unwrap();
+        let back: ShardEvent = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, run.events[0]);
     }
 
     #[test]

@@ -29,6 +29,19 @@
 //!   after a probation *canary* beam completes on time. Under pressure
 //!   trailing DM tiers are shed (and recorded) before deadlines are
 //!   missed.
+//! * [`AdmissionPolicy`] — the admission layer, pulled out of the
+//!   scheduler: a policy sees one tick's [`BeamDemand`] and a
+//!   [`CapacityView`] of the fleet and rules
+//!   Admit-with-tiers/Defer/Shed. [`PerDeviceGreedy`] (the default)
+//!   reproduces the historical §V-D behaviour exactly; sessions accept
+//!   custom policies via [`Session::policy`].
+//! * [`TelemetryEvent`] / [`Observer`] — the unified telemetry stream:
+//!   every observable fact of a run (admission rulings, placements,
+//!   bounces, probes, health transitions, terminal outcomes, grid
+//!   rebalances) on one typed stream. Reports are folds over it, and
+//!   a [`StatusSnapshot`] — serde round-trippable, derivable from any
+//!   stream prefix — gives operators the queryable point-in-time view
+//!   behind the planned status endpoint.
 //! * [`FleetReport`] — per-device utilization, queue depth, deadline
 //!   misses, the full shed ledger, and the recovery ledger (bounces,
 //!   retries, probes, canaries, [`HealthEvent`] transitions) as a
@@ -39,7 +52,10 @@
 //!   to surviving shards ([`RebalancePolicy`]), a supervisor that
 //!   restarts flapped shards and homes beams back ([`ShardCondition`]),
 //!   and a merged global ledger ([`GridReport`]) whose conservation is
-//!   checked across shards.
+//!   checked across shards. With [`GridAdmission::Coordinated`] a
+//!   grid-scope controller trades shed tiers across shards — one tier
+//!   fleet-wide before any shard sheds two — by handing each shard
+//!   per-tick admission ceilings.
 //!
 //! The scheduling simulation runs in virtual time on real threads: one
 //! worker per device behind a bounded queue, so dispatcher backpressure
@@ -79,6 +95,7 @@
 
 #![warn(missing_docs)]
 
+mod admission;
 mod descriptor;
 mod fault;
 mod grid;
@@ -87,12 +104,19 @@ mod metrics;
 mod scheduler;
 mod shard;
 mod survey;
+mod telemetry;
 
+pub use admission::{
+    AdmissionDecision, AdmissionPolicy, BeamDemand, CapacityView, DeviceCapacity, GridAdmission,
+    PerDeviceGreedy, TierLadder,
+};
 pub use descriptor::{
     DeviceGroup, FleetError, FleetSpec, RateSource, ResolvedDevice, ResolvedFleet,
 };
 pub use fault::{FaultEvent, FaultPlan};
-pub use grid::{Grid, GridBeamRecord, GridReport, GridRun, GridSession, GridShedRecord};
+pub use grid::{
+    Grid, GridBeamRecord, GridReport, GridRun, GridSession, GridShedRecord, ShardEvent,
+};
 pub use load::LoadSource;
 pub use metrics::{
     BeamOutcome, BeamRecord, DeviceMetrics, FleetReport, HealthCause, HealthEvent, HealthState,
@@ -101,3 +125,6 @@ pub use metrics::{
 pub use scheduler::{FleetRun, Scheduler, SchedulerConfig, Session};
 pub use shard::{GlobalBeam, GridFaultPlan, RebalancePolicy, ShardCondition, ShardLoad};
 pub use survey::{BeamJob, SurveyLoad};
+pub use telemetry::{
+    DeviceStatus, EventLog, NullObserver, Observer, StatusSnapshot, TelemetryEvent,
+};

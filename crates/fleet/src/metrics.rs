@@ -8,9 +8,16 @@
 //! queue depth, and health, deadline misses, the full shed ledger, and
 //! the recovery ledger (bounces, retries, probes, canaries, and every
 //! health-state transition).
+//!
+//! Since the telemetry refactor the report is a **fold over the
+//! telemetry stream** ([`crate::TelemetryEvent`]): every counter and
+//! itemized ledger below is derived from events alone, so any other
+//! [`crate::Observer`] (a [`crate::StatusSnapshot`], a future status
+//! endpoint) sees exactly the facts the report aggregates.
 
 use crate::descriptor::ResolvedFleet;
 use crate::load::LoadSource;
+use crate::telemetry::{Observer, TelemetryEvent};
 use serde::{Deserialize, Serialize};
 
 /// Terminal state of one beam-second.
@@ -53,7 +60,7 @@ pub enum BeamOutcome {
 }
 
 /// One beam's ledger row.
-#[derive(Debug, Clone, Copy, PartialEq)]
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct BeamRecord {
     /// Global job index.
     pub index: usize,
@@ -222,23 +229,37 @@ pub struct FleetReport {
     pub makespan: f64,
 }
 
-/// Recovery bookkeeping the dispatcher hands to the report builder.
+/// The report-side fold over the telemetry stream: accumulates every
+/// counter and itemized ledger [`FleetReport`] publishes.
+///
+/// This is itself an [`Observer`], so the same accumulation can run
+/// live during a session or after the fact over a collected stream —
+/// the report is *defined* as this fold plus the per-load and
+/// per-worker context that never enters the stream (setup shape, busy
+/// seconds, queue high-water marks).
 #[derive(Debug, Clone, Default, PartialEq)]
-pub(crate) struct RecoveryLedger {
-    pub bounced: usize,
-    pub retries: usize,
-    pub retry_exhausted: usize,
-    pub probes: usize,
-    pub canaries: usize,
-    pub recoveries: usize,
-    pub health_events: Vec<HealthEvent>,
-    pub final_health: Vec<HealthState>,
-    pub device_bounces: Vec<usize>,
+pub(crate) struct ReportFold {
+    completed: usize,
+    degraded: usize,
+    deadline_misses: usize,
+    shed_whole: usize,
+    total_shed_trials: usize,
+    bounced: usize,
+    retries: usize,
+    retry_exhausted: usize,
+    probes: usize,
+    canaries: usize,
+    recoveries: usize,
+    health_events: Vec<HealthEvent>,
+    sheds: Vec<ShedRecord>,
+    device_bounces: Vec<usize>,
+    final_health: Vec<HealthState>,
+    makespan: f64,
 }
 
-impl RecoveryLedger {
-    /// An all-healthy, all-quiet ledger for `n` devices.
-    pub(crate) fn quiet(n: usize) -> Self {
+impl ReportFold {
+    /// An empty fold for `n` devices, all healthy and quiet.
+    pub(crate) fn new(n: usize) -> Self {
         Self {
             final_health: vec![HealthState::Healthy; n],
             device_bounces: vec![0; n],
@@ -247,67 +268,82 @@ impl RecoveryLedger {
     }
 }
 
+impl Observer for ReportFold {
+    fn observe(&mut self, event: &TelemetryEvent) {
+        match *event {
+            TelemetryEvent::Beam(record) => match record.outcome {
+                BeamOutcome::Completed { finish, .. } => {
+                    self.completed += 1;
+                    self.makespan = self.makespan.max(finish);
+                }
+                BeamOutcome::Degraded { finish, .. } => {
+                    self.degraded += 1;
+                    self.makespan = self.makespan.max(finish);
+                }
+                BeamOutcome::Missed { finish, .. } => {
+                    self.deadline_misses += 1;
+                    self.makespan = self.makespan.max(finish);
+                }
+                BeamOutcome::ShedWhole { at, .. } => {
+                    self.shed_whole += 1;
+                    self.makespan = self.makespan.max(at);
+                }
+            },
+            TelemetryEvent::Shed(ref shed) => {
+                self.total_shed_trials += shed.shed_trials;
+                if shed.reason == ShedReason::RetryBudgetExhausted {
+                    self.retry_exhausted += 1;
+                }
+                self.sheds.push(shed.clone());
+            }
+            TelemetryEvent::Bounce { device, .. } => {
+                self.bounced += 1;
+                if let Some(b) = self.device_bounces.get_mut(device) {
+                    *b += 1;
+                }
+            }
+            TelemetryEvent::Retry { .. } => self.retries += 1,
+            TelemetryEvent::Probe { .. } => self.probes += 1,
+            TelemetryEvent::Placed { canary, .. } => {
+                if canary {
+                    self.canaries += 1;
+                }
+            }
+            TelemetryEvent::Health(health) => {
+                if health.to == HealthState::Healthy {
+                    self.recoveries += 1;
+                }
+                if let Some(h) = self.final_health.get_mut(health.device) {
+                    *h = health.to;
+                }
+                self.health_events.push(health);
+            }
+            TelemetryEvent::Admission { .. } | TelemetryEvent::Rebalance { .. } => {}
+        }
+    }
+}
+
 impl FleetReport {
-    /// Builds the report from the per-beam ledger, worker statistics,
-    /// and the dispatcher's recovery ledger.
+    /// Builds the report by folding the telemetry stream, then joining
+    /// the worker statistics and fault context that never enter the
+    /// stream.
     pub(crate) fn build(
         fleet: &ResolvedFleet,
         load: &dyn LoadSource,
-        records: &[BeamRecord],
+        events: &[TelemetryEvent],
         stats: &[WorkerStats],
         died_at: &[Option<f64>],
-        recovery: &RecoveryLedger,
     ) -> Self {
-        let mut completed = 0;
-        let mut degraded = 0;
-        let mut misses = 0;
-        let mut shed_whole = 0;
-        let mut total_shed = 0;
-        let mut sheds = Vec::new();
-        let mut makespan: f64 = 0.0;
-        for r in records {
-            match r.outcome {
-                BeamOutcome::Completed { finish, .. } => {
-                    completed += 1;
-                    makespan = makespan.max(finish);
-                }
-                BeamOutcome::Degraded {
-                    finish,
-                    kept_trials,
-                    shed_trials,
-                    ..
-                } => {
-                    degraded += 1;
-                    total_shed += shed_trials;
-                    makespan = makespan.max(finish);
-                    sheds.push(ShedRecord {
-                        index: r.index,
-                        tick: r.tick,
-                        beam: r.beam,
-                        shed_trials,
-                        kept_trials,
-                        reason: ShedReason::DeadlinePressure,
-                    });
-                }
-                BeamOutcome::Missed { finish, .. } => {
-                    misses += 1;
-                    makespan = makespan.max(finish);
-                }
-                BeamOutcome::ShedWhole { at, reason } => {
-                    shed_whole += 1;
-                    total_shed += load.trials();
-                    makespan = makespan.max(at);
-                    sheds.push(ShedRecord {
-                        index: r.index,
-                        tick: r.tick,
-                        beam: r.beam,
-                        shed_trials: load.trials(),
-                        kept_trials: 0,
-                        reason,
-                    });
-                }
-            }
+        let mut fold = ReportFold::new(fleet.len());
+        for event in events {
+            fold.observe(event);
         }
+        // The historical shed ledger is ordered by global beam index
+        // (it was built by scanning the index-ordered record vector);
+        // the stream emits sheds in observation order, so restore the
+        // contract here.
+        fold.sheds.sort_by_key(|s| s.index);
+        let makespan = fold.makespan;
         let devices = fleet
             .devices
             .iter()
@@ -323,8 +359,8 @@ impl FleetReport {
                     0.0
                 },
                 max_queue_depth: stats[d.id].max_queue_depth,
-                bounces: recovery.device_bounces.get(d.id).copied().unwrap_or(0),
-                final_health: recovery.final_health.get(d.id).copied().unwrap_or_default(),
+                bounces: fold.device_bounces.get(d.id).copied().unwrap_or(0),
+                final_health: fold.final_health.get(d.id).copied().unwrap_or_default(),
                 died_at: died_at[d.id],
             })
             .collect();
@@ -337,19 +373,19 @@ impl FleetReport {
                 .unwrap_or(0),
             ticks: load.ticks(),
             admitted: load.total_beams(),
-            completed,
-            degraded,
-            deadline_misses: misses,
-            shed_whole,
-            total_shed_trials: total_shed,
-            bounced: recovery.bounced,
-            retries: recovery.retries,
-            retry_exhausted: recovery.retry_exhausted,
-            probes: recovery.probes,
-            canaries: recovery.canaries,
-            recoveries: recovery.recoveries,
-            health_events: recovery.health_events.clone(),
-            sheds,
+            completed: fold.completed,
+            degraded: fold.degraded,
+            deadline_misses: fold.deadline_misses,
+            shed_whole: fold.shed_whole,
+            total_shed_trials: fold.total_shed_trials,
+            bounced: fold.bounced,
+            retries: fold.retries,
+            retry_exhausted: fold.retry_exhausted,
+            probes: fold.probes,
+            canaries: fold.canaries,
+            recoveries: fold.recoveries,
+            health_events: fold.health_events,
+            sheds: fold.sheds,
             devices,
             makespan,
         }
@@ -411,8 +447,8 @@ mod tests {
     fn report_json_roundtrip() {
         let fleet = ResolvedFleet::synthetic(100, &[0.2, 0.5]);
         let load = SurveyLoad::custom(100, 2, 1);
-        let records = vec![
-            BeamRecord {
+        let events = vec![
+            TelemetryEvent::Beam(BeamRecord {
                 index: 0,
                 tick: 0,
                 beam: 0,
@@ -420,8 +456,36 @@ mod tests {
                     device: 0,
                     finish: 0.2,
                 },
+            }),
+            TelemetryEvent::Bounce {
+                index: 1,
+                device: 1,
+                at: 0.4,
+                attempt: 1,
             },
-            BeamRecord {
+            TelemetryEvent::Health(HealthEvent {
+                at: 0.4,
+                device: 1,
+                from: HealthState::Healthy,
+                to: HealthState::Suspect,
+                cause: HealthCause::Bounce,
+            }),
+            TelemetryEvent::Health(HealthEvent {
+                at: 0.5,
+                device: 1,
+                from: HealthState::Suspect,
+                to: HealthState::Quarantined,
+                cause: HealthCause::ProbeDown,
+            }),
+            TelemetryEvent::Shed(ShedRecord {
+                index: 1,
+                tick: 0,
+                beam: 1,
+                shed_trials: 25,
+                kept_trials: 75,
+                reason: ShedReason::DeadlinePressure,
+            }),
+            TelemetryEvent::Beam(BeamRecord {
                 index: 1,
                 tick: 0,
                 beam: 1,
@@ -431,7 +495,7 @@ mod tests {
                     kept_trials: 75,
                     shed_trials: 25,
                 },
-            },
+            }),
         ];
         let stats = vec![
             WorkerStats {
@@ -445,25 +509,7 @@ mod tests {
                 max_queue_depth: 1,
             },
         ];
-        let mut recovery = RecoveryLedger::quiet(2);
-        recovery.bounced = 1;
-        recovery.device_bounces[1] = 1;
-        recovery.final_health[1] = HealthState::Quarantined;
-        recovery.health_events.push(HealthEvent {
-            at: 0.4,
-            device: 1,
-            from: HealthState::Healthy,
-            to: HealthState::Suspect,
-            cause: HealthCause::Bounce,
-        });
-        let report = FleetReport::build(
-            &fleet,
-            &load,
-            &records,
-            &stats,
-            &[None, Some(5.0)],
-            &recovery,
-        );
+        let report = FleetReport::build(&fleet, &load, &events, &stats, &[None, Some(5.0)]);
         assert!(report.conservation_ok());
         assert_eq!(report.completed, 1);
         assert_eq!(report.degraded, 1);
@@ -474,7 +520,7 @@ mod tests {
         assert_eq!(report.devices[1].bounces, 1);
         assert_eq!(report.devices[1].final_health, HealthState::Quarantined);
         assert_eq!(report.devices[0].final_health, HealthState::Healthy);
-        assert_eq!(report.health_events.len(), 1);
+        assert_eq!(report.health_events.len(), 2);
         assert!((report.makespan - 0.9).abs() < 1e-12);
         let back = FleetReport::from_json(&report.to_json()).unwrap();
         assert_eq!(back, report);
@@ -485,27 +531,43 @@ mod tests {
         let fleet = ResolvedFleet::synthetic(10, &[0.5]);
         let load = SurveyLoad::custom(10, 2, 1);
         let stats = vec![WorkerStats::default()];
-        // Only one of two admitted beams recorded.
-        let records = vec![BeamRecord {
-            index: 0,
-            tick: 0,
-            beam: 0,
-            outcome: BeamOutcome::ShedWhole {
-                at: 0.0,
+        // Only one of two admitted beams in the stream.
+        let events = vec![
+            TelemetryEvent::Shed(ShedRecord {
+                index: 0,
+                tick: 0,
+                beam: 0,
+                shed_trials: 10,
+                kept_trials: 0,
                 reason: ShedReason::NoAliveDevices,
-            },
-        }];
-        let report = FleetReport::build(
-            &fleet,
-            &load,
-            &records,
-            &stats,
-            &[None],
-            &RecoveryLedger::quiet(1),
-        );
+            }),
+            TelemetryEvent::Beam(BeamRecord {
+                index: 0,
+                tick: 0,
+                beam: 0,
+                outcome: BeamOutcome::ShedWhole {
+                    at: 0.0,
+                    reason: ShedReason::NoAliveDevices,
+                },
+            }),
+        ];
+        let report = FleetReport::build(&fleet, &load, &events, &stats, &[None]);
         assert!(!report.conservation_ok());
         assert_eq!(report.shed_whole, 1);
         assert_eq!(report.total_shed_trials, 10);
         assert_eq!(report.sheds[0].reason, ShedReason::NoAliveDevices);
+    }
+
+    #[test]
+    fn mean_surviving_utilization_is_zero_when_every_device_died() {
+        let fleet = ResolvedFleet::synthetic(10, &[0.5, 0.5]);
+        let load = SurveyLoad::custom(10, 1, 1);
+        let stats = vec![WorkerStats::default(); 2];
+        let report = FleetReport::build(&fleet, &load, &[], &stats, &[Some(0.1), Some(0.2)]);
+        assert!(report.devices.iter().all(|d| d.died_at.is_some()));
+        // No survivors: the mean must be 0.0, never NaN.
+        let mean = report.mean_surviving_utilization();
+        assert_eq!(mean, 0.0);
+        assert!(!mean.is_nan());
     }
 }

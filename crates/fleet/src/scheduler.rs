@@ -27,14 +27,24 @@
 //! certainly can.
 //!
 //! Admission control works against the real-time deadline budget at
-//! batch granularity: before a tick's beams are placed, the dispatcher
-//! picks the largest per-beam DM count — full resolution first, then
-//! one shed tier at a time, never below the configured floor — at which
-//! the whole batch fits the fleet's remaining capacity. Individual
-//! beams under further pressure (e.g. re-placed orphans) shed extra
-//! tiers on their own; every shed is recorded. A beam that cannot fit
-//! even at maximum shed runs anyway, at full resolution, and is
-//! reported as a deadline miss.
+//! batch granularity, but the decision itself is delegated: before a
+//! tick's beams are placed, the dispatcher builds a
+//! [`CapacityView`](crate::CapacityView) of its devices and asks the
+//! session's [`AdmissionPolicy`] (default
+//! [`PerDeviceGreedy`](crate::PerDeviceGreedy), which reproduces the
+//! historical inline arithmetic exactly) for a ruling. Individual beams
+//! under further pressure (e.g. re-placed orphans) shed extra tiers on
+//! their own; every shed is recorded. A beam that cannot fit even at
+//! maximum shed runs anyway, at full resolution, and is reported as a
+//! deadline miss. A grid-scope controller may additionally impose
+//! per-tick admission *ceilings* ([`Session::admission_ceilings`]); the
+//! dispatcher admits at the lower of its own level and the ceiling.
+//!
+//! Every observable fact of a run — admission rulings, placements,
+//! bounces, retries, probes, health transitions, terminal outcomes —
+//! is emitted as a [`TelemetryEvent`] on one unified stream. The
+//! report is a fold over that stream; live consumers can subscribe by
+//! passing an [`Observer`] to [`Session::run_with`].
 //!
 //! # Faults, evidence, and health
 //!
@@ -70,20 +80,21 @@
 //! reports and ledgers — faulted runs included. The only field real
 //! threads still smear is each worker's observed `max_queue_depth`.
 
+use crate::admission::{
+    AdmissionDecision, AdmissionPolicy, BeamDemand, CapacityView, DeviceCapacity, PerDeviceGreedy,
+    TierLadder, DEADLINE_EPS,
+};
 use crate::descriptor::{FleetError, ResolvedFleet};
 use crate::fault::{DeviceFaults, FaultPlan, Gate};
 use crate::load::LoadSource;
 use crate::metrics::{
-    BeamOutcome, BeamRecord, FleetReport, HealthCause, HealthEvent, HealthState, RecoveryLedger,
-    ShedReason, WorkerStats,
+    BeamOutcome, BeamRecord, FleetReport, HealthCause, HealthEvent, HealthState, ShedReason,
+    ShedRecord, WorkerStats,
 };
-use crate::survey::{BeamJob, SurveyLoad};
+use crate::survey::BeamJob;
+use crate::telemetry::{NullObserver, Observer, StatusSnapshot, TelemetryEvent};
 use crossbeam::channel::{self, Receiver, Sender};
 use parking_lot::Mutex;
-
-/// Slack tolerated when comparing virtual times against deadlines, so
-/// exact-fit packings are not rejected over float rounding.
-const DEADLINE_EPS: f64 = 1e-9;
 
 /// Tunables for the scheduler.
 #[derive(Debug, Clone)]
@@ -126,13 +137,26 @@ impl Default for SchedulerConfig {
     }
 }
 
-/// The result of a run: the exportable report plus the full ledger.
+/// The result of a run: the exportable report plus the full ledger and
+/// the telemetry stream the report was folded from.
 #[derive(Debug, Clone)]
 pub struct FleetRun {
     /// Aggregated, serializable summary.
     pub report: FleetReport,
     /// Terminal state of every admitted beam, in job-index order.
     pub records: Vec<BeamRecord>,
+    /// The unified telemetry stream, in emission order. The report is a
+    /// fold over exactly these events; any prefix folds into a
+    /// [`StatusSnapshot`].
+    pub events: Vec<TelemetryEvent>,
+}
+
+impl FleetRun {
+    /// Folds the full telemetry stream into the run's final status
+    /// snapshot.
+    pub fn status(&self) -> StatusSnapshot {
+        StatusSnapshot::from_events(self.report.devices.len(), &self.events)
+    }
 }
 
 /// One beam placed on one device, with its predicted window.
@@ -188,11 +212,13 @@ impl Event {
     }
 }
 
-/// The fleet scheduler.
-#[derive(Debug, Clone, Default)]
-pub struct Scheduler {
-    config: SchedulerConfig,
-}
+/// Entry point for fleet scheduling.
+///
+/// `Scheduler` is only a namespace: [`Scheduler::session`] opens a
+/// builder-style [`Session`], mirrored at grid scope by
+/// [`crate::Grid::session`].
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Scheduler;
 
 /// A builder-style scheduling session over one fleet.
 ///
@@ -209,49 +235,25 @@ pub struct Session<'a> {
     fleet: &'a ResolvedFleet,
     load: Option<&'a dyn LoadSource>,
     faults: Option<&'a FaultPlan>,
+    policy: &'a dyn AdmissionPolicy,
+    ceilings: Option<&'a [usize]>,
 }
 
 impl Scheduler {
-    /// A scheduler with explicit tunables.
-    pub fn new(config: SchedulerConfig) -> Self {
-        Self { config }
-    }
-
     /// Opens a scheduling session over `fleet` with default tunables.
     ///
     /// The session must be given a load before it can run; a fault
-    /// plan is optional (none by default).
+    /// plan is optional (none by default), as is the admission policy
+    /// (the historical [`PerDeviceGreedy`] by default).
     pub fn session(fleet: &ResolvedFleet) -> Session<'_> {
         Session {
             config: SchedulerConfig::default(),
             fleet,
             load: None,
             faults: None,
+            policy: &PerDeviceGreedy,
+            ceilings: None,
         }
-    }
-
-    /// Runs `load` over `fleet` under `faults`.
-    ///
-    /// # Errors
-    ///
-    /// Returns a [`FleetError`] for an empty fleet, a zero-trial load,
-    /// a negative per-beam cost, or (defensively) if any beam fails to
-    /// reach a terminal state.
-    #[deprecated(
-        since = "0.1.0",
-        note = "use `Scheduler::session(&fleet).load(&load).faults(&plan).run()`"
-    )]
-    pub fn run(
-        &self,
-        fleet: &ResolvedFleet,
-        load: &SurveyLoad,
-        faults: &FaultPlan,
-    ) -> Result<FleetRun, FleetError> {
-        Scheduler::session(fleet)
-            .config(self.config.clone())
-            .load(load)
-            .faults(faults)
-            .run()
     }
 }
 
@@ -277,6 +279,25 @@ impl<'a> Session<'a> {
         self
     }
 
+    /// Sets the admission policy (defaults to [`PerDeviceGreedy`], the
+    /// historical behaviour).
+    #[must_use]
+    pub fn policy(mut self, policy: &'a dyn AdmissionPolicy) -> Self {
+        self.policy = policy;
+        self
+    }
+
+    /// Imposes per-tick admission ceilings (kept trials, one entry per
+    /// tick): the dispatcher admits each tick at the lower of its own
+    /// policy's level and the ceiling, snapped to the tier ladder.
+    /// Ticks beyond the slice are unconstrained. This is how a
+    /// grid-scope controller threads its coordinated plan into a shard.
+    #[must_use]
+    pub fn admission_ceilings(mut self, ceilings: &'a [usize]) -> Self {
+        self.ceilings = Some(ceilings);
+        self
+    }
+
     /// Runs the session to completion.
     ///
     /// # Errors
@@ -287,6 +308,17 @@ impl<'a> Session<'a> {
     /// factors, zero-beam transients, non-finite times), or
     /// (defensively) if any beam fails to reach a terminal state.
     pub fn run(self) -> Result<FleetRun, FleetError> {
+        self.run_with(&mut NullObserver)
+    }
+
+    /// Runs the session to completion, forwarding every telemetry
+    /// event to `observer` as it is emitted (the returned
+    /// [`FleetRun::events`] still carries the full stream).
+    ///
+    /// # Errors
+    ///
+    /// As [`Session::run`].
+    pub fn run_with(self, observer: &mut dyn Observer) -> Result<FleetRun, FleetError> {
         let fleet = self.fleet;
         let load = self
             .load
@@ -305,7 +337,14 @@ impl<'a> Session<'a> {
         }
         let n = fleet.len();
         let stats = Mutex::new(vec![WorkerStats::default(); n]);
-        let mut dispatcher = Dispatcher::new(fleet, load, &self.config);
+        let mut dispatcher = Dispatcher::new(
+            fleet,
+            load,
+            &self.config,
+            self.policy,
+            self.ceilings,
+            observer,
+        );
 
         let records = std::thread::scope(|scope| {
             let (event_tx, event_rx) = channel::unbounded::<Event>();
@@ -329,7 +368,7 @@ impl<'a> Session<'a> {
                 let beams = load.beams_at(tick);
                 dispatcher.send_due_probes(release);
                 dispatcher.observe(&event_rx);
-                let kept = dispatcher.tick_kept(release, deadline, beams);
+                let directive = dispatcher.admit_tick(tick, release, deadline, beams);
                 for beam in 0..beams {
                     let job = BeamJob {
                         index: next_index,
@@ -339,7 +378,12 @@ impl<'a> Session<'a> {
                         deadline,
                     };
                     next_index += 1;
-                    dispatcher.place(job, job.release, kept, 1);
+                    match directive {
+                        TickDirective::Place { kept, cascade } => {
+                            dispatcher.place(job, job.release, kept, 1, cascade);
+                        }
+                        TickDirective::ShedAll(reason) => dispatcher.shed_whole(job, reason),
+                    }
                     dispatcher.observe(&event_rx);
                 }
             }
@@ -354,16 +398,30 @@ impl<'a> Session<'a> {
             .ok_or_else(|| FleetError::new("beam lost without a terminal outcome"))?;
         let stats = stats.into_inner();
         let died_at: Vec<Option<f64>> = (0..n).map(|d| faults.kill_time(d)).collect();
-        let mut recovery = std::mem::take(&mut dispatcher.recovery);
-        recovery.final_health = dispatcher.health.clone();
-        let report = FleetReport::build(fleet, load, &records, &stats, &died_at, &recovery);
-        Ok(FleetRun { report, records })
+        let events = std::mem::take(&mut dispatcher.events);
+        drop(dispatcher);
+        let report = FleetReport::build(fleet, load, &events, &stats, &died_at);
+        Ok(FleetRun {
+            report,
+            records,
+            events,
+        })
     }
+}
+
+/// What the admission policy's ruling means for the tick's beams.
+#[derive(Debug, Clone, Copy)]
+enum TickDirective {
+    /// Place every beam, preferring `kept` trials; `cascade` allows
+    /// per-beam shedding of further tiers under deadline pressure.
+    Place { kept: usize, cascade: bool },
+    /// Shed the whole batch with this reason.
+    ShedAll(ShedReason),
 }
 
 /// Dispatcher state: the virtual clocks, health beliefs, and the beam
 /// ledger.
-struct Dispatcher {
+struct Dispatcher<'s> {
     /// Per-device predicted time the queue drains.
     avail: Vec<f64>,
     /// Per-device health belief, from observed evidence only.
@@ -379,8 +437,16 @@ struct Dispatcher {
     /// Work items sent whose reply has not been observed yet.
     outstanding: usize,
     trials: usize,
-    /// Admissible degraded sizes, largest first.
-    kept_options: Vec<usize>,
+    /// The load's shed-tier ladder.
+    ladder: TierLadder,
+    /// The session's admission policy.
+    policy: &'s dyn AdmissionPolicy,
+    /// Per-tick admission ceilings from a grid-scope controller.
+    ceilings: Option<&'s [usize]>,
+    /// The unified telemetry stream, in emission order.
+    events: Vec<TelemetryEvent>,
+    /// Live subscriber to the stream.
+    observer: &'s mut dyn Observer,
     /// Consecutive late completions per device.
     late_strikes: Vec<usize>,
     /// Whether a probe is in flight per device.
@@ -391,8 +457,6 @@ struct Dispatcher {
     probe_backoff: Vec<f64>,
     /// Whether the probation canary is in flight, per device.
     canary_in_flight: Vec<bool>,
-    /// Recovery bookkeeping for the report.
-    recovery: RecoveryLedger,
     retry_budget: usize,
     retry_backoff_s: f64,
     late_suspect_after: usize,
@@ -400,18 +464,16 @@ struct Dispatcher {
     probe_backoff_cap_s: f64,
 }
 
-impl Dispatcher {
-    fn new(fleet: &ResolvedFleet, load: &dyn LoadSource, config: &SchedulerConfig) -> Self {
+impl<'s> Dispatcher<'s> {
+    fn new(
+        fleet: &ResolvedFleet,
+        load: &dyn LoadSource,
+        config: &SchedulerConfig,
+        policy: &'s dyn AdmissionPolicy,
+        ceilings: Option<&'s [usize]>,
+        observer: &'s mut dyn Observer,
+    ) -> Self {
         let trials = load.trials();
-        let tier = trials.div_ceil(config.shed_tiers.max(1));
-        let mut kept_options = Vec::new();
-        for shed in 1..=config.max_shed_tiers.min(config.shed_tiers) {
-            let kept = trials.saturating_sub(shed * tier);
-            if kept == 0 {
-                break;
-            }
-            kept_options.push(kept);
-        }
         let n = fleet.len();
         Self {
             avail: vec![0.0; n],
@@ -422,19 +484,29 @@ impl Dispatcher {
             accounted: 0,
             outstanding: 0,
             trials,
-            kept_options,
+            ladder: TierLadder::new(trials, config),
+            policy,
+            ceilings,
+            events: Vec::new(),
+            observer,
             late_strikes: vec![0; n],
             probe_pending: vec![false; n],
             probe_at: vec![0.0; n],
             probe_backoff: vec![config.probe_backoff_s; n],
             canary_in_flight: vec![false; n],
-            recovery: RecoveryLedger::quiet(n),
             retry_budget: config.retry_budget,
             retry_backoff_s: config.retry_backoff_s,
             late_suspect_after: config.late_suspect_after.max(1),
             probe_backoff_s: config.probe_backoff_s,
             probe_backoff_cap_s: config.probe_backoff_cap_s,
         }
+    }
+
+    /// Appends one event to the stream and forwards it to the live
+    /// observer.
+    fn emit(&mut self, event: TelemetryEvent) {
+        self.observer.observe(&event);
+        self.events.push(event);
     }
 
     /// Whether `d` may be handed a beam right now: healthy, or on
@@ -465,50 +537,98 @@ impl Dispatcher {
         best
     }
 
-    /// Beams the healthy fleet can still finish by `deadline` at `kept`
-    /// trials each — the §V-D capacity sum, restricted to the budget
-    /// each device has left. Probation devices are not counted: they
-    /// have one unproven canary slot, not real capacity.
-    fn capacity(&self, release: f64, deadline: f64, kept: usize, cap: usize) -> usize {
-        let frac = kept as f64 / self.trials as f64;
-        let mut total = 0usize;
-        for (d, (&avail, &spb)) in self.avail.iter().zip(&self.spb).enumerate() {
-            if self.health[d] != HealthState::Healthy {
-                continue;
+    /// Admission control for one tick's batch: builds the capacity
+    /// view, asks the session's policy for a ruling, applies any
+    /// grid-scope ceiling, and emits the [`TelemetryEvent::Admission`]
+    /// ruling.
+    fn admit_tick(
+        &mut self,
+        tick: usize,
+        release: f64,
+        deadline: f64,
+        beams: usize,
+    ) -> TickDirective {
+        let demand = BeamDemand {
+            release,
+            deadline,
+            beams,
+        };
+        let devices: Vec<DeviceCapacity> = self
+            .avail
+            .iter()
+            .zip(&self.spb)
+            .enumerate()
+            .map(|(d, (&avail, &spb))| DeviceCapacity {
+                avail,
+                seconds_per_beam: spb,
+                // Probation devices are not counted: they have one
+                // unproven canary slot, not real capacity.
+                healthy: self.health[d] == HealthState::Healthy,
+            })
+            .collect();
+        let view = CapacityView {
+            ladder: &self.ladder,
+            devices: &devices,
+        };
+        let directive = match self.policy.decide(&demand, &view) {
+            AdmissionDecision::Admit { shed_tiers } => {
+                let mut kept = self.ladder.kept_for(shed_tiers);
+                if let Some(&ceiling) = self.ceilings.and_then(|c| c.get(tick)) {
+                    kept = kept.min(self.ladder.snap(ceiling));
+                }
+                TickDirective::Place {
+                    kept,
+                    cascade: true,
+                }
             }
-            let budget = (deadline - avail.max(release)).max(0.0);
-            let cost = spb * frac;
-            let slots = if cost > 0.0 {
-                ((budget + DEADLINE_EPS) / cost) as usize
-            } else {
-                cap
-            };
-            total += slots.min(cap);
-            if total >= cap {
-                return cap;
-            }
-        }
-        total
+            AdmissionDecision::Defer => TickDirective::Place {
+                kept: self.trials,
+                cascade: false,
+            },
+            AdmissionDecision::Shed(reason) => TickDirective::ShedAll(reason),
+        };
+        let (kept_trials, shed_tiers) = match directive {
+            TickDirective::Place { kept, .. } => (kept, self.ladder.tiers_for(kept)),
+            TickDirective::ShedAll(_) => (0, self.ladder.kept_options().len()),
+        };
+        self.emit(TelemetryEvent::Admission {
+            tick,
+            release,
+            deadline,
+            beams,
+            kept_trials,
+            shed_tiers,
+        });
+        directive
     }
 
-    /// Admission control for one tick's batch: the largest per-beam DM
-    /// count (full resolution first, then one shed tier at a time) at
-    /// which the whole batch still fits the fleet's remaining budget.
-    /// When even maximum shedding cannot fit the batch, the maximum
-    /// shed level is used and the stragglers will miss.
-    fn tick_kept(&self, release: f64, deadline: f64, beams: usize) -> usize {
-        for &kept in std::iter::once(&self.trials).chain(&self.kept_options) {
-            if self.capacity(release, deadline, kept, beams) >= beams {
-                return kept;
-            }
-        }
-        self.kept_options.last().copied().unwrap_or(self.trials)
+    /// Records one beam dropped whole at its release.
+    fn shed_whole(&mut self, job: BeamJob, reason: ShedReason) {
+        self.record(BeamRecord {
+            index: job.index,
+            tick: job.tick,
+            beam: job.beam,
+            outcome: BeamOutcome::ShedWhole {
+                at: job.release,
+                reason,
+            },
+        });
     }
 
     /// Places (or sheds) one beam that becomes available at `release`,
     /// preferring `preferred` kept trials (the tick's admission level);
-    /// `attempt` counts placements of this beam (1 on first).
-    fn place(&mut self, job: BeamJob, release: f64, preferred: usize, attempt: usize) {
+    /// `attempt` counts placements of this beam (1 on first). With
+    /// `cascade` false (a [`AdmissionDecision::Defer`] ruling) the beam
+    /// never sheds further tiers of its own: it fits at `preferred` or
+    /// runs to a miss.
+    fn place(
+        &mut self,
+        job: BeamJob,
+        release: f64,
+        preferred: usize,
+        attempt: usize,
+        cascade: bool,
+    ) {
         if self.choose(release, self.trials).is_none() {
             self.record(BeamRecord {
                 index: job.index,
@@ -529,15 +649,17 @@ impl Dispatcher {
         }
         // Deadline pressure beyond the tick level: shed further trailing
         // tiers until the beam fits.
-        for i in 0..self.kept_options.len() {
-            let kept = self.kept_options[i];
-            if kept >= preferred {
-                continue;
-            }
-            if let Some((d, s, f)) = self.choose(release, kept) {
-                if f <= job.deadline + DEADLINE_EPS {
-                    self.assign(job, d, kept, s, f, attempt);
-                    return;
+        if cascade {
+            for i in 0..self.ladder.kept_options().len() {
+                let kept = self.ladder.kept_options()[i];
+                if kept >= preferred {
+                    continue;
+                }
+                if let Some((d, s, f)) = self.choose(release, kept) {
+                    if f <= job.deadline + DEADLINE_EPS {
+                        self.assign(job, d, kept, s, f, attempt);
+                        return;
+                    }
                 }
             }
         }
@@ -573,14 +695,21 @@ impl Dispatcher {
         if self.senders[device].send(Work::Beam(assignment)).is_ok() {
             if canary {
                 self.canary_in_flight[device] = true;
-                self.recovery.canaries += 1;
             }
             self.outstanding += 1;
+            self.emit(TelemetryEvent::Placed {
+                index: job.index,
+                device,
+                at: start,
+                kept_trials: kept,
+                attempt,
+                canary,
+            });
         } else {
             // Worker hung up (cannot happen before teardown, but never
             // drop a beam): treat as a bounce and place elsewhere.
             self.transition(device, HealthState::Quarantined, HealthCause::Bounce, start);
-            self.place(job, start, kept, attempt);
+            self.place(job, start, kept, attempt, true);
         }
     }
 
@@ -632,7 +761,6 @@ impl Dispatcher {
             {
                 self.probe_pending[d] = true;
                 self.outstanding += 1;
-                self.recovery.probes += 1;
             }
         }
     }
@@ -644,17 +772,14 @@ impl Dispatcher {
         if from == to {
             return;
         }
-        self.recovery.health_events.push(HealthEvent {
+        self.health[device] = to;
+        self.emit(TelemetryEvent::Health(HealthEvent {
             at,
             device,
             from,
             to,
             cause,
-        });
-        if to == HealthState::Healthy {
-            self.recovery.recoveries += 1;
-        }
-        self.health[device] = to;
+        }));
     }
 
     /// Pushes the device's next probe out by its current backoff, then
@@ -743,8 +868,12 @@ impl Dispatcher {
             }
             Event::Bounced { assignment, at } => {
                 let d = assignment.device;
-                self.recovery.bounced += 1;
-                self.recovery.device_bounces[d] += 1;
+                self.emit(TelemetryEvent::Bounce {
+                    index: assignment.job.index,
+                    device: d,
+                    at,
+                    attempt: assignment.attempt,
+                });
                 if assignment.canary {
                     self.canary_in_flight[d] = false;
                     self.transition(d, HealthState::Quarantined, HealthCause::CanaryFailed, at);
@@ -761,7 +890,6 @@ impl Dispatcher {
                 // once its retry budget is gone.
                 let job = assignment.job;
                 if assignment.attempt > self.retry_budget {
-                    self.recovery.retry_exhausted += 1;
                     self.record(BeamRecord {
                         index: job.index,
                         tick: job.tick,
@@ -772,22 +900,23 @@ impl Dispatcher {
                         },
                     });
                 } else {
-                    self.recovery.retries += 1;
                     let delay = if assignment.attempt >= 2 {
                         self.retry_backoff_s * f64::powi(2.0, assignment.attempt as i32 - 2)
                     } else {
                         0.0
                     };
-                    self.place(
-                        job,
-                        job.release.max(at) + delay,
-                        self.trials,
-                        assignment.attempt + 1,
-                    );
+                    let again = job.release.max(at) + delay;
+                    self.emit(TelemetryEvent::Retry {
+                        index: job.index,
+                        at: again,
+                        attempt: assignment.attempt + 1,
+                    });
+                    self.place(job, again, self.trials, assignment.attempt + 1, true);
                 }
             }
             Event::Probed { device, at, up } => {
                 self.probe_pending[device] = false;
+                self.emit(TelemetryEvent::Probe { device, at, up });
                 let probing = matches!(
                     self.health[device],
                     HealthState::Suspect | HealthState::Quarantined
@@ -807,6 +936,30 @@ impl Dispatcher {
     }
 
     fn record(&mut self, record: BeamRecord) {
+        match record.outcome {
+            BeamOutcome::Degraded {
+                kept_trials,
+                shed_trials,
+                ..
+            } => self.emit(TelemetryEvent::Shed(ShedRecord {
+                index: record.index,
+                tick: record.tick,
+                beam: record.beam,
+                shed_trials,
+                kept_trials,
+                reason: ShedReason::DeadlinePressure,
+            })),
+            BeamOutcome::ShedWhole { reason, .. } => self.emit(TelemetryEvent::Shed(ShedRecord {
+                index: record.index,
+                tick: record.tick,
+                beam: record.beam,
+                shed_trials: self.trials,
+                kept_trials: 0,
+                reason,
+            })),
+            _ => {}
+        }
+        self.emit(TelemetryEvent::Beam(record));
         let slot = &mut self.records[record.index];
         assert!(slot.is_none(), "beam {} recorded twice", record.index);
         *slot = Some(record);
@@ -877,6 +1030,7 @@ fn worker(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::survey::SurveyLoad;
 
     fn run(spb: &[f64], trials: usize, beams: usize, ticks: usize, faults: &FaultPlan) -> FleetRun {
         let fleet = ResolvedFleet::synthetic(trials, spb);
@@ -1197,41 +1351,185 @@ mod tests {
     }
 
     #[test]
-    #[allow(deprecated)]
-    fn deprecated_positional_run_matches_the_session() {
+    fn repeated_sessions_produce_identical_ledgers() {
         let fleet = ResolvedFleet::synthetic(800, &[0.2, 0.3]);
         let load = SurveyLoad::custom(800, 6, 2);
         // Runs are deterministic (the dispatcher observes worker
-        // verdicts at fixed synchronization points), so the shim and
-        // the session must produce identical ledgers. Only
+        // verdicts at fixed synchronization points), so two sessions
+        // over identical inputs must produce identical ledgers. Only
         // max_queue_depth is observed by the real worker threads and
         // may vary with OS scheduling — compare modulo that field.
-        let old = Scheduler::default()
-            .run(&fleet, &load, &FaultPlan::none())
-            .unwrap();
-        let new = Scheduler::session(&fleet).load(&load).run().unwrap();
-        let mut old_report = old.report.clone();
-        let mut new_report = new.report.clone();
-        for d in old_report
+        let first = Scheduler::session(&fleet).load(&load).run().unwrap();
+        let second = Scheduler::session(&fleet).load(&load).run().unwrap();
+        let mut first_report = first.report.clone();
+        let mut second_report = second.report.clone();
+        for d in first_report
             .devices
             .iter_mut()
-            .chain(new_report.devices.iter_mut())
+            .chain(second_report.devices.iter_mut())
         {
             d.max_queue_depth = 0;
         }
-        assert_eq!(old_report, new_report);
-        assert_eq!(old.records, new.records);
+        assert_eq!(first_report, second_report);
+        assert_eq!(first.records, second.records);
+        assert_eq!(first.events, second.events, "the stream is deterministic");
         // Faulted runs are deterministic too.
         let faults = FaultPlan::none().with_kill(1, 0.9);
-        let old = Scheduler::default().run(&fleet, &load, &faults).unwrap();
-        let new = Scheduler::session(&fleet)
+        let first = Scheduler::session(&fleet)
             .load(&load)
             .faults(&faults)
             .run()
             .unwrap();
-        assert!(old.report.conservation_ok());
-        assert!(new.report.conservation_ok());
-        assert_eq!(old.records, new.records);
-        assert_eq!(old.report.devices[1].died_at, new.report.devices[1].died_at);
+        let second = Scheduler::session(&fleet)
+            .load(&load)
+            .faults(&faults)
+            .run()
+            .unwrap();
+        assert!(first.report.conservation_ok());
+        assert!(second.report.conservation_ok());
+        assert_eq!(first.records, second.records);
+        assert_eq!(first.events, second.events);
+        assert_eq!(
+            first.report.devices[1].died_at,
+            second.report.devices[1].died_at
+        );
+    }
+
+    /// A policy that sheds every batch outright.
+    struct ShedEverything;
+
+    impl AdmissionPolicy for ShedEverything {
+        fn decide(&self, _demand: &BeamDemand, _view: &CapacityView<'_>) -> AdmissionDecision {
+            AdmissionDecision::Shed(ShedReason::DeadlinePressure)
+        }
+    }
+
+    #[test]
+    fn a_shed_all_policy_drops_every_batch_loudly() {
+        let fleet = ResolvedFleet::synthetic(500, &[0.1, 0.1]);
+        let load = SurveyLoad::custom(500, 3, 2);
+        let run = Scheduler::session(&fleet)
+            .load(&load)
+            .policy(&ShedEverything)
+            .run()
+            .unwrap();
+        let r = &run.report;
+        assert!(r.conservation_ok());
+        assert_eq!(r.shed_whole, 6);
+        assert_eq!(r.completed + r.degraded + r.deadline_misses, 0);
+        assert_eq!(r.total_shed_trials, 6 * 500);
+        assert!(r
+            .sheds
+            .iter()
+            .all(|s| s.reason == ShedReason::DeadlinePressure && s.kept_trials == 0));
+        // Devices were never touched, so they stay trusted.
+        assert!(r
+            .devices
+            .iter()
+            .all(|d| d.final_health == HealthState::Healthy && d.beams_done == 0));
+    }
+
+    /// A policy that refuses to degrade: full resolution or a miss.
+    struct NeverDegrade;
+
+    impl AdmissionPolicy for NeverDegrade {
+        fn decide(&self, _demand: &BeamDemand, _view: &CapacityView<'_>) -> AdmissionDecision {
+            AdmissionDecision::Defer
+        }
+    }
+
+    #[test]
+    fn a_defer_policy_misses_instead_of_degrading() {
+        // The same overload that degrades under the default policy.
+        let fleet = ResolvedFleet::synthetic(1000, &[0.25]);
+        let load = SurveyLoad::custom(1000, 5, 2);
+        let run = Scheduler::session(&fleet)
+            .load(&load)
+            .policy(&NeverDegrade)
+            .run()
+            .unwrap();
+        let r = &run.report;
+        assert!(r.conservation_ok());
+        assert_eq!(r.degraded, 0, "Defer must never shed tiers");
+        assert!(r.sheds.is_empty());
+        assert!(r.deadline_misses > 0);
+        assert_eq!(r.completed + r.deadline_misses, 10);
+    }
+
+    #[test]
+    fn admission_ceilings_cap_the_tick_level() {
+        // A feasible fleet that would complete everything at full
+        // resolution; a grid-scope ceiling of 750 forces degradation.
+        let fleet = ResolvedFleet::synthetic(1000, &[0.2; 4]);
+        let load = SurveyLoad::custom(1000, 10, 2);
+        let ceilings = [750usize, 1000];
+        let run = Scheduler::session(&fleet)
+            .load(&load)
+            .admission_ceilings(&ceilings)
+            .run()
+            .unwrap();
+        let r = &run.report;
+        assert!(r.conservation_ok());
+        assert_eq!(r.deadline_misses, 0);
+        // Tick 0 capped at 750 kept, tick 1 unconstrained.
+        assert_eq!(r.degraded, 10);
+        assert_eq!(r.completed, 10);
+        assert!(r.sheds.iter().all(|s| s.kept_trials == 750 && s.tick == 0));
+        // Off-ladder ceilings snap to the ladder; ticks beyond the
+        // slice are unconstrained.
+        let odd = [990usize];
+        let run = Scheduler::session(&fleet)
+            .load(&load)
+            .admission_ceilings(&odd)
+            .run()
+            .unwrap();
+        assert!(run
+            .report
+            .sheds
+            .iter()
+            .all(|s| s.kept_trials == 875 && s.tick == 0));
+    }
+
+    #[test]
+    fn the_stream_folds_into_the_report_and_a_live_observer_sees_it() {
+        let fleet = ResolvedFleet::synthetic(512, &[0.08, 0.1, 0.12]);
+        let load = SurveyLoad::custom(512, 8, 4);
+        let faults = FaultPlan::none().with_flap(0, 0.4, 1.7);
+        let mut live = StatusSnapshot::new(fleet.len());
+        let run = Scheduler::session(&fleet)
+            .load(&load)
+            .faults(&faults)
+            .run_with(&mut live)
+            .unwrap();
+        // The live observer saw exactly the stream the run returned.
+        assert_eq!(live, run.status());
+        // The snapshot's counters agree with the report's fold.
+        let r = &run.report;
+        assert_eq!(live.completed, r.completed);
+        assert_eq!(live.degraded, r.degraded);
+        assert_eq!(live.deadline_misses, r.deadline_misses);
+        assert_eq!(live.shed_whole, r.shed_whole);
+        assert_eq!(live.total_shed_trials, r.total_shed_trials);
+        assert_eq!(live.bounced, r.bounced);
+        assert_eq!(live.retries, r.retries);
+        assert_eq!(live.probes, r.probes);
+        assert_eq!(live.canaries, r.canaries);
+        assert_eq!(live.recoveries, r.recoveries);
+        // Per-device facts match too.
+        for (status, device) in live.devices.iter().zip(&r.devices) {
+            assert_eq!(status.health, device.final_health);
+            assert_eq!(status.bounces, device.bounces);
+            assert_eq!(status.queue_depth, 0, "every placement resolved");
+        }
+        // One admission ruling per tick, in order.
+        let ticks: Vec<usize> = run
+            .events
+            .iter()
+            .filter_map(|e| match e {
+                TelemetryEvent::Admission { tick, .. } => Some(*tick),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(ticks, vec![0, 1, 2, 3]);
     }
 }

@@ -20,9 +20,11 @@
 //! [`ShardCondition`] ledger records every outage, restart, and
 //! re-homing.
 
+use crate::admission::{GridAdmission, GridPlanner};
 use crate::descriptor::ResolvedFleet;
 use crate::fault::{FaultEvent, FaultPlan};
 use crate::load::LoadSource;
+use crate::scheduler::SchedulerConfig;
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
 
@@ -258,10 +260,17 @@ pub(crate) struct Partition {
     /// One load slice per shard, every tick present (possibly empty).
     pub shard_loads: Vec<ShardLoad>,
     /// Beams routed to a different shard than they would have been had
-    /// every shard been alive.
+    /// every shard been alive under the baseline routing.
     pub rehomed: usize,
     /// The supervisor's per-shard outage/restart accounting.
     pub supervisor: Vec<ShardCondition>,
+    /// Per-shard, per-tick admission ceilings (kept trials) from the
+    /// coordinated controller; `None` under per-shard admission.
+    pub ceilings: Option<Vec<Vec<usize>>>,
+    /// Every beam moved off its baseline home shard, as
+    /// `(tick, global index, from, to)` — the grid-level half of the
+    /// telemetry stream.
+    pub rebalances: Vec<(usize, usize, usize, usize)>,
 }
 
 /// Routes every beam of `load` to a shard, tick by tick.
@@ -272,11 +281,18 @@ pub(crate) struct Partition {
 /// restart). If *no* shard survives, routing proceeds as if all were
 /// alive — the dead shards' schedulers then shed every beam whole,
 /// loudly, keeping the global ledger conserved.
+///
+/// Under [`GridAdmission::Coordinated`] a [`GridPlanner`] re-evaluates
+/// every tick: capacity-aware routing plus one fleet-wide shed level,
+/// adopted only when it Pareto-improves on the baseline. Its verdicts
+/// come back as per-shard admission ceilings and a rebalance ledger.
 pub(crate) fn partition(
     load: &dyn LoadSource,
     shards: &[ResolvedFleet],
     policy: RebalancePolicy,
     faults: &GridFaultPlan,
+    admission: GridAdmission,
+    config: &SchedulerConfig,
 ) -> Partition {
     let n = shards.len();
     let weights: Vec<usize> = shards.iter().map(|s| s.beams_capacity()).collect();
@@ -301,6 +317,14 @@ pub(crate) fn partition(
                 .min_by(f64::total_cmp)
         })
         .collect();
+    let mut planner = match admission {
+        GridAdmission::PerShard => None,
+        GridAdmission::Coordinated => Some(GridPlanner::new(shards, load.trials(), config)),
+    };
+    let mut ceilings: Option<Vec<Vec<usize>>> = planner
+        .as_ref()
+        .map(|_| vec![Vec::with_capacity(load.ticks()); n]);
+    let mut rebalances = Vec::new();
     let mut next_index = 0usize;
     let mut horizon = 0.0f64;
     for tick in 0..load.ticks() {
@@ -319,13 +343,25 @@ pub(crate) fn partition(
         if !alive.iter().any(|&a| a) {
             alive = all_alive.clone();
         }
-        let routes = route_tick(policy, beams, &weights, &alive);
-        if alive != all_alive {
+        let base_routes = route_tick(policy, beams, &weights, &alive);
+        let routes = match planner.as_mut() {
+            None => base_routes,
+            Some(planner) => {
+                let plan = planner.plan_tick(release, deadline, &alive, base_routes);
+                let per_tick = ceilings.as_mut().expect("ceilings exist with a planner");
+                for (s, col) in per_tick.iter_mut().enumerate() {
+                    col.push(plan.kept[s]);
+                }
+                plan.routes
+            }
+        };
+        if alive != all_alive || ceilings.is_some() {
             let baseline = route_tick(policy, beams, &weights, &all_alive);
-            for (&got, &home) in routes.iter().zip(&baseline) {
+            for (beam, (&got, &home)) in routes.iter().zip(&baseline).enumerate() {
                 if got != home {
                     rehomed += 1;
                     rehomed_away[home] += 1;
+                    rebalances.push((tick, next_index + beam, home, got));
                 }
             }
         }
@@ -358,6 +394,8 @@ pub(crate) fn partition(
         shard_loads,
         rehomed,
         supervisor,
+        ceilings,
+        rebalances,
     }
 }
 
@@ -418,17 +456,37 @@ mod tests {
             .collect()
     }
 
+    /// `partition` under per-shard admission with default tunables —
+    /// the historical call shape every routing test exercises.
+    fn per_shard_partition(
+        load: &dyn LoadSource,
+        shards: &[ResolvedFleet],
+        policy: RebalancePolicy,
+        faults: &GridFaultPlan,
+    ) -> Partition {
+        partition(
+            load,
+            shards,
+            policy,
+            faults,
+            GridAdmission::PerShard,
+            &SchedulerConfig::default(),
+        )
+    }
+
     #[test]
     fn static_hash_partitions_round_robin_and_keeps_global_identity() {
         let shards = shards(&[&[0.2, 0.2], &[0.2, 0.2]]);
         let load = SurveyLoad::custom(100, 5, 2);
-        let part = partition(
+        let part = per_shard_partition(
             &load,
             &shards,
             RebalancePolicy::StaticHash,
             &GridFaultPlan::none(),
         );
         assert_eq!(part.rehomed, 0);
+        assert!(part.ceilings.is_none(), "per-shard admission: no ceilings");
+        assert!(part.rebalances.is_empty());
         assert_eq!(part.shard_loads.len(), 2);
         // Beams 0,2,4 home on shard 0; 1,3 on shard 1 — every tick.
         let s0 = &part.shard_loads[0];
@@ -472,7 +530,7 @@ mod tests {
         let shards = shards(&[&[0.2, 0.2], &[0.2, 0.2]]);
         let load = SurveyLoad::custom(100, 4, 3);
         let faults = GridFaultPlan::none().with_shard_kill(0, 1.0);
-        let part = partition(&load, &shards, RebalancePolicy::StaticHash, &faults);
+        let part = per_shard_partition(&load, &shards, RebalancePolicy::StaticHash, &faults);
         // Tick 0 (release 0.0): shard 0 alive, splits 2/2. Ticks 1–2
         // (release ≥ kill): all four beams re-home to shard 1.
         assert_eq!(part.shard_loads[0].beams_at(0), 2);
@@ -492,7 +550,7 @@ mod tests {
         let faults = GridFaultPlan::none()
             .with_shard_kill(0, 0.0)
             .with_shard_kill(1, 0.0);
-        let part = partition(&load, &shards, RebalancePolicy::StaticHash, &faults);
+        let part = per_shard_partition(&load, &shards, RebalancePolicy::StaticHash, &faults);
         let total: usize = part.shard_loads.iter().map(|s| s.total_beams()).sum();
         assert_eq!(
             total,
@@ -506,7 +564,7 @@ mod tests {
         // Shard 0 has twice shard 1's capacity (10 vs 5 beams/s).
         let shards = shards(&[&[0.1, 0.1], &[0.1]]);
         let load = SurveyLoad::custom(100, 9, 1);
-        let part = partition(
+        let part = per_shard_partition(
             &load,
             &shards,
             RebalancePolicy::LoadAware,
@@ -521,13 +579,59 @@ mod tests {
         let shards = shards(&[&[0.1], &[0.1, 0.1], &[0.1]]);
         let load = SurveyLoad::custom(100, 8, 2);
         let faults = GridFaultPlan::none().with_shard_kill(1, 1.0);
-        let part = partition(&load, &shards, RebalancePolicy::LoadAware, &faults);
+        let part = per_shard_partition(&load, &shards, RebalancePolicy::LoadAware, &faults);
         // Tick 1: the big middle shard is gone; the two unit shards
         // split its share evenly.
         assert_eq!(part.shard_loads[1].beams_at(1), 0);
         assert_eq!(part.shard_loads[0].beams_at(1), 4);
         assert_eq!(part.shard_loads[2].beams_at(1), 4);
         assert!(part.rehomed > 0);
+    }
+
+    #[test]
+    fn coordinated_partition_hands_out_ceilings_and_a_rebalance_ledger() {
+        // Skewed grid: StaticHash overloads the lone slow device of
+        // shard 0, which the baseline absorbs by shedding tiers; the
+        // coordinated planner reroutes by headroom instead.
+        let shards = shards(&[&[0.3], &[0.2, 0.2, 0.2, 0.2]]);
+        let load = SurveyLoad::custom(100, 10, 2);
+        let part = partition(
+            &load,
+            &shards,
+            RebalancePolicy::StaticHash,
+            &GridFaultPlan::none(),
+            GridAdmission::Coordinated,
+            &SchedulerConfig::default(),
+        );
+        let ceilings = part.ceilings.as_ref().expect("coordinated mode plans");
+        assert_eq!(ceilings.len(), 2);
+        assert!(
+            ceilings.iter().all(|c| c.len() == 2),
+            "one ceiling per tick"
+        );
+        assert!(!part.rebalances.is_empty(), "headroom routing moves beams");
+        assert_eq!(part.rebalances.len(), part.rehomed);
+        let total: usize = part.shard_loads.iter().map(|s| s.total_beams()).sum();
+        assert_eq!(total, load.total_beams(), "rerouting loses nothing");
+    }
+
+    #[test]
+    fn coordinated_single_shard_partition_is_unconstrained() {
+        let shards = shards(&[&[0.2, 0.2]]);
+        let load = SurveyLoad::custom(100, 4, 3);
+        let part = partition(
+            &load,
+            &shards,
+            RebalancePolicy::StaticHash,
+            &GridFaultPlan::none(),
+            GridAdmission::Coordinated,
+            &SchedulerConfig::default(),
+        );
+        // One shard: every candidate ties, ties go to the baseline, and
+        // the baseline's ceiling is the full-resolution sentinel.
+        let ceilings = part.ceilings.as_ref().unwrap();
+        assert!(ceilings[0].iter().all(|&k| k == 100));
+        assert!(part.rebalances.is_empty());
     }
 
     #[test]
@@ -587,7 +691,7 @@ mod tests {
         let load = SurveyLoad::custom(100, 4, 4);
         // Shard 0 down for tick 1 only (release 1.0), back by tick 2.
         let faults = GridFaultPlan::none().with_shard_flap(0, 0.9, 1.9);
-        let part = partition(&load, &shards, RebalancePolicy::StaticHash, &faults);
+        let part = per_shard_partition(&load, &shards, RebalancePolicy::StaticHash, &faults);
         assert_eq!(part.shard_loads[0].beams_at(0), 2);
         assert_eq!(part.shard_loads[0].beams_at(1), 0, "down during the flap");
         assert_eq!(part.shard_loads[1].beams_at(1), 4);

@@ -1,0 +1,500 @@
+//! The unified telemetry stream: one typed event per observable fact.
+//!
+//! Every layer of the control plane — dispatcher, shard supervisor,
+//! grid — emits the same [`TelemetryEvent`] enum through the
+//! [`Observer`] trait instead of keeping ad-hoc record vectors. Reports
+//! ([`crate::FleetReport`], [`crate::GridReport`]) are fold-style
+//! consumers of the stream; [`StatusSnapshot`] is another, giving
+//! operators a queryable point-in-time view (per-device health, queue
+//! depths, the shed tier in force) derivable from **any prefix** of the
+//! stream — the in-process precursor to a status endpoint.
+//!
+//! Events carry virtual times and are appended at the dispatcher's
+//! deterministic synchronization points, so the stream itself is as
+//! reproducible as the report it folds into.
+
+use crate::metrics::{BeamOutcome, BeamRecord, HealthEvent, HealthState, ShedRecord};
+use serde::{Deserialize, Serialize};
+
+/// One observable fact from a scheduler, shard, or grid run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum TelemetryEvent {
+    /// The admission ruling for one tick's batch, before placement.
+    Admission {
+        /// Tick index.
+        tick: usize,
+        /// Batch release time.
+        release: f64,
+        /// Batch deadline.
+        deadline: f64,
+        /// Beams in the batch.
+        beams: usize,
+        /// Trial DMs per beam the policy admitted at (0 when the whole
+        /// batch was shed).
+        kept_trials: usize,
+        /// Shed tiers in force for the tick.
+        shed_tiers: usize,
+    },
+    /// A beam (or probation canary) was handed to a device queue.
+    Placed {
+        /// Global job index.
+        index: usize,
+        /// Device the beam was queued on.
+        device: usize,
+        /// Virtual time the device is predicted to start it.
+        at: f64,
+        /// Trial DMs the placement keeps.
+        kept_trials: usize,
+        /// Placement attempt (1 = first placement).
+        attempt: usize,
+        /// Whether this placement is a probation canary.
+        canary: bool,
+    },
+    /// A beam reached its terminal state.
+    Beam(BeamRecord),
+    /// Trial DMs (or a whole beam) were shed.
+    Shed(ShedRecord),
+    /// A beam bounced off a device.
+    Bounce {
+        /// Global job index.
+        index: usize,
+        /// Device it bounced off.
+        device: usize,
+        /// Virtual time of the bounce.
+        at: f64,
+        /// The attempt that bounced.
+        attempt: usize,
+    },
+    /// A bounced beam was queued for re-placement.
+    Retry {
+        /// Global job index.
+        index: usize,
+        /// Virtual release time of the retry (after backoff).
+        at: f64,
+        /// The upcoming attempt number.
+        attempt: usize,
+    },
+    /// A health probe was answered.
+    Probe {
+        /// Device probed.
+        device: usize,
+        /// Virtual time the probe was sent.
+        at: f64,
+        /// Whether the device answered up.
+        up: bool,
+    },
+    /// A device moved between health states.
+    Health(HealthEvent),
+    /// The grid moved a beam off its home shard (outage re-homing or a
+    /// coordinated-admission route).
+    Rebalance {
+        /// Tick index.
+        tick: usize,
+        /// Global job index.
+        index: usize,
+        /// The shard the routing policy would have used.
+        from_shard: usize,
+        /// The shard that actually ran it.
+        to_shard: usize,
+    },
+}
+
+/// A consumer of the telemetry stream.
+///
+/// Observers see events in emission order — the dispatcher's
+/// deterministic virtual-time order — and must not assume they see the
+/// whole run: any prefix is valid (that is what makes
+/// [`StatusSnapshot`] a point-in-time view).
+pub trait Observer {
+    /// Consumes one event.
+    fn observe(&mut self, event: &TelemetryEvent);
+}
+
+/// The no-op observer used when a caller only wants the report.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct NullObserver;
+
+impl Observer for NullObserver {
+    fn observe(&mut self, _event: &TelemetryEvent) {}
+}
+
+/// An observer that simply collects the stream.
+#[derive(Debug, Default, Clone, PartialEq)]
+pub struct EventLog {
+    /// The collected events, in emission order.
+    pub events: Vec<TelemetryEvent>,
+}
+
+impl Observer for EventLog {
+    fn observe(&mut self, event: &TelemetryEvent) {
+        self.events.push(event.clone());
+    }
+}
+
+/// One device's live state, as folded from the stream.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DeviceStatus {
+    /// Fleet-wide device index.
+    pub device: usize,
+    /// Current health belief.
+    pub health: HealthState,
+    /// Beams placed on the device and not yet resolved.
+    pub queue_depth: usize,
+    /// Bounces observed so far.
+    pub bounces: usize,
+}
+
+/// A queryable point-in-time view of a running fleet, folded from any
+/// prefix of the telemetry stream.
+///
+/// This is the payload the ROADMAP's status endpoint will serve: it is
+/// serde round-trippable and every field is derivable from the events
+/// alone (no access to dispatcher internals), so it can be maintained
+/// incrementally by a live [`Observer`] or reconstructed after the fact
+/// with [`StatusSnapshot::from_events`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct StatusSnapshot {
+    /// Latest virtual time seen in the stream.
+    pub at: f64,
+    /// Events folded into this snapshot.
+    pub events_folded: usize,
+    /// Most recent tick with an admission ruling.
+    pub tick: Option<usize>,
+    /// Trial DMs per beam in force for that tick.
+    pub kept_trials_in_force: Option<usize>,
+    /// Shed tiers in force for that tick.
+    pub shed_tiers_in_force: Option<usize>,
+    /// Beams placed on device queues so far.
+    pub placed: usize,
+    /// Beams fully dedispersed on time so far.
+    pub completed: usize,
+    /// Beams finished on time with tiers shed so far.
+    pub degraded: usize,
+    /// Beams finished past their deadline so far.
+    pub deadline_misses: usize,
+    /// Beams dropped whole so far.
+    pub shed_whole: usize,
+    /// Trial DMs shed so far.
+    pub total_shed_trials: usize,
+    /// Bounces observed so far.
+    pub bounced: usize,
+    /// Re-placements of bounced beams so far.
+    pub retries: usize,
+    /// Probes answered so far.
+    pub probes: usize,
+    /// Canary placements so far.
+    pub canaries: usize,
+    /// Transitions back to [`HealthState::Healthy`] so far.
+    pub recoveries: usize,
+    /// Rebalance decisions seen so far (grid streams only).
+    pub rebalances: usize,
+    /// Per-device live state, device order.
+    pub devices: Vec<DeviceStatus>,
+}
+
+impl StatusSnapshot {
+    /// An empty snapshot for a fleet of `devices` devices, all healthy
+    /// and idle.
+    pub fn new(devices: usize) -> Self {
+        Self {
+            at: 0.0,
+            events_folded: 0,
+            tick: None,
+            kept_trials_in_force: None,
+            shed_tiers_in_force: None,
+            placed: 0,
+            completed: 0,
+            degraded: 0,
+            deadline_misses: 0,
+            shed_whole: 0,
+            total_shed_trials: 0,
+            bounced: 0,
+            retries: 0,
+            probes: 0,
+            canaries: 0,
+            recoveries: 0,
+            rebalances: 0,
+            devices: (0..devices)
+                .map(|device| DeviceStatus {
+                    device,
+                    health: HealthState::Healthy,
+                    queue_depth: 0,
+                    bounces: 0,
+                })
+                .collect(),
+        }
+    }
+
+    /// Folds a stream prefix into a snapshot in one call.
+    pub fn from_events(devices: usize, events: &[TelemetryEvent]) -> Self {
+        let mut snapshot = Self::new(devices);
+        for event in events {
+            snapshot.observe(event);
+        }
+        snapshot
+    }
+
+    /// Serializes to pretty JSON.
+    ///
+    /// # Panics
+    ///
+    /// Panics only if serde_json fails on plain data, which cannot
+    /// happen for this type.
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).expect("plain snapshot always serializes")
+    }
+
+    /// Deserializes from JSON.
+    ///
+    /// # Errors
+    ///
+    /// Returns the serde error for malformed input.
+    pub fn from_json(json: &str) -> Result<Self, serde_json::Error> {
+        serde_json::from_str(json)
+    }
+
+    fn advance_clock(&mut self, at: f64) {
+        if at > self.at {
+            self.at = at;
+        }
+    }
+
+    fn device_mut(&mut self, device: usize) -> Option<&mut DeviceStatus> {
+        self.devices.get_mut(device)
+    }
+}
+
+impl Observer for StatusSnapshot {
+    fn observe(&mut self, event: &TelemetryEvent) {
+        self.events_folded += 1;
+        match *event {
+            TelemetryEvent::Admission {
+                tick,
+                release,
+                kept_trials,
+                shed_tiers,
+                ..
+            } => {
+                self.advance_clock(release);
+                self.tick = Some(tick);
+                self.kept_trials_in_force = Some(kept_trials);
+                self.shed_tiers_in_force = Some(shed_tiers);
+            }
+            TelemetryEvent::Placed {
+                device, at, canary, ..
+            } => {
+                self.advance_clock(at);
+                self.placed += 1;
+                if canary {
+                    self.canaries += 1;
+                }
+                if let Some(d) = self.device_mut(device) {
+                    d.queue_depth += 1;
+                }
+            }
+            TelemetryEvent::Beam(record) => {
+                let resolved_on = match record.outcome {
+                    BeamOutcome::Completed { device, finish } => {
+                        self.completed += 1;
+                        self.advance_clock(finish);
+                        Some(device)
+                    }
+                    BeamOutcome::Degraded { device, finish, .. } => {
+                        self.degraded += 1;
+                        self.advance_clock(finish);
+                        Some(device)
+                    }
+                    BeamOutcome::Missed { device, finish, .. } => {
+                        self.deadline_misses += 1;
+                        self.advance_clock(finish);
+                        Some(device)
+                    }
+                    BeamOutcome::ShedWhole { at, .. } => {
+                        self.shed_whole += 1;
+                        self.advance_clock(at);
+                        None
+                    }
+                };
+                if let Some(d) = resolved_on.and_then(|device| self.device_mut(device)) {
+                    d.queue_depth = d.queue_depth.saturating_sub(1);
+                }
+            }
+            TelemetryEvent::Shed(ref shed) => {
+                self.total_shed_trials += shed.shed_trials;
+            }
+            TelemetryEvent::Bounce { device, at, .. } => {
+                self.advance_clock(at);
+                self.bounced += 1;
+                if let Some(d) = self.device_mut(device) {
+                    d.queue_depth = d.queue_depth.saturating_sub(1);
+                    d.bounces += 1;
+                }
+            }
+            TelemetryEvent::Retry { at, .. } => {
+                self.advance_clock(at);
+                self.retries += 1;
+            }
+            TelemetryEvent::Probe { at, .. } => {
+                self.advance_clock(at);
+                self.probes += 1;
+            }
+            TelemetryEvent::Health(health) => {
+                self.advance_clock(health.at);
+                if health.to == HealthState::Healthy {
+                    self.recoveries += 1;
+                }
+                if let Some(d) = self.device_mut(health.device) {
+                    d.health = health.to;
+                }
+            }
+            TelemetryEvent::Rebalance { .. } => {
+                self.rebalances += 1;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::{HealthCause, ShedReason};
+
+    fn sample_stream() -> Vec<TelemetryEvent> {
+        vec![
+            TelemetryEvent::Admission {
+                tick: 0,
+                release: 0.0,
+                deadline: 1.0,
+                beams: 2,
+                kept_trials: 75,
+                shed_tiers: 1,
+            },
+            TelemetryEvent::Placed {
+                index: 0,
+                device: 0,
+                at: 0.0,
+                kept_trials: 75,
+                attempt: 1,
+                canary: false,
+            },
+            TelemetryEvent::Placed {
+                index: 1,
+                device: 1,
+                at: 0.0,
+                kept_trials: 75,
+                attempt: 1,
+                canary: false,
+            },
+            TelemetryEvent::Bounce {
+                index: 1,
+                device: 1,
+                at: 0.2,
+                attempt: 1,
+            },
+            TelemetryEvent::Health(HealthEvent {
+                at: 0.2,
+                device: 1,
+                from: HealthState::Healthy,
+                to: HealthState::Suspect,
+                cause: HealthCause::Bounce,
+            }),
+            TelemetryEvent::Retry {
+                index: 1,
+                at: 0.2,
+                attempt: 2,
+            },
+            TelemetryEvent::Placed {
+                index: 1,
+                device: 0,
+                at: 0.3,
+                kept_trials: 75,
+                attempt: 2,
+                canary: false,
+            },
+            TelemetryEvent::Shed(ShedRecord {
+                index: 0,
+                tick: 0,
+                beam: 0,
+                shed_trials: 25,
+                kept_trials: 75,
+                reason: ShedReason::DeadlinePressure,
+            }),
+            TelemetryEvent::Beam(BeamRecord {
+                index: 0,
+                tick: 0,
+                beam: 0,
+                outcome: BeamOutcome::Degraded {
+                    device: 0,
+                    finish: 0.6,
+                    kept_trials: 75,
+                    shed_trials: 25,
+                },
+            }),
+            TelemetryEvent::Beam(BeamRecord {
+                index: 1,
+                tick: 0,
+                beam: 1,
+                outcome: BeamOutcome::Completed {
+                    device: 0,
+                    finish: 0.9,
+                },
+            }),
+        ]
+    }
+
+    #[test]
+    fn snapshot_folds_a_stream_into_live_state() {
+        let events = sample_stream();
+        let snapshot = StatusSnapshot::from_events(2, &events);
+        assert_eq!(snapshot.events_folded, events.len());
+        assert_eq!(snapshot.tick, Some(0));
+        assert_eq!(snapshot.kept_trials_in_force, Some(75));
+        assert_eq!(snapshot.shed_tiers_in_force, Some(1));
+        assert_eq!(snapshot.placed, 3);
+        assert_eq!(snapshot.completed, 1);
+        assert_eq!(snapshot.degraded, 1);
+        assert_eq!(snapshot.bounced, 1);
+        assert_eq!(snapshot.retries, 1);
+        assert_eq!(snapshot.total_shed_trials, 25);
+        assert!((snapshot.at - 0.9).abs() < 1e-12);
+        // Every placement resolved: queues drained back to zero.
+        assert!(snapshot.devices.iter().all(|d| d.queue_depth == 0));
+        assert_eq!(snapshot.devices[1].bounces, 1);
+        assert_eq!(snapshot.devices[1].health, HealthState::Suspect);
+        assert_eq!(snapshot.devices[0].health, HealthState::Healthy);
+    }
+
+    #[test]
+    fn every_prefix_of_the_stream_folds_cleanly() {
+        let events = sample_stream();
+        for cut in 0..=events.len() {
+            let snapshot = StatusSnapshot::from_events(2, &events[..cut]);
+            assert_eq!(snapshot.events_folded, cut);
+            // Mid-flight prefixes show in-flight work as queue depth.
+            let in_flight: usize = snapshot.devices.iter().map(|d| d.queue_depth).sum();
+            let resolved = snapshot.completed
+                + snapshot.degraded
+                + snapshot.deadline_misses
+                + snapshot.shed_whole
+                + snapshot.bounced;
+            assert_eq!(in_flight, snapshot.placed - resolved.min(snapshot.placed));
+        }
+    }
+
+    #[test]
+    fn snapshot_serde_roundtrip() {
+        let snapshot = StatusSnapshot::from_events(2, &sample_stream());
+        let back = StatusSnapshot::from_json(&snapshot.to_json()).unwrap();
+        assert_eq!(back, snapshot);
+    }
+
+    #[test]
+    fn event_log_collects_the_stream_verbatim() {
+        let events = sample_stream();
+        let mut log = EventLog::default();
+        for event in &events {
+            log.observe(event);
+        }
+        assert_eq!(log.events, events);
+    }
+}

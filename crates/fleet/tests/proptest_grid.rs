@@ -20,8 +20,8 @@
 //!    worker's racy `max_queue_depth`.
 
 use dedisp_fleet::{
-    FaultEvent, Grid, GridFaultPlan, GridReport, GridRun, RebalancePolicy, ResolvedFleet,
-    Scheduler, SurveyLoad,
+    FaultEvent, Grid, GridAdmission, GridFaultPlan, GridReport, GridRun, RebalancePolicy,
+    ResolvedFleet, Scheduler, SurveyLoad,
 };
 use proptest::prelude::*;
 
@@ -44,8 +44,19 @@ fn run_grid(
     policy: RebalancePolicy,
     faults: &GridFaultPlan,
 ) -> GridRun {
+    run_grid_with(fleets, load, policy, faults, GridAdmission::PerShard)
+}
+
+fn run_grid_with(
+    fleets: &[ResolvedFleet],
+    load: &SurveyLoad,
+    policy: RebalancePolicy,
+    faults: &GridFaultPlan,
+    admission: GridAdmission,
+) -> GridRun {
     Grid::session(fleets)
         .policy(policy)
+        .admission(admission)
         .load(load)
         .faults(faults)
         .run()
@@ -286,6 +297,74 @@ proptest! {
         prop_assert_eq!(modulo_queue_depth(&a.report), modulo_queue_depth(&b.report));
         prop_assert_eq!(a.records, b.records);
     }
+
+    /// Invariant 7: a single-shard grid under coordinated admission is
+    /// ledger-identical to per-shard admission — *unconditionally*,
+    /// faults included. With one shard every coordinated candidate ties
+    /// the baseline, ties go to the baseline, and the baseline's
+    /// ceiling is unconstrained.
+    #[test]
+    fn coordinated_single_shard_is_ledger_identical_to_per_shard(
+        spb in prop::collection::vec(0.05f64..1.0, 1..6),
+        trials in 8usize..1024,
+        beams in 1usize..16,
+        ticks in 1usize..4,
+        flaps in prop::collection::vec((0.0f64..2.0, 0.1f64..1.5), 0..2),
+        device_kills in prop::collection::vec((0usize..8, 0.0f64..3.0), 0..2),
+    ) {
+        let fleets = shard_fleets(&spb, 1, trials);
+        let mut faults = GridFaultPlan::none();
+        for &(down, dur) in &flaps {
+            faults = faults.with_shard_flap(0, down, down + dur);
+        }
+        for &(d, at) in &device_kills {
+            faults = faults.with_device_kill(0, d % fleets[0].len(), at);
+        }
+        let load = load_of(trials, beams, ticks);
+        let per_shard =
+            run_grid_with(&fleets, &load, RebalancePolicy::StaticHash, &faults, GridAdmission::PerShard);
+        let coordinated =
+            run_grid_with(&fleets, &load, RebalancePolicy::StaticHash, &faults, GridAdmission::Coordinated);
+        prop_assert_eq!(coordinated.report.admission, GridAdmission::Coordinated);
+        prop_assert_eq!(
+            modulo_admission_mode(&per_shard.report),
+            modulo_admission_mode(&coordinated.report)
+        );
+        prop_assert_eq!(per_shard.records, coordinated.records);
+    }
+
+    /// Invariant 8: on a healthy grid whose per-shard run misses no
+    /// deadline, coordinated admission is a true Pareto move — it still
+    /// misses nothing and never sheds *more* total trial DMs. (With
+    /// periodic deadlines a miss-free run resets every device clock at
+    /// each tick, so the planner's per-tick Pareto rule sums to a
+    /// whole-run guarantee.)
+    #[test]
+    fn coordinated_admission_never_pareto_worsens_a_missless_grid(
+        spb in prop::collection::vec(0.05f64..1.0, 2..8),
+        trials in 8usize..1024,
+        beams in 1usize..20,
+        ticks in 1usize..4,
+        shards in 2usize..5,
+        policy in policies(),
+    ) {
+        let fleets = shard_fleets(&spb, shards, trials);
+        let load = load_of(trials, beams, ticks);
+        let per_shard =
+            run_grid_with(&fleets, &load, policy, &GridFaultPlan::none(), GridAdmission::PerShard);
+        prop_assume!(per_shard.report.deadline_misses == 0);
+        let coordinated =
+            run_grid_with(&fleets, &load, policy, &GridFaultPlan::none(), GridAdmission::Coordinated);
+        prop_assert!(per_shard.report.conservation_ok());
+        prop_assert!(coordinated.report.conservation_ok());
+        prop_assert_eq!(coordinated.report.deadline_misses, 0);
+        prop_assert!(
+            coordinated.report.total_shed_trials <= per_shard.report.total_shed_trials,
+            "coordinated shed {} > per-shard {}",
+            coordinated.report.total_shed_trials,
+            per_shard.report.total_shed_trials
+        );
+    }
 }
 
 fn load_of(trials: usize, beams: usize, ticks: usize) -> SurveyLoad {
@@ -301,5 +380,14 @@ fn modulo_queue_depth(report: &GridReport) -> GridReport {
             d.max_queue_depth = 0;
         }
     }
+    normalized
+}
+
+/// [`modulo_queue_depth`] plus the admission-mode label normalized, so
+/// per-shard and coordinated reports can be compared for ledger
+/// identity.
+fn modulo_admission_mode(report: &GridReport) -> GridReport {
+    let mut normalized = modulo_queue_depth(report);
+    normalized.admission = GridAdmission::default();
     normalized
 }
