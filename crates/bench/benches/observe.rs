@@ -1,0 +1,112 @@
+//! Observer overhead: the cost of running a fleet *watched*.
+//!
+//! The operator plane's whole design bet is that observation is cheap
+//! enough to leave on in production: the registry hands out `Arc`'d
+//! atomics at registration so the fold path is lock-free, the flight
+//! recorder takes one short mutex per event, and the live status folds
+//! under a `parking_lot` write lock. This bench prices that bet by
+//! running the identical fleet and grid workloads under
+//! `NullObserver`, under each sink alone, and under the full fanned-out
+//! stack — the deltas are the per-sink overhead. Telemetry volume is a
+//! few events per beam, so overhead should stay a small fraction of the
+//! scheduler's own channel round-trips.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use dedisp_fleet::obs::{
+    FlightRecorder, GridFanout, GridRegistry, LiveGrid, LiveStatus, MetricsRegistry,
+    RegistryObserver,
+};
+use dedisp_fleet::{
+    Grid, GridObserver, NullObserver, Observer, ResolvedFleet, Scheduler, SurveyLoad,
+};
+use std::hint::black_box;
+
+/// A fleet of `n` devices fast enough to absorb the offered batch
+/// (same shape as the `fleet` bench so numbers are comparable).
+fn fleet_of(n: usize) -> ResolvedFleet {
+    let spb: Vec<f64> = (0..n).map(|d| 0.09 + 0.002 * (d % 5) as f64).collect();
+    ResolvedFleet::synthetic(2000, &spb)
+}
+
+/// One watched fleet run; returns completions so the work can't fold.
+fn run_watched(fleet: &ResolvedFleet, load: &SurveyLoad, observer: &mut dyn Observer) -> usize {
+    let run = Scheduler::session(black_box(fleet))
+        .load(black_box(load))
+        .run_with(observer)
+        .unwrap();
+    assert!(run.report.conservation_ok());
+    run.report.completed
+}
+
+fn bench_fleet_observers(c: &mut Criterion) {
+    let mut group = c.benchmark_group("observe/fleet");
+    let fleet = fleet_of(32);
+    let beams = fleet.beams_capacity() * 9 / 10;
+    let load = SurveyLoad::custom(2000, beams, 3);
+    group.throughput(Throughput::Elements(load.total_beams() as u64));
+
+    group.bench_with_input(BenchmarkId::new("null", 32), &(), |b, ()| {
+        b.iter(|| black_box(run_watched(&fleet, &load, &mut NullObserver)));
+    });
+    group.bench_with_input(BenchmarkId::new("registry", 32), &(), |b, ()| {
+        b.iter(|| {
+            let registry = MetricsRegistry::new();
+            let mut metrics = RegistryObserver::new(&registry, fleet.len());
+            black_box(run_watched(&fleet, &load, &mut metrics))
+        });
+    });
+    group.bench_with_input(BenchmarkId::new("recorder", 32), &(), |b, ()| {
+        b.iter(|| {
+            let mut recorder = FlightRecorder::new(1 << 14);
+            black_box(run_watched(&fleet, &load, &mut recorder))
+        });
+    });
+    group.bench_with_input(BenchmarkId::new("live_status", 32), &(), |b, ()| {
+        b.iter(|| {
+            let mut live = LiveStatus::new(fleet.len());
+            black_box(run_watched(&fleet, &load, &mut live))
+        });
+    });
+    group.finish();
+}
+
+fn bench_grid_full_stack(c: &mut Criterion) {
+    // The production configuration: a 2-shard grid with metrics,
+    // recorder, and live status all fanned out, against NullObserver.
+    let mut group = c.benchmark_group("observe/grid");
+    let shards = [fleet_of(16), fleet_of(16)];
+    let shard_devices = [16usize, 16];
+    let beams = shards[0].beams_capacity() * 2 * 9 / 10;
+    let load = SurveyLoad::custom(2000, beams, 3);
+    group.throughput(Throughput::Elements(load.total_beams() as u64));
+
+    group.bench_with_input(BenchmarkId::new("null", "2x16"), &(), |b, ()| {
+        b.iter(|| {
+            let run = Grid::session(black_box(&shards))
+                .load(black_box(&load))
+                .run()
+                .unwrap();
+            assert!(run.report.conservation_ok());
+            black_box(run.report.completed)
+        });
+    });
+    group.bench_with_input(BenchmarkId::new("full_stack", "2x16"), &(), |b, ()| {
+        b.iter(|| {
+            let registry = MetricsRegistry::new();
+            let metrics = GridRegistry::new(&registry, &shard_devices);
+            let recorder = FlightRecorder::new(1 << 14);
+            let live = LiveGrid::new(&shard_devices);
+            let sinks: [&dyn GridObserver; 3] = [&metrics, &recorder, &live];
+            let run = Grid::session(black_box(&shards))
+                .load(black_box(&load))
+                .run_with(&GridFanout::new(&sinks))
+                .unwrap();
+            assert!(run.report.conservation_ok());
+            black_box((run.report.completed, live.snapshot().events_folded))
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_fleet_observers, bench_grid_full_stack);
+criterion_main!(benches);

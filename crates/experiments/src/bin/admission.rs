@@ -15,8 +15,24 @@
 //!   behave exactly as they would under per-shard admission.
 
 use dedisp_fleet::{
-    Grid, GridAdmission, GridFaultPlan, GridRun, ResolvedFleet, SurveyLoad, TelemetryEvent,
+    Grid, GridAdmission, GridFaultPlan, GridReport, GridRun, ResolvedFleet, SurveyLoad,
+    TelemetryEvent,
 };
+use serde::Serialize;
+
+/// The machine-readable artifact `--json` writes: both scenarios,
+/// both admission modes.
+#[derive(Serialize)]
+struct AdmissionComparison {
+    /// Skewed-load scenario, per-shard admission.
+    skewed_per_shard: GridReport,
+    /// Skewed-load scenario, coordinated admission.
+    skewed_coordinated: GridReport,
+    /// Whole-shard-kill scenario, per-shard admission.
+    kill_per_shard: GridReport,
+    /// Whole-shard-kill scenario, coordinated admission.
+    kill_coordinated: GridReport,
+}
 
 /// The paper's measured HD7970 rate (Section V-D).
 const MEASURED_SECONDS_PER_BEAM: f64 = 0.106;
@@ -126,6 +142,9 @@ fn main() {
         );
     }
 
+    let skewed_per_shard = per_shard.report.clone();
+    let skewed_coordinated = coordinated.report.clone();
+
     // --- Scenario 2: whole-shard kill --------------------------------
     // Two equal shards; shard 0 dies whole mid-survey. The planner is
     // fault-blind by design (runtime faults are the shard's business),
@@ -154,4 +173,10 @@ fn main() {
          is a strict win under skew and a no-op tax under catastrophe",
         coordinated.report.admitted
     );
+    experiments::out::write_json_report(&AdmissionComparison {
+        skewed_per_shard,
+        skewed_coordinated,
+        kill_per_shard: per_shard.report,
+        kill_coordinated: coordinated.report,
+    });
 }

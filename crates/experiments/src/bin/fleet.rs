@@ -135,4 +135,5 @@ fn main() {
     );
     println!("\n--- fault-run report (JSON) ---");
     println!("{}", run.report.to_json());
+    experiments::out::write_json_report(&run.report);
 }

@@ -157,4 +157,5 @@ fn main() {
 
     println!("\n--- shard-kill report, load-aware (JSON) ---");
     println!("{}", balanced.report.to_json());
+    experiments::out::write_json_report(&balanced.report);
 }

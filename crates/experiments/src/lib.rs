@@ -29,6 +29,7 @@ use radioastro::{ObservationalSetup, PAPER_INSTANCES};
 
 pub mod ablation;
 pub mod figures;
+pub mod out;
 pub mod render;
 
 /// Builds the cost-model workload for a (setup, instance) cell.

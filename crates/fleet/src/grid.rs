@@ -39,7 +39,7 @@ use crate::scheduler::{FleetRun, Scheduler, SchedulerConfig};
 use crate::shard::{
     partition, GlobalBeam, GridFaultPlan, Partition, RebalancePolicy, ShardCondition,
 };
-use crate::telemetry::{StatusSnapshot, TelemetryEvent};
+use crate::telemetry::{GridObserver, NullObserver, Observer, StatusSnapshot, TelemetryEvent};
 use serde::{Deserialize, Serialize};
 
 /// Entry point for sharded fleet scheduling.
@@ -127,6 +127,27 @@ impl<'a> GridSession<'a> {
     /// zero-trial load), or — defensively — if a beam fails to appear
     /// exactly once in the merged ledger.
     pub fn run(self) -> Result<GridRun, FleetError> {
+        self.run_with(&NullObserver)
+    }
+
+    /// Runs the grid like [`GridSession::run`], forwarding every
+    /// telemetry event to `observer` **live**, as the shard threads
+    /// emit them.
+    ///
+    /// The observer is shared by reference across all shard threads
+    /// (hence [`GridObserver`]'s `Sync` bound and `&self` callback);
+    /// each event arrives tagged with its shard and already re-keyed
+    /// to global beam identity through the same [`GlobalBeam`] tables
+    /// the post-run [`ShardEvent`] stream uses. The partition layer's
+    /// rebalance decisions are forwarded first, tagged shard-less,
+    /// exactly as they lead the post-run stream. The returned
+    /// [`GridRun`] is identical to [`GridSession::run`]'s — live
+    /// observation never perturbs scheduling.
+    ///
+    /// # Errors
+    ///
+    /// As [`GridSession::run`].
+    pub fn run_with(self, observer: &dyn GridObserver) -> Result<GridRun, FleetError> {
         let shards = self.shards;
         if shards.is_empty() {
             return Err(FleetError::new("grid has no shards"));
@@ -166,16 +187,39 @@ impl<'a> GridSession<'a> {
             .map(|s| ceilings.as_ref().map(|c| c[s].as_slice()))
             .collect();
 
+        // The partition layer's rebalance decisions lead the live
+        // stream, exactly as they lead the post-run `events` vec.
+        for &(tick, index, from_shard, to_shard) in &rebalances {
+            observer.observe_grid(
+                None,
+                &TelemetryEvent::Rebalance {
+                    tick,
+                    index,
+                    from_shard,
+                    to_shard,
+                },
+            );
+        }
+
         // One real thread per shard; each shard session spawns its own
-        // per-device workers underneath.
+        // per-device workers underneath. Each thread re-keys its own
+        // stream to global beam identity before forwarding, so the
+        // shared observer sees the same identities the post-run
+        // `ShardEvent` stream carries.
         let results: Vec<Result<FleetRun, FleetError>> = std::thread::scope(|scope| {
             let handles: Vec<_> = shards
                 .iter()
                 .zip(&shard_loads)
                 .zip(plans.iter().zip(&ceiling_slices))
-                .map(|((fleet, shard_load), (plan, &ceiling))| {
+                .enumerate()
+                .map(|(shard, ((fleet, shard_load), (plan, &ceiling)))| {
                     let config = self.config.clone();
                     scope.spawn(move || {
+                        let mut forward = ShardForward {
+                            shard,
+                            globals: shard_load.global_beams(),
+                            sink: observer,
+                        };
                         let mut session = Scheduler::session(fleet)
                             .config(config)
                             .load(shard_load)
@@ -183,7 +227,7 @@ impl<'a> GridSession<'a> {
                         if let Some(ceiling) = ceiling {
                             session = session.admission_ceilings(ceiling);
                         }
-                        session.run()
+                        session.run_with(&mut forward)
                     })
                 })
                 .collect();
@@ -336,6 +380,23 @@ fn rekey(event: &TelemetryEvent, globals: &[GlobalBeam]) -> TelemetryEvent {
         | TelemetryEvent::Probe { .. }
         | TelemetryEvent::Health(_)
         | TelemetryEvent::Rebalance { .. } => event.clone(),
+    }
+}
+
+/// The per-shard live-forwarding adapter: a plain [`Observer`] handed
+/// to the shard's scheduler session, re-keying each event through the
+/// shard's [`GlobalBeam`] table and pushing it — shard-tagged — into
+/// the shared [`GridObserver`].
+struct ShardForward<'a> {
+    shard: usize,
+    globals: Vec<GlobalBeam>,
+    sink: &'a dyn GridObserver,
+}
+
+impl Observer for ShardForward<'_> {
+    fn observe(&mut self, event: &TelemetryEvent) {
+        self.sink
+            .observe_grid(Some(self.shard), &rekey(event, &self.globals));
     }
 }
 
@@ -780,6 +841,75 @@ mod tests {
         let json = serde_json::to_string(&run.events[0]).unwrap();
         let back: ShardEvent = serde_json::from_str(&json).unwrap();
         assert_eq!(back, run.events[0]);
+    }
+
+    #[test]
+    fn live_observers_see_the_rekeyed_stream_without_perturbing_the_run() {
+        use crate::obs::{FlightRecorder, GridFanout, LiveGrid};
+        let shards = grid(&[&[0.1, 0.1], &[0.1, 0.1]], 1000);
+        let load = SurveyLoad::custom(1000, 10, 4);
+        let faults = GridFaultPlan::none().with_shard_flap(0, 0.25, 1.9);
+
+        let live = LiveGrid::new(&[2, 2]);
+        let recorder = FlightRecorder::new(1 << 16);
+        let sinks: [&dyn GridObserver; 2] = [&live, &recorder];
+        let observed = Grid::session(&shards)
+            .load(&load)
+            .faults(&faults)
+            .run_with(&GridFanout::new(&sinks))
+            .unwrap();
+        // Live observation never perturbs scheduling: the report
+        // matches an unobserved run byte for byte (modulo the racy
+        // queue high-water the determinism guarantee excludes).
+        let plain = Grid::session(&shards)
+            .load(&load)
+            .faults(&faults)
+            .run()
+            .unwrap();
+        let normalize = |r: &GridReport| {
+            let mut n = r.clone();
+            for shard in &mut n.shards {
+                for d in &mut shard.devices {
+                    d.max_queue_depth = 0;
+                }
+            }
+            n
+        };
+        assert_eq!(normalize(&observed.report), normalize(&plain.report));
+
+        // The recorder saw exactly the post-run stream's events (ring
+        // large enough to drop nothing), and the live aggregate folded
+        // to the same totals the report carries.
+        assert_eq!(recorder.recorded() as usize, observed.events.len());
+        assert_eq!(recorder.dropped(), 0);
+        let snapshot = live.snapshot();
+        assert_eq!(snapshot.completed, observed.report.completed);
+        assert_eq!(snapshot.degraded, observed.report.degraded);
+        assert_eq!(snapshot.deadline_misses, observed.report.deadline_misses);
+        assert_eq!(snapshot.shed_whole, observed.report.shed_whole);
+        assert_eq!(
+            snapshot.total_shed_trials,
+            observed.report.total_shed_trials
+        );
+        assert_eq!(snapshot.rebalances, observed.report.rehomed);
+        // Per-shard live folds equal the post-run per-shard folds.
+        for (s, post) in observed.status_snapshots().iter().enumerate() {
+            let live_shard = live.shard_snapshot(s).unwrap();
+            assert_eq!(live_shard.completed, post.completed);
+            assert_eq!(live_shard.bounced, post.bounced);
+            assert_eq!(live_shard.events_folded, post.events_folded);
+        }
+        // Recorded beam events carry *global* identity: every global
+        // index appears exactly once across shards.
+        let mut seen = vec![false; observed.records.len()];
+        for rec in recorder.tail(usize::MAX) {
+            if let TelemetryEvent::Beam(b) = rec.event {
+                assert!(!seen[b.index]);
+                seen[b.index] = true;
+                assert_eq!(rec.shard, Some(observed.records[b.index].shard));
+            }
+        }
+        assert!(seen.iter().all(|&s| s));
     }
 
     #[test]

@@ -46,6 +46,15 @@
 //!   misses, the full shed ledger, and the recovery ledger (bounces,
 //!   retries, probes, canaries, [`HealthEvent`] transitions) as a
 //!   serde artifact.
+//! * [`obs`] — the live operator plane: a lock-cheap
+//!   [`obs::MetricsRegistry`] fed from the stream by
+//!   [`obs::RegistryObserver`], a bounded [`obs::FlightRecorder`]
+//!   (last-N ring per shard, NDJSON dumps), [`obs::LiveStatus`] /
+//!   [`obs::LiveGrid`] folding a snapshot continuously *during* a
+//!   run, and a dependency-free HTTP server ([`obs::ObsServer`])
+//!   serving `/status`, `/status/shard/<i>`, `/metrics` (Prometheus
+//!   text format 0.0.4), `/events`, and `/healthz`. Grid runs attach
+//!   live observers with [`GridSession::run_with`] ([`GridObserver`]).
 //! * [`Grid`] — multi-node sharding: a survey partitioned across N
 //!   independent schedulers (each with its own [`ResolvedFleet`]) on
 //!   real threads, with whole-shard kills *and flaps*, beam re-homing
@@ -101,6 +110,7 @@ mod fault;
 mod grid;
 mod load;
 mod metrics;
+pub mod obs;
 mod scheduler;
 mod shard;
 mod survey;
@@ -126,5 +136,5 @@ pub use scheduler::{FleetRun, Scheduler, SchedulerConfig, Session};
 pub use shard::{GlobalBeam, GridFaultPlan, RebalancePolicy, ShardCondition, ShardLoad};
 pub use survey::{BeamJob, SurveyLoad};
 pub use telemetry::{
-    DeviceStatus, EventLog, NullObserver, Observer, StatusSnapshot, TelemetryEvent,
+    DeviceStatus, EventLog, GridObserver, NullObserver, Observer, StatusSnapshot, TelemetryEvent,
 };

@@ -1,0 +1,240 @@
+//! Prometheus text exposition format 0.0.4 rendering.
+//!
+//! Renders a [`super::registry::MetricsRegistry`]'s families as the
+//! plain-text format every Prometheus-compatible scraper speaks:
+//! one `# HELP` and `# TYPE` line per family, then one sample line per
+//! series — counters and gauges directly, histograms as cumulative
+//! `_bucket{le="…"}` series (ending at `le="+Inf"`) plus `_sum` and
+//! `_count`. promtool is unavailable offline, so the format invariants
+//! are asserted by the unit tests in this module instead (label
+//! escaping, cumulative buckets, `+Inf` == `_count`).
+
+use super::registry::{Family, Metric};
+use std::fmt::Write as _;
+
+/// Escapes a `# HELP` text: backslash and newline.
+fn escape_help(text: &str) -> String {
+    text.replace('\\', "\\\\").replace('\n', "\\n")
+}
+
+/// Escapes a label value: backslash, double quote, newline.
+fn escape_label(value: &str) -> String {
+    value
+        .replace('\\', "\\\\")
+        .replace('"', "\\\"")
+        .replace('\n', "\\n")
+}
+
+/// Formats a sample value: integral floats print without a fraction,
+/// `+Inf`/`-Inf`/`NaN` in Prometheus spelling.
+fn format_value(v: f64) -> String {
+    if v.is_nan() {
+        "NaN".to_string()
+    } else if v.is_infinite() {
+        if v > 0.0 { "+Inf" } else { "-Inf" }.to_string()
+    } else if v == v.trunc() && v.abs() < 1e15 {
+        format!("{}", v as i64)
+    } else {
+        format!("{v}")
+    }
+}
+
+/// Renders one `{k="v",…}` label block; empty labels render nothing.
+fn label_block(labels: &[(String, String)], extra: Option<(&str, &str)>) -> String {
+    let mut pairs: Vec<String> = labels
+        .iter()
+        .map(|(k, v)| format!("{k}=\"{}\"", escape_label(v)))
+        .collect();
+    if let Some((k, v)) = extra {
+        pairs.push(format!("{k}=\"{}\"", escape_label(v)));
+    }
+    if pairs.is_empty() {
+        String::new()
+    } else {
+        format!("{{{}}}", pairs.join(","))
+    }
+}
+
+/// Renders the families in exposition format 0.0.4.
+pub(crate) fn render(families: &[Family]) -> String {
+    let mut out = String::new();
+    for family in families {
+        let _ = writeln!(out, "# HELP {} {}", family.name, escape_help(&family.help));
+        let _ = writeln!(out, "# TYPE {} {}", family.name, family.kind.as_str());
+        for series in &family.series {
+            match &series.metric {
+                Metric::Counter(c) => {
+                    let _ = writeln!(
+                        out,
+                        "{}{} {}",
+                        family.name,
+                        label_block(&series.labels, None),
+                        c.get()
+                    );
+                }
+                Metric::Gauge(g) => {
+                    let _ = writeln!(
+                        out,
+                        "{}{} {}",
+                        family.name,
+                        label_block(&series.labels, None),
+                        format_value(g.get())
+                    );
+                }
+                Metric::Histogram(h) => {
+                    for (le, count) in h.cumulative() {
+                        let _ = writeln!(
+                            out,
+                            "{}_bucket{} {count}",
+                            family.name,
+                            label_block(&series.labels, Some(("le", &format_value(le)))),
+                        );
+                    }
+                    let _ = writeln!(
+                        out,
+                        "{}_sum{} {}",
+                        family.name,
+                        label_block(&series.labels, None),
+                        format_value(h.sum())
+                    );
+                    let _ = writeln!(
+                        out,
+                        "{}_count{} {}",
+                        family.name,
+                        label_block(&series.labels, None),
+                        h.count()
+                    );
+                }
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::obs::MetricsRegistry;
+
+    fn lines(rendered: &str) -> Vec<&str> {
+        rendered.lines().collect()
+    }
+
+    #[test]
+    fn help_and_type_lines_precede_each_family_exactly_once() {
+        let registry = MetricsRegistry::new();
+        registry
+            .counter("demo_total", "A demo counter.", &[("k", "a")])
+            .inc();
+        let _ = registry.counter("demo_total", "A demo counter.", &[("k", "b")]);
+        registry.gauge("demo_gauge", "A demo gauge.", &[]).set(1.5);
+        let rendered = registry.render_prometheus();
+        let lines = lines(&rendered);
+        assert_eq!(
+            lines
+                .iter()
+                .filter(|l| l.starts_with("# HELP demo_total "))
+                .count(),
+            1,
+            "one HELP line per family, not per series"
+        );
+        assert_eq!(
+            lines
+                .iter()
+                .filter(|l| **l == "# TYPE demo_total counter")
+                .count(),
+            1
+        );
+        assert!(lines.contains(&"# TYPE demo_gauge gauge"));
+        assert!(lines.contains(&"demo_total{k=\"a\"} 1"));
+        assert!(lines.contains(&"demo_total{k=\"b\"} 0"));
+        assert!(lines.contains(&"demo_gauge 1.5"));
+        // HELP comes before TYPE comes before the samples.
+        let help = lines
+            .iter()
+            .position(|l| l.starts_with("# HELP demo_total"))
+            .unwrap();
+        let ty = lines
+            .iter()
+            .position(|l| l.starts_with("# TYPE demo_total"))
+            .unwrap();
+        let sample = lines
+            .iter()
+            .position(|l| l.starts_with("demo_total{"))
+            .unwrap();
+        assert!(help < ty && ty < sample);
+    }
+
+    #[test]
+    fn label_values_and_help_text_are_escaped() {
+        let registry = MetricsRegistry::new();
+        registry
+            .counter(
+                "esc_total",
+                "line one\nwith a \\ backslash",
+                &[("path", "a\"b\\c\nd")],
+            )
+            .inc();
+        let rendered = registry.render_prometheus();
+        assert!(
+            rendered.contains("# HELP esc_total line one\\nwith a \\\\ backslash"),
+            "help escapes newline and backslash: {rendered}"
+        );
+        assert!(
+            rendered.contains("esc_total{path=\"a\\\"b\\\\c\\nd\"} 1"),
+            "label value escapes quote, backslash, newline: {rendered}"
+        );
+    }
+
+    #[test]
+    fn histogram_buckets_are_cumulative_and_inf_equals_count() {
+        let registry = MetricsRegistry::new();
+        let h = registry.histogram("lat_seconds", "Latency.", &[("op", "x")], &[0.5, 1.0, 2.0]);
+        for v in [0.1, 0.2, 0.7, 1.5, 1.9, 5.0] {
+            h.observe(v);
+        }
+        let rendered = registry.render_prometheus();
+        let lines = lines(&rendered);
+        // Cumulative, in bound order, +Inf last.
+        let buckets: Vec<&str> = lines
+            .iter()
+            .filter(|l| l.starts_with("lat_seconds_bucket"))
+            .copied()
+            .collect();
+        assert_eq!(
+            buckets,
+            vec![
+                "lat_seconds_bucket{op=\"x\",le=\"0.5\"} 2",
+                "lat_seconds_bucket{op=\"x\",le=\"1\"} 3",
+                "lat_seconds_bucket{op=\"x\",le=\"2\"} 5",
+                "lat_seconds_bucket{op=\"x\",le=\"+Inf\"} 6",
+            ]
+        );
+        // Counts never decrease bucket to bucket (cumulative).
+        let counts: Vec<u64> = buckets
+            .iter()
+            .map(|l| l.rsplit(' ').next().unwrap().parse().unwrap())
+            .collect();
+        assert!(counts.windows(2).all(|w| w[0] <= w[1]));
+        // +Inf bucket equals _count, and _sum is the observation sum.
+        assert!(lines.contains(&"lat_seconds_count{op=\"x\"} 6"));
+        let sum_line = lines
+            .iter()
+            .find(|l| l.starts_with("lat_seconds_sum"))
+            .unwrap();
+        let sum: f64 = sum_line.rsplit(' ').next().unwrap().parse().unwrap();
+        assert!((sum - 9.4).abs() < 1e-9, "sum line: {sum_line}");
+        assert!(lines.contains(&"# TYPE lat_seconds histogram"));
+    }
+
+    #[test]
+    fn values_format_like_prometheus_expects() {
+        let registry = MetricsRegistry::new();
+        registry.gauge("g_int", "g", &[]).set(42.0);
+        registry.gauge("g_frac", "g", &[]).set(0.106);
+        registry.gauge("g_inf", "g", &[]).set(f64::INFINITY);
+        let rendered = registry.render_prometheus();
+        assert!(rendered.contains("g_int 42\n"), "integral floats drop .0");
+        assert!(rendered.contains("g_frac 0.106\n"));
+        assert!(rendered.contains("g_inf +Inf\n"));
+    }
+}

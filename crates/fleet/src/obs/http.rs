@@ -1,0 +1,394 @@
+//! The dependency-free HTTP status/metrics endpoint.
+//!
+//! A tiny HTTP/1.1 server hand-rolled on [`std::net::TcpListener`] —
+//! the vendor tree has no HTTP crate and must stay offline — serving
+//! the operator plane over an [`ObsState`]:
+//!
+//! | Endpoint               | Payload |
+//! |------------------------|---------|
+//! | `GET /healthz`         | `ok` (text/plain) |
+//! | `GET /status`          | [`super::live::GridStatusSnapshot`] JSON (vendored serde_json) |
+//! | `GET /status/shard/<i>`| shard `i`'s [`crate::StatusSnapshot`] JSON |
+//! | `GET /metrics`         | Prometheus text exposition format 0.0.4 |
+//! | `GET /events?n=<k>`    | last `k` flight-recorder events, NDJSON |
+//!
+//! The server handles one connection at a time on one background
+//! thread (operators poll; this is not a serving tier), answers every
+//! request with `Connection: close`, and never touches the scheduler:
+//! all three state components are continuously fed observers, so a
+//! `GET` mid-run sees the run as it stands.
+
+use super::live::LiveGrid;
+use super::recorder::FlightRecorder;
+use super::registry::MetricsRegistry;
+use std::io::{self, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// Everything the endpoints serve: the metrics registry, the flight
+/// recorder, and the live grid status. Clones share the same
+/// underlying state — build one, clone handles into your observers,
+/// and hand one clone to [`ObsServer::bind`].
+#[derive(Debug, Clone)]
+pub struct ObsState {
+    /// The metrics registry `/metrics` renders.
+    pub registry: MetricsRegistry,
+    /// The flight recorder `/events` tails.
+    pub recorder: FlightRecorder,
+    /// The live status `/status` and `/status/shard/<i>` serve.
+    pub live: LiveGrid,
+}
+
+impl ObsState {
+    /// Bundles the three components.
+    pub fn new(registry: MetricsRegistry, recorder: FlightRecorder, live: LiveGrid) -> Self {
+        Self {
+            registry,
+            recorder,
+            live,
+        }
+    }
+}
+
+/// Default `/events` tail length when no `?n=` is given.
+const DEFAULT_EVENTS_TAIL: usize = 256;
+
+/// Per-connection socket timeout: a stalled client cannot wedge the
+/// accept loop for longer than this.
+const IO_TIMEOUT: Duration = Duration::from_millis(2_000);
+
+/// A running status/metrics server.
+///
+/// Binding spawns one background accept thread; dropping the handle
+/// (or calling [`ObsServer::shutdown`]) stops it. Bind to port 0 to
+/// let the OS pick a free port — [`ObsServer::addr`] reports the
+/// actual address.
+#[derive(Debug)]
+pub struct ObsServer {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    handle: Option<JoinHandle<()>>,
+}
+
+impl ObsServer {
+    /// Binds `addr` (e.g. `"127.0.0.1:0"`) and starts serving `state`.
+    ///
+    /// # Errors
+    ///
+    /// Returns the I/O error if the address cannot be bound.
+    pub fn bind(addr: impl ToSocketAddrs, state: ObsState) -> io::Result<Self> {
+        let listener = TcpListener::bind(addr)?;
+        let addr = listener.local_addr()?;
+        let stop = Arc::new(AtomicBool::new(false));
+        let stop_flag = Arc::clone(&stop);
+        let handle = std::thread::spawn(move || {
+            for stream in listener.incoming() {
+                if stop_flag.load(Ordering::SeqCst) {
+                    break;
+                }
+                if let Ok(stream) = stream {
+                    // A broken client is its own problem; the next
+                    // accept proceeds regardless.
+                    let _ = serve_connection(stream, &state);
+                }
+            }
+        });
+        Ok(Self {
+            addr,
+            stop,
+            handle: Some(handle),
+        })
+    }
+
+    /// The bound address (with the OS-assigned port).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Stops the accept loop and joins the server thread.
+    pub fn shutdown(mut self) {
+        self.stop_and_join();
+    }
+
+    fn stop_and_join(&mut self) {
+        if let Some(handle) = self.handle.take() {
+            self.stop.store(true, Ordering::SeqCst);
+            // Unblock the accept call with one last connection.
+            let _ = TcpStream::connect(self.addr);
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Drop for ObsServer {
+    fn drop(&mut self) {
+        self.stop_and_join();
+    }
+}
+
+/// One response, ready to write.
+struct Response {
+    status: u16,
+    reason: &'static str,
+    content_type: &'static str,
+    body: String,
+}
+
+impl Response {
+    fn ok(content_type: &'static str, body: String) -> Self {
+        Self {
+            status: 200,
+            reason: "OK",
+            content_type,
+            body,
+        }
+    }
+
+    fn not_found() -> Self {
+        Self {
+            status: 404,
+            reason: "Not Found",
+            content_type: "text/plain; charset=utf-8",
+            body: "not found\n".to_string(),
+        }
+    }
+
+    fn method_not_allowed() -> Self {
+        Self {
+            status: 405,
+            reason: "Method Not Allowed",
+            content_type: "text/plain; charset=utf-8",
+            body: "only GET is served here\n".to_string(),
+        }
+    }
+
+    fn bad_request(why: &str) -> Self {
+        Self {
+            status: 400,
+            reason: "Bad Request",
+            content_type: "text/plain; charset=utf-8",
+            body: format!("{why}\n"),
+        }
+    }
+}
+
+/// Reads the request head (through the blank line), answers, closes.
+fn serve_connection(mut stream: TcpStream, state: &ObsState) -> io::Result<()> {
+    stream.set_read_timeout(Some(IO_TIMEOUT))?;
+    stream.set_write_timeout(Some(IO_TIMEOUT))?;
+    let mut head = Vec::new();
+    let mut chunk = [0u8; 512];
+    while !head.windows(4).any(|w| w == b"\r\n\r\n") && head.len() < 16 * 1024 {
+        let n = stream.read(&mut chunk)?;
+        if n == 0 {
+            break;
+        }
+        head.extend_from_slice(&chunk[..n]);
+    }
+    let head = String::from_utf8_lossy(&head);
+    let request_line = head.lines().next().unwrap_or("");
+    let response = route(request_line, state);
+    write!(
+        stream,
+        "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{}",
+        response.status,
+        response.reason,
+        response.content_type,
+        response.body.len(),
+        response.body
+    )?;
+    stream.flush()
+}
+
+/// Maps one request line to a response.
+fn route(request_line: &str, state: &ObsState) -> Response {
+    let mut parts = request_line.split_whitespace();
+    let method = parts.next().unwrap_or("");
+    let target = parts.next().unwrap_or("/");
+    if method != "GET" {
+        return Response::method_not_allowed();
+    }
+    let (path, query) = match target.split_once('?') {
+        Some((p, q)) => (p, Some(q)),
+        None => (target, None),
+    };
+    match path {
+        "/healthz" => Response::ok("text/plain; charset=utf-8", "ok\n".to_string()),
+        "/status" => Response::ok(
+            "application/json; charset=utf-8",
+            state.live.snapshot().to_json(),
+        ),
+        "/metrics" => Response::ok(
+            "text/plain; version=0.0.4; charset=utf-8",
+            state.registry.render_prometheus(),
+        ),
+        "/events" => {
+            let n = match query_param(query, "n") {
+                None => DEFAULT_EVENTS_TAIL,
+                Some(raw) => match raw.parse::<usize>() {
+                    Ok(n) => n,
+                    Err(_) => return Response::bad_request("n must be a non-negative integer"),
+                },
+            };
+            Response::ok(
+                "application/x-ndjson; charset=utf-8",
+                FlightRecorder::to_ndjson(&state.recorder.tail(n)),
+            )
+        }
+        _ => match path.strip_prefix("/status/shard/") {
+            Some(raw) => match raw
+                .parse::<usize>()
+                .ok()
+                .and_then(|s| state.live.shard_snapshot(s))
+            {
+                Some(snapshot) => {
+                    Response::ok("application/json; charset=utf-8", snapshot.to_json())
+                }
+                None => Response::not_found(),
+            },
+            None => Response::not_found(),
+        },
+    }
+}
+
+/// Pulls one `k=v` pair out of a query string.
+fn query_param<'q>(query: Option<&'q str>, key: &str) -> Option<&'q str> {
+    query?
+        .split('&')
+        .find_map(|pair| pair.strip_prefix(key)?.strip_prefix('='))
+}
+
+/// A fetched HTTP response, as the blocking test client sees it.
+#[derive(Debug, Clone)]
+pub struct Fetched {
+    /// Status code from the response line.
+    pub status: u16,
+    /// The `Content-Type` header value (empty if absent).
+    pub content_type: String,
+    /// The response body.
+    pub body: String,
+}
+
+/// A minimal blocking `GET` client for the server above — what the
+/// `observe` harness, the examples, and the in-repo tests poll the
+/// endpoints with (no HTTP crate exists in the offline vendor tree).
+///
+/// # Errors
+///
+/// Returns the I/O error of the underlying connect/read, or
+/// `InvalidData` for a response head this minimal parser cannot read.
+pub fn get(addr: SocketAddr, path: &str) -> io::Result<Fetched> {
+    let mut stream = TcpStream::connect(addr)?;
+    stream.set_read_timeout(Some(IO_TIMEOUT))?;
+    stream.set_write_timeout(Some(IO_TIMEOUT))?;
+    write!(
+        stream,
+        "GET {path} HTTP/1.1\r\nHost: {addr}\r\nConnection: close\r\n\r\n"
+    )?;
+    let mut raw = String::new();
+    stream.read_to_string(&mut raw)?;
+    let (head, body) = raw
+        .split_once("\r\n\r\n")
+        .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidData, "no header/body separator"))?;
+    let mut lines = head.lines();
+    let status_line = lines
+        .next()
+        .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidData, "empty response"))?;
+    let status = status_line
+        .split_whitespace()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidData, "unparsable status line"))?;
+    let content_type = lines
+        .filter_map(|l| l.split_once(':'))
+        .find(|(k, _)| k.eq_ignore_ascii_case("content-type"))
+        .map(|(_, v)| v.trim().to_string())
+        .unwrap_or_default();
+    Ok(Fetched {
+        status,
+        content_type,
+        body: body.to_string(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::obs::{GridStatusSnapshot, RegistryObserver};
+    use crate::telemetry::{GridObserver, TelemetryEvent};
+    use crate::StatusSnapshot;
+
+    fn test_state() -> ObsState {
+        let registry = MetricsRegistry::new();
+        let observer = RegistryObserver::new(&registry, 2);
+        let recorder = FlightRecorder::new(64);
+        let live = LiveGrid::new(&[2, 1]);
+        for device in 0..2 {
+            let event = TelemetryEvent::Probe {
+                device,
+                at: device as f64,
+                up: true,
+            };
+            observer.fold(&event);
+            recorder.record(Some(0), &event);
+            live.observe_grid(Some(0), &event);
+        }
+        ObsState::new(registry, recorder, live)
+    }
+
+    #[test]
+    fn endpoints_serve_parseable_payloads_and_unknown_paths_404() {
+        let server = ObsServer::bind("127.0.0.1:0", test_state()).unwrap();
+        let addr = server.addr();
+
+        let health = get(addr, "/healthz").unwrap();
+        assert_eq!((health.status, health.body.as_str()), (200, "ok\n"));
+
+        let status = get(addr, "/status").unwrap();
+        assert_eq!(status.status, 200);
+        assert!(status.content_type.starts_with("application/json"));
+        let snapshot = GridStatusSnapshot::from_json(&status.body).unwrap();
+        assert_eq!(snapshot.probes, 2);
+        assert_eq!(snapshot.shards.len(), 2);
+
+        let shard = get(addr, "/status/shard/0").unwrap();
+        let shard_snapshot = StatusSnapshot::from_json(&shard.body).unwrap();
+        assert_eq!(shard_snapshot.probes, 2);
+        assert_eq!(get(addr, "/status/shard/7").unwrap().status, 404);
+        assert_eq!(get(addr, "/status/shard/x").unwrap().status, 404);
+
+        let metrics = get(addr, "/metrics").unwrap();
+        assert!(metrics.content_type.contains("version=0.0.4"));
+        assert!(metrics.body.contains("# TYPE fleet_events_total counter"));
+        assert!(metrics
+            .body
+            .contains("fleet_events_total{kind=\"probe\"} 2"));
+
+        let events = get(addr, "/events?n=1").unwrap();
+        assert!(events.content_type.starts_with("application/x-ndjson"));
+        let tail = FlightRecorder::from_ndjson(&events.body).unwrap();
+        assert_eq!(tail.len(), 1);
+        assert_eq!(tail[0].shard, Some(0));
+        assert_eq!(get(addr, "/events?n=bogus").unwrap().status, 400);
+
+        assert_eq!(get(addr, "/nope").unwrap().status, 404);
+        server.shutdown();
+    }
+
+    #[test]
+    fn default_events_tail_and_post_rejection() {
+        let server = ObsServer::bind("127.0.0.1:0", test_state()).unwrap();
+        let addr = server.addr();
+        let events = get(addr, "/events").unwrap();
+        assert_eq!(FlightRecorder::from_ndjson(&events.body).unwrap().len(), 2);
+        // Non-GET methods are refused (minimal client, hand-rolled).
+        let mut stream = TcpStream::connect(addr).unwrap();
+        write!(stream, "POST /status HTTP/1.1\r\nHost: x\r\n\r\n").unwrap();
+        let mut raw = String::new();
+        stream.read_to_string(&mut raw).unwrap();
+        assert!(raw.starts_with("HTTP/1.1 405"), "{raw}");
+    }
+}

@@ -1,0 +1,257 @@
+//! The flight recorder: a bounded ring of recent telemetry.
+//!
+//! A [`FlightRecorder`] keeps the last *N* [`TelemetryEvent`]s **per
+//! shard** (plus a ring for the grid front-end's shard-less events),
+//! each stamped with a globally monotone sequence number. Like the
+//! post-run [`crate::ShardEvent`] stream, recorded events carry
+//! *global* beam identity — the grid's live forwarding re-keys through
+//! the same [`crate::GlobalBeam`] tables before the recorder sees
+//! them — so a dump replays directly through the existing report
+//! folds ([`StatusSnapshot`], [`crate::GridReport`]-style counting).
+//!
+//! Dumps are NDJSON (one [`RecordedEvent`] JSON object per line), the
+//! format `GET /events` serves and [`FlightRecorder::from_ndjson`]
+//! parses back for post-incident replay.
+
+use crate::telemetry::{GridObserver, Observer, StatusSnapshot, TelemetryEvent};
+use parking_lot::Mutex;
+use serde::{Deserialize, Serialize};
+use std::collections::VecDeque;
+use std::sync::Arc;
+
+/// One recorded event: a sequence stamp, the emitting shard (`None`
+/// for the grid front-end), and the globally re-keyed event.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RecordedEvent {
+    /// Recorder-wide monotone sequence number (records arrive from
+    /// concurrent shard threads; the sequence fixes one total order).
+    pub seq: u64,
+    /// Emitting shard; `None` for grid-level events such as rebalances.
+    pub shard: Option<usize>,
+    /// The event, with global beam identity.
+    pub event: TelemetryEvent,
+}
+
+/// One shard's bounded ring.
+#[derive(Debug, Default)]
+struct Ring {
+    buf: VecDeque<RecordedEvent>,
+}
+
+#[derive(Debug)]
+struct Recorder {
+    capacity: usize,
+    next_seq: u64,
+    recorded: u64,
+    /// Ring per shard tag, created on first event. Index 0 is the
+    /// shard-less (grid front-end / single-fleet) ring; shard `s` maps
+    /// to index `s + 1`.
+    rings: Vec<Ring>,
+}
+
+impl Recorder {
+    fn slot(shard: Option<usize>) -> usize {
+        shard.map_or(0, |s| s + 1)
+    }
+
+    fn record(&mut self, shard: Option<usize>, event: &TelemetryEvent) {
+        let slot = Self::slot(shard);
+        if slot >= self.rings.len() {
+            self.rings.resize_with(slot + 1, Ring::default);
+        }
+        let ring = &mut self.rings[slot];
+        if ring.buf.len() == self.capacity {
+            ring.buf.pop_front();
+        }
+        ring.buf.push_back(RecordedEvent {
+            seq: self.next_seq,
+            shard,
+            event: event.clone(),
+        });
+        self.next_seq += 1;
+        self.recorded += 1;
+    }
+}
+
+/// A bounded, thread-shareable flight recorder.
+///
+/// Cloning shares the ring. Recording takes one short
+/// [`parking_lot::Mutex`] critical section (a clone plus two queue
+/// ops); the buffer holds at most `capacity` events *per shard*, so
+/// memory stays bounded however long a run is.
+///
+/// Use it as an [`Observer`] on a single-fleet session (events land in
+/// the shard-less ring) or as a [`GridObserver`] on
+/// [`crate::GridSession::run_with`] (each shard keeps its own ring).
+#[derive(Debug, Clone)]
+pub struct FlightRecorder {
+    inner: Arc<Mutex<Recorder>>,
+}
+
+impl FlightRecorder {
+    /// A recorder keeping the last `capacity` events per shard
+    /// (`capacity` is clamped to at least 1).
+    pub fn new(capacity: usize) -> Self {
+        Self {
+            inner: Arc::new(Mutex::new(Recorder {
+                capacity: capacity.max(1),
+                next_seq: 0,
+                recorded: 0,
+                rings: Vec::new(),
+            })),
+        }
+    }
+
+    /// Records one event under a shard tag.
+    pub fn record(&self, shard: Option<usize>, event: &TelemetryEvent) {
+        self.inner.lock().record(shard, event);
+    }
+
+    /// Events currently held across all rings.
+    pub fn len(&self) -> usize {
+        self.inner.lock().rings.iter().map(|r| r.buf.len()).sum()
+    }
+
+    /// Whether nothing has been recorded (or everything has aged out —
+    /// impossible, rings only drop when they re-fill).
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Total events ever recorded (including those aged out).
+    pub fn recorded(&self) -> u64 {
+        self.inner.lock().recorded
+    }
+
+    /// Events aged out of the rings so far.
+    pub fn dropped(&self) -> u64 {
+        let inner = self.inner.lock();
+        inner.recorded - inner.rings.iter().map(|r| r.buf.len() as u64).sum::<u64>()
+    }
+
+    /// The last `n` recorded events across all shards, in sequence
+    /// order (the total order the recorder stamped at arrival).
+    pub fn tail(&self, n: usize) -> Vec<RecordedEvent> {
+        let inner = self.inner.lock();
+        let mut all: Vec<RecordedEvent> = inner
+            .rings
+            .iter()
+            .flat_map(|r| r.buf.iter().cloned())
+            .collect();
+        drop(inner);
+        all.sort_by_key(|e| e.seq);
+        let skip = all.len().saturating_sub(n);
+        all.split_off(skip)
+    }
+
+    /// Serializes events as NDJSON: one JSON object per line.
+    ///
+    /// # Panics
+    ///
+    /// Panics only if serde_json fails on plain data, which cannot
+    /// happen for this type.
+    pub fn to_ndjson(events: &[RecordedEvent]) -> String {
+        let mut out = String::new();
+        for event in events {
+            out.push_str(&serde_json::to_string(event).expect("plain event always serializes"));
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Parses an NDJSON dump back (blank lines ignored).
+    ///
+    /// # Errors
+    ///
+    /// Returns the serde error of the first malformed line.
+    pub fn from_ndjson(text: &str) -> Result<Vec<RecordedEvent>, serde_json::Error> {
+        text.lines()
+            .filter(|line| !line.trim().is_empty())
+            .map(serde_json::from_str)
+            .collect()
+    }
+
+    /// Replays a dump through the [`StatusSnapshot`] fold, keeping
+    /// only events tagged `shard` — the post-incident path: pull
+    /// `/events`, filter to the shard under suspicion, and fold the
+    /// tail into the same operator view the live endpoint serves.
+    pub fn replay(
+        events: &[RecordedEvent],
+        shard: Option<usize>,
+        devices: usize,
+    ) -> StatusSnapshot {
+        let mut snapshot = StatusSnapshot::new(devices);
+        for event in events.iter().filter(|e| e.shard == shard) {
+            snapshot.observe(&event.event);
+        }
+        snapshot
+    }
+}
+
+impl Observer for FlightRecorder {
+    fn observe(&mut self, event: &TelemetryEvent) {
+        self.record(None, event);
+    }
+}
+
+impl GridObserver for FlightRecorder {
+    fn observe_grid(&self, shard: Option<usize>, event: &TelemetryEvent) {
+        self.record(shard, event);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn probe(device: usize, at: f64) -> TelemetryEvent {
+        TelemetryEvent::Probe {
+            device,
+            at,
+            up: true,
+        }
+    }
+
+    #[test]
+    fn ring_is_bounded_per_shard_and_keeps_the_newest() {
+        let recorder = FlightRecorder::new(3);
+        for i in 0..5 {
+            recorder.record(Some(0), &probe(i, i as f64));
+        }
+        recorder.record(Some(1), &probe(9, 9.0));
+        assert_eq!(recorder.len(), 4, "shard 0 capped at 3, shard 1 holds 1");
+        assert_eq!(recorder.recorded(), 6);
+        assert_eq!(recorder.dropped(), 2);
+        let tail = recorder.tail(10);
+        assert_eq!(tail.len(), 4);
+        // Sequence order, oldest surviving first; the dropped events
+        // are the two oldest of shard 0.
+        assert_eq!(tail[0].seq, 2);
+        assert!(tail.windows(2).all(|w| w[0].seq < w[1].seq));
+        let tail2 = recorder.tail(2);
+        assert_eq!(tail2.len(), 2);
+        assert_eq!(tail2[1].shard, Some(1));
+    }
+
+    #[test]
+    fn ndjson_round_trips_and_replays_through_the_snapshot_fold() {
+        use crate::{ResolvedFleet, Scheduler, SurveyLoad};
+        let fleet = ResolvedFleet::synthetic(400, &[0.1, 0.1]);
+        let load = SurveyLoad::custom(400, 4, 2);
+        let mut recorder = FlightRecorder::new(4096);
+        let run = Scheduler::session(&fleet)
+            .load(&load)
+            .run_with(&mut recorder)
+            .unwrap();
+        assert_eq!(recorder.recorded() as usize, run.events.len());
+        let tail = recorder.tail(usize::MAX);
+        let text = FlightRecorder::to_ndjson(&tail);
+        let back = FlightRecorder::from_ndjson(&text).unwrap();
+        assert_eq!(back, tail, "NDJSON round-trips losslessly");
+        // The replayed snapshot agrees with the run's own fold.
+        let replayed = FlightRecorder::replay(&back, None, 2);
+        assert_eq!(replayed, run.status());
+        // A malformed line is a loud error, not a silent skip.
+        assert!(FlightRecorder::from_ndjson("{\"seq\":}").is_err());
+    }
+}

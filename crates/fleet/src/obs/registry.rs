@@ -1,0 +1,815 @@
+//! The lock-cheap in-process metrics registry.
+//!
+//! A [`MetricsRegistry`] is a named collection of metric *families*
+//! (counter, gauge, or fixed-bucket histogram), each holding one
+//! series per distinct label set. Registration takes a write lock
+//! once, at wiring time; the returned [`Counter`] / [`Gauge`] /
+//! [`Histogram`] handles are `Arc`-shared atomics, so the hot path —
+//! the scheduler's observer callback — never touches a lock. The
+//! registry renders itself in the Prometheus text exposition format
+//! via [`MetricsRegistry::render_prometheus`] (see [`super::expo`]).
+//!
+//! [`RegistryObserver`] is the bridge from the telemetry stream: it
+//! derives the standard fleet metrics (event-kind counters, terminal
+//! outcome counters, per-device queue-depth gauges, the per-tick drain
+//! latency and placement-attempt histograms) purely from
+//! [`TelemetryEvent`]s, so the scheduler/shard/grid hot paths stay
+//! untouched apart from observer wiring. [`GridRegistry`] fans one of
+//! those out per shard, labelled `shard="<i>"`, behind the live
+//! [`crate::GridObserver`] interface.
+
+use crate::metrics::{BeamOutcome, FleetReport};
+use crate::telemetry::{GridObserver, Observer, TelemetryEvent};
+use parking_lot::RwLock;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Borrows an owned label list as the slice shape the registry's
+/// registration API takes.
+fn as_refs(owned: &[(String, String)]) -> Vec<(&str, &str)> {
+    owned
+        .iter()
+        .map(|(k, v)| (k.as_str(), v.as_str()))
+        .collect()
+}
+
+/// Adds `v` to an `AtomicU64` holding `f64` bits, CAS-loop style.
+fn add_f64(bits: &AtomicU64, v: f64) {
+    let mut cur = bits.load(Ordering::Relaxed);
+    loop {
+        let next = (f64::from_bits(cur) + v).to_bits();
+        match bits.compare_exchange_weak(cur, next, Ordering::Relaxed, Ordering::Relaxed) {
+            Ok(_) => return,
+            Err(seen) => cur = seen,
+        }
+    }
+}
+
+/// A monotonically increasing counter handle.
+///
+/// Cloning shares the underlying cell; updates are single relaxed
+/// atomic adds.
+#[derive(Debug, Clone, Default)]
+pub struct Counter {
+    cell: Arc<AtomicU64>,
+}
+
+impl Counter {
+    /// Increments by one.
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Increments by `n`.
+    pub fn add(&self, n: u64) {
+        self.cell.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.cell.load(Ordering::Relaxed)
+    }
+}
+
+/// A settable gauge handle (stored as `f64` bits in one atomic word).
+#[derive(Debug, Clone)]
+pub struct Gauge {
+    bits: Arc<AtomicU64>,
+}
+
+impl Default for Gauge {
+    fn default() -> Self {
+        Self {
+            bits: Arc::new(AtomicU64::new(0f64.to_bits())),
+        }
+    }
+}
+
+impl Gauge {
+    /// Sets the gauge to `v`.
+    pub fn set(&self, v: f64) {
+        self.bits.store(v.to_bits(), Ordering::Relaxed);
+    }
+
+    /// Adds `v` (negative to subtract).
+    pub fn add(&self, v: f64) {
+        add_f64(&self.bits, v);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> f64 {
+        f64::from_bits(self.bits.load(Ordering::Relaxed))
+    }
+}
+
+#[derive(Debug)]
+struct HistogramCore {
+    /// Upper bucket bounds, ascending; an implicit `+Inf` bucket
+    /// follows the last bound.
+    bounds: Vec<f64>,
+    /// Per-bucket (non-cumulative) observation counts; `bounds.len()+1`
+    /// entries, last one the `+Inf` bucket.
+    counts: Vec<AtomicU64>,
+    /// Sum of observations, as `f64` bits.
+    sum_bits: AtomicU64,
+    /// Total observations.
+    count: AtomicU64,
+}
+
+/// A fixed-bucket histogram handle.
+#[derive(Debug, Clone)]
+pub struct Histogram {
+    core: Arc<HistogramCore>,
+}
+
+impl Histogram {
+    fn with_bounds(bounds: &[f64]) -> Self {
+        let mut sorted = bounds.to_vec();
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite bucket bounds"));
+        sorted.dedup();
+        let counts = (0..=sorted.len()).map(|_| AtomicU64::new(0)).collect();
+        Self {
+            core: Arc::new(HistogramCore {
+                bounds: sorted,
+                counts,
+                sum_bits: AtomicU64::new(0f64.to_bits()),
+                count: AtomicU64::new(0),
+            }),
+        }
+    }
+
+    /// Records one observation.
+    pub fn observe(&self, v: f64) {
+        let idx = self
+            .core
+            .bounds
+            .iter()
+            .position(|&b| v <= b)
+            .unwrap_or(self.core.bounds.len());
+        self.core.counts[idx].fetch_add(1, Ordering::Relaxed);
+        add_f64(&self.core.sum_bits, v);
+        self.core.count.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Total observations.
+    pub fn count(&self) -> u64 {
+        self.core.count.load(Ordering::Relaxed)
+    }
+
+    /// Sum of observations.
+    pub fn sum(&self) -> f64 {
+        f64::from_bits(self.core.sum_bits.load(Ordering::Relaxed))
+    }
+
+    /// Cumulative bucket counts as `(le, count)` pairs, ending with the
+    /// `(+Inf, total)` bucket — exactly the series the Prometheus
+    /// exposition's `_bucket` lines carry.
+    pub fn cumulative(&self) -> Vec<(f64, u64)> {
+        let mut acc = 0u64;
+        let mut out = Vec::with_capacity(self.core.bounds.len() + 1);
+        for (i, &le) in self.core.bounds.iter().enumerate() {
+            acc += self.core.counts[i].load(Ordering::Relaxed);
+            out.push((le, acc));
+        }
+        acc += self.core.counts[self.core.bounds.len()].load(Ordering::Relaxed);
+        out.push((f64::INFINITY, acc));
+        out
+    }
+}
+
+/// The kind of a metric family.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MetricKind {
+    /// Monotone counter.
+    Counter,
+    /// Settable gauge.
+    Gauge,
+    /// Fixed-bucket histogram.
+    Histogram,
+}
+
+impl MetricKind {
+    /// The Prometheus `# TYPE` keyword.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            MetricKind::Counter => "counter",
+            MetricKind::Gauge => "gauge",
+            MetricKind::Histogram => "histogram",
+        }
+    }
+}
+
+/// One registered metric handle, any kind.
+#[derive(Debug, Clone)]
+pub(crate) enum Metric {
+    Counter(Counter),
+    Gauge(Gauge),
+    Histogram(Histogram),
+}
+
+/// One labelled series of a family.
+#[derive(Debug, Clone)]
+pub(crate) struct Series {
+    pub(crate) labels: Vec<(String, String)>,
+    pub(crate) metric: Metric,
+}
+
+/// One named metric family: shared name/help/kind, one series per
+/// label set.
+#[derive(Debug, Clone)]
+pub(crate) struct Family {
+    pub(crate) name: String,
+    pub(crate) help: String,
+    pub(crate) kind: MetricKind,
+    pub(crate) series: Vec<Series>,
+}
+
+/// The registry: a cloneable handle to a shared set of families.
+///
+/// Registration (`counter` / `gauge` / `histogram`) is idempotent per
+/// `(name, labels)` — re-registering returns a handle to the same
+/// cell — and takes the registry's write lock; updating a returned
+/// handle is lock-free.
+#[derive(Debug, Clone, Default)]
+pub struct MetricsRegistry {
+    families: Arc<RwLock<Vec<Family>>>,
+}
+
+impl MetricsRegistry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn register(
+        &self,
+        name: &str,
+        help: &str,
+        labels: &[(&str, &str)],
+        kind: MetricKind,
+        make: impl FnOnce() -> Metric,
+    ) -> Metric {
+        let mut families = self.families.write();
+        let family = match families.iter_mut().find(|f| f.name == name) {
+            Some(f) => {
+                assert_eq!(
+                    f.kind, kind,
+                    "metric {name} registered twice with different kinds"
+                );
+                f
+            }
+            None => {
+                families.push(Family {
+                    name: name.to_string(),
+                    help: help.to_string(),
+                    kind,
+                    series: Vec::new(),
+                });
+                families.last_mut().expect("just pushed")
+            }
+        };
+        let labels: Vec<(String, String)> = labels
+            .iter()
+            .map(|&(k, v)| (k.to_string(), v.to_string()))
+            .collect();
+        if let Some(series) = family.series.iter().find(|s| s.labels == labels) {
+            return series.metric.clone();
+        }
+        let metric = make();
+        family.series.push(Series {
+            labels,
+            metric: metric.clone(),
+        });
+        metric
+    }
+
+    /// Registers (or retrieves) a counter series.
+    pub fn counter(&self, name: &str, help: &str, labels: &[(&str, &str)]) -> Counter {
+        match self.register(name, help, labels, MetricKind::Counter, || {
+            Metric::Counter(Counter::default())
+        }) {
+            Metric::Counter(c) => c,
+            _ => unreachable!("kind checked by register"),
+        }
+    }
+
+    /// Registers (or retrieves) a gauge series.
+    pub fn gauge(&self, name: &str, help: &str, labels: &[(&str, &str)]) -> Gauge {
+        match self.register(name, help, labels, MetricKind::Gauge, || {
+            Metric::Gauge(Gauge::default())
+        }) {
+            Metric::Gauge(g) => g,
+            _ => unreachable!("kind checked by register"),
+        }
+    }
+
+    /// Registers (or retrieves) a fixed-bucket histogram series.
+    pub fn histogram(
+        &self,
+        name: &str,
+        help: &str,
+        labels: &[(&str, &str)],
+        bounds: &[f64],
+    ) -> Histogram {
+        match self.register(name, help, labels, MetricKind::Histogram, || {
+            Metric::Histogram(Histogram::with_bounds(bounds))
+        }) {
+            Metric::Histogram(h) => h,
+            _ => unreachable!("kind checked by register"),
+        }
+    }
+
+    /// Renders every family in the Prometheus text exposition format
+    /// 0.0.4 (see [`super::expo`]).
+    pub fn render_prometheus(&self) -> String {
+        super::expo::render(&self.families.read())
+    }
+}
+
+/// Histogram bounds for placement attempts (attempt 1 = first try).
+const ATTEMPT_BOUNDS: [f64; 5] = [1.0, 2.0, 3.0, 4.0, 6.0];
+
+/// Histogram bounds (virtual seconds) for per-tick drain latency —
+/// how far into the 1 s real-time budget each beam's terminal event
+/// lands after its tick's release.
+const DRAIN_BOUNDS: [f64; 7] = [0.25, 0.5, 0.75, 1.0, 1.5, 2.0, 3.0];
+
+/// Per-device handles of a [`RegistryObserver`].
+#[derive(Debug)]
+struct DeviceCells {
+    queue_depth: Gauge,
+    queue_depth_peak: Gauge,
+    bounces: Counter,
+    /// Shadow of the live depth, so peak tracking needs no read-back
+    /// of the gauge.
+    depth: AtomicU64,
+    peak: AtomicU64,
+}
+
+/// An [`Observer`] deriving the standard fleet metrics from the
+/// telemetry stream into a [`MetricsRegistry`].
+///
+/// All handles are registered up front (one write-lock pass at
+/// construction); observing an event is a handful of relaxed atomic
+/// updates. The tick table backing the drain-latency histogram grows
+/// behind a [`parking_lot::RwLock`], written only on `Admission`
+/// events (once per tick).
+///
+/// Everything derived here folds from the deterministic event stream,
+/// so the rendered metrics of a finished run are as reproducible as
+/// its report — with one deliberate exception: the gauges set by
+/// [`RegistryObserver::record_report`], which import the racy
+/// `max_queue_depth` high-water marks the worker threads observed (the
+/// one field the determinism guarantee excludes, and the reason those
+/// gauges never feed a determinism fingerprint).
+#[derive(Debug)]
+pub struct RegistryObserver {
+    registry: MetricsRegistry,
+    scope: Vec<(String, String)>,
+    events: Vec<(&'static str, Counter)>,
+    outcomes: [(&'static str, Counter); 4],
+    shed_trials: Counter,
+    canaries: Counter,
+    recoveries: Counter,
+    tick: Gauge,
+    kept_trials: Gauge,
+    shed_tiers: Gauge,
+    attempts: Histogram,
+    drain: Histogram,
+    devices: Vec<DeviceCells>,
+    /// `(release, deadline)` per admitted tick, for drain latency.
+    ticks: RwLock<Vec<(f64, f64)>>,
+}
+
+const EVENT_KINDS: [&str; 9] = [
+    "admission",
+    "placed",
+    "beam",
+    "shed",
+    "bounce",
+    "retry",
+    "probe",
+    "health",
+    "rebalance",
+];
+
+impl RegistryObserver {
+    /// Wires the standard fleet metrics for a `devices`-device
+    /// scheduler into `registry`, unlabelled (single-fleet scope).
+    pub fn new(registry: &MetricsRegistry, devices: usize) -> Self {
+        Self::with_scope(registry, None, devices)
+    }
+
+    /// Like [`RegistryObserver::new`], but every series carries a
+    /// `shard="<shard>"` label — the per-shard scope [`GridRegistry`]
+    /// uses.
+    pub fn for_shard(registry: &MetricsRegistry, shard: usize, devices: usize) -> Self {
+        Self::with_scope(registry, Some(shard), devices)
+    }
+
+    fn with_scope(registry: &MetricsRegistry, shard: Option<usize>, devices: usize) -> Self {
+        let scope: Vec<(String, String)> = shard
+            .map(|s| vec![("shard".to_string(), s.to_string())])
+            .unwrap_or_default();
+        let with = |extra: &[(&str, &str)]| -> Vec<(String, String)> {
+            let mut all = scope.clone();
+            all.extend(extra.iter().map(|&(k, v)| (k.to_string(), v.to_string())));
+            all
+        };
+        let events = EVENT_KINDS
+            .iter()
+            .map(|&kind| {
+                let labels = with(&[("kind", kind)]);
+                (
+                    kind,
+                    registry.counter(
+                        "fleet_events_total",
+                        "Telemetry events observed, by event kind.",
+                        &as_refs(&labels),
+                    ),
+                )
+            })
+            .collect();
+        let outcome = |name: &'static str| {
+            let labels = with(&[("outcome", name)]);
+            (
+                name,
+                registry.counter(
+                    "fleet_beams_total",
+                    "Beams reaching a terminal state, by outcome.",
+                    &as_refs(&labels),
+                ),
+            )
+        };
+        let scoped = |name: &str, help: &str| {
+            let labels = with(&[]);
+            registry.counter(name, help, &as_refs(&labels))
+        };
+        let scoped_gauge = |name: &str, help: &str| {
+            let labels = with(&[]);
+            registry.gauge(name, help, &as_refs(&labels))
+        };
+        let device_cells = (0..devices)
+            .map(|d| {
+                let device = d.to_string();
+                let labels = with(&[("device", &device)]);
+                let refs = as_refs(&labels);
+                DeviceCells {
+                    queue_depth: registry.gauge(
+                        "fleet_device_queue_depth",
+                        "Beams placed on the device queue and not yet resolved.",
+                        &refs,
+                    ),
+                    queue_depth_peak: registry.gauge(
+                        "fleet_device_queue_depth_peak",
+                        "High-water queue depth as folded from the event stream \
+                         (deterministic, unlike the worker-observed max_queue_depth).",
+                        &refs,
+                    ),
+                    bounces: registry.counter(
+                        "fleet_device_bounces_total",
+                        "Beams bounced off the device.",
+                        &refs,
+                    ),
+                    depth: AtomicU64::new(0),
+                    peak: AtomicU64::new(0),
+                }
+            })
+            .collect();
+        let attempt_labels = with(&[]);
+        let drain_labels = with(&[]);
+        Self {
+            registry: registry.clone(),
+            events,
+            outcomes: [
+                outcome("completed"),
+                outcome("degraded"),
+                outcome("missed"),
+                outcome("shed_whole"),
+            ],
+            shed_trials: scoped(
+                "fleet_shed_trials_total",
+                "Trial DMs shed by admission or pressure.",
+            ),
+            canaries: scoped(
+                "fleet_canary_placements_total",
+                "Probation canary placements.",
+            ),
+            recoveries: scoped(
+                "fleet_recoveries_total",
+                "Device transitions back to Healthy.",
+            ),
+            tick: scoped_gauge("fleet_tick", "Most recent tick with an admission ruling."),
+            kept_trials: scoped_gauge(
+                "fleet_kept_trials_in_force",
+                "Trial DMs per beam in force for the current tick.",
+            ),
+            shed_tiers: scoped_gauge(
+                "fleet_shed_tiers_in_force",
+                "Shed tiers in force for the current tick.",
+            ),
+            attempts: registry.histogram(
+                "fleet_placement_attempts",
+                "Placement attempt number per placement (1 = first try).",
+                &as_refs(&attempt_labels),
+                &ATTEMPT_BOUNDS,
+            ),
+            drain: registry.histogram(
+                "fleet_tick_drain_seconds",
+                "Virtual seconds from a beam's tick release to its terminal \
+                 event (per-tick drain latency).",
+                &as_refs(&drain_labels),
+                &DRAIN_BOUNDS,
+            ),
+            devices: device_cells,
+            scope,
+            ticks: RwLock::new(Vec::new()),
+        }
+    }
+
+    /// The registry this observer writes to.
+    pub fn registry(&self) -> &MetricsRegistry {
+        &self.registry
+    }
+
+    fn device(&self, d: usize) -> Option<&DeviceCells> {
+        self.devices.get(d)
+    }
+
+    fn depth_delta(&self, d: usize, delta: i64) {
+        if let Some(cells) = self.device(d) {
+            let depth = if delta >= 0 {
+                cells.depth.fetch_add(delta as u64, Ordering::Relaxed) + delta as u64
+            } else {
+                let sub = (-delta) as u64;
+                let before = cells.depth.load(Ordering::Relaxed);
+                let after = before.saturating_sub(sub);
+                cells.depth.store(after, Ordering::Relaxed);
+                after
+            };
+            cells.queue_depth.set(depth as f64);
+            if depth > cells.peak.load(Ordering::Relaxed) {
+                cells.peak.store(depth, Ordering::Relaxed);
+                cells.queue_depth_peak.set(depth as f64);
+            }
+        }
+    }
+
+    /// Folds one event; `&self` because every cell is atomic (this is
+    /// what lets [`GridRegistry`] share per-shard observers across
+    /// threads behind [`GridObserver`]).
+    pub fn fold(&self, event: &TelemetryEvent) {
+        if let Some((_, c)) = self.events.iter().find(|(k, _)| *k == event.kind()) {
+            c.inc();
+        }
+        match *event {
+            TelemetryEvent::Admission {
+                tick,
+                release,
+                deadline,
+                kept_trials,
+                shed_tiers,
+                ..
+            } => {
+                self.tick.set(tick as f64);
+                self.kept_trials.set(kept_trials as f64);
+                self.shed_tiers.set(shed_tiers as f64);
+                let mut ticks = self.ticks.write();
+                if tick >= ticks.len() {
+                    ticks.resize(tick + 1, (release, deadline));
+                }
+                ticks[tick] = (release, deadline);
+            }
+            TelemetryEvent::Placed {
+                device,
+                attempt,
+                canary,
+                ..
+            } => {
+                self.attempts.observe(attempt as f64);
+                if canary {
+                    self.canaries.inc();
+                }
+                self.depth_delta(device, 1);
+            }
+            TelemetryEvent::Beam(ref record) => {
+                let (name, finish, device) = match record.outcome {
+                    BeamOutcome::Completed { device, finish } => {
+                        ("completed", Some(finish), Some(device))
+                    }
+                    BeamOutcome::Degraded { device, finish, .. } => {
+                        ("degraded", Some(finish), Some(device))
+                    }
+                    BeamOutcome::Missed { device, finish, .. } => {
+                        ("missed", Some(finish), Some(device))
+                    }
+                    BeamOutcome::ShedWhole { .. } => ("shed_whole", None, None),
+                };
+                if let Some((_, c)) = self.outcomes.iter().find(|(n, _)| *n == name) {
+                    c.inc();
+                }
+                if let Some(finish) = finish {
+                    if let Some(&(release, _)) = self.ticks.read().get(record.tick) {
+                        self.drain.observe(finish - release);
+                    }
+                }
+                if let Some(device) = device {
+                    self.depth_delta(device, -1);
+                }
+            }
+            TelemetryEvent::Shed(ref shed) => {
+                self.shed_trials.add(shed.shed_trials as u64);
+            }
+            TelemetryEvent::Bounce { device, .. } => {
+                if let Some(cells) = self.device(device) {
+                    cells.bounces.inc();
+                }
+                self.depth_delta(device, -1);
+            }
+            TelemetryEvent::Health(health) => {
+                if health.to == crate::metrics::HealthState::Healthy {
+                    self.recoveries.inc();
+                }
+            }
+            TelemetryEvent::Retry { .. }
+            | TelemetryEvent::Probe { .. }
+            | TelemetryEvent::Rebalance { .. } => {}
+        }
+    }
+
+    /// Imports the post-run, worker-observed queue high-water marks of
+    /// `report` as `fleet_device_max_queue_depth` gauges.
+    ///
+    /// This is the **one racy metric** in the registry:
+    /// `max_queue_depth` is observed by the real worker thread under
+    /// OS scheduling and may differ between identical runs (see
+    /// DESIGN.md §12). It is exported for operators — a deep queue
+    /// high-water is a capacity signal — but it is exactly the field
+    /// the chaos determinism fingerprint zeroes, and it must never be
+    /// folded into one.
+    pub fn record_report(&self, report: &FleetReport) {
+        for device in &report.devices {
+            let id = device.id.to_string();
+            let mut labels = self.scope.clone();
+            labels.push(("device".to_string(), id));
+            let gauge = self.registry.gauge(
+                "fleet_device_max_queue_depth",
+                "Worker-observed queue high-water mark (racy: varies between \
+                 identical runs; excluded from determinism fingerprints).",
+                &as_refs(&labels),
+            );
+            gauge.set(device.max_queue_depth as f64);
+        }
+    }
+}
+
+impl Observer for RegistryObserver {
+    fn observe(&mut self, event: &TelemetryEvent) {
+        self.fold(event);
+    }
+}
+
+/// Grid-scope registry wiring: one [`RegistryObserver`] per shard
+/// (series labelled `shard="<i>"`) plus a grid-level rebalance
+/// counter, behind the live [`GridObserver`] interface.
+#[derive(Debug)]
+pub struct GridRegistry {
+    shards: Vec<RegistryObserver>,
+    rebalances: Counter,
+}
+
+impl GridRegistry {
+    /// Wires per-shard metrics into `registry`; `shard_devices[i]` is
+    /// shard `i`'s device count.
+    pub fn new(registry: &MetricsRegistry, shard_devices: &[usize]) -> Self {
+        Self {
+            shards: shard_devices
+                .iter()
+                .enumerate()
+                .map(|(s, &devices)| RegistryObserver::for_shard(registry, s, devices))
+                .collect(),
+            rebalances: registry.counter(
+                "fleet_grid_rebalances_total",
+                "Beams the grid front-end moved off their home shard.",
+                &[],
+            ),
+        }
+    }
+
+    /// The per-shard observers, shard order.
+    pub fn shards(&self) -> &[RegistryObserver] {
+        &self.shards
+    }
+
+    /// Imports each shard's racy `max_queue_depth` high-water marks
+    /// post-run (see [`RegistryObserver::record_report`]).
+    pub fn record_reports(&self, reports: &[&FleetReport]) {
+        for (observer, report) in self.shards.iter().zip(reports) {
+            observer.record_report(report);
+        }
+    }
+}
+
+impl GridObserver for GridRegistry {
+    fn observe_grid(&self, shard: Option<usize>, event: &TelemetryEvent) {
+        match shard {
+            Some(s) => {
+                if let Some(observer) = self.shards.get(s) {
+                    observer.fold(event);
+                }
+            }
+            None => {
+                if matches!(event, TelemetryEvent::Rebalance { .. }) {
+                    self.rebalances.inc();
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_gauges_and_histograms_register_once_and_update_lock_free() {
+        let registry = MetricsRegistry::new();
+        let c1 = registry.counter("demo_total", "demo", &[("k", "a")]);
+        let c2 = registry.counter("demo_total", "demo", &[("k", "a")]);
+        c1.add(3);
+        c2.inc();
+        assert_eq!(c1.get(), 4, "same (name, labels) shares one cell");
+        let other = registry.counter("demo_total", "demo", &[("k", "b")]);
+        assert_eq!(other.get(), 0, "distinct labels are a distinct series");
+
+        let g = registry.gauge("demo_gauge", "demo", &[]);
+        g.set(2.5);
+        g.add(-0.5);
+        assert!((g.get() - 2.0).abs() < 1e-12);
+
+        let h = registry.histogram("demo_seconds", "demo", &[], &[0.5, 1.0, 2.0]);
+        for v in [0.1, 0.6, 0.9, 1.5, 99.0] {
+            h.observe(v);
+        }
+        assert_eq!(h.count(), 5);
+        assert!((h.sum() - 102.1).abs() < 1e-9);
+        let cumulative = h.cumulative();
+        assert_eq!(
+            cumulative,
+            vec![(0.5, 1), (1.0, 3), (2.0, 4), (f64::INFINITY, 5)]
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "different kinds")]
+    fn re_registering_a_name_as_a_different_kind_panics() {
+        let registry = MetricsRegistry::new();
+        let _ = registry.counter("demo_total", "demo", &[]);
+        let _ = registry.gauge("demo_total", "demo", &[]);
+    }
+
+    #[test]
+    fn registry_observer_derives_stream_metrics() {
+        use crate::{ResolvedFleet, Scheduler, SurveyLoad};
+        let registry = MetricsRegistry::new();
+        let fleet = ResolvedFleet::synthetic(500, &[0.1, 0.1]);
+        let load = SurveyLoad::custom(500, 4, 3);
+        let mut observer = RegistryObserver::new(&registry, 2);
+        let run = Scheduler::session(&fleet)
+            .load(&load)
+            .run_with(&mut observer)
+            .unwrap();
+        let r = &run.report;
+        // Outcome counters agree with the report fold of the same
+        // stream.
+        let outcome = |name: &str| {
+            observer
+                .outcomes
+                .iter()
+                .find(|(n, _)| *n == name)
+                .unwrap()
+                .1
+                .get() as usize
+        };
+        assert_eq!(outcome("completed"), r.completed);
+        assert_eq!(outcome("degraded"), r.degraded);
+        assert_eq!(outcome("missed"), r.deadline_misses);
+        assert_eq!(outcome("shed_whole"), r.shed_whole);
+        // Placements all landed attempt 1 on a healthy fleet, and the
+        // drain histogram saw every finished beam.
+        assert_eq!(observer.attempts.count() as usize, r.admitted);
+        assert_eq!(
+            observer.drain.count() as usize,
+            r.completed + r.degraded + r.deadline_misses
+        );
+        // Queues drained back to zero; the peak saw at least one beam.
+        for cells in &observer.devices {
+            assert_eq!(cells.queue_depth.get(), 0.0);
+            assert!(cells.queue_depth_peak.get() >= 1.0);
+        }
+        // The racy high-water import is a separate, explicit step.
+        observer.record_report(r);
+        let rendered = registry.render_prometheus();
+        assert!(rendered.contains("fleet_device_max_queue_depth"));
+    }
+}

@@ -44,7 +44,10 @@
 //! bounces, retries, probes, health transitions, terminal outcomes —
 //! is emitted as a [`TelemetryEvent`] on one unified stream. The
 //! report is a fold over that stream; live consumers can subscribe by
-//! passing an [`Observer`] to [`Session::run_with`].
+//! passing an [`Observer`] to [`Session::run_with`] — the whole
+//! [`crate::obs`] operator plane (metrics registry, flight recorder,
+//! live status, HTTP endpoint) attaches through this one seam, so the
+//! dispatcher hot path never learns about metrics or servers.
 //!
 //! # Faults, evidence, and health
 //!

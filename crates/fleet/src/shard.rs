@@ -78,6 +78,11 @@ impl ShardLoad {
     /// The global identity of every beam this shard schedules, in
     /// shard-local job-index order (the order of the shard's
     /// [`crate::FleetRun`] ledger).
+    ///
+    /// This table powers both re-keyings of a shard's telemetry to
+    /// global identity: the post-run [`crate::ShardEvent`] stream and
+    /// the live per-shard forwarding behind
+    /// [`crate::GridSession::run_with`].
     pub fn global_beams(&self) -> Vec<GlobalBeam> {
         self.ticks
             .iter()

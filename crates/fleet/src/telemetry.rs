@@ -99,6 +99,25 @@ pub enum TelemetryEvent {
     },
 }
 
+impl TelemetryEvent {
+    /// A short stable label for the event's variant, used as the
+    /// `kind` label of the observability layer's event counters
+    /// ([`crate::obs::RegistryObserver`]).
+    pub fn kind(&self) -> &'static str {
+        match self {
+            TelemetryEvent::Admission { .. } => "admission",
+            TelemetryEvent::Placed { .. } => "placed",
+            TelemetryEvent::Beam(_) => "beam",
+            TelemetryEvent::Shed(_) => "shed",
+            TelemetryEvent::Bounce { .. } => "bounce",
+            TelemetryEvent::Retry { .. } => "retry",
+            TelemetryEvent::Probe { .. } => "probe",
+            TelemetryEvent::Health(_) => "health",
+            TelemetryEvent::Rebalance { .. } => "rebalance",
+        }
+    }
+}
+
 /// A consumer of the telemetry stream.
 ///
 /// Observers see events in emission order — the dispatcher's
@@ -110,12 +129,34 @@ pub trait Observer {
     fn observe(&mut self, event: &TelemetryEvent);
 }
 
+/// A consumer of a *grid* run's telemetry, fed live from every shard
+/// thread at once.
+///
+/// Where [`Observer`] sees one scheduler's stream serially,
+/// a `GridObserver` is shared by reference across the grid's shard
+/// threads (hence `Sync` and `&self`), receives each event tagged with
+/// its emitting shard (`None` for grid-front-end events such as
+/// rebalances), and — like the post-run [`crate::ShardEvent`] stream —
+/// sees beam identities already re-keyed to *global* indices. Events
+/// from one shard arrive in that shard's deterministic order; the
+/// interleaving *across* shards follows the OS scheduler, so
+/// implementations must be commutative across shards (fold per shard,
+/// or count order-insensitively) to stay deterministic.
+pub trait GridObserver: Sync {
+    /// Consumes one shard-tagged, globally re-keyed event.
+    fn observe_grid(&self, shard: Option<usize>, event: &TelemetryEvent);
+}
+
 /// The no-op observer used when a caller only wants the report.
 #[derive(Debug, Default, Clone, Copy)]
 pub struct NullObserver;
 
 impl Observer for NullObserver {
     fn observe(&mut self, _event: &TelemetryEvent) {}
+}
+
+impl GridObserver for NullObserver {
+    fn observe_grid(&self, _shard: Option<usize>, _event: &TelemetryEvent) {}
 }
 
 /// An observer that simply collects the stream.
