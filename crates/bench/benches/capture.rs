@@ -1,0 +1,141 @@
+//! Capture front-end overhead: the cost of ingesting the edge.
+//!
+//! The capture layer sits between the packet stream and the scheduler,
+//! so its costs are paid at line rate. Three prices matter: the raw
+//! ring push/drain cycle (one mutex section per block), the full
+//! ingest of an arrival process into a schedulable load (ring + ledger
+//! + event stream), and the end-to-end delta of scheduling a
+//!   capture-derived load versus the synthetic [`SurveyLoad`] it
+//!   replaces — the last one is the number that says what streaming
+//!   ingest costs over a scripted cadence.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use dedisp_fleet::capture::{
+    ArrivalPattern, ArrivalProcess, BlockFormat, CaptureConfig, CaptureRing, CaptureSession,
+};
+use dedisp_fleet::{BackpressurePolicy, LoadSource, ResolvedFleet, Scheduler, SurveyLoad};
+use std::hint::black_box;
+
+/// Blocks pushed per ring iteration.
+const BLOCKS: usize = 1 << 10;
+
+fn bench_ring(c: &mut Criterion) {
+    let mut group = c.benchmark_group("capture/ring");
+    group.throughput(Throughput::Elements(BLOCKS as u64));
+    let format = BlockFormat::new(64, 256);
+    for (label, policy) in [
+        ("drop_oldest", BackpressurePolicy::DropOldest),
+        ("downsample2x", BackpressurePolicy::Downsample2x),
+    ] {
+        group.bench_with_input(BenchmarkId::new(label, BLOCKS), &(), |b, ()| {
+            b.iter(|| {
+                // 16 beams × 4 blocks: a quarter of the pushes evict,
+                // so the loop prices the policy path, not just the
+                // happy path. Drains interleave every 64 pushes.
+                let ring = CaptureRing::new(16, format, 4, 0.75, policy).unwrap();
+                let mut drained = 0usize;
+                for i in 0..BLOCKS {
+                    let report = ring.push(black_box(i % 16), (i / 16) as u64, i as f64 * 1e-3);
+                    drained += report.evicted.len();
+                    if i % 64 == 63 {
+                        drained += ring.drain_oldest(16).len();
+                    }
+                }
+                drained += ring.drain_oldest(usize::MAX).len();
+                black_box(drained)
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_ingest(c: &mut Criterion) {
+    // A full session pass: arrivals through ring, ledger, events, and
+    // load derivation. Throughput is arrivals, so this is the per-block
+    // ingest cost at session level.
+    let mut group = c.benchmark_group("capture/ingest");
+    let beams = 64usize;
+    let ticks = 16usize;
+    group.throughput(Throughput::Elements((beams * ticks) as u64));
+    let config = CaptureConfig::new(beams, BlockFormat::new(64, 256), 2000);
+    for (label, pattern) in [
+        ("steady", ArrivalPattern::Steady),
+        ("bursty", ArrivalPattern::Bursty { cycle_ticks: 4 }),
+    ] {
+        group.bench_with_input(BenchmarkId::new(label, beams), &(), |b, ()| {
+            b.iter(|| {
+                let source = ArrivalProcess::new(beams, ticks, config.period_s, pattern, 11);
+                let run = CaptureSession::new(black_box(config))
+                    .unwrap()
+                    .ingest(source)
+                    .unwrap();
+                assert!(run.ledger.conservation_ok());
+                black_box(run.ledger.arrivals)
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_session_vs_survey(c: &mut Criterion) {
+    // The end-to-end question: scheduling a capture-derived load
+    // versus the equivalent synthetic SurveyLoad on the same fleet.
+    // The delta is what the streaming front-end costs per run.
+    let mut group = c.benchmark_group("capture/schedule");
+    let spb: Vec<f64> = (0..32).map(|d| 0.09 + 0.002 * (d % 5) as f64).collect();
+    let fleet = ResolvedFleet::synthetic(2000, &spb);
+    let beams = fleet.beams_capacity() * 9 / 10;
+    let ticks = 3usize;
+    group.throughput(Throughput::Elements((beams * ticks) as u64));
+
+    let survey = SurveyLoad::custom(2000, beams, ticks);
+    group.bench_with_input(BenchmarkId::new("survey_load", 32), &(), |b, ()| {
+        b.iter(|| {
+            let run = Scheduler::session(black_box(&fleet))
+                .load(black_box(&survey))
+                .run()
+                .unwrap();
+            assert!(run.report.conservation_ok());
+            black_box(run.report.completed)
+        });
+    });
+
+    // Pre-ingested once: prices scheduling a capture load (prelude
+    // replay included) against the survey baseline above.
+    let config = CaptureConfig::new(beams, BlockFormat::new(64, 256), 2000);
+    let source = ArrivalProcess::new(beams, ticks, config.period_s, ArrivalPattern::Steady, 11);
+    let capture = CaptureSession::new(config).unwrap().ingest(source).unwrap();
+    assert_eq!(capture.load.total_beams(), survey.total_beams());
+    group.bench_with_input(BenchmarkId::new("capture_load", 32), &(), |b, ()| {
+        b.iter(|| {
+            let run = Scheduler::session(black_box(&fleet))
+                .capture(black_box(&capture))
+                .run()
+                .unwrap();
+            assert!(run.report.conservation_ok());
+            black_box(run.report.completed)
+        });
+    });
+
+    // Ingest + schedule in one shot: the full streaming path.
+    group.bench_with_input(BenchmarkId::new("ingest_and_schedule", 32), &(), |b, ()| {
+        b.iter(|| {
+            let source =
+                ArrivalProcess::new(beams, ticks, config.period_s, ArrivalPattern::Steady, 11);
+            let capture = CaptureSession::new(black_box(config))
+                .unwrap()
+                .ingest(source)
+                .unwrap();
+            let run = Scheduler::session(black_box(&fleet))
+                .capture(&capture)
+                .run()
+                .unwrap();
+            assert!(run.report.conservation_ok());
+            black_box(run.report.completed)
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_ring, bench_ingest, bench_session_vs_survey);
+criterion_main!(benches);

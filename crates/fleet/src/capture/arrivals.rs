@@ -1,0 +1,306 @@
+//! Deterministic arrival processes behind the [`PacketSource`] trait.
+//!
+//! Until the multi-process ingest PR lands, nothing listens on a real
+//! socket; what the roadmap needs first is the *contract*: capture
+//! consumes a time-ordered stream of per-beam block arrivals from
+//! anything implementing [`PacketSource`], and everything downstream
+//! (ring, policy, load derivation) is independent of where the stream
+//! comes from. This module provides two sources:
+//!
+//! * [`ArrivalProcess`] — a seeded generator for the scenario shapes
+//!   the experiments exercise ([`ArrivalPattern`]: steady cadence,
+//!   bursty cycles, jittered beams-per-tick). Identical
+//!   `(beams, ticks, pattern, seed)` inputs yield identical streams,
+//!   so capture runs are as replayable as scheduler runs. (Slow-drain
+//!   is not an arrival shape: it is steady arrivals against a
+//!   [`super::CaptureConfig::drain_max_blocks`] below the arrival
+//!   rate.)
+//! * [`ArrivalTrace`] — replay of a recorded arrival log, exactly the
+//!   [`super::CaptureRun::arrival_log`] a session writes; re-ingesting
+//!   a trace must reproduce the original ledger byte-for-byte (the
+//!   determinism proptests hold this).
+
+use serde::{Deserialize, Serialize};
+use std::collections::VecDeque;
+
+/// One block arrival: beam `beam`'s `seq`-th block landed at virtual
+/// time `at`.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Arrival {
+    /// Arrival timestamp, virtual seconds.
+    pub at: f64,
+    /// Beam the block belongs to.
+    pub beam: usize,
+    /// Per-beam sequence number (0 = the beam's first block).
+    pub seq: u64,
+}
+
+/// A time-ordered stream of block arrivals.
+///
+/// Implementors promise the stream is delivered with non-decreasing
+/// `at` (the capture session rejects regressions loudly) and finite,
+/// non-negative timestamps. A real UDP receiver slots in here later;
+/// the rest of the capture pipeline never knows the difference.
+pub trait PacketSource {
+    /// The next arrival, or `None` when the stream has ended.
+    fn next_arrival(&mut self) -> Option<Arrival>;
+}
+
+/// The scenario shapes a generated arrival stream can take.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum ArrivalPattern {
+    /// One block per beam per period, spread evenly inside each
+    /// period's window — the well-behaved survey backend.
+    Steady,
+    /// Arrivals stall, then the backlog lands at once: each cycle of
+    /// `cycle_ticks` periods delivers *all* of its blocks packed into
+    /// the cycle's final window. `cycle_ticks = 1` degenerates to
+    /// steady.
+    Bursty {
+        /// Periods per stall-then-burst cycle (≥ 1).
+        cycle_ticks: usize,
+    },
+    /// Steady cadence plus a seeded per-block jitter in
+    /// `[0, max_jitter_s)`, so the number of blocks landing in any one
+    /// window varies tick to tick.
+    Jittered {
+        /// Largest jitter added to a block's nominal arrival time.
+        max_jitter_s: f64,
+    },
+}
+
+/// A seeded, replayable arrival generator.
+///
+/// The whole schedule is generated up front and delivered in global
+/// time order (ties broken by beam, then sequence), so the stream a
+/// given `(beams, ticks, period, pattern, seed)` tuple produces is a
+/// pure function of its inputs.
+#[derive(Debug, Clone)]
+pub struct ArrivalProcess {
+    queue: VecDeque<Arrival>,
+}
+
+/// The deterministic generator state: splitmix64 steps.
+fn next_u64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// A uniform draw in `[0, 1)` from the generator.
+fn next_unit(state: &mut u64) -> f64 {
+    (next_u64(state) >> 11) as f64 / (1u64 << 53) as f64
+}
+
+impl ArrivalProcess {
+    /// Generates the arrival schedule for `beams` beams over `ticks`
+    /// periods of `period_s` seconds, shaped by `pattern` and seeded
+    /// by `seed`.
+    ///
+    /// # Panics
+    ///
+    /// Panics for zero beams/ticks, a non-positive period, a bursty
+    /// cycle of zero ticks, or a negative/non-finite jitter — these
+    /// are test-harness construction errors, not runtime conditions.
+    pub fn new(
+        beams: usize,
+        ticks: usize,
+        period_s: f64,
+        pattern: ArrivalPattern,
+        seed: u64,
+    ) -> Self {
+        assert!(beams > 0, "need at least one beam");
+        assert!(ticks > 0, "need at least one tick");
+        assert!(
+            period_s.is_finite() && period_s > 0.0,
+            "period must be positive"
+        );
+        let mut rng = seed;
+        let mut arrivals = Vec::with_capacity(beams * ticks);
+        let mut seqs = vec![0u64; beams];
+        match pattern {
+            ArrivalPattern::Steady => {
+                for tick in 0..ticks {
+                    for beam in 0..beams {
+                        let phase = (beam as f64 + 0.5) / beams as f64;
+                        arrivals.push(Arrival {
+                            at: (tick as f64 + phase) * period_s,
+                            beam,
+                            seq: take_seq(&mut seqs, beam),
+                        });
+                    }
+                }
+            }
+            ArrivalPattern::Bursty { cycle_ticks } => {
+                assert!(cycle_ticks > 0, "a bursty cycle needs at least one tick");
+                let mut tick = 0;
+                while tick < ticks {
+                    let cycle_end = (tick + cycle_ticks).min(ticks);
+                    // Everything the cycle owes lands inside its final
+                    // window, tightly packed in (tick, beam) order.
+                    let burst_window = cycle_end - 1;
+                    let count = (cycle_end - tick) * beams;
+                    let mut j = 0usize;
+                    for t in tick..cycle_end {
+                        let _ = t;
+                        for beam in 0..beams {
+                            let frac = (j as f64 + 0.5) / count as f64;
+                            arrivals.push(Arrival {
+                                at: (burst_window as f64 + frac) * period_s,
+                                beam,
+                                seq: take_seq(&mut seqs, beam),
+                            });
+                            j += 1;
+                        }
+                    }
+                    tick = cycle_end;
+                }
+            }
+            ArrivalPattern::Jittered { max_jitter_s } => {
+                assert!(
+                    max_jitter_s.is_finite() && max_jitter_s >= 0.0,
+                    "jitter must be finite and non-negative"
+                );
+                for tick in 0..ticks {
+                    for beam in 0..beams {
+                        let phase = (beam as f64 + 0.5) / beams as f64;
+                        let jitter = next_unit(&mut rng) * max_jitter_s;
+                        arrivals.push(Arrival {
+                            at: (tick as f64 + phase) * period_s + jitter,
+                            beam,
+                            seq: take_seq(&mut seqs, beam),
+                        });
+                    }
+                }
+            }
+        }
+        arrivals.sort_by(|a, b| {
+            a.at.total_cmp(&b.at)
+                .then(a.beam.cmp(&b.beam))
+                .then(a.seq.cmp(&b.seq))
+        });
+        Self {
+            queue: arrivals.into(),
+        }
+    }
+
+    /// Arrivals remaining in the stream.
+    pub fn remaining(&self) -> usize {
+        self.queue.len()
+    }
+}
+
+fn take_seq(seqs: &mut [u64], beam: usize) -> u64 {
+    let seq = seqs[beam];
+    seqs[beam] += 1;
+    seq
+}
+
+impl PacketSource for ArrivalProcess {
+    fn next_arrival(&mut self) -> Option<Arrival> {
+        self.queue.pop_front()
+    }
+}
+
+/// Replay of a recorded arrival log (see
+/// [`super::CaptureRun::arrival_log`]).
+#[derive(Debug, Clone)]
+pub struct ArrivalTrace {
+    queue: VecDeque<Arrival>,
+}
+
+impl ArrivalTrace {
+    /// A source that replays `log` in order.
+    pub fn new(log: &[Arrival]) -> Self {
+        Self {
+            queue: log.iter().copied().collect(),
+        }
+    }
+}
+
+impl PacketSource for ArrivalTrace {
+    fn next_arrival(&mut self) -> Option<Arrival> {
+        self.queue.pop_front()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn collect(mut source: impl PacketSource) -> Vec<Arrival> {
+        let mut out = Vec::new();
+        while let Some(a) = source.next_arrival() {
+            out.push(a);
+        }
+        out
+    }
+
+    #[test]
+    fn steady_delivers_one_block_per_beam_per_tick_in_window() {
+        let arrivals = collect(ArrivalProcess::new(3, 4, 1.0, ArrivalPattern::Steady, 7));
+        assert_eq!(arrivals.len(), 12);
+        for a in &arrivals {
+            let window = a.at.floor() as u64;
+            assert_eq!(window, a.seq, "block k of every beam lands in window k");
+        }
+        // Time-ordered.
+        for pair in arrivals.windows(2) {
+            assert!(pair[0].at <= pair[1].at);
+        }
+    }
+
+    #[test]
+    fn bursty_packs_each_cycle_into_its_final_window() {
+        let arrivals = collect(ArrivalProcess::new(
+            2,
+            6,
+            1.0,
+            ArrivalPattern::Bursty { cycle_ticks: 3 },
+            7,
+        ));
+        assert_eq!(arrivals.len(), 12);
+        // Cycle 0 (ticks 0..3) all lands in window 2; cycle 1 in 5.
+        for a in &arrivals {
+            let window = a.at.floor() as usize;
+            assert!(window == 2 || window == 5, "got window {window}");
+        }
+        // Per-beam sequences are still complete.
+        for beam in 0..2 {
+            let seqs: Vec<u64> = arrivals
+                .iter()
+                .filter(|a| a.beam == beam)
+                .map(|a| a.seq)
+                .collect();
+            assert_eq!(seqs.len(), 6);
+        }
+    }
+
+    #[test]
+    fn jitter_is_seeded_and_replayable() {
+        let pattern = ArrivalPattern::Jittered { max_jitter_s: 0.8 };
+        let first = collect(ArrivalProcess::new(4, 5, 1.0, pattern, 42));
+        let second = collect(ArrivalProcess::new(4, 5, 1.0, pattern, 42));
+        assert_eq!(first, second, "same seed, same stream");
+        let other = collect(ArrivalProcess::new(4, 5, 1.0, pattern, 43));
+        assert_ne!(first, other, "different seed, different stream");
+        for pair in first.windows(2) {
+            assert!(pair[0].at <= pair[1].at, "delivery stays time-ordered");
+        }
+    }
+
+    #[test]
+    fn a_trace_replays_verbatim() {
+        let original = collect(ArrivalProcess::new(
+            3,
+            3,
+            0.5,
+            ArrivalPattern::Jittered { max_jitter_s: 0.3 },
+            9,
+        ));
+        let replayed = collect(ArrivalTrace::new(&original));
+        assert_eq!(replayed, original);
+    }
+}

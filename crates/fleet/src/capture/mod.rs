@@ -1,0 +1,52 @@
+//! The streaming capture front-end: arrival-driven ingest with
+//! end-to-end backpressure.
+//!
+//! Every other load the fleet schedules is synthetic and tick-released;
+//! this module is the layer between the world and the grid. A survey
+//! backend delivers each beam as a stream of channelized one-second
+//! blocks ([`radioastro::Filterbank`] framing), and *the stream* sets
+//! the deadline: dedispersion keeps up or loses science. The pipeline:
+//!
+//! ```text
+//! PacketSource ──> CaptureRing ──> BackpressurePolicy ──> CaptureLoad
+//!  (arrivals)      (hard bytes)     (at high-watermark)    (LoadSource)
+//! ```
+//!
+//! * [`arrivals`] — a deterministic, seeded, replayable arrival process
+//!   ([`ArrivalProcess`]: steady, bursty, jittered) behind the small
+//!   [`PacketSource`] trait, so a real UDP socket can slot in later
+//!   without touching anything downstream.
+//! * [`ring`] — a lock-bounded per-beam ring buffer ([`CaptureRing`])
+//!   sized in seconds of filterbank data ([`BlockFormat`]), with a hard
+//!   byte bound that is **never** exceeded: when a beam's ring cannot
+//!   take one more block, something old is evicted — loudly.
+//! * [`policy`] — what happens at the high-watermark
+//!   ([`BackpressurePolicy`]): drop the oldest block, halve the
+//!   incoming block's time resolution, or narrow the DM plan for the
+//!   blocks under pressure (the subband trade-off: less science per
+//!   block instead of fewer blocks).
+//! * [`session`] — [`CaptureSession::ingest`] runs the arrival stream
+//!   through the ring and emits a [`CaptureRun`]: a [`CaptureLoad`]
+//!   implementing [`crate::LoadSource`] whose release/deadline times
+//!   are derived from *arrival timestamps plus the ring's survival
+//!   time* (not a synthetic cadence), a [`CaptureLedger`] that
+//!   reconciles every arrival exactly once, and the
+//!   [`crate::TelemetryEvent::Capture`] stream that lets reports,
+//!   [`crate::StatusSnapshot`], the metrics registry, and the flight
+//!   recorder all see the edge.
+//!
+//! Feed the run to a scheduler with [`crate::Session::capture`]; the
+//! capture events are replayed into the session's telemetry stream
+//! ahead of scheduling, and any `NarrowDmPlan` pressure arrives as
+//! per-tick admission ceilings. Degradation thus happens *at capture*
+//! — drop, downsample, narrow — instead of via silent queueing.
+
+pub mod arrivals;
+pub mod policy;
+pub mod ring;
+pub mod session;
+
+pub use arrivals::{Arrival, ArrivalPattern, ArrivalProcess, ArrivalTrace, PacketSource};
+pub use policy::{BackpressurePolicy, CaptureDropCause};
+pub use ring::{BlockFormat, CaptureRing, Fidelity, StoredBlock};
+pub use session::{CaptureConfig, CaptureLedger, CaptureLoad, CaptureRun, CaptureSession};

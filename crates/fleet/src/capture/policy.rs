@@ -1,0 +1,107 @@
+//! Backpressure policy: what capture does when a ring runs hot.
+//!
+//! The ring's byte bound is hard — physical memory does not negotiate —
+//! so the only real choice is *what to give up* when arrivals outpace
+//! the drain. A [`BackpressurePolicy`] is consulted when a beam's ring
+//! crosses its high-watermark, before the bound forces an eviction:
+//! the policy trades science (resolution, DM coverage) for survival
+//! time, and every application of it is emitted as a typed
+//! [`crate::TelemetryEvent::Capture`] event so the degradation is loud.
+
+use serde::{Deserialize, Serialize};
+
+/// What a beam ring does about pressure at its high-watermark.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum BackpressurePolicy {
+    /// Do nothing until the byte bound forces it, then evict the beam's
+    /// oldest block. Keeps every surviving block at full fidelity and
+    /// favors fresh data — the classic ring-overwrite discipline.
+    DropOldest,
+    /// Store blocks that arrive above the watermark at half their
+    /// byte size (time resolution halved). Halved blocks double the
+    /// ring's survival time under sustained pressure; the data still
+    /// reaches the fleet, degraded.
+    Downsample2x,
+    /// Store blocks above the watermark marked for a narrowed DM plan:
+    /// their batch reaches the scheduler under an admission ceiling
+    /// that sheds `tiers` trailing DM tiers (cf. the subband
+    /// trade-offs of Barsdell et al.). Buys fleet time, not ring time.
+    NarrowDmPlan {
+        /// Trailing DM tiers to shed for narrowed batches (≥ 1).
+        tiers: usize,
+    },
+}
+
+impl BackpressurePolicy {
+    /// A short stable label, used by the metrics registry's
+    /// `capture_degrade_total{policy=...}` series.
+    pub fn label(&self) -> &'static str {
+        match self {
+            BackpressurePolicy::DropOldest => "drop_oldest",
+            BackpressurePolicy::Downsample2x => "downsample2x",
+            BackpressurePolicy::NarrowDmPlan { .. } => "narrow_dm_plan",
+        }
+    }
+
+    /// Every policy label, for up-front metric registration.
+    pub const LABELS: [&'static str; 3] = ["drop_oldest", "downsample2x", "narrow_dm_plan"];
+}
+
+/// Why a block was dropped at capture (it never reached the fleet).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum CaptureDropCause {
+    /// [`BackpressurePolicy::DropOldest`] evicted it: the ring was
+    /// full and the policy chose to keep the newer data.
+    Evicted,
+    /// A non-dropping policy hit the hard byte bound anyway — its
+    /// degradation could not buy enough room. Always loud: overflow
+    /// drops mean the policy's trade was insufficient for the load.
+    Overflow,
+}
+
+impl CaptureDropCause {
+    /// A short stable label, used by the metrics registry's
+    /// `capture_drops_total{cause=...}` series.
+    pub fn label(&self) -> &'static str {
+        match self {
+            CaptureDropCause::Evicted => "evicted",
+            CaptureDropCause::Overflow => "overflow",
+        }
+    }
+
+    /// Every cause label, for up-front metric registration.
+    pub const LABELS: [&'static str; 2] = ["evicted", "overflow"];
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn labels_are_stable_and_complete() {
+        assert_eq!(BackpressurePolicy::DropOldest.label(), "drop_oldest");
+        assert_eq!(BackpressurePolicy::Downsample2x.label(), "downsample2x");
+        assert_eq!(
+            BackpressurePolicy::NarrowDmPlan { tiers: 2 }.label(),
+            "narrow_dm_plan"
+        );
+        for policy in [
+            BackpressurePolicy::DropOldest,
+            BackpressurePolicy::Downsample2x,
+            BackpressurePolicy::NarrowDmPlan { tiers: 1 },
+        ] {
+            assert!(BackpressurePolicy::LABELS.contains(&policy.label()));
+        }
+        for cause in [CaptureDropCause::Evicted, CaptureDropCause::Overflow] {
+            assert!(CaptureDropCause::LABELS.contains(&cause.label()));
+        }
+    }
+
+    #[test]
+    fn policy_serde_roundtrip() {
+        let policy = BackpressurePolicy::NarrowDmPlan { tiers: 3 };
+        let json = serde_json::to_string(&policy).unwrap();
+        let back: BackpressurePolicy = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, policy);
+    }
+}

@@ -379,7 +379,8 @@ fn rekey(event: &TelemetryEvent, globals: &[GlobalBeam]) -> TelemetryEvent {
         TelemetryEvent::Admission { .. }
         | TelemetryEvent::Probe { .. }
         | TelemetryEvent::Health(_)
-        | TelemetryEvent::Rebalance { .. } => event.clone(),
+        | TelemetryEvent::Rebalance { .. }
+        | TelemetryEvent::Capture(_) => event.clone(),
     }
 }
 

@@ -105,6 +105,7 @@
 #![warn(missing_docs)]
 
 mod admission;
+pub mod capture;
 mod descriptor;
 mod fault;
 mod grid;
@@ -119,6 +120,11 @@ mod telemetry;
 pub use admission::{
     AdmissionDecision, AdmissionPolicy, BeamDemand, CapacityView, DeviceCapacity, GridAdmission,
     PerDeviceGreedy, TierLadder,
+};
+pub use capture::{
+    Arrival, ArrivalPattern, ArrivalProcess, ArrivalTrace, BackpressurePolicy, BlockFormat,
+    CaptureConfig, CaptureDropCause, CaptureLedger, CaptureLoad, CaptureRing, CaptureRun,
+    CaptureSession, PacketSource,
 };
 pub use descriptor::{
     DeviceGroup, FleetError, FleetSpec, RateSource, ResolvedDevice, ResolvedFleet,
@@ -136,5 +142,6 @@ pub use scheduler::{FleetRun, Scheduler, SchedulerConfig, Session};
 pub use shard::{GlobalBeam, GridFaultPlan, RebalancePolicy, ShardCondition, ShardLoad};
 pub use survey::{BeamJob, SurveyLoad};
 pub use telemetry::{
-    DeviceStatus, EventLog, GridObserver, NullObserver, Observer, StatusSnapshot, TelemetryEvent,
+    CaptureEvent, DeviceStatus, EventLog, GridObserver, NullObserver, Observer, StatusSnapshot,
+    TelemetryEvent,
 };

@@ -2,8 +2,10 @@
 //!
 //! The scheduler does not care *where* beams come from — a synthetic
 //! survey cadence ([`crate::SurveyLoad`]), a shard of a larger survey
-//! carved out by the grid layer ([`crate::ShardLoad`]), or (on the
-//! roadmap) an async filterbank/UDP capture front-end. [`LoadSource`]
+//! carved out by the grid layer ([`crate::ShardLoad`]), or the
+//! streaming capture front-end ([`crate::CaptureLoad`], whose
+//! release/deadline times come from observed arrivals plus ring
+//! survival time rather than a synthetic schedule). [`LoadSource`]
 //! is the whole contract: how many ticks, how many beams each tick
 //! releases, and the release/deadline times the real-time budget is
 //! measured against. Everything else about scheduling is independent

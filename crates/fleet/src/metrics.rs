@@ -318,7 +318,11 @@ impl Observer for ReportFold {
                 }
                 self.health_events.push(health);
             }
-            TelemetryEvent::Admission { .. } | TelemetryEvent::Rebalance { .. } => {}
+            // Capture events predate scheduling and never change beam
+            // accounting; the capture ledger reconciles them instead.
+            TelemetryEvent::Admission { .. }
+            | TelemetryEvent::Rebalance { .. }
+            | TelemetryEvent::Capture(_) => {}
         }
     }
 }

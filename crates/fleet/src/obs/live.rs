@@ -83,6 +83,12 @@ pub struct GridStatusSnapshot {
     pub recoveries: usize,
     /// Grid front-end rebalance decisions.
     pub rebalances: usize,
+    /// Blocks arrived at capture front-ends, grid-wide.
+    pub capture_arrivals: usize,
+    /// Blocks dropped at capture, grid-wide.
+    pub capture_drops: usize,
+    /// Blocks degraded at capture, grid-wide.
+    pub capture_degraded: usize,
     /// The per-shard snapshots, shard order.
     pub shards: Vec<StatusSnapshot>,
 }
@@ -174,6 +180,9 @@ impl LiveGrid {
             canaries: sum(|s| s.canaries),
             recoveries: sum(|s| s.recoveries),
             rebalances: sum(|s| s.rebalances) + front.rebalances,
+            capture_arrivals: sum(|s| s.capture_arrivals) + front.capture_arrivals,
+            capture_drops: sum(|s| s.capture_drops) + front.capture_drops,
+            capture_degraded: sum(|s| s.capture_degraded) + front.capture_degraded,
             shards,
         }
     }

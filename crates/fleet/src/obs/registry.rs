@@ -18,8 +18,9 @@
 //! those out per shard, labelled `shard="<i>"`, behind the live
 //! [`crate::GridObserver`] interface.
 
+use crate::capture::{BackpressurePolicy, CaptureDropCause};
 use crate::metrics::{BeamOutcome, FleetReport};
-use crate::telemetry::{GridObserver, Observer, TelemetryEvent};
+use crate::telemetry::{CaptureEvent, GridObserver, Observer, TelemetryEvent};
 use parking_lot::RwLock;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
@@ -379,9 +380,18 @@ pub struct RegistryObserver {
     devices: Vec<DeviceCells>,
     /// `(release, deadline)` per admitted tick, for drain latency.
     ticks: RwLock<Vec<(f64, f64)>>,
+    capture_arrivals: Counter,
+    capture_drops: Vec<(&'static str, Counter)>,
+    capture_degrades: Vec<(&'static str, Counter)>,
+    capture_ring_fill: Gauge,
+    capture_ring_fill_peak: Gauge,
+    capture_backlog: Gauge,
+    /// Shadow of the ring-fill peak, so peak tracking needs no
+    /// read-back of the gauge.
+    capture_peak: AtomicU64,
 }
 
-const EVENT_KINDS: [&str; 9] = [
+const EVENT_KINDS: [&str; 13] = [
     "admission",
     "placed",
     "beam",
@@ -391,6 +401,10 @@ const EVENT_KINDS: [&str; 9] = [
     "probe",
     "health",
     "rebalance",
+    "capture_arrival",
+    "capture_drop",
+    "capture_degrade",
+    "capture_drain",
 ];
 
 impl RegistryObserver {
@@ -476,6 +490,50 @@ impl RegistryObserver {
                 }
             })
             .collect();
+        let capture_drops = CaptureDropCause::LABELS
+            .iter()
+            .map(|&cause| {
+                let labels = with(&[("cause", cause)]);
+                (
+                    cause,
+                    registry.counter(
+                        "capture_drops_total",
+                        "Blocks dropped at the capture front-end, by cause.",
+                        &as_refs(&labels),
+                    ),
+                )
+            })
+            .collect();
+        let capture_degrades = BackpressurePolicy::LABELS
+            .iter()
+            .map(|&policy| {
+                let labels = with(&[("policy", policy)]);
+                (
+                    policy,
+                    registry.counter(
+                        "capture_degrade_total",
+                        "Blocks degraded at the capture front-end, by policy.",
+                        &as_refs(&labels),
+                    ),
+                )
+            })
+            .collect();
+        let capture_arrivals = scoped(
+            "capture_arrivals_total",
+            "Blocks arrived at the capture front-end.",
+        );
+        let capture_ring_fill = scoped_gauge(
+            "capture_ring_fill",
+            "Capture ring byte footprint as of the last drain.",
+        );
+        let capture_ring_fill_peak = scoped_gauge(
+            "capture_ring_fill_peak",
+            "High-water capture ring byte footprint seen in the stream.",
+        );
+        let capture_backlog = scoped_gauge(
+            "capture_backlog_blocks",
+            "Blocks buffered in the capture ring as of the last drain.",
+        );
         let attempt_labels = with(&[]);
         let drain_labels = with(&[]);
         Self {
@@ -524,6 +582,13 @@ impl RegistryObserver {
             devices: device_cells,
             scope,
             ticks: RwLock::new(Vec::new()),
+            capture_arrivals,
+            capture_drops,
+            capture_degrades,
+            capture_ring_fill,
+            capture_ring_fill_peak,
+            capture_backlog,
+            capture_peak: AtomicU64::new(0),
         }
     }
 
@@ -631,6 +696,40 @@ impl RegistryObserver {
                     self.recoveries.inc();
                 }
             }
+            TelemetryEvent::Capture(capture) => match capture {
+                CaptureEvent::Arrival { .. } => self.capture_arrivals.inc(),
+                CaptureEvent::Drop { cause, .. } => {
+                    if let Some((_, c)) = self
+                        .capture_drops
+                        .iter()
+                        .find(|(label, _)| *label == cause.label())
+                    {
+                        c.inc();
+                    }
+                }
+                CaptureEvent::Degrade { policy, .. } => {
+                    if let Some((_, c)) = self
+                        .capture_degrades
+                        .iter()
+                        .find(|(label, _)| *label == policy.label())
+                    {
+                        c.inc();
+                    }
+                }
+                CaptureEvent::Drain {
+                    backlog_blocks,
+                    ring_bytes,
+                    ..
+                } => {
+                    self.capture_ring_fill.set(ring_bytes as f64);
+                    self.capture_backlog.set(backlog_blocks as f64);
+                    if (ring_bytes as u64) > self.capture_peak.load(Ordering::Relaxed) {
+                        self.capture_peak
+                            .store(ring_bytes as u64, Ordering::Relaxed);
+                        self.capture_ring_fill_peak.set(ring_bytes as f64);
+                    }
+                }
+            },
             TelemetryEvent::Retry { .. }
             | TelemetryEvent::Probe { .. }
             | TelemetryEvent::Rebalance { .. } => {}

@@ -87,6 +87,7 @@ use crate::admission::{
     AdmissionDecision, AdmissionPolicy, BeamDemand, CapacityView, DeviceCapacity, PerDeviceGreedy,
     TierLadder, DEADLINE_EPS,
 };
+use crate::capture::CaptureRun;
 use crate::descriptor::{FleetError, ResolvedFleet};
 use crate::fault::{DeviceFaults, FaultPlan, Gate};
 use crate::load::LoadSource;
@@ -240,6 +241,7 @@ pub struct Session<'a> {
     faults: Option<&'a FaultPlan>,
     policy: &'a dyn AdmissionPolicy,
     ceilings: Option<&'a [usize]>,
+    prelude: Option<&'a [TelemetryEvent]>,
 }
 
 impl Scheduler {
@@ -256,6 +258,7 @@ impl Scheduler {
             faults: None,
             policy: &PerDeviceGreedy,
             ceilings: None,
+            prelude: None,
         }
     }
 }
@@ -298,6 +301,21 @@ impl<'a> Session<'a> {
     #[must_use]
     pub fn admission_ceilings(mut self, ceilings: &'a [usize]) -> Self {
         self.ceilings = Some(ceilings);
+        self
+    }
+
+    /// Feeds the session from a capture front-end run (see
+    /// [`crate::capture`]): sets the run's [`crate::CaptureLoad`] as
+    /// the load, imposes the per-tick admission ceilings its
+    /// `NarrowDmPlan` pressure derived, and replays the run's
+    /// [`TelemetryEvent::Capture`] stream into the session's telemetry
+    /// ahead of the scheduling events — so observers, snapshots, and
+    /// the returned [`FleetRun::events`] all see the edge.
+    #[must_use]
+    pub fn capture(mut self, run: &'a CaptureRun) -> Self {
+        self.load = Some(&run.load);
+        self.ceilings = Some(run.load.ceilings());
+        self.prelude = Some(&run.events);
         self
     }
 
@@ -348,6 +366,13 @@ impl<'a> Session<'a> {
             self.ceilings,
             observer,
         );
+        // A capture-fed session replays the ingest-side events first:
+        // the capture stream predates every scheduling decision.
+        if let Some(prelude) = self.prelude {
+            for event in prelude {
+                dispatcher.emit(event.clone());
+            }
+        }
 
         let records = std::thread::scope(|scope| {
             let (event_tx, event_rx) = channel::unbounded::<Event>();
@@ -1534,5 +1559,36 @@ mod tests {
             })
             .collect();
         assert_eq!(ticks, vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn capture_run_feeds_the_scheduler_and_its_events_lead_the_stream() {
+        use crate::capture::{
+            ArrivalPattern, ArrivalProcess, BlockFormat, CaptureConfig, CaptureSession,
+        };
+        let config = CaptureConfig::new(3, BlockFormat::new(64, 128), 512);
+        let source = ArrivalProcess::new(3, 4, config.period_s, ArrivalPattern::Steady, 7);
+        let run = CaptureSession::new(config).unwrap().ingest(source).unwrap();
+        assert!(run.ledger.conservation_ok());
+        assert_eq!(run.ledger.dropped, 0, "steady at capacity never drops");
+        let fleet = ResolvedFleet::synthetic(512, &[0.05, 0.05]);
+        let fleet_run = Scheduler::session(&fleet).capture(&run).run().unwrap();
+        assert!(fleet_run.report.conservation_ok());
+        assert_eq!(
+            fleet_run.report.admitted, run.ledger.scheduled,
+            "every scheduled capture block became a fleet beam"
+        );
+        // The capture prelude leads the stream: the first event is a
+        // capture fact, and the stream's fold carries the capture
+        // counters into the status snapshot.
+        assert!(matches!(
+            fleet_run.events.first(),
+            Some(TelemetryEvent::Capture(_))
+        ));
+        let status = fleet_run.status();
+        assert_eq!(status.capture_arrivals, run.ledger.arrivals);
+        assert_eq!(status.capture_drops, run.ledger.dropped);
+        assert_eq!(status.capture_batches, run.ledger.batches);
+        assert_eq!(status.capture_backlog_blocks, 0, "the flush drained it");
     }
 }

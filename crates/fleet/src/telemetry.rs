@@ -13,6 +13,7 @@
 //! deterministic synchronization points, so the stream itself is as
 //! reproducible as the report it folds into.
 
+use crate::capture::policy::{BackpressurePolicy, CaptureDropCause};
 use crate::metrics::{BeamOutcome, BeamRecord, HealthEvent, HealthState, ShedRecord};
 use serde::{Deserialize, Serialize};
 
@@ -97,6 +98,87 @@ pub enum TelemetryEvent {
         /// The shard that actually ran it.
         to_shard: usize,
     },
+    /// An observable fact from the capture front-end (see
+    /// [`crate::capture`]): the edge between the arrival stream and the
+    /// fleet.
+    Capture(CaptureEvent),
+}
+
+/// One observable fact from the capture front-end's ingest path.
+///
+/// Capture events are emitted by [`crate::capture::CaptureSession`] as
+/// the arrival stream runs through the ring, and replayed into a
+/// scheduler session's telemetry stream (ahead of the scheduling
+/// events) by [`crate::Session::capture`] — so the same observers that
+/// watch the fleet watch the edge.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum CaptureEvent {
+    /// One block arrived from the packet source and was pushed into
+    /// the ring.
+    Arrival {
+        /// Beam the block belongs to.
+        beam: usize,
+        /// Per-beam arrival sequence number.
+        seq: u64,
+        /// Arrival timestamp, virtual seconds.
+        at: f64,
+        /// Bytes the block was stored at (post-policy).
+        bytes: usize,
+    },
+    /// A block was dropped at capture — it will never reach the fleet.
+    Drop {
+        /// Beam the block belonged to.
+        beam: usize,
+        /// Per-beam arrival sequence number.
+        seq: u64,
+        /// Arrival timestamp of the dropped block.
+        at: f64,
+        /// Why capture gave it up.
+        cause: CaptureDropCause,
+        /// Bytes it had occupied in the ring.
+        bytes: usize,
+    },
+    /// A block was degraded at capture (stored downsampled, or marked
+    /// for a narrowed DM plan).
+    Degrade {
+        /// Beam the block belongs to.
+        beam: usize,
+        /// Per-beam arrival sequence number.
+        seq: u64,
+        /// Arrival timestamp of the degraded block.
+        at: f64,
+        /// The policy that degraded it.
+        policy: BackpressurePolicy,
+    },
+    /// One drain tick: blocks left the ring as a schedulable batch.
+    Drain {
+        /// The load tick the batch became.
+        tick: usize,
+        /// Virtual time of the drain.
+        at: f64,
+        /// Blocks drained into the batch.
+        blocks: usize,
+        /// The batch's derived release time.
+        release: f64,
+        /// The batch's derived deadline.
+        deadline: f64,
+        /// Blocks still buffered after the drain.
+        backlog_blocks: usize,
+        /// Ring byte footprint after the drain.
+        ring_bytes: usize,
+    },
+}
+
+impl CaptureEvent {
+    /// The event's virtual timestamp.
+    pub fn at(&self) -> f64 {
+        match *self {
+            CaptureEvent::Arrival { at, .. }
+            | CaptureEvent::Drop { at, .. }
+            | CaptureEvent::Degrade { at, .. }
+            | CaptureEvent::Drain { at, .. } => at,
+        }
+    }
 }
 
 impl TelemetryEvent {
@@ -114,6 +196,10 @@ impl TelemetryEvent {
             TelemetryEvent::Probe { .. } => "probe",
             TelemetryEvent::Health(_) => "health",
             TelemetryEvent::Rebalance { .. } => "rebalance",
+            TelemetryEvent::Capture(CaptureEvent::Arrival { .. }) => "capture_arrival",
+            TelemetryEvent::Capture(CaptureEvent::Drop { .. }) => "capture_drop",
+            TelemetryEvent::Capture(CaptureEvent::Degrade { .. }) => "capture_degrade",
+            TelemetryEvent::Capture(CaptureEvent::Drain { .. }) => "capture_drain",
         }
     }
 }
@@ -229,6 +315,20 @@ pub struct StatusSnapshot {
     pub recoveries: usize,
     /// Rebalance decisions seen so far (grid streams only).
     pub rebalances: usize,
+    /// Blocks that arrived at the capture front-end so far.
+    pub capture_arrivals: usize,
+    /// Blocks dropped at capture so far.
+    pub capture_drops: usize,
+    /// Blocks degraded at capture so far.
+    pub capture_degraded: usize,
+    /// Drain batches handed to the scheduler so far.
+    pub capture_batches: usize,
+    /// Blocks buffered in the capture ring as of the last drain.
+    pub capture_backlog_blocks: usize,
+    /// Capture ring byte footprint as of the last drain.
+    pub capture_ring_bytes: usize,
+    /// High-water capture ring byte footprint seen in the stream.
+    pub capture_ring_peak_bytes: usize,
     /// Per-device live state, device order.
     pub devices: Vec<DeviceStatus>,
 }
@@ -255,6 +355,13 @@ impl StatusSnapshot {
             canaries: 0,
             recoveries: 0,
             rebalances: 0,
+            capture_arrivals: 0,
+            capture_drops: 0,
+            capture_degraded: 0,
+            capture_batches: 0,
+            capture_backlog_blocks: 0,
+            capture_ring_bytes: 0,
+            capture_ring_peak_bytes: 0,
             devices: (0..devices)
                 .map(|device| DeviceStatus {
                     device,
@@ -390,6 +497,30 @@ impl Observer for StatusSnapshot {
             }
             TelemetryEvent::Rebalance { .. } => {
                 self.rebalances += 1;
+            }
+            TelemetryEvent::Capture(capture) => {
+                self.advance_clock(capture.at());
+                match capture {
+                    CaptureEvent::Arrival { .. } => {
+                        self.capture_arrivals += 1;
+                    }
+                    CaptureEvent::Drop { .. } => {
+                        self.capture_drops += 1;
+                    }
+                    CaptureEvent::Degrade { .. } => {
+                        self.capture_degraded += 1;
+                    }
+                    CaptureEvent::Drain {
+                        backlog_blocks,
+                        ring_bytes,
+                        ..
+                    } => {
+                        self.capture_batches += 1;
+                        self.capture_backlog_blocks = backlog_blocks;
+                        self.capture_ring_bytes = ring_bytes;
+                        self.capture_ring_peak_bytes = self.capture_ring_peak_bytes.max(ring_bytes);
+                    }
+                }
             }
         }
     }

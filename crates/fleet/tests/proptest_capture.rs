@@ -1,0 +1,190 @@
+//! Property-based invariants for the capture front-end.
+//!
+//! The capture subsystem's whole pitch is that pressure is *bounded
+//! and loud*: the ring never grows past its byte bound, every arrival
+//! lands in exactly one terminal ledger class, and a recorded arrival
+//! log replays to an identical run. These properties pin that down
+//! under arbitrary arrival processes, ring depths, watermarks, drain
+//! bandwidths, and all three backpressure policies:
+//!
+//! 1. **Byte bound** — under any arrival sequence the ring footprint
+//!    never exceeds `beams × capacity_blocks × bytes_per_block`, at
+//!    every single push (checked live, not just at the peak).
+//! 2. **Conservation** — after a full ingest,
+//!    `arrivals == scheduled + degraded + dropped`, the flush leaves no
+//!    backlog, drops split exactly by cause, and the event stream
+//!    agrees with the ledger count-for-count.
+//! 3. **Replay** — re-ingesting the recorded arrival log through an
+//!    identically-configured session reproduces the ledger, load,
+//!    and event stream byte-for-byte.
+
+use dedisp_fleet::capture::{
+    Arrival, ArrivalTrace, BackpressurePolicy, BlockFormat, CaptureConfig, CaptureRing,
+    CaptureSession,
+};
+use dedisp_fleet::{LoadSource, TelemetryEvent};
+use proptest::prelude::*;
+
+/// Raw material for one arrival: `(beam, gap_to_next_seconds)`.
+type RawArrival = (usize, f64);
+
+/// Folds raw material into a time-ordered arrival stream over `beams`
+/// beams with per-beam sequence numbers — the `PacketSource` contract.
+fn arrivals(raw: &[RawArrival], beams: usize) -> Vec<Arrival> {
+    let mut at = 0.0;
+    let mut seqs = vec![0u64; beams];
+    raw.iter()
+        .map(|&(beam, gap)| {
+            let beam = beam % beams;
+            at += gap;
+            let seq = seqs[beam];
+            seqs[beam] += 1;
+            Arrival { at, beam, seq }
+        })
+        .collect()
+}
+
+/// Decodes a policy from generated raw material.
+fn policy(kind: u8) -> BackpressurePolicy {
+    match kind % 3 {
+        0 => BackpressurePolicy::DropOldest,
+        1 => BackpressurePolicy::Downsample2x,
+        _ => BackpressurePolicy::NarrowDmPlan { tiers: 2 },
+    }
+}
+
+/// A capture config over the generated knobs.
+fn config(
+    beams: usize,
+    capacity_blocks: usize,
+    watermark: f64,
+    drain_max: usize,
+    kind: u8,
+) -> CaptureConfig {
+    CaptureConfig {
+        capacity_blocks,
+        high_watermark: watermark,
+        policy: policy(kind),
+        drain_max_blocks: drain_max,
+        ..CaptureConfig::new(beams, BlockFormat::new(4, 16), 800)
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Property 1: the ring's byte footprint respects the hard bound
+    /// after every single push, under any arrival order and policy.
+    #[test]
+    fn ring_never_exceeds_its_byte_bound(
+        beams in 1usize..5,
+        capacity_blocks in 1usize..6,
+        watermark in 0.2f64..1.0,
+        kind in 0u8..3,
+        raw in prop::collection::vec((0usize..8, 0.0f64..0.9), 1..80),
+    ) {
+        let ring = CaptureRing::new(
+            beams,
+            BlockFormat::new(4, 16),
+            capacity_blocks,
+            watermark,
+            policy(kind),
+        ).expect("valid ring");
+        for a in arrivals(&raw, beams) {
+            ring.push(a.beam, a.seq, a.at);
+            prop_assert!(
+                ring.bytes() <= ring.byte_bound(),
+                "footprint {} exceeded bound {} after push at {}",
+                ring.bytes(), ring.byte_bound(), a.at
+            );
+        }
+        prop_assert!(ring.peak_bytes() <= ring.byte_bound());
+    }
+
+    /// Property 2: a full ingest accounts every arrival exactly once,
+    /// flushes to zero backlog, and the typed event stream tells the
+    /// same story as the ledger.
+    #[test]
+    fn ingest_conserves_every_arrival(
+        beams in 1usize..5,
+        capacity_blocks in 1usize..6,
+        watermark in 0.2f64..1.0,
+        drain_max in 1usize..5,
+        kind in 0u8..3,
+        raw in prop::collection::vec((0usize..8, 0.0f64..0.9), 1..80),
+    ) {
+        let cfg = config(beams, capacity_blocks, watermark, drain_max, kind);
+        let log = arrivals(&raw, beams);
+        let run = CaptureSession::new(cfg)
+            .expect("valid config")
+            .ingest(ArrivalTrace::new(&log))
+            .expect("contract-clean source");
+        let ledger = run.ledger;
+        prop_assert!(ledger.conservation_ok());
+        prop_assert_eq!(ledger.arrivals, log.len());
+        prop_assert_eq!(ledger.final_backlog, 0, "the flush left a silent queue");
+        prop_assert_eq!(
+            ledger.arrivals,
+            ledger.scheduled + ledger.degraded + ledger.dropped
+        );
+        prop_assert_eq!(ledger.dropped, ledger.drops_evicted + ledger.drops_overflow);
+        // The stream and ledger agree count-for-count.
+        let count = |k: &str| run.events.iter().filter(|e| e.kind() == k).count();
+        prop_assert_eq!(count("capture_arrival"), ledger.arrivals);
+        prop_assert_eq!(count("capture_drop"), ledger.dropped);
+        prop_assert_eq!(count("capture_degrade"), ledger.degrade_events);
+        prop_assert_eq!(count("capture_drain"), ledger.batches);
+        // The load carries exactly the scheduled + degraded blocks and
+        // honors the LoadSource timing contract.
+        prop_assert_eq!(run.load.total_beams(), ledger.scheduled + ledger.degraded);
+        prop_assert_eq!(run.load.ticks(), ledger.batches);
+        prop_assert_eq!(run.load.ceilings().len(), run.load.ticks());
+        for tick in 0..run.load.ticks() {
+            prop_assert!(run.load.deadline(tick) >= run.load.release(tick));
+            if tick > 0 {
+                prop_assert!(run.load.release(tick) >= run.load.release(tick - 1));
+            }
+        }
+        // DropOldest never degrades; degrading policies never evict
+        // (their only drops are loud overflow drops at the hard bound).
+        match cfg.policy {
+            BackpressurePolicy::DropOldest => {
+                prop_assert_eq!(ledger.degrade_events, 0);
+                prop_assert_eq!(ledger.drops_overflow, 0);
+            }
+            _ => prop_assert_eq!(ledger.drops_evicted, 0),
+        }
+    }
+
+    /// Property 3: the recorded arrival log replays to an identical
+    /// run — ledger, load, events, and log all byte-for-byte equal.
+    #[test]
+    fn replay_from_the_arrival_log_is_identical(
+        beams in 1usize..5,
+        capacity_blocks in 1usize..6,
+        watermark in 0.2f64..1.0,
+        drain_max in 1usize..5,
+        kind in 0u8..3,
+        raw in prop::collection::vec((0usize..8, 0.0f64..0.9), 1..60),
+    ) {
+        let cfg = config(beams, capacity_blocks, watermark, drain_max, kind);
+        let log = arrivals(&raw, beams);
+        let first = CaptureSession::new(cfg)
+            .expect("valid config")
+            .ingest(ArrivalTrace::new(&log))
+            .expect("contract-clean source");
+        let replay = CaptureSession::new(cfg)
+            .expect("valid config")
+            .ingest(ArrivalTrace::new(&first.arrival_log))
+            .expect("the recorded log is contract-clean");
+        prop_assert_eq!(&replay.ledger, &first.ledger);
+        prop_assert_eq!(&replay.load, &first.load);
+        prop_assert_eq!(&replay.arrival_log, &first.arrival_log);
+        prop_assert_eq!(replay.events.len(), first.events.len());
+        for (a, b) in replay.events.iter().zip(&first.events) {
+            prop_assert!(
+                matches!((a, b), (TelemetryEvent::Capture(x), TelemetryEvent::Capture(y)) if x == y)
+            );
+        }
+    }
+}

@@ -7,6 +7,20 @@
 //! overlapped [`Chunk`]s the [`StreamingPipeline`](crate::pipeline::StreamingPipeline)
 //! consumes — the glue
 //! between an acquisition stage and the dedispersion workers.
+//!
+//! # Sizing an upstream capture ring
+//!
+//! The overlap is also the contract an acquisition stage must honor:
+//! the feeder emits nothing for the first `ceil(max_delay / s)`
+//! seconds (the warm-up, while the window still contains zero-filled
+//! cold start), so a capture ring buffering raw seconds ahead of the
+//! feeder must survive those warm-up seconds *plus* the second being
+//! pushed without evicting — `1 + ceil(overlap / out_samples)` blocks
+//! per beam, where `overlap = in_samples - out_samples` is the
+//! `max_delay` context in samples. That constant lives in
+//! [`dedisp_fleet::capture::ring::min_capacity_blocks`] (see DESIGN.md
+//! §13); the tests below assert this module and the capture ring agree
+//! on it, so the two layers cannot drift apart silently.
 
 use dedisp_core::{DedispersionPlan, InputBuffer, Result, StreamWindow};
 
@@ -131,6 +145,38 @@ mod tests {
         // The chunk starts with the tail of the previous second.
         assert!(chunk.data.channel(0)[..overlap].iter().all(|&v| v == 1.0));
         assert!(chunk.data.channel(0)[overlap..].iter().all(|&v| v == 2.0));
+    }
+
+    #[test]
+    fn capture_ring_sizing_matches_the_feeder_overlap() {
+        use dedisp_fleet::capture::ring::min_capacity_blocks;
+        let plan = plan();
+        let overlap = plan.in_samples() - plan.out_samples();
+        let capacity = min_capacity_blocks(plan.out_samples(), overlap);
+        // The ring rule holds enough whole blocks to cover one full
+        // dedispersion window (current second + its overlap context).
+        assert!(
+            capacity * plan.out_samples() >= plan.in_samples(),
+            "a min-sized ring must cover the feeder's window"
+        );
+        // And it is exactly the warm-up rule plus the current second:
+        // the feeder withholds ceil(overlap / s) seconds, the ring
+        // holds them plus one.
+        assert_eq!(capacity, 1 + overlap.div_ceil(plan.out_samples()));
+        // For this sub-second-delay plan that is two blocks: the first
+        // push warms the window up, the second streams.
+        assert_eq!(capacity, 2);
+        let mut feeder = BeamFeeder::new(Arc::clone(&plan), 1);
+        let blocks = second(&plan, 1.0);
+        let refs: Vec<&[f32]> = blocks.iter().map(Vec::as_slice).collect();
+        let mut pushes = 0;
+        while feeder.push_second(0, &refs).unwrap().is_none() {
+            pushes += 1;
+        }
+        assert!(
+            pushes < capacity,
+            "the warm-up ({pushes} withheld seconds + 1) must fit the min-sized ring"
+        );
     }
 
     #[test]
