@@ -1,0 +1,627 @@
+//! Telemetry hot-path gate: the batched observer seam vs the
+//! per-event path.
+//!
+//! This bench prices the PR-7 redesign and *gates* it in CI. Three
+//! measurements, all recorded in `BENCH_fleet.json` at the repo root:
+//!
+//! 1. **Observer delivery (gated, `batched_speedup >= 5`)** — a
+//!    synthetic order-of-millions beams/tick stream is encoded into an
+//!    [`EventLog`] once, then delivered to the identical sink stack
+//!    (live status + flight recorder + metrics registry) two ways:
+//!    through the per-event seam — one materialized event, one
+//!    `LiveStatus` write lock, one recorder mutex + clone, one linear
+//!    label-string scan, one registry fold, *per event*, which is
+//!    exactly what the pre-refactor dispatcher paid and what an
+//!    unmigrated [`Observer`] still pays via the compatibility
+//!    replay — and through the batched seam (`observe_batch`: columnar
+//!    folds straight off the rows, one lock acquisition per sink per
+//!    tick). Per-event materialization stands in for the pre-refactor
+//!    log's clone-push, so both sides price the same total work.
+//! 2. **End-to-end emit (recorded, not gated)** — the same stream
+//!    driven through the full pre-refactor pipeline (per-event sink
+//!    dispatch plus the `Vec<TelemetryEvent>` clone-push run log)
+//!    versus the pipeline the dispatcher now runs ([`TickBatch`] row
+//!    encoding, one `observe_batch` per tick, [`EventLog::push_batch`]
+//!    move). This ratio is bounded by raw encode bandwidth, so it is
+//!    recorded for the trajectory rather than gated.
+//! 3. **Observer-attached scheduler overhead (gated, `<= 5%`)** — the
+//!    real scheduler runs the `observe` bench's fleet workload under
+//!    `NullObserver` and under the full fanned-out stack; the
+//!    wall-clock delta must stay within the ceiling.
+//!
+//! Ratios, not raw rates, are what the CI gate compares: events/sec
+//! varies machine to machine, but the batched/per-event ratio and the
+//! observer overhead are properties of the code. Raw rates are still
+//! recorded for humans.
+//!
+//! Not a criterion harness: the gate needs `--json <out>` and
+//! `--check <baseline>` arguments (and must tolerate the extra
+//! `--bench` flag cargo passes), so `main` is hand-rolled.
+
+use dedisp_fleet::obs::{
+    Counter, Fanout, FlightRecorder, LiveStatus, MetricsRegistry, RegistryObserver,
+};
+use dedisp_fleet::{
+    BeamOutcome, BeamRecord, EventLog, HealthCause, HealthEvent, HealthState, NullObserver,
+    Observer, ResolvedFleet, Scheduler, ShedReason, ShedRecord, StatusSnapshot, SurveyLoad,
+    TelemetryEvent, TickBatch,
+};
+use serde::{Deserialize, Serialize};
+use std::hint::black_box;
+use std::process::ExitCode;
+use std::time::Instant;
+
+/// Devices the synthetic stream spreads placements over.
+const DEVICES: usize = 32;
+
+/// Encode-path repetitions (the minimum is reported).
+const ENCODE_REPS: usize = 3;
+
+/// Scheduler-run repetitions per observer configuration.
+const SCHED_REPS: usize = 7;
+
+/// Ticks in the scheduler-overhead workload. The `observe` bench's
+/// 3-tick run finishes in single-digit milliseconds, which is noise
+/// territory for a percentage gate; 24 ticks of the same per-tick
+/// load pushes each run well past that while keeping the bench quick.
+const SCHED_TICKS: usize = 24;
+
+/// Hard floors the redesign promised (ISSUE acceptance criteria).
+const SPEEDUP_FLOOR: f64 = 5.0;
+const OVERHEAD_CEILING_PCT: f64 = 5.0;
+
+/// Baseline drift tolerances for the CI gate. The overhead slack is
+/// wider than the speedup tolerance because the measured overhead
+/// swings a few points either side of zero run to run — the absolute
+/// ceiling above stays the binding gate; the baseline diff only has to
+/// catch step-change regressions.
+const SPEEDUP_TOLERANCE: f64 = 0.10;
+const OVERHEAD_SLACK_PCT: f64 = 5.0;
+
+/// One tick's worth of synthetic telemetry, shaped like a healthy
+/// high-volume run: per beam a `Placed` and a terminal `Beam`, with a
+/// realistic sprinkle of bounces, retries, sheds, probes, and health
+/// transitions, led by the tick's `Admission` ruling.
+fn synthetic_tick(tick: usize, beams: usize) -> Vec<TelemetryEvent> {
+    let t0 = tick as f64;
+    let mut events = Vec::with_capacity(2 * beams + beams / 32 + 4);
+    events.push(TelemetryEvent::Admission {
+        tick,
+        release: t0,
+        deadline: t0 + 1.0,
+        beams,
+        kept_trials: 2000,
+        shed_tiers: 0,
+    });
+    for beam in 0..beams {
+        let index = tick * beams + beam;
+        let device = beam % DEVICES;
+        let at = t0 + (beam as f64) / (beams as f64);
+        events.push(TelemetryEvent::Placed {
+            index,
+            device,
+            at,
+            kept_trials: 2000,
+            attempt: 1,
+            canary: false,
+        });
+        if beam % 64 == 63 {
+            events.push(TelemetryEvent::Bounce {
+                index,
+                device,
+                at,
+                attempt: 1,
+            });
+            events.push(TelemetryEvent::Retry {
+                index,
+                at: at + 0.01,
+                attempt: 2,
+            });
+            events.push(TelemetryEvent::Placed {
+                index,
+                device: (device + 1) % DEVICES,
+                at: at + 0.01,
+                kept_trials: 2000,
+                attempt: 2,
+                canary: false,
+            });
+        }
+        if beam % 256 == 255 {
+            events.push(TelemetryEvent::Shed(ShedRecord {
+                index,
+                tick,
+                beam,
+                shed_trials: 200,
+                kept_trials: 1800,
+                reason: ShedReason::DeadlinePressure,
+            }));
+        }
+        if beam % 4096 == 4095 {
+            events.push(TelemetryEvent::Probe {
+                device,
+                at,
+                up: true,
+            });
+            events.push(TelemetryEvent::Health(HealthEvent {
+                at,
+                device,
+                from: HealthState::Suspect,
+                to: HealthState::Healthy,
+                cause: HealthCause::ProbeUp,
+            }));
+        }
+        let kept = if beam % 256 == 255 { 1800 } else { 2000 };
+        events.push(TelemetryEvent::Beam(BeamRecord {
+            index,
+            tick,
+            beam,
+            outcome: if kept == 2000 {
+                BeamOutcome::Completed {
+                    device,
+                    finish: at + 0.5,
+                }
+            } else {
+                BeamOutcome::Degraded {
+                    device,
+                    finish: at + 0.5,
+                    kept_trials: kept,
+                    shed_trials: 2000 - kept,
+                }
+            },
+        }));
+    }
+    events
+}
+
+/// One per-event observation through the pre-refactor wiring: the
+/// real [`Fanout`] forwards the event to every sink with one virtual
+/// call each (live status write lock, recorder mutex + clone, registry
+/// fold), preceded by the old linear label-string scan the registry's
+/// kind counters used before the `EventKind`-indexed table. The scan's
+/// increment is left to the registry fold so the counter is bumped
+/// exactly once — scanning *and* incrementing here would overcount the
+/// pre-refactor path by one atomic add.
+fn observe_per_event(
+    fanout: &mut Fanout,
+    kinds: &[(&'static str, Counter)],
+    event: &TelemetryEvent,
+) {
+    black_box(kinds.iter().find(|(k, _)| *k == event.kind()));
+    fanout.observe(event);
+}
+
+/// Drives `stream` through the pre-refactor pipeline: per-event
+/// dispatch into every sink plus the `Vec<TelemetryEvent>` clone-push
+/// run log the old dispatcher kept. Returns the log length (so the
+/// work can't fold).
+fn drive_per_event(
+    stream: &[Vec<TelemetryEvent>],
+    fanout: &mut Fanout,
+    kinds: &[(&'static str, Counter)],
+) -> usize {
+    let mut log: Vec<TelemetryEvent> = Vec::new();
+    for tick in stream {
+        for event in tick {
+            observe_per_event(fanout, kinds, event);
+            log.push(event.clone());
+        }
+    }
+    black_box(log.len())
+}
+
+/// Drives `stream` through the batched path the dispatcher now runs:
+/// row-encode into a [`TickBatch`], one `observe_batch` per tick into
+/// the fanned-out stack, one `push_batch` into the [`EventLog`].
+fn drive_batched(stream: &[Vec<TelemetryEvent>], fanout: &mut Fanout) -> usize {
+    let mut log = EventLog::new();
+    let mut batch = TickBatch::new();
+    for tick in stream {
+        // The dispatcher reserves per tick from its admitted beam
+        // count; mirror that with the same two-events-per-beam shape.
+        batch.reserve_tick(tick.len() / 2);
+        for event in tick {
+            batch.push(event);
+        }
+        fanout.observe_batch(&batch);
+        log.push_batch(std::mem::take(&mut batch));
+    }
+    black_box(log.len())
+}
+
+/// The old kind-counter table: label-string keyed, scanned linearly.
+fn string_keyed_kinds(registry: &MetricsRegistry) -> Vec<(&'static str, Counter)> {
+    [
+        "admission",
+        "placed",
+        "beam",
+        "shed",
+        "bounce",
+        "retry",
+        "probe",
+        "health",
+        "rebalance",
+        "capture_arrival",
+        "capture_drop",
+        "capture_degrade",
+        "capture_drain",
+    ]
+    .iter()
+    .map(|&kind| {
+        (
+            kind,
+            registry.counter(
+                "bench_events_total",
+                "pre-refactor kind counters",
+                &[("kind", kind)],
+            ),
+        )
+    })
+    .collect()
+}
+
+/// Min-of-reps wall time for `f`, seconds.
+fn time_min<F: FnMut() -> usize>(reps: usize, mut f: F) -> f64 {
+    let mut best = f64::INFINITY;
+    for _ in 0..reps {
+        let start = Instant::now();
+        black_box(f());
+        best = best.min(start.elapsed().as_secs_f64());
+    }
+    best
+}
+
+/// One watched fleet run (same workload as the `observe` bench, so
+/// numbers are comparable); returns completions so the work can't fold.
+fn run_watched(fleet: &ResolvedFleet, load: &SurveyLoad, observer: &mut dyn Observer) -> usize {
+    let run = Scheduler::session(black_box(fleet))
+        .load(black_box(load))
+        .run_with(observer)
+        .unwrap();
+    assert!(run.report.conservation_ok());
+    run.report.completed
+}
+
+/// Asserts both delivery paths fold to the same operator view before
+/// anything is timed — a wrong fast path must fail the gate loudly,
+/// not post a fast number.
+fn self_check(stream: &[Vec<TelemetryEvent>]) {
+    let flat: Vec<TelemetryEvent> = stream.iter().flatten().cloned().collect();
+    let registry = MetricsRegistry::new();
+    let live_a = LiveStatus::new(DEVICES);
+    let live_b = LiveStatus::new(DEVICES);
+    {
+        let mut live = live_a.clone();
+        let mut recorder = FlightRecorder::new(1 << 14);
+        let mut metrics = RegistryObserver::new(&registry, DEVICES);
+        let kinds = string_keyed_kinds(&registry);
+        let mut fanout = Fanout::new()
+            .with(&mut metrics)
+            .with(&mut recorder)
+            .with(&mut live);
+        drive_per_event(stream, &mut fanout, &kinds);
+    }
+
+    let mut batch_log = EventLog::new();
+    let mut batch = TickBatch::new();
+    for tick in stream {
+        for event in tick {
+            batch.push(event);
+        }
+        live_b.fold_batch(&batch);
+        batch_log.push_batch(std::mem::take(&mut batch));
+    }
+    assert_eq!(
+        live_a.snapshot(),
+        live_b.snapshot(),
+        "batched and per-event folds disagree"
+    );
+    assert_eq!(
+        batch_log,
+        EventLog::from_events(&flat),
+        "batched log decodes differently from the flat stream"
+    );
+    assert_eq!(
+        StatusSnapshot::from_log(DEVICES, &batch_log),
+        live_a.snapshot(),
+        "log fold disagrees with the live fold"
+    );
+}
+
+/// What the bench measures, the file CI commits, and the baseline the
+/// gate diffs against — one struct, serialized as-is.
+#[derive(Debug, Serialize, Deserialize)]
+struct Results {
+    /// Identifies the format; bump when the measured fields change.
+    schema: String,
+    beams_per_tick: usize,
+    ticks: usize,
+    events_total: usize,
+    devices: usize,
+    /// Machine-dependent rates (million events/sec), recorded for
+    /// humans; the CI gate compares only the ratios below.
+    ///
+    /// `deliver_*` price the observer seam alone (sink folds over an
+    /// already-encoded log); `emit_*` price the full pipeline
+    /// (encode/clone-push plus delivery plus run log).
+    deliver_per_event_meps: f64,
+    deliver_batched_meps: f64,
+    emit_per_event_meps: f64,
+    emit_batched_meps: f64,
+    /// End-to-end emit pipeline ratio, recorded for the trajectory
+    /// (bounded by encode bandwidth, so not floor-gated).
+    emit_speedup: f64,
+    scheduler_null_secs: f64,
+    scheduler_full_stack_secs: f64,
+    /// Gated: per-event delivery wall time over batched delivery wall
+    /// time, identical sinks, same encoded stream.
+    batched_speedup: f64,
+    /// Gated: full-stack scheduler time over `NullObserver` time.
+    observer_overhead_pct: f64,
+}
+
+fn measure(beams_per_tick: usize, ticks: usize) -> Results {
+    eprintln!("telemetry-bench: synthesizing {ticks} ticks x {beams_per_tick} beams ...");
+    let stream: Vec<Vec<TelemetryEvent>> = (0..ticks)
+        .map(|t| synthetic_tick(t, beams_per_tick))
+        .collect();
+    let events_total: usize = stream.iter().map(Vec::len).sum();
+    self_check(&stream);
+
+    eprintln!(
+        "telemetry-bench: emit per-event path ({events_total} events x {ENCODE_REPS} reps) ..."
+    );
+    let emit_per_event_secs = time_min(ENCODE_REPS, || {
+        let registry = MetricsRegistry::new();
+        let mut live = LiveStatus::new(DEVICES);
+        let mut recorder = FlightRecorder::new(1 << 14);
+        let mut metrics = RegistryObserver::new(&registry, DEVICES);
+        let kinds = string_keyed_kinds(&registry);
+        let mut fanout = Fanout::new()
+            .with(&mut metrics)
+            .with(&mut recorder)
+            .with(&mut live);
+        drive_per_event(&stream, &mut fanout, &kinds)
+    });
+
+    eprintln!(
+        "telemetry-bench: emit batched path ({events_total} events x {ENCODE_REPS} reps) ..."
+    );
+    let emit_batched_secs = time_min(ENCODE_REPS, || {
+        let registry = MetricsRegistry::new();
+        let mut live = LiveStatus::new(DEVICES);
+        let mut recorder = FlightRecorder::new(1 << 14);
+        let mut metrics = RegistryObserver::new(&registry, DEVICES);
+        let mut fanout = Fanout::new()
+            .with(&mut metrics)
+            .with(&mut recorder)
+            .with(&mut live);
+        drive_batched(&stream, &mut fanout)
+    });
+
+    // The delivery comparison folds the same encoded log through the
+    // same sinks, per-event vs batched — encode once, outside the
+    // timed region.
+    let encoded = {
+        let mut log = EventLog::new();
+        let mut batch = TickBatch::new();
+        for tick in &stream {
+            batch.reserve_tick(tick.len() / 2);
+            for event in tick {
+                batch.push(event);
+            }
+            log.push_batch(std::mem::take(&mut batch));
+        }
+        log
+    };
+    drop(stream);
+
+    eprintln!(
+        "telemetry-bench: per-event delivery ({events_total} events x {ENCODE_REPS} reps) ..."
+    );
+    let deliver_per_event_secs = time_min(ENCODE_REPS, || {
+        let registry = MetricsRegistry::new();
+        let mut live = LiveStatus::new(DEVICES);
+        let mut recorder = FlightRecorder::new(1 << 14);
+        let mut metrics = RegistryObserver::new(&registry, DEVICES);
+        let kinds = string_keyed_kinds(&registry);
+        let mut fanout = Fanout::new()
+            .with(&mut metrics)
+            .with(&mut recorder)
+            .with(&mut live);
+        let mut n = 0;
+        for batch in encoded.batches() {
+            for event in batch.iter() {
+                observe_per_event(&mut fanout, &kinds, &event);
+                n += 1;
+            }
+        }
+        n
+    });
+
+    eprintln!("telemetry-bench: batched delivery ({events_total} events x {ENCODE_REPS} reps) ...");
+    let deliver_batched_secs = time_min(ENCODE_REPS, || {
+        let registry = MetricsRegistry::new();
+        let mut live = LiveStatus::new(DEVICES);
+        let mut recorder = FlightRecorder::new(1 << 14);
+        let mut metrics = RegistryObserver::new(&registry, DEVICES);
+        let mut fanout = Fanout::new()
+            .with(&mut metrics)
+            .with(&mut recorder)
+            .with(&mut live);
+        let mut n = 0;
+        for batch in encoded.batches() {
+            fanout.observe_batch(batch);
+            n += batch.len();
+        }
+        n
+    });
+    drop(encoded);
+
+    eprintln!(
+        "telemetry-bench: scheduler overhead (null vs full stack, {SCHED_REPS} reps each) ..."
+    );
+    let spb: Vec<f64> = (0..32).map(|d| 0.09 + 0.002 * (d % 5) as f64).collect();
+    let fleet = ResolvedFleet::synthetic(2000, &spb);
+    let load = SurveyLoad::custom(2000, fleet.beams_capacity() * 9 / 10, SCHED_TICKS);
+    let null_secs = time_min(SCHED_REPS, || run_watched(&fleet, &load, &mut NullObserver));
+    // Sink construction (metric registration in particular) happens
+    // once, outside the timed region — the gate prices per-event
+    // observation, not setup. State accumulating across reps does not
+    // change the per-event cost.
+    let registry = MetricsRegistry::new();
+    let mut live = LiveStatus::new(fleet.len());
+    let mut recorder = FlightRecorder::new(1 << 14);
+    let mut metrics = RegistryObserver::new(&registry, fleet.len());
+    let mut fanout = Fanout::new()
+        .with(&mut metrics)
+        .with(&mut recorder)
+        .with(&mut live);
+    let full_stack_secs = time_min(SCHED_REPS, || run_watched(&fleet, &load, &mut fanout));
+
+    let meps = |secs: f64| events_total as f64 / secs / 1e6;
+    Results {
+        schema: "dedisp-bench-telemetry-v1".to_string(),
+        beams_per_tick,
+        ticks,
+        events_total,
+        devices: DEVICES,
+        deliver_per_event_meps: meps(deliver_per_event_secs),
+        deliver_batched_meps: meps(deliver_batched_secs),
+        emit_per_event_meps: meps(emit_per_event_secs),
+        emit_batched_meps: meps(emit_batched_secs),
+        emit_speedup: emit_per_event_secs / emit_batched_secs,
+        scheduler_null_secs: null_secs,
+        scheduler_full_stack_secs: full_stack_secs,
+        batched_speedup: deliver_per_event_secs / deliver_batched_secs,
+        observer_overhead_pct: (full_stack_secs - null_secs) / null_secs * 100.0,
+    }
+}
+
+/// Applies the gate: the acceptance floors always, baseline drift when
+/// a committed baseline is given. Returns the failures.
+fn gate(r: &Results, baseline: Option<&Results>) -> Vec<String> {
+    let mut failures = Vec::new();
+    if r.batched_speedup < SPEEDUP_FLOOR {
+        failures.push(format!(
+            "batched_speedup {:.2}x is below the {SPEEDUP_FLOOR:.0}x floor",
+            r.batched_speedup
+        ));
+    }
+    if r.observer_overhead_pct > OVERHEAD_CEILING_PCT {
+        failures.push(format!(
+            "observer_overhead_pct {:.2}% exceeds the {OVERHEAD_CEILING_PCT:.0}% ceiling",
+            r.observer_overhead_pct
+        ));
+    }
+    if let Some(base) = baseline {
+        if r.batched_speedup < base.batched_speedup * (1.0 - SPEEDUP_TOLERANCE) {
+            failures.push(format!(
+                "batched_speedup {:.2}x regressed more than {:.0}% below the baseline ({:.2}x)",
+                r.batched_speedup,
+                SPEEDUP_TOLERANCE * 100.0,
+                base.batched_speedup,
+            ));
+        }
+        if r.observer_overhead_pct > base.observer_overhead_pct + OVERHEAD_SLACK_PCT {
+            failures.push(format!(
+                "observer_overhead_pct {:.2}% exceeds baseline {:.2}% by more than {OVERHEAD_SLACK_PCT:.0} points",
+                r.observer_overhead_pct, base.observer_overhead_pct,
+            ));
+        }
+    }
+    failures
+}
+
+fn main() -> ExitCode {
+    let mut json_out: Option<String> = None;
+    let mut check: Option<String> = None;
+    let mut beams_per_tick = 1_000_000usize;
+    let mut ticks = 2usize;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--json" => json_out = args.next(),
+            "--check" => check = args.next(),
+            "--beams" => {
+                if let Some(n) = args.next().and_then(|s| s.parse().ok()) {
+                    beams_per_tick = n;
+                }
+            }
+            "--ticks" => {
+                if let Some(n) = args.next().and_then(|s| s.parse().ok()) {
+                    ticks = n;
+                }
+            }
+            // cargo bench passes --bench (and criterion-style filters);
+            // neither selects anything here.
+            _ => {}
+        }
+    }
+
+    let results = measure(beams_per_tick, ticks);
+    println!(
+        "telemetry hot path: {} events ({} beams/tick x {} ticks)",
+        results.events_total, results.beams_per_tick, results.ticks
+    );
+    println!("observer delivery (same encoded log, same sinks):");
+    println!(
+        "  per-event seam   {:>8.2} M events/s",
+        results.deliver_per_event_meps
+    );
+    println!(
+        "  batched seam     {:>8.2} M events/s  ({:.2}x speedup, floor {:.0}x)",
+        results.deliver_batched_meps, results.batched_speedup, SPEEDUP_FLOOR
+    );
+    println!("end-to-end emit (encode/clone-push + delivery + run log):");
+    println!(
+        "  per-event path   {:>8.2} M events/s",
+        results.emit_per_event_meps
+    );
+    println!(
+        "  batched path     {:>8.2} M events/s  ({:.2}x, recorded, not gated)",
+        results.emit_batched_meps, results.emit_speedup
+    );
+    println!(
+        "scheduler overhead: null {:.3}s vs full stack {:.3}s -> {:+.2}% (ceiling {:.0}%)",
+        results.scheduler_null_secs,
+        results.scheduler_full_stack_secs,
+        results.observer_overhead_pct,
+        OVERHEAD_CEILING_PCT
+    );
+
+    if let Some(path) = &json_out {
+        let body = serde_json::to_string_pretty(&results).expect("report serializes");
+        if let Err(err) = std::fs::write(path, body + "\n") {
+            eprintln!("telemetry-bench: cannot write {path}: {err}");
+            return ExitCode::FAILURE;
+        }
+        println!("wrote {path}");
+    }
+
+    let baseline: Option<Results> = match &check {
+        Some(path) => match std::fs::read_to_string(path)
+            .map_err(|e| e.to_string())
+            .and_then(|s| serde_json::from_str(&s).map_err(|e| e.to_string()))
+        {
+            Ok(value) => Some(value),
+            Err(err) => {
+                eprintln!("telemetry-bench: cannot read baseline {path}: {err}");
+                return ExitCode::FAILURE;
+            }
+        },
+        None => None,
+    };
+
+    let failures = gate(&results, baseline.as_ref());
+    if failures.is_empty() {
+        if check.is_some() {
+            println!("gate: PASS (within tolerance of the committed baseline)");
+        }
+        ExitCode::SUCCESS
+    } else {
+        for failure in &failures {
+            eprintln!("gate: FAIL: {failure}");
+        }
+        ExitCode::FAILURE
+    }
+}

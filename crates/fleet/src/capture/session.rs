@@ -43,6 +43,7 @@
 use super::arrivals::{Arrival, PacketSource};
 use super::policy::BackpressurePolicy;
 use super::ring::{BlockFormat, CaptureRing, Fidelity};
+use crate::batch::EventLog;
 use crate::descriptor::FleetError;
 use crate::load::LoadSource;
 use crate::telemetry::{CaptureEvent, TelemetryEvent};
@@ -205,14 +206,24 @@ pub struct CaptureRun {
     pub load: CaptureLoad,
     /// Every arrival accounted exactly once.
     pub ledger: CaptureLedger,
-    /// The typed capture event stream, in emission order. Replayed
+    /// The typed capture event stream, in emission order, sealed into
+    /// one [`crate::TickBatch`] per drain window. Replayed batch-wise
     /// into a scheduler session's telemetry by
     /// [`crate::Session::capture`].
-    pub events: Vec<TelemetryEvent>,
+    pub log: EventLog,
     /// The validated arrivals, in ingest order — replaying this log
     /// through an identically-configured session reproduces the run
     /// exactly (see [`super::ArrivalTrace`]).
     pub arrival_log: Vec<Arrival>,
+}
+
+impl CaptureRun {
+    /// Materializes the capture event stream as a flat vector — the
+    /// pre-batching `CaptureRun::events` field, kept as a shim.
+    #[deprecated(note = "iterate `CaptureRun::log` instead; this materializes a fresh Vec")]
+    pub fn events(&self) -> Vec<TelemetryEvent> {
+        self.log.to_events()
+    }
 }
 
 /// An ingest pass over one arrival stream.
@@ -284,7 +295,7 @@ impl CaptureSession {
         let kept_for_narrow = narrowed_ceiling(&config);
         let survival_s = config.capacity_blocks as f64 * config.period_s;
 
-        let mut events: Vec<TelemetryEvent> = Vec::new();
+        let mut log = EventLog::new();
         let mut arrival_log: Vec<Arrival> = Vec::new();
         let mut ticks: Vec<BatchTick> = Vec::new();
         let mut ceilings: Vec<usize> = Vec::new();
@@ -324,7 +335,7 @@ impl CaptureSession {
                     _ => ring.bytes_per_block(),
                 };
                 ledger.arrivals += 1;
-                events.push(TelemetryEvent::Capture(CaptureEvent::Arrival {
+                log.push(&TelemetryEvent::Capture(CaptureEvent::Arrival {
                     beam: arrival.beam,
                     seq: arrival.seq,
                     at: arrival.at,
@@ -332,7 +343,7 @@ impl CaptureSession {
                 }));
                 if report.stored.is_degraded() {
                     ledger.degrade_events += 1;
-                    events.push(TelemetryEvent::Capture(CaptureEvent::Degrade {
+                    log.push(&TelemetryEvent::Capture(CaptureEvent::Degrade {
                         beam: arrival.beam,
                         seq: arrival.seq,
                         at: arrival.at,
@@ -345,7 +356,7 @@ impl CaptureSession {
                         super::policy::CaptureDropCause::Evicted => ledger.drops_evicted += 1,
                         super::policy::CaptureDropCause::Overflow => ledger.drops_overflow += 1,
                     }
-                    events.push(TelemetryEvent::Capture(CaptureEvent::Drop {
+                    log.push(&TelemetryEvent::Capture(CaptureEvent::Drop {
                         beam: old.beam,
                         seq: old.seq,
                         at: arrival.at,
@@ -370,7 +381,7 @@ impl CaptureSession {
                     }
                 }
                 ledger.batches += 1;
-                events.push(TelemetryEvent::Capture(CaptureEvent::Drain {
+                log.push(&TelemetryEvent::Capture(CaptureEvent::Drain {
                     tick: ticks.len(),
                     at: drain_at,
                     blocks: batch.len(),
@@ -379,6 +390,9 @@ impl CaptureSession {
                     backlog_blocks: ring.backlog_blocks(),
                     ring_bytes: ring.bytes(),
                 }));
+                // One drain window, one sealed batch: downstream batch
+                // consumers see the capture cadence block-for-block.
+                log.seal();
                 ticks.push(BatchTick {
                     blocks: batch.len(),
                     release,
@@ -402,6 +416,7 @@ impl CaptureSession {
         }
         ledger.final_backlog = ring.backlog_blocks();
         ledger.peak_bytes = ring.peak_bytes();
+        log.seal();
         Ok(CaptureRun {
             load: CaptureLoad {
                 trials: config.trials,
@@ -409,7 +424,7 @@ impl CaptureSession {
                 ceilings,
             },
             ledger,
-            events,
+            log,
             arrival_log,
         })
     }
@@ -538,7 +553,7 @@ mod tests {
         assert!(ledger.peak_bytes <= ledger.byte_bound);
         // The drop events carry the story.
         let drops = run
-            .events
+            .log
             .iter()
             .filter(|e| e.kind() == "capture_drop")
             .count();
@@ -558,7 +573,7 @@ mod tests {
         assert!(ledger.degraded > 0, "the burst must hit the watermark");
         assert!(ledger.peak_bytes <= ledger.byte_bound);
         let degrade_events = run
-            .events
+            .log
             .iter()
             .filter(|e| e.kind() == "capture_degrade")
             .count();
@@ -605,7 +620,7 @@ mod tests {
             .unwrap();
         assert_eq!(replay.ledger, first.ledger);
         assert_eq!(replay.load, first.load);
-        assert_eq!(replay.events, first.events);
+        assert_eq!(replay.log, first.log);
         assert_eq!(replay.arrival_log, first.arrival_log);
     }
 

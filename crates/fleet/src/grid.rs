@@ -32,6 +32,7 @@
 //! only loudly degraded.
 
 use crate::admission::GridAdmission;
+use crate::batch::TickBatch;
 use crate::descriptor::{FleetError, ResolvedFleet};
 use crate::load::LoadSource;
 use crate::metrics::{BeamOutcome, BeamRecord, FleetReport, ShedReason, ShedRecord};
@@ -292,10 +293,10 @@ impl<'a> GridSession<'a> {
             .collect();
         for (shard, (run, shard_load)) in shard_runs.iter().zip(&shard_loads).enumerate() {
             let globals = shard_load.global_beams();
-            for event in &run.events {
+            for event in run.log.iter() {
                 events.push(ShardEvent {
                     shard: Some(shard),
-                    event: rekey(event, &globals),
+                    event: rekey(&event, &globals),
                 });
             }
         }
@@ -398,6 +399,15 @@ impl Observer for ShardForward<'_> {
     fn observe(&mut self, event: &TelemetryEvent) {
         self.sink
             .observe_grid(Some(self.shard), &rekey(event, &self.globals));
+    }
+
+    fn observe_batch(&mut self, batch: &TickBatch) {
+        // The batched form of the per-event re-keying above: remap the
+        // identity columns once over the whole block, then hand the
+        // shard-tagged batch to the grid sink in one call.
+        let mut rekeyed = batch.clone();
+        rekeyed.rekey(|index| self.globals.get(index).map(|g| (g.index, g.beam)));
+        self.sink.observe_grid_batch(Some(self.shard), &rekeyed);
     }
 }
 

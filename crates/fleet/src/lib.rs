@@ -38,8 +38,13 @@
 //! * [`TelemetryEvent`] / [`Observer`] — the unified telemetry stream:
 //!   every observable fact of a run (admission rulings, placements,
 //!   bounces, probes, health transitions, terminal outcomes, grid
-//!   rebalances) on one typed stream. Reports are folds over it, and
-//!   a [`StatusSnapshot`] — serde round-trippable, derivable from any
+//!   rebalances) on one typed stream. On the hot path the stream is
+//!   SoA-encoded: the dispatcher emits [`TickBatch`] blocks at its
+//!   deterministic tick boundaries through the batched observer seam
+//!   ([`Observer::observe_batch`], with a per-event compatibility
+//!   replay as the default), and runs carry the stream as an
+//!   [`EventLog`]. Reports are folds over it, and a
+//!   [`StatusSnapshot`] — serde round-trippable, derivable from any
 //!   stream prefix — gives operators the queryable point-in-time view
 //!   behind the planned status endpoint.
 //! * [`FleetReport`] — per-device utilization, queue depth, deadline
@@ -105,6 +110,7 @@
 #![warn(missing_docs)]
 
 mod admission;
+mod batch;
 pub mod capture;
 mod descriptor;
 mod fault;
@@ -121,6 +127,7 @@ pub use admission::{
     AdmissionDecision, AdmissionPolicy, BeamDemand, CapacityView, DeviceCapacity, GridAdmission,
     PerDeviceGreedy, TierLadder,
 };
+pub use batch::{EventKind, EventLog, TickBatch};
 pub use capture::{
     Arrival, ArrivalPattern, ArrivalProcess, ArrivalTrace, BackpressurePolicy, BlockFormat,
     CaptureConfig, CaptureDropCause, CaptureLedger, CaptureLoad, CaptureRing, CaptureRun,
@@ -142,6 +149,6 @@ pub use scheduler::{FleetRun, Scheduler, SchedulerConfig, Session};
 pub use shard::{GlobalBeam, GridFaultPlan, RebalancePolicy, ShardCondition, ShardLoad};
 pub use survey::{BeamJob, SurveyLoad};
 pub use telemetry::{
-    CaptureEvent, DeviceStatus, EventLog, GridObserver, NullObserver, Observer, StatusSnapshot,
+    CaptureEvent, DeviceStatus, GridObserver, NullObserver, Observer, StatusSnapshot,
     TelemetryEvent,
 };

@@ -15,6 +15,7 @@
 //! [`crate::Observer`] (a [`crate::StatusSnapshot`], a future status
 //! endpoint) sees exactly the facts the report aggregates.
 
+use crate::batch::EventLog;
 use crate::descriptor::ResolvedFleet;
 use crate::load::LoadSource;
 use crate::telemetry::{Observer, TelemetryEvent};
@@ -334,14 +335,12 @@ impl FleetReport {
     pub(crate) fn build(
         fleet: &ResolvedFleet,
         load: &dyn LoadSource,
-        events: &[TelemetryEvent],
+        log: &EventLog,
         stats: &[WorkerStats],
         died_at: &[Option<f64>],
     ) -> Self {
         let mut fold = ReportFold::new(fleet.len());
-        for event in events {
-            fold.observe(event);
-        }
+        log.replay(&mut fold);
         // The historical shed ledger is ordered by global beam index
         // (it was built by scanning the index-ordered record vector);
         // the stream emits sheds in observation order, so restore the
@@ -513,7 +512,8 @@ mod tests {
                 max_queue_depth: 1,
             },
         ];
-        let report = FleetReport::build(&fleet, &load, &events, &stats, &[None, Some(5.0)]);
+        let log = EventLog::from_events(&events);
+        let report = FleetReport::build(&fleet, &load, &log, &stats, &[None, Some(5.0)]);
         assert!(report.conservation_ok());
         assert_eq!(report.completed, 1);
         assert_eq!(report.degraded, 1);
@@ -555,7 +555,8 @@ mod tests {
                 },
             }),
         ];
-        let report = FleetReport::build(&fleet, &load, &events, &stats, &[None]);
+        let log = EventLog::from_events(&events);
+        let report = FleetReport::build(&fleet, &load, &log, &stats, &[None]);
         assert!(!report.conservation_ok());
         assert_eq!(report.shed_whole, 1);
         assert_eq!(report.total_shed_trials, 10);
@@ -567,7 +568,13 @@ mod tests {
         let fleet = ResolvedFleet::synthetic(10, &[0.5, 0.5]);
         let load = SurveyLoad::custom(10, 1, 1);
         let stats = vec![WorkerStats::default(); 2];
-        let report = FleetReport::build(&fleet, &load, &[], &stats, &[Some(0.1), Some(0.2)]);
+        let report = FleetReport::build(
+            &fleet,
+            &load,
+            &EventLog::new(),
+            &stats,
+            &[Some(0.1), Some(0.2)],
+        );
         assert!(report.devices.iter().all(|d| d.died_at.is_some()));
         // No survivors: the mean must be 0.0, never NaN.
         let mean = report.mean_surviving_utilization();

@@ -8,6 +8,7 @@
 //! one `LiveStatus` per shard plus a shard-less front-end fold, and
 //! aggregates them into a [`GridStatusSnapshot`] on demand.
 
+use crate::batch::TickBatch;
 use crate::telemetry::{GridObserver, Observer, StatusSnapshot, TelemetryEvent};
 use parking_lot::RwLock;
 use serde::{Deserialize, Serialize};
@@ -38,6 +39,12 @@ impl LiveStatus {
         self.inner.write().observe(event);
     }
 
+    /// Folds a whole batch under one write section — the incremental
+    /// hot path: one lock acquisition per tick instead of per event.
+    pub fn fold_batch(&self, batch: &TickBatch) {
+        self.inner.write().observe_batch(batch);
+    }
+
     /// A consistent point-in-time copy of the snapshot.
     pub fn snapshot(&self) -> StatusSnapshot {
         self.inner.read().clone()
@@ -47,6 +54,10 @@ impl LiveStatus {
 impl Observer for LiveStatus {
     fn observe(&mut self, event: &TelemetryEvent) {
         self.fold(event);
+    }
+
+    fn observe_batch(&mut self, batch: &TickBatch) {
+        self.fold_batch(batch);
     }
 }
 
@@ -199,6 +210,17 @@ impl GridObserver for LiveGrid {
             None => self.front.fold(event),
         }
     }
+
+    fn observe_grid_batch(&self, shard: Option<usize>, batch: &TickBatch) {
+        match shard {
+            Some(s) => {
+                if let Some(live) = self.shards.get(s) {
+                    live.fold_batch(batch);
+                }
+            }
+            None => self.front.fold_batch(batch),
+        }
+    }
 }
 
 /// Fans one telemetry stream out to several observers, in order.
@@ -232,6 +254,14 @@ impl Observer for Fanout<'_> {
             sink.observe(event);
         }
     }
+
+    fn observe_batch(&mut self, batch: &TickBatch) {
+        // Forward the batch itself: each sink applies its own batched
+        // fast path (or the compatibility replay) independently.
+        for sink in &mut self.sinks {
+            sink.observe_batch(batch);
+        }
+    }
 }
 
 /// The grid-side fanout: shares one live grid stream across several
@@ -252,6 +282,12 @@ impl GridObserver for GridFanout<'_> {
     fn observe_grid(&self, shard: Option<usize>, event: &TelemetryEvent) {
         for sink in self.sinks {
             sink.observe_grid(shard, event);
+        }
+    }
+
+    fn observe_grid_batch(&self, shard: Option<usize>, batch: &TickBatch) {
+        for sink in self.sinks {
+            sink.observe_grid_batch(shard, batch);
         }
     }
 }
@@ -276,7 +312,7 @@ mod tests {
         // The clone shares the fold: the original handle sees the
         // whole run.
         assert_eq!(live.snapshot(), run.status());
-        assert_eq!(recorder.recorded() as usize, run.events.len());
+        assert_eq!(recorder.recorded() as usize, run.log.len());
     }
 
     #[test]

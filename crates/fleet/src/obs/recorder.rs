@@ -13,6 +13,7 @@
 //! format `GET /events` serves and [`FlightRecorder::from_ndjson`]
 //! parses back for post-incident replay.
 
+use crate::batch::TickBatch;
 use crate::telemetry::{GridObserver, Observer, StatusSnapshot, TelemetryEvent};
 use parking_lot::Mutex;
 use serde::{Deserialize, Serialize};
@@ -55,6 +56,13 @@ impl Recorder {
     }
 
     fn record(&mut self, shard: Option<usize>, event: &TelemetryEvent) {
+        self.record_owned(shard, event.clone());
+    }
+
+    /// The allocation-honest path: the event is moved into the ring,
+    /// never cloned. Batch decoding feeds this directly, so a recorded
+    /// event is materialized exactly once.
+    fn record_owned(&mut self, shard: Option<usize>, event: TelemetryEvent) {
         let slot = Self::slot(shard);
         if slot >= self.rings.len() {
             self.rings.resize_with(slot + 1, Ring::default);
@@ -66,10 +74,35 @@ impl Recorder {
         ring.buf.push_back(RecordedEvent {
             seq: self.next_seq,
             shard,
-            event: event.clone(),
+            event,
         });
         self.next_seq += 1;
         self.recorded += 1;
+    }
+
+    /// Records a whole batch. Because a ring keeps only the newest
+    /// `capacity` events per shard and the entire batch lands in one
+    /// ring, any event deeper than `capacity` from the batch's end
+    /// would be evicted before the batch finished — so those are never
+    /// decoded at all. The sequence stamps and the recorded/dropped
+    /// accounting still advance exactly as if every event had been
+    /// pushed and aged out, which keeps `tail`, `recorded`, and
+    /// `dropped` identical to the per-event path.
+    fn record_batch(&mut self, shard: Option<usize>, batch: &TickBatch) {
+        let skip = batch.len().saturating_sub(self.capacity);
+        if skip > 0 {
+            let slot = Self::slot(shard);
+            if slot >= self.rings.len() {
+                self.rings.resize_with(slot + 1, Ring::default);
+            }
+            self.rings[slot].buf.clear();
+            self.next_seq += skip as u64;
+            self.recorded += skip as u64;
+        }
+        for i in skip..batch.len() {
+            let event = batch.get(i).expect("order index in range");
+            self.record_owned(shard, event);
+        }
     }
 }
 
@@ -105,6 +138,17 @@ impl FlightRecorder {
     /// Records one event under a shard tag.
     pub fn record(&self, shard: Option<usize>, event: &TelemetryEvent) {
         self.inner.lock().record(shard, event);
+    }
+
+    /// Records a whole batch under one lock acquisition, moving each
+    /// decoded event straight into the ring — the batched hot path the
+    /// [`Observer`]/[`GridObserver`] batch seams use. Events that the
+    /// ring bound would evict before the batch finished are accounted
+    /// for (sequence stamps and drop counts advance) but never
+    /// decoded, so recording cost is bounded by the ring capacity, not
+    /// the batch size.
+    pub fn record_batch(&self, shard: Option<usize>, batch: &TickBatch) {
+        self.inner.lock().record_batch(shard, batch);
     }
 
     /// Events currently held across all rings.
@@ -192,11 +236,19 @@ impl Observer for FlightRecorder {
     fn observe(&mut self, event: &TelemetryEvent) {
         self.record(None, event);
     }
+
+    fn observe_batch(&mut self, batch: &TickBatch) {
+        self.record_batch(None, batch);
+    }
 }
 
 impl GridObserver for FlightRecorder {
     fn observe_grid(&self, shard: Option<usize>, event: &TelemetryEvent) {
         self.record(shard, event);
+    }
+
+    fn observe_grid_batch(&self, shard: Option<usize>, batch: &TickBatch) {
+        self.record_batch(shard, batch);
     }
 }
 
@@ -243,7 +295,7 @@ mod tests {
             .load(&load)
             .run_with(&mut recorder)
             .unwrap();
-        assert_eq!(recorder.recorded() as usize, run.events.len());
+        assert_eq!(recorder.recorded() as usize, run.log.len());
         let tail = recorder.tail(usize::MAX);
         let text = FlightRecorder::to_ndjson(&tail);
         let back = FlightRecorder::from_ndjson(&text).unwrap();

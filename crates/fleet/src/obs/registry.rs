@@ -18,6 +18,7 @@
 //! those out per shard, labelled `shard="<i>"`, behind the live
 //! [`crate::GridObserver`] interface.
 
+use crate::batch::{EventKind, TickBatch};
 use crate::capture::{BackpressurePolicy, CaptureDropCause};
 use crate::metrics::{BeamOutcome, FleetReport};
 use crate::telemetry::{CaptureEvent, GridObserver, Observer, TelemetryEvent};
@@ -160,6 +161,34 @@ impl Histogram {
     /// Sum of observations.
     pub fn sum(&self) -> f64 {
         f64::from_bits(self.core.sum_bits.load(Ordering::Relaxed))
+    }
+
+    /// Records many observations in one pass: bucket counts, the sum,
+    /// and the total accumulate locally, then each touched atomic is
+    /// written once — the batched-fold fast path. Equivalent to
+    /// observing each value individually, except the sum is added as
+    /// one grouped `f64` (rounding may differ in the last ulp).
+    pub fn observe_many<I: IntoIterator<Item = f64>>(&self, values: I) {
+        let bounds = &self.core.bounds;
+        let mut counts = vec![0u64; bounds.len() + 1];
+        let mut sum = 0.0;
+        let mut total = 0u64;
+        for v in values {
+            let idx = bounds.iter().position(|&b| v <= b).unwrap_or(bounds.len());
+            counts[idx] += 1;
+            sum += v;
+            total += 1;
+        }
+        if total == 0 {
+            return;
+        }
+        for (cell, &n) in self.core.counts.iter().zip(&counts) {
+            if n > 0 {
+                cell.fetch_add(n, Ordering::Relaxed);
+            }
+        }
+        add_f64(&self.core.sum_bits, sum);
+        self.core.count.fetch_add(total, Ordering::Relaxed);
     }
 
     /// Cumulative bucket counts as `(le, count)` pairs, ending with the
@@ -322,8 +351,15 @@ impl MetricsRegistry {
 
     /// Renders every family in the Prometheus text exposition format
     /// 0.0.4 (see [`super::expo`]).
+    ///
+    /// The family table is snapshotted under the read lock (series
+    /// handles are cheap `Arc` clones) and the rendering — including
+    /// each histogram's cumulative-bucket computation — runs outside
+    /// it, so a slow scrape never stalls observers registering or
+    /// folding on the tick loop.
     pub fn render_prometheus(&self) -> String {
-        super::expo::render(&self.families.read())
+        let families = self.families.read().clone();
+        super::expo::render(&families)
     }
 }
 
@@ -391,6 +427,10 @@ pub struct RegistryObserver {
     capture_peak: AtomicU64,
 }
 
+/// The `fleet_events_total` label table, in [`EventKind`] discriminant
+/// order — [`RegistryObserver::fold`] indexes the counter vector by
+/// `EventKind::index()`, so this order is load-bearing (pinned by the
+/// `event_kind_labels_match_the_counter_table` test).
 const EVENT_KINDS: [&str; 13] = [
     "admission",
     "placed",
@@ -624,9 +664,211 @@ impl RegistryObserver {
     /// what lets [`GridRegistry`] share per-shard observers across
     /// threads behind [`GridObserver`]).
     pub fn fold(&self, event: &TelemetryEvent) {
-        if let Some((_, c)) = self.events.iter().find(|(k, _)| *k == event.kind()) {
+        self.fold_kind(EventKind::of(event));
+        self.fold_detail(event);
+    }
+
+    /// Folds a whole batch straight off its columns — no event is
+    /// materialized. Per-kind counters add the column lengths;
+    /// commutative details (outcomes, sheds, canaries, recoveries,
+    /// capture counts, histograms) accumulate locally and flush with
+    /// one atomic touch per cell; the order-sensitive queue-depth
+    /// trajectory walks the order table once with local per-device
+    /// state and writes each touched cell back once. The final
+    /// registry state matches folding the same events one at a time,
+    /// except that histogram sums are grouped before the atomic add
+    /// (floating-point rounding can differ in the last ulp).
+    pub fn fold_batch(&self, batch: &TickBatch) {
+        if batch.is_empty() {
+            return;
+        }
+        for kind in EventKind::ALL {
+            let n = batch.count_kind(kind);
+            if n > 0 {
+                if let Some((_, c)) = self.events.get(kind.index()) {
+                    c.add(n as u64);
+                }
+            }
+        }
+        // Admission gauges are last-write-wins; the tick table takes
+        // one write lock for the whole batch. Admissions precede their
+        // tick's beams in the stream, so filling the table before the
+        // beam fold below preserves the per-event drain semantics.
+        if let Some(last) = batch.admissions.last() {
+            self.tick.set(last.tick as f64);
+            self.kept_trials.set(last.kept_trials as f64);
+            self.shed_tiers.set(last.shed_tiers as f64);
+            let mut ticks = self.ticks.write();
+            for r in &batch.admissions {
+                let tick = r.tick as usize;
+                if tick >= ticks.len() {
+                    ticks.resize(tick + 1, (r.release, r.deadline));
+                }
+                ticks[tick] = (r.release, r.deadline);
+            }
+        }
+        if !batch.placed.is_empty() {
+            // One pass over the placed column: the histogram consumes
+            // the attempt numbers while the same traversal counts
+            // canaries on the side.
+            let mut canaries = 0u64;
+            self.attempts.observe_many(batch.placed.iter().map(|r| {
+                canaries += u64::from(r.canary);
+                f64::from(r.attempt)
+            }));
+            if canaries > 0 {
+                self.canaries.add(canaries);
+            }
+        }
+        if !batch.beams.is_empty() {
+            let mut outcome_counts = [0u64; 4];
+            {
+                let ticks = self.ticks.read();
+                self.drain
+                    .observe_many(batch.beams.iter().filter_map(|record| {
+                        let (slot, finish) = match record.outcome {
+                            BeamOutcome::Completed { finish, .. } => (0, Some(finish)),
+                            BeamOutcome::Degraded { finish, .. } => (1, Some(finish)),
+                            BeamOutcome::Missed { finish, .. } => (2, Some(finish)),
+                            BeamOutcome::ShedWhole { .. } => (3, None),
+                        };
+                        outcome_counts[slot] += 1;
+                        let finish = finish?;
+                        ticks.get(record.tick).map(|&(release, _)| finish - release)
+                    }));
+            }
+            for ((_, counter), &n) in self.outcomes.iter().zip(&outcome_counts) {
+                if n > 0 {
+                    counter.add(n);
+                }
+            }
+        }
+        if !batch.sheds.is_empty() {
+            let total: u64 = batch.sheds.iter().map(|s| s.shed_trials as u64).sum();
+            self.shed_trials.add(total);
+        }
+        for bounce in &batch.bounces {
+            if let Some(cells) = self.device(bounce.device as usize) {
+                cells.bounces.inc();
+            }
+        }
+        if !batch.health.is_empty() {
+            let recoveries = batch
+                .health
+                .iter()
+                .filter(|h| h.to == crate::metrics::HealthState::Healthy)
+                .count();
+            if recoveries > 0 {
+                self.recoveries.add(recoveries as u64);
+            }
+        }
+        if !batch.captures.is_empty() {
+            self.fold_captures(&batch.captures);
+        }
+        // Queue depths need the exact interleaving of placements and
+        // resolutions; replay the batch's dense precomputed trajectory
+        // with local per-device state, then write each touched cell
+        // back once.
+        if !batch.depth_steps.is_empty() {
+            let mut local: Vec<(u64, u64, bool)> = self
+                .devices
+                .iter()
+                .map(|c| {
+                    (
+                        c.depth.load(Ordering::Relaxed),
+                        c.peak.load(Ordering::Relaxed),
+                        false,
+                    )
+                })
+                .collect();
+            for &(device, up) in &batch.depth_steps {
+                if let Some((depth, peak, touched)) = local.get_mut(device as usize) {
+                    *depth = if up {
+                        *depth + 1
+                    } else {
+                        depth.saturating_sub(1)
+                    };
+                    *peak = (*peak).max(*depth);
+                    *touched = true;
+                }
+            }
+            for (cells, &(depth, peak, touched)) in self.devices.iter().zip(&local) {
+                if !touched {
+                    continue;
+                }
+                cells.depth.store(depth, Ordering::Relaxed);
+                cells.queue_depth.set(depth as f64);
+                if peak > cells.peak.load(Ordering::Relaxed) {
+                    cells.peak.store(peak, Ordering::Relaxed);
+                    cells.queue_depth_peak.set(peak as f64);
+                }
+            }
+        }
+    }
+
+    /// The capture column of a batched fold: counts accumulate
+    /// locally; the ring gauges are last-write-wins with a monotone
+    /// peak, exactly as the per-event fold leaves them.
+    fn fold_captures(&self, captures: &[CaptureEvent]) {
+        let mut arrivals = 0u64;
+        let mut last_drain = None;
+        let mut drain_peak = 0u64;
+        for capture in captures {
+            match *capture {
+                CaptureEvent::Arrival { .. } => arrivals += 1,
+                CaptureEvent::Drop { cause, .. } => {
+                    if let Some((_, c)) = self
+                        .capture_drops
+                        .iter()
+                        .find(|(label, _)| *label == cause.label())
+                    {
+                        c.inc();
+                    }
+                }
+                CaptureEvent::Degrade { policy, .. } => {
+                    if let Some((_, c)) = self
+                        .capture_degrades
+                        .iter()
+                        .find(|(label, _)| *label == policy.label())
+                    {
+                        c.inc();
+                    }
+                }
+                CaptureEvent::Drain {
+                    backlog_blocks,
+                    ring_bytes,
+                    ..
+                } => {
+                    last_drain = Some((backlog_blocks, ring_bytes));
+                    drain_peak = drain_peak.max(ring_bytes as u64);
+                }
+            }
+        }
+        if arrivals > 0 {
+            self.capture_arrivals.add(arrivals);
+        }
+        if let Some((backlog_blocks, ring_bytes)) = last_drain {
+            self.capture_ring_fill.set(ring_bytes as f64);
+            self.capture_backlog.set(backlog_blocks as f64);
+            if drain_peak > self.capture_peak.load(Ordering::Relaxed) {
+                self.capture_peak.store(drain_peak, Ordering::Relaxed);
+                self.capture_ring_fill_peak.set(drain_peak as f64);
+            }
+        }
+    }
+
+    /// Bumps the `fleet_events_total` counter for `kind`, indexed by
+    /// the dense discriminant (the counter vector is built from
+    /// [`EVENT_KINDS`], which is in [`EventKind`] order).
+    fn fold_kind(&self, kind: EventKind) {
+        if let Some((_, c)) = self.events.get(kind.index()) {
             c.inc();
         }
+    }
+
+    /// Everything [`RegistryObserver::fold`] derives beyond the
+    /// per-kind counter.
+    fn fold_detail(&self, event: &TelemetryEvent) {
         match *event {
             TelemetryEvent::Admission {
                 tick,
@@ -766,6 +1008,10 @@ impl Observer for RegistryObserver {
     fn observe(&mut self, event: &TelemetryEvent) {
         self.fold(event);
     }
+
+    fn observe_batch(&mut self, batch: &TickBatch) {
+        self.fold_batch(batch);
+    }
 }
 
 /// Grid-scope registry wiring: one [`RegistryObserver`] per shard
@@ -824,6 +1070,22 @@ impl GridObserver for GridRegistry {
             }
         }
     }
+
+    fn observe_grid_batch(&self, shard: Option<usize>, batch: &TickBatch) {
+        match shard {
+            Some(s) => {
+                if let Some(observer) = self.shards.get(s) {
+                    observer.fold_batch(batch);
+                }
+            }
+            None => {
+                // Grid-level batches only ever carry rebalances; count
+                // them off the batch header without decoding.
+                self.rebalances
+                    .add(batch.count_kind(EventKind::Rebalance) as u64);
+            }
+        }
+    }
 }
 
 #[cfg(test)]
@@ -857,6 +1119,16 @@ mod tests {
             cumulative,
             vec![(0.5, 1), (1.0, 3), (2.0, 4), (f64::INFINITY, 5)]
         );
+    }
+
+    #[test]
+    fn event_kind_labels_match_the_counter_table() {
+        // `fold_kind` indexes the counter vector by the dense
+        // discriminant; the label table must stay in that exact order.
+        assert_eq!(EVENT_KINDS.len(), EventKind::COUNT);
+        for (i, kind) in EventKind::ALL.iter().enumerate() {
+            assert_eq!(EVENT_KINDS[i], kind.label());
+        }
     }
 
     #[test]

@@ -87,6 +87,7 @@ use crate::admission::{
     AdmissionDecision, AdmissionPolicy, BeamDemand, CapacityView, DeviceCapacity, PerDeviceGreedy,
     TierLadder, DEADLINE_EPS,
 };
+use crate::batch::{EventLog, TickBatch};
 use crate::capture::CaptureRun;
 use crate::descriptor::{FleetError, ResolvedFleet};
 use crate::fault::{DeviceFaults, FaultPlan, Gate};
@@ -149,17 +150,25 @@ pub struct FleetRun {
     pub report: FleetReport,
     /// Terminal state of every admitted beam, in job-index order.
     pub records: Vec<BeamRecord>,
-    /// The unified telemetry stream, in emission order. The report is a
-    /// fold over exactly these events; any prefix folds into a
-    /// [`StatusSnapshot`].
-    pub events: Vec<TelemetryEvent>,
+    /// The unified telemetry stream, in emission order, carried in the
+    /// batched [`EventLog`] encoding (one sealed [`crate::TickBatch`]
+    /// per dispatcher tick). The report is a fold over exactly these
+    /// events; any prefix folds into a [`StatusSnapshot`].
+    pub log: EventLog,
 }
 
 impl FleetRun {
     /// Folds the full telemetry stream into the run's final status
     /// snapshot.
     pub fn status(&self) -> StatusSnapshot {
-        StatusSnapshot::from_events(self.report.devices.len(), &self.events)
+        StatusSnapshot::from_log(self.report.devices.len(), &self.log)
+    }
+
+    /// Materializes the telemetry stream as a flat vector — the
+    /// pre-batching `FleetRun::events` field, kept as a shim.
+    #[deprecated(note = "iterate `FleetRun::log` instead; this materializes a fresh Vec")]
+    pub fn events(&self) -> Vec<TelemetryEvent> {
+        self.log.to_events()
     }
 }
 
@@ -241,7 +250,7 @@ pub struct Session<'a> {
     faults: Option<&'a FaultPlan>,
     policy: &'a dyn AdmissionPolicy,
     ceilings: Option<&'a [usize]>,
-    prelude: Option<&'a [TelemetryEvent]>,
+    prelude: Option<&'a EventLog>,
 }
 
 impl Scheduler {
@@ -310,12 +319,14 @@ impl<'a> Session<'a> {
     /// `NarrowDmPlan` pressure derived, and replays the run's
     /// [`TelemetryEvent::Capture`] stream into the session's telemetry
     /// ahead of the scheduling events — so observers, snapshots, and
-    /// the returned [`FleetRun::events`] all see the edge.
+    /// the returned [`FleetRun::log`] all see the edge. The replay is
+    /// batch-wise: the capture log's sealed drain-window batches are
+    /// appended whole, never re-encoded event by event.
     #[must_use]
     pub fn capture(mut self, run: &'a CaptureRun) -> Self {
         self.load = Some(&run.load);
         self.ceilings = Some(run.load.ceilings());
-        self.prelude = Some(&run.events);
+        self.prelude = Some(&run.log);
         self
     }
 
@@ -332,9 +343,12 @@ impl<'a> Session<'a> {
         self.run_with(&mut NullObserver)
     }
 
-    /// Runs the session to completion, forwarding every telemetry
-    /// event to `observer` as it is emitted (the returned
-    /// [`FleetRun::events`] still carries the full stream).
+    /// Runs the session to completion, forwarding the telemetry
+    /// stream to `observer` as one [`TickBatch`] per tick boundary
+    /// (the returned [`FleetRun::log`] still carries the full
+    /// stream). Observers that only implement the per-event
+    /// [`Observer::observe`] see every event in order via the
+    /// compatibility default of [`Observer::observe_batch`].
     ///
     /// # Errors
     ///
@@ -367,11 +381,11 @@ impl<'a> Session<'a> {
             observer,
         );
         // A capture-fed session replays the ingest-side events first:
-        // the capture stream predates every scheduling decision.
+        // the capture stream predates every scheduling decision. The
+        // prelude arrives already batched (one block per drain
+        // window), so it is forwarded and logged batch-wise.
         if let Some(prelude) = self.prelude {
-            for event in prelude {
-                dispatcher.emit(event.clone());
-            }
+            dispatcher.replay_prelude(prelude);
         }
 
         let records = std::thread::scope(|scope| {
@@ -396,7 +410,7 @@ impl<'a> Session<'a> {
                 let beams = load.beams_at(tick);
                 dispatcher.send_due_probes(release);
                 dispatcher.observe(&event_rx);
-                let directive = dispatcher.admit_tick(tick, release, deadline, beams);
+                let directive = dispatcher.admit_tick_reserving(tick, release, deadline, beams);
                 for beam in 0..beams {
                     let job = BeamJob {
                         index: next_index,
@@ -414,8 +428,13 @@ impl<'a> Session<'a> {
                     }
                     dispatcher.observe(&event_rx);
                 }
+                // One tick, one batch: every event this tick encoded
+                // reaches the live observer at this deterministic
+                // boundary and lands in the run log as one block.
+                dispatcher.flush();
             }
             dispatcher.observe(&event_rx); // defensive: nothing may stay in flight
+            dispatcher.flush();
             dispatcher.senders.clear(); // hang up; workers drain and retire
             std::mem::take(&mut dispatcher.records)
         });
@@ -426,13 +445,13 @@ impl<'a> Session<'a> {
             .ok_or_else(|| FleetError::new("beam lost without a terminal outcome"))?;
         let stats = stats.into_inner();
         let died_at: Vec<Option<f64>> = (0..n).map(|d| faults.kill_time(d)).collect();
-        let events = std::mem::take(&mut dispatcher.events);
+        let log = std::mem::take(&mut dispatcher.log);
         drop(dispatcher);
-        let report = FleetReport::build(fleet, load, &events, &stats, &died_at);
+        let report = FleetReport::build(fleet, load, &log, &stats, &died_at);
         Ok(FleetRun {
             report,
             records,
-            events,
+            log,
         })
     }
 }
@@ -471,8 +490,10 @@ struct Dispatcher<'s> {
     policy: &'s dyn AdmissionPolicy,
     /// Per-tick admission ceilings from a grid-scope controller.
     ceilings: Option<&'s [usize]>,
-    /// The unified telemetry stream, in emission order.
-    events: Vec<TelemetryEvent>,
+    /// The tick in flight, SoA-encoded; flushed at tick boundaries.
+    batch: TickBatch,
+    /// The unified telemetry stream, one sealed batch per tick.
+    log: EventLog,
     /// Live subscriber to the stream.
     observer: &'s mut dyn Observer,
     /// Consecutive late completions per device.
@@ -515,7 +536,8 @@ impl<'s> Dispatcher<'s> {
             ladder: TierLadder::new(trials, config),
             policy,
             ceilings,
-            events: Vec::new(),
+            batch: TickBatch::new(),
+            log: EventLog::new(),
             observer,
             late_strikes: vec![0; n],
             probe_pending: vec![false; n],
@@ -530,11 +552,33 @@ impl<'s> Dispatcher<'s> {
         }
     }
 
-    /// Appends one event to the stream and forwards it to the live
-    /// observer.
+    /// Encodes one event into the tick's batch. Nothing reaches the
+    /// live observer until [`Dispatcher::flush`] seals the batch at
+    /// the tick boundary — the hot path is a columnar append, not a
+    /// virtual dispatch.
     fn emit(&mut self, event: TelemetryEvent) {
-        self.observer.observe(&event);
-        self.events.push(event);
+        self.batch.push(&event);
+    }
+
+    /// Seals the tick in flight: hands the batch to the live observer
+    /// through the batched seam, then moves it into the run log.
+    fn flush(&mut self) {
+        if self.batch.is_empty() {
+            return;
+        }
+        let batch = std::mem::take(&mut self.batch);
+        self.observer.observe_batch(&batch);
+        self.log.push_batch(batch);
+    }
+
+    /// Replays a capture prelude batch-wise: each sealed drain-window
+    /// block reaches the observer and the log whole, never re-encoded
+    /// event by event.
+    fn replay_prelude(&mut self, prelude: &EventLog) {
+        for batch in prelude.batches() {
+            self.observer.observe_batch(batch);
+            self.log.push_batch(batch.clone());
+        }
     }
 
     /// Whether `d` may be handed a beam right now: healthy, or on
@@ -569,6 +613,20 @@ impl<'s> Dispatcher<'s> {
     /// view, asks the session's policy for a ruling, applies any
     /// grid-scope ceiling, and emits the [`TelemetryEvent::Admission`]
     /// ruling.
+    fn admit_tick_reserving(
+        &mut self,
+        tick: usize,
+        release: f64,
+        deadline: f64,
+        beams: usize,
+    ) -> TickDirective {
+        // Pre-size the tick's batch for its dominant traffic (one
+        // `Placed` plus one terminal `Beam` per admitted beam) so the
+        // columnar append never reallocates mid-tick.
+        self.batch.reserve_tick(beams);
+        self.admit_tick(tick, release, deadline, beams)
+    }
+
     fn admit_tick(
         &mut self,
         tick: usize,
@@ -1400,7 +1458,7 @@ mod tests {
         }
         assert_eq!(first_report, second_report);
         assert_eq!(first.records, second.records);
-        assert_eq!(first.events, second.events, "the stream is deterministic");
+        assert_eq!(first.log, second.log, "the stream is deterministic");
         // Faulted runs are deterministic too.
         let faults = FaultPlan::none().with_kill(1, 0.9);
         let first = Scheduler::session(&fleet)
@@ -1416,7 +1474,7 @@ mod tests {
         assert!(first.report.conservation_ok());
         assert!(second.report.conservation_ok());
         assert_eq!(first.records, second.records);
-        assert_eq!(first.events, second.events);
+        assert_eq!(first.log, second.log);
         assert_eq!(
             first.report.devices[1].died_at,
             second.report.devices[1].died_at
@@ -1551,10 +1609,10 @@ mod tests {
         }
         // One admission ruling per tick, in order.
         let ticks: Vec<usize> = run
-            .events
+            .log
             .iter()
             .filter_map(|e| match e {
-                TelemetryEvent::Admission { tick, .. } => Some(*tick),
+                TelemetryEvent::Admission { tick, .. } => Some(tick),
                 _ => None,
             })
             .collect();
@@ -1582,7 +1640,7 @@ mod tests {
         // capture fact, and the stream's fold carries the capture
         // counters into the status snapshot.
         assert!(matches!(
-            fleet_run.events.first(),
+            fleet_run.log.first(),
             Some(TelemetryEvent::Capture(_))
         ));
         let status = fleet_run.status();
@@ -1590,5 +1648,21 @@ mod tests {
         assert_eq!(status.capture_drops, run.ledger.dropped);
         assert_eq!(status.capture_batches, run.ledger.batches);
         assert_eq!(status.capture_backlog_blocks, 0, "the flush drained it");
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn the_deprecated_events_shims_materialize_the_log() {
+        use crate::capture::{
+            ArrivalPattern, ArrivalProcess, BlockFormat, CaptureConfig, CaptureSession,
+        };
+        let fleet = ResolvedFleet::synthetic(100, &[0.1, 0.1]);
+        let load = SurveyLoad::custom(100, 3, 2);
+        let run = Scheduler::session(&fleet).load(&load).run().unwrap();
+        assert_eq!(run.events(), run.log.to_events());
+        let config = CaptureConfig::new(2, BlockFormat::new(16, 32), 64);
+        let source = ArrivalProcess::new(2, 3, config.period_s, ArrivalPattern::Steady, 11);
+        let capture = CaptureSession::new(config).unwrap().ingest(source).unwrap();
+        assert_eq!(capture.events(), capture.log.to_events());
     }
 }

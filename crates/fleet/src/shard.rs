@@ -82,7 +82,9 @@ impl ShardLoad {
     /// This table powers both re-keyings of a shard's telemetry to
     /// global identity: the post-run [`crate::ShardEvent`] stream and
     /// the live per-shard forwarding behind
-    /// [`crate::GridSession::run_with`].
+    /// [`crate::GridSession::run_with`] — which remaps whole
+    /// [`crate::TickBatch`] blocks column-wise
+    /// ([`crate::TickBatch::rekey`]) rather than decoding events.
     pub fn global_beams(&self) -> Vec<GlobalBeam> {
         self.ticks
             .iter()

@@ -13,6 +13,7 @@
 //! deterministic synchronization points, so the stream itself is as
 //! reproducible as the report it folds into.
 
+use crate::batch::{EventKind, EventLog, TickBatch};
 use crate::capture::policy::{BackpressurePolicy, CaptureDropCause};
 use crate::metrics::{BeamOutcome, BeamRecord, HealthEvent, HealthState, ShedRecord};
 use serde::{Deserialize, Serialize};
@@ -186,21 +187,7 @@ impl TelemetryEvent {
     /// `kind` label of the observability layer's event counters
     /// ([`crate::obs::RegistryObserver`]).
     pub fn kind(&self) -> &'static str {
-        match self {
-            TelemetryEvent::Admission { .. } => "admission",
-            TelemetryEvent::Placed { .. } => "placed",
-            TelemetryEvent::Beam(_) => "beam",
-            TelemetryEvent::Shed(_) => "shed",
-            TelemetryEvent::Bounce { .. } => "bounce",
-            TelemetryEvent::Retry { .. } => "retry",
-            TelemetryEvent::Probe { .. } => "probe",
-            TelemetryEvent::Health(_) => "health",
-            TelemetryEvent::Rebalance { .. } => "rebalance",
-            TelemetryEvent::Capture(CaptureEvent::Arrival { .. }) => "capture_arrival",
-            TelemetryEvent::Capture(CaptureEvent::Drop { .. }) => "capture_drop",
-            TelemetryEvent::Capture(CaptureEvent::Degrade { .. }) => "capture_degrade",
-            TelemetryEvent::Capture(CaptureEvent::Drain { .. }) => "capture_drain",
-        }
+        EventKind::of(self).label()
     }
 }
 
@@ -213,6 +200,21 @@ impl TelemetryEvent {
 pub trait Observer {
     /// Consumes one event.
     fn observe(&mut self, event: &TelemetryEvent);
+
+    /// Consumes one tick's batch of events.
+    ///
+    /// This is the hot-path seam: the dispatcher emits *only* batches,
+    /// flushed at its deterministic tick boundaries, so a sink that
+    /// overrides this method pays its per-delivery costs (locks,
+    /// dispatch, allocation) once per tick instead of once per event.
+    /// The default is the compatibility adapter — it replays the batch
+    /// as individual [`Observer::observe`] calls in emission order, so
+    /// every per-event observer works unchanged on the batched seam.
+    fn observe_batch(&mut self, batch: &TickBatch) {
+        for event in batch.iter() {
+            self.observe(&event);
+        }
+    }
 }
 
 /// A consumer of a *grid* run's telemetry, fed live from every shard
@@ -231,6 +233,17 @@ pub trait Observer {
 pub trait GridObserver: Sync {
     /// Consumes one shard-tagged, globally re-keyed event.
     fn observe_grid(&self, shard: Option<usize>, event: &TelemetryEvent);
+
+    /// Consumes one shard-tagged batch, already re-keyed to global
+    /// beam identity. The grid's per-shard forwarding adapters deliver
+    /// whole tick batches through this seam; the default replays the
+    /// batch as individual [`GridObserver::observe_grid`] calls, so
+    /// per-event grid observers work unchanged.
+    fn observe_grid_batch(&self, shard: Option<usize>, batch: &TickBatch) {
+        for event in batch.iter() {
+            self.observe_grid(shard, &event);
+        }
+    }
 }
 
 /// The no-op observer used when a caller only wants the report.
@@ -239,23 +252,15 @@ pub struct NullObserver;
 
 impl Observer for NullObserver {
     fn observe(&mut self, _event: &TelemetryEvent) {}
+
+    /// Skips the compatibility replay: a null sink never decodes.
+    fn observe_batch(&mut self, _batch: &TickBatch) {}
 }
 
 impl GridObserver for NullObserver {
     fn observe_grid(&self, _shard: Option<usize>, _event: &TelemetryEvent) {}
-}
 
-/// An observer that simply collects the stream.
-#[derive(Debug, Default, Clone, PartialEq)]
-pub struct EventLog {
-    /// The collected events, in emission order.
-    pub events: Vec<TelemetryEvent>,
-}
-
-impl Observer for EventLog {
-    fn observe(&mut self, event: &TelemetryEvent) {
-        self.events.push(event.clone());
-    }
+    fn observe_grid_batch(&self, _shard: Option<usize>, _batch: &TickBatch) {}
 }
 
 /// One device's live state, as folded from the stream.
@@ -379,6 +384,13 @@ impl StatusSnapshot {
         for event in events {
             snapshot.observe(event);
         }
+        snapshot
+    }
+
+    /// Folds a whole [`EventLog`] into a snapshot, batch by batch.
+    pub fn from_log(devices: usize, log: &EventLog) -> Self {
+        let mut snapshot = Self::new(devices);
+        log.replay(&mut snapshot);
         snapshot
     }
 
@@ -521,6 +533,122 @@ impl Observer for StatusSnapshot {
                         self.capture_ring_peak_bytes = self.capture_ring_peak_bytes.max(ring_bytes);
                     }
                 }
+            }
+        }
+    }
+
+    /// The incremental fast path: columnar passes over the batch's row
+    /// vectors, plus one slim ordered walk — no [`TelemetryEvent`] is
+    /// materialized. Counts and shed sums are commutative, the clock is
+    /// a running maximum, and every last-write-wins cell (admission
+    /// state, per-device health, capture drain gauges) lands in a
+    /// single column whose order is the stream order — so all of those
+    /// fold column-by-column. Only the per-device `queue_depth` depends
+    /// on the exact interleaving of placements and resolutions (the
+    /// `saturating_sub` clips against the running value), so that alone
+    /// walks the order table, touching nothing else. The result is
+    /// value-identical to replaying [`StatusSnapshot::observe`] per
+    /// event — the batch proptest suite pins this on real scheduler
+    /// and capture streams.
+    fn observe_batch(&mut self, batch: &TickBatch) {
+        self.events_folded += batch.len();
+        if let Some(last) = batch.admissions.last() {
+            self.tick = Some(last.tick as usize);
+            self.kept_trials_in_force = Some(last.kept_trials as usize);
+            self.shed_tiers_in_force = Some(last.shed_tiers as usize);
+            for r in &batch.admissions {
+                self.advance_clock(r.release);
+            }
+        }
+        self.placed += batch.placed.len();
+        for r in &batch.placed {
+            self.advance_clock(r.at);
+            if r.canary {
+                self.canaries += 1;
+            }
+        }
+        for record in &batch.beams {
+            match record.outcome {
+                BeamOutcome::Completed { finish, .. } => {
+                    self.completed += 1;
+                    self.advance_clock(finish);
+                }
+                BeamOutcome::Degraded { finish, .. } => {
+                    self.degraded += 1;
+                    self.advance_clock(finish);
+                }
+                BeamOutcome::Missed { finish, .. } => {
+                    self.deadline_misses += 1;
+                    self.advance_clock(finish);
+                }
+                BeamOutcome::ShedWhole { at, .. } => {
+                    self.shed_whole += 1;
+                    self.advance_clock(at);
+                }
+            }
+        }
+        for shed in &batch.sheds {
+            self.total_shed_trials += shed.shed_trials;
+        }
+        self.bounced += batch.bounces.len();
+        for r in &batch.bounces {
+            self.advance_clock(r.at);
+            if let Some(d) = self.devices.get_mut(r.device as usize) {
+                d.bounces += 1;
+            }
+        }
+        self.retries += batch.retries.len();
+        for r in &batch.retries {
+            self.advance_clock(r.at);
+        }
+        self.probes += batch.probes.len();
+        for r in &batch.probes {
+            self.advance_clock(r.at);
+        }
+        for health in &batch.health {
+            self.advance_clock(health.at);
+            if health.to == HealthState::Healthy {
+                self.recoveries += 1;
+            }
+            if let Some(d) = self.devices.get_mut(health.device) {
+                d.health = health.to;
+            }
+        }
+        self.rebalances += batch.rebalances.len();
+        for capture in &batch.captures {
+            self.advance_clock(capture.at());
+            match *capture {
+                CaptureEvent::Arrival { .. } => {
+                    self.capture_arrivals += 1;
+                }
+                CaptureEvent::Drop { .. } => {
+                    self.capture_drops += 1;
+                }
+                CaptureEvent::Degrade { .. } => {
+                    self.capture_degraded += 1;
+                }
+                CaptureEvent::Drain {
+                    backlog_blocks,
+                    ring_bytes,
+                    ..
+                } => {
+                    self.capture_batches += 1;
+                    self.capture_backlog_blocks = backlog_blocks;
+                    self.capture_ring_bytes = ring_bytes;
+                    self.capture_ring_peak_bytes = self.capture_ring_peak_bytes.max(ring_bytes);
+                }
+            }
+        }
+        // The order-sensitive remainder: queue depths under the exact
+        // placement/resolution interleaving, replayed off the batch's
+        // dense precomputed trajectory.
+        for &(device, up) in &batch.depth_steps {
+            if let Some(d) = self.devices.get_mut(device as usize) {
+                d.queue_depth = if up {
+                    d.queue_depth + 1
+                } else {
+                    d.queue_depth.saturating_sub(1)
+                };
             }
         }
     }
@@ -667,6 +795,17 @@ mod tests {
         for event in &events {
             log.observe(event);
         }
-        assert_eq!(log.events, events);
+        assert_eq!(log.to_events(), events);
+        assert_eq!(log, EventLog::from_events(&events));
+    }
+
+    #[test]
+    fn folding_a_log_equals_folding_its_flat_stream() {
+        let events = sample_stream();
+        let log = EventLog::from_events(&events);
+        assert_eq!(
+            StatusSnapshot::from_log(2, &log),
+            StatusSnapshot::from_events(2, &events)
+        );
     }
 }

@@ -1,0 +1,218 @@
+//! Property-based invariants for the batched telemetry encoding.
+//!
+//! The tentpole claim of the batch refactor is that the SoA encoding
+//! is *invisible* to every fold: delivering a stream as [`TickBatch`]
+//! blocks — at any batch boundaries whatsoever — produces exactly the
+//! artifacts the per-event path produced. These properties pin that
+//! down on real scheduler runs under arbitrary mixed fault schedules
+//! and on real capture ingests under arbitrary arrival processes:
+//!
+//! 1. **Encode/decode identity** — a run's [`EventLog`] decodes to the
+//!    same flat sequence however it is re-chunked, and re-encoding
+//!    that sequence at arbitrary boundaries compares equal.
+//! 2. **Fold equivalence (scheduler)** — folding the batch stream
+//!    through [`StatusSnapshot::observe_batch`] (arbitrary chunking)
+//!    equals folding event-by-event, field for field, and both equal
+//!    the run's own [`FleetRun::status`] and agree with the
+//!    [`FleetReport`] ledger.
+//! 3. **Fold equivalence (capture)** — the same proposition for the
+//!    capture front-end's event stream, on arbitrary fault + capture
+//!    schedules, including the ledger counters the conservation check
+//!    trusts.
+
+use dedisp_fleet::capture::{
+    Arrival, ArrivalTrace, BackpressurePolicy, BlockFormat, CaptureConfig, CaptureSession,
+};
+use dedisp_fleet::{
+    EventLog, FaultEvent, FaultPlan, FleetRun, Observer, ResolvedFleet, Scheduler, StatusSnapshot,
+    SurveyLoad, TickBatch,
+};
+use proptest::prelude::*;
+
+/// Runs the scheduler over a synthetic fleet.
+fn run(spb: &[f64], trials: usize, beams: usize, ticks: usize, faults: &FaultPlan) -> FleetRun {
+    let fleet = ResolvedFleet::synthetic(trials, spb);
+    let load = SurveyLoad::custom(trials, beams, ticks);
+    Scheduler::session(&fleet)
+        .load(&load)
+        .faults(faults)
+        .run()
+        .expect("valid inputs")
+}
+
+/// Raw material for one generated fault event: `(kind, device, onset,
+/// duration, factor, count)`.
+type RawEvent = (u8, usize, f64, f64, f64, usize);
+
+/// Folds generated raw events into a valid mixed-kind fault plan.
+fn mixed_plan(events: &[RawEvent], devices: usize) -> FaultPlan {
+    let mut plan = FaultPlan::none();
+    for &(kind, dev, t0, dur, factor, count) in events {
+        plan = plan.with_event(
+            dev % devices,
+            match kind % 4 {
+                0 => FaultEvent::Kill { at: t0 },
+                1 => FaultEvent::Flap {
+                    down_at: t0,
+                    up_at: t0 + dur,
+                },
+                2 => FaultEvent::Slowdown {
+                    from: t0,
+                    until: t0 + dur,
+                    factor,
+                },
+                _ => FaultEvent::Transient { at: t0, count },
+            },
+        );
+    }
+    plan
+}
+
+/// Re-chunks a log's flat event sequence into batches whose sizes
+/// cycle through `sizes` — arbitrary boundaries, same content.
+fn rechunk(log: &EventLog, sizes: &[usize]) -> EventLog {
+    let mut out = EventLog::new();
+    let mut batch = TickBatch::new();
+    let mut cursor = 0usize;
+    let mut target = sizes.first().copied().unwrap_or(1).max(1);
+    for event in log.iter() {
+        batch.push(&event);
+        if batch.len() >= target {
+            out.push_batch(std::mem::take(&mut batch));
+            cursor = (cursor + 1) % sizes.len().max(1);
+            target = sizes.get(cursor).copied().unwrap_or(1).max(1);
+        }
+    }
+    out.push_batch(batch);
+    out
+}
+
+/// Folds a log into a snapshot batch-wise (through `observe_batch`).
+fn fold_batched(devices: usize, log: &EventLog) -> StatusSnapshot {
+    let mut snapshot = StatusSnapshot::new(devices);
+    for batch in log.batches() {
+        snapshot.observe_batch(batch);
+    }
+    snapshot
+}
+
+/// Folds a log into a snapshot event-by-event (through `observe`).
+fn fold_per_event(devices: usize, log: &EventLog) -> StatusSnapshot {
+    let mut snapshot = StatusSnapshot::new(devices);
+    for event in log.iter() {
+        snapshot.observe(&event);
+    }
+    snapshot
+}
+
+/// A capture arrival stream from raw `(beam, gap)` material.
+fn arrivals(raw: &[(usize, f64)], beams: usize) -> Vec<Arrival> {
+    let mut at = 0.0;
+    let mut seqs = vec![0u64; beams];
+    raw.iter()
+        .map(|&(beam, gap)| {
+            let beam = beam % beams;
+            at += gap;
+            let seq = seqs[beam];
+            seqs[beam] += 1;
+            Arrival { at, beam, seq }
+        })
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Properties 1 + 2 on scheduler runs: re-chunked logs compare
+    /// equal, and batched and per-event folds agree field-for-field
+    /// with each other, with the run's own fold, and with the report.
+    #[test]
+    fn batched_and_per_event_folds_agree_on_scheduler_runs(
+        spb in prop::collection::vec(0.05f64..1.5, 1..6),
+        trials in 8usize..1024,
+        beams in 1usize..16,
+        ticks in 1usize..4,
+        events in prop::collection::vec(
+            (0u8..4, 0usize..16, 0.0f64..4.0, 0.1f64..1.5, 1.2f64..3.5, 1usize..4),
+            0..8,
+        ),
+        sizes in prop::collection::vec(1usize..17, 1..5),
+    ) {
+        let faults = mixed_plan(&events, spb.len());
+        let run = run(&spb, trials, beams, ticks, &faults);
+        let devices = run.report.devices.len();
+
+        // Encode/decode identity across arbitrary batch boundaries.
+        let rechunked = rechunk(&run.log, &sizes);
+        prop_assert_eq!(&rechunked, &run.log);
+        prop_assert_eq!(rechunked.len(), run.log.len());
+
+        // Fold equivalence, original and re-chunked boundaries both.
+        let per_event = fold_per_event(devices, &run.log);
+        let batched = fold_batched(devices, &run.log);
+        let batched_rechunked = fold_batched(devices, &rechunked);
+        prop_assert_eq!(&batched, &per_event);
+        prop_assert_eq!(&batched_rechunked, &per_event);
+        prop_assert_eq!(&batched, &run.status());
+
+        // Both agree with the report ledger on the shared fields.
+        let r = &run.report;
+        prop_assert_eq!(batched.completed, r.completed);
+        prop_assert_eq!(batched.degraded, r.degraded);
+        prop_assert_eq!(batched.deadline_misses, r.deadline_misses);
+        prop_assert_eq!(batched.shed_whole, r.shed_whole);
+        prop_assert_eq!(batched.total_shed_trials, r.total_shed_trials);
+        prop_assert_eq!(batched.bounced, r.bounced);
+        prop_assert_eq!(batched.retries, r.retries);
+        prop_assert_eq!(batched.probes, r.probes);
+        prop_assert_eq!(batched.canaries, r.canaries);
+        prop_assert_eq!(batched.recoveries, r.recoveries);
+    }
+
+    /// Property 3 on capture ingests: the drain-window batch stream
+    /// folds to the same snapshot as the per-event replay, and both
+    /// tell the ledger's story.
+    #[test]
+    fn batched_and_per_event_folds_agree_on_capture_ingests(
+        beams in 1usize..5,
+        capacity_blocks in 1usize..6,
+        watermark in 0.2f64..1.0,
+        drain_max in 1usize..5,
+        kind in 0u8..3,
+        raw in prop::collection::vec((0usize..8, 0.0f64..0.9), 1..80),
+        sizes in prop::collection::vec(1usize..9, 1..4),
+    ) {
+        let cfg = CaptureConfig {
+            capacity_blocks,
+            high_watermark: watermark,
+            policy: match kind % 3 {
+                0 => BackpressurePolicy::DropOldest,
+                1 => BackpressurePolicy::Downsample2x,
+                _ => BackpressurePolicy::NarrowDmPlan { tiers: 2 },
+            },
+            drain_max_blocks: drain_max,
+            ..CaptureConfig::new(beams, BlockFormat::new(4, 16), 800)
+        };
+        let log = arrivals(&raw, beams);
+        let run = CaptureSession::new(cfg)
+            .expect("valid config")
+            .ingest(ArrivalTrace::new(&log))
+            .expect("contract-clean source");
+
+        let rechunked = rechunk(&run.log, &sizes);
+        prop_assert_eq!(&rechunked, &run.log);
+
+        let per_event = fold_per_event(0, &run.log);
+        let batched = fold_batched(0, &run.log);
+        let batched_rechunked = fold_batched(0, &rechunked);
+        prop_assert_eq!(&batched, &per_event);
+        prop_assert_eq!(&batched_rechunked, &per_event);
+
+        // The fold carries the ledger's counters.
+        prop_assert_eq!(batched.capture_arrivals, run.ledger.arrivals);
+        prop_assert_eq!(batched.capture_drops, run.ledger.dropped);
+        prop_assert_eq!(batched.capture_degraded, run.ledger.degrade_events);
+        prop_assert_eq!(batched.capture_batches, run.ledger.batches);
+        prop_assert_eq!(batched.events_folded, run.log.len());
+    }
+}

@@ -129,7 +129,7 @@ proptest! {
         );
         prop_assert_eq!(ledger.dropped, ledger.drops_evicted + ledger.drops_overflow);
         // The stream and ledger agree count-for-count.
-        let count = |k: &str| run.events.iter().filter(|e| e.kind() == k).count();
+        let count = |k: &str| run.log.iter().filter(|e| e.kind() == k).count();
         prop_assert_eq!(count("capture_arrival"), ledger.arrivals);
         prop_assert_eq!(count("capture_drop"), ledger.dropped);
         prop_assert_eq!(count("capture_degrade"), ledger.degrade_events);
@@ -180,10 +180,11 @@ proptest! {
         prop_assert_eq!(&replay.ledger, &first.ledger);
         prop_assert_eq!(&replay.load, &first.load);
         prop_assert_eq!(&replay.arrival_log, &first.arrival_log);
-        prop_assert_eq!(replay.events.len(), first.events.len());
-        for (a, b) in replay.events.iter().zip(&first.events) {
+        prop_assert_eq!(&replay.log, &first.log);
+        prop_assert_eq!(replay.log.len(), first.log.len());
+        for (a, b) in replay.log.iter().zip(first.log.iter()) {
             prop_assert!(
-                matches!((a, b), (TelemetryEvent::Capture(x), TelemetryEvent::Capture(y)) if x == y)
+                matches!((&a, &b), (TelemetryEvent::Capture(x), TelemetryEvent::Capture(y)) if x == y)
             );
         }
     }

@@ -94,7 +94,7 @@ proptest! {
         prop_assert_eq!(snapshot.probes, r.probes);
         prop_assert_eq!(snapshot.canaries, r.canaries);
         prop_assert_eq!(snapshot.recoveries, r.recoveries);
-        prop_assert_eq!(snapshot.events_folded, run.events.len());
+        prop_assert_eq!(snapshot.events_folded, run.log.len());
         // Every admitted beam was placed (possibly more than once,
         // counting retries) or shed whole before placement.
         prop_assert!(snapshot.placed >= r.completed + r.degraded + r.deadline_misses);
@@ -138,8 +138,9 @@ proptest! {
             ]
         };
         let mut prev = StatusSnapshot::new(devices);
-        for n in 1..=run.events.len() {
-            let snapshot = StatusSnapshot::from_events(devices, &run.events[..n]);
+        let events = run.log.to_events();
+        for n in 1..=events.len() {
+            let snapshot = StatusSnapshot::from_events(devices, &events[..n]);
             prop_assert_eq!(snapshot.events_folded, n);
             prop_assert!(snapshot.at >= prev.at, "clock ran backwards at event {n}");
             for (now, before) in counters(&snapshot).iter().zip(counters(&prev)) {
@@ -186,8 +187,9 @@ proptest! {
         let faults = mixed_plan(&events, spb.len());
         let run = run(&spb, 256, beams, 3, &faults);
         let devices = run.report.devices.len();
-        let n = ((run.events.len() as f64) * prefix_frac) as usize;
-        let snapshot = StatusSnapshot::from_events(devices, &run.events[..n]);
+        let events = run.log.to_events();
+        let n = ((events.len() as f64) * prefix_frac) as usize;
+        let snapshot = StatusSnapshot::from_events(devices, &events[..n]);
         let back = StatusSnapshot::from_json(&snapshot.to_json()).expect("round-trip parses");
         prop_assert_eq!(back, snapshot);
     }
