@@ -39,6 +39,7 @@
 
 use crate::metrics::{BeamOutcome, BeamRecord, HealthEvent, ShedRecord};
 use crate::telemetry::{CaptureEvent, Observer, TelemetryEvent};
+use serde::{Deserialize, Serialize};
 
 /// Dense discriminant for [`TelemetryEvent`] variants (capture events
 /// split by sub-variant, matching [`TelemetryEvent::kind`] labels).
@@ -154,6 +155,27 @@ impl EventKind {
     }
 }
 
+// Hand-written serde (the derive stub cannot parse explicit
+// discriminants): a kind crosses the wire as its stable string label,
+// the same convention the derive uses for unit variants.
+impl serde::Serialize for EventKind {
+    fn to_value(&self) -> serde::Value {
+        serde::Value::Str(self.label().to_string())
+    }
+}
+
+impl serde::Deserialize for EventKind {
+    fn from_value(value: &serde::Value) -> Result<Self, serde::DeError> {
+        let serde::Value::Str(s) = value else {
+            return Err(serde::DeError::new("EventKind: expected a string label"));
+        };
+        EventKind::ALL
+            .into_iter()
+            .find(|k| k.label() == s)
+            .ok_or_else(|| serde::DeError::new(format!("EventKind: unknown label `{s}`")))
+    }
+}
+
 /// Interns a `usize` identity into the 32-bit row encoding.
 ///
 /// Every identity a batch interns (beam/job indices, device ids, tick
@@ -166,7 +188,7 @@ fn intern(value: usize) -> u32 {
 }
 
 /// [`TelemetryEvent::Admission`] in row form.
-#[derive(Debug, Clone, Copy, PartialEq)]
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub(crate) struct AdmissionRow {
     pub(crate) tick: u32,
     pub(crate) release: f64,
@@ -177,7 +199,7 @@ pub(crate) struct AdmissionRow {
 }
 
 /// [`TelemetryEvent::Placed`] in row form.
-#[derive(Debug, Clone, Copy, PartialEq)]
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub(crate) struct PlacedRow {
     pub(crate) index: u32,
     pub(crate) device: u32,
@@ -188,7 +210,7 @@ pub(crate) struct PlacedRow {
 }
 
 /// [`TelemetryEvent::Bounce`] in row form.
-#[derive(Debug, Clone, Copy, PartialEq)]
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub(crate) struct BounceRow {
     pub(crate) index: u32,
     pub(crate) device: u32,
@@ -197,7 +219,7 @@ pub(crate) struct BounceRow {
 }
 
 /// [`TelemetryEvent::Retry`] in row form.
-#[derive(Debug, Clone, Copy, PartialEq)]
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub(crate) struct RetryRow {
     pub(crate) index: u32,
     pub(crate) at: f64,
@@ -205,7 +227,7 @@ pub(crate) struct RetryRow {
 }
 
 /// [`TelemetryEvent::Probe`] in row form.
-#[derive(Debug, Clone, Copy, PartialEq)]
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub(crate) struct ProbeRow {
     pub(crate) device: u32,
     pub(crate) at: f64,
@@ -213,7 +235,7 @@ pub(crate) struct ProbeRow {
 }
 
 /// [`TelemetryEvent::Rebalance`] in row form.
-#[derive(Debug, Clone, Copy, PartialEq)]
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub(crate) struct RebalanceRow {
     pub(crate) tick: u32,
     pub(crate) index: u32,
@@ -238,7 +260,7 @@ pub(crate) struct RebalanceRow {
 /// [`push`]: TickBatch::push
 /// [`get`]: TickBatch::get
 /// [`iter`]: TickBatch::iter
-#[derive(Debug, Clone, Default, PartialEq)]
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
 pub struct TickBatch {
     /// Emission order: `(kind, row index into that kind's vector)`.
     ///
@@ -304,6 +326,135 @@ impl TickBatch {
                 .filter(|c| EventKind::of_capture(c) == kind)
                 .count(),
         }
+    }
+
+    /// Checks the structural invariants [`TickBatch::push`] maintains,
+    /// for batches that arrive from *outside* the process (deserialized
+    /// from a frame or a dump) rather than being encoded in-tree.
+    ///
+    /// [`TickBatch::get`] indexes row vectors directly off the order
+    /// table, so a corrupt or adversarial batch could otherwise panic
+    /// mid-decode — or worse, mis-fold silently by referencing rows out
+    /// of emission order. This verifies, in one pass:
+    ///
+    /// * the `i`-th occurrence of each kind in the order table points
+    ///   at row `i` of that kind's vector (the exact invariant `push`
+    ///   maintains — in-range, no duplicates, no gaps, no reordering);
+    /// * every row vector is fully referenced (no orphan rows);
+    /// * capture order entries agree with the sub-variant actually
+    ///   stored at their row of the shared `captures` column;
+    /// * the denormalized `depth_steps` column matches the
+    ///   depth-affecting rows exactly, step for step.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first violated invariant.
+    pub fn validate(&self) -> Result<(), String> {
+        let mut counts = [0u32; EventKind::COUNT];
+        let mut depth = 0usize;
+        let step = |expected: usize, got: Option<&(u32, bool)>, device: u32, up: bool| match got {
+            Some(&(d, u)) if d == device && u == up => Ok(()),
+            _ => Err(format!(
+                "depth step {expected} disagrees with its source row (device {device}, up {up})"
+            )),
+        };
+        for (i, &(kind, row)) in self.order.iter().enumerate() {
+            let k = kind.index();
+            if row != counts[k] {
+                return Err(format!(
+                    "order entry {i} ({}) references row {row}, expected {}",
+                    kind.label(),
+                    counts[k]
+                ));
+            }
+            counts[k] += 1;
+            let row = row as usize;
+            match kind {
+                EventKind::Placed => {
+                    let r = self
+                        .placed
+                        .get(row)
+                        .ok_or_else(|| format!("order entry {i} (placed) beyond its column"))?;
+                    step(depth, self.depth_steps.get(depth), r.device, true)?;
+                    depth += 1;
+                }
+                EventKind::Bounce => {
+                    let r = self
+                        .bounces
+                        .get(row)
+                        .ok_or_else(|| format!("order entry {i} (bounce) beyond its column"))?;
+                    step(depth, self.depth_steps.get(depth), r.device, false)?;
+                    depth += 1;
+                }
+                EventKind::Beam => {
+                    let r = self
+                        .beams
+                        .get(row)
+                        .ok_or_else(|| format!("order entry {i} (beam) beyond its column"))?;
+                    match r.outcome {
+                        BeamOutcome::Completed { device, .. }
+                        | BeamOutcome::Degraded { device, .. }
+                        | BeamOutcome::Missed { device, .. } => {
+                            let device = u32::try_from(device).map_err(|_| {
+                                format!("order entry {i} (beam) device exceeds the u32 encoding")
+                            })?;
+                            step(depth, self.depth_steps.get(depth), device, false)?;
+                            depth += 1;
+                        }
+                        BeamOutcome::ShedWhole { .. } => {}
+                    }
+                }
+                EventKind::CaptureArrival
+                | EventKind::CaptureDrop
+                | EventKind::CaptureDegrade
+                | EventKind::CaptureDrain => {
+                    let c = self
+                        .captures
+                        .get(row)
+                        .ok_or_else(|| format!("order entry {i} (capture) beyond its column"))?;
+                    if EventKind::of_capture(c) != kind {
+                        return Err(format!(
+                            "order entry {i} claims {} but row {row} holds {}",
+                            kind.label(),
+                            EventKind::of_capture(c).label()
+                        ));
+                    }
+                }
+                _ => {}
+            }
+        }
+        // Capture kinds share one column; sum their counts before the
+        // per-column orphan check.
+        let capture_count = counts[EventKind::CaptureArrival.index()]
+            + counts[EventKind::CaptureDrop.index()]
+            + counts[EventKind::CaptureDegrade.index()]
+            + counts[EventKind::CaptureDrain.index()];
+        let columns: [(&str, usize, usize); 10] = [
+            ("admission", self.admissions.len(), counts[0] as usize),
+            ("placed", self.placed.len(), counts[1] as usize),
+            ("beam", self.beams.len(), counts[2] as usize),
+            ("shed", self.sheds.len(), counts[3] as usize),
+            ("bounce", self.bounces.len(), counts[4] as usize),
+            ("retry", self.retries.len(), counts[5] as usize),
+            ("probe", self.probes.len(), counts[6] as usize),
+            ("health", self.health.len(), counts[7] as usize),
+            ("rebalance", self.rebalances.len(), counts[8] as usize),
+            ("capture", self.captures.len(), capture_count as usize),
+        ];
+        for (label, len, referenced) in columns {
+            if len != referenced {
+                return Err(format!(
+                    "{label} column holds {len} rows but the order table references {referenced}"
+                ));
+            }
+        }
+        if depth != self.depth_steps.len() {
+            return Err(format!(
+                "depth_steps holds {} entries but the rows imply {depth}",
+                self.depth_steps.len()
+            ));
+        }
+        Ok(())
     }
 
     /// Pre-sizes the batch for a tick of roughly `beams` beams.

@@ -36,6 +36,7 @@ use crate::batch::TickBatch;
 use crate::descriptor::{FleetError, ResolvedFleet};
 use crate::load::LoadSource;
 use crate::metrics::{BeamOutcome, BeamRecord, FleetReport, ShedReason, ShedRecord};
+use crate::proc::{self, ProcConfig, ProcGridLedger, ShardSpec};
 use crate::scheduler::{FleetRun, Scheduler, SchedulerConfig};
 use crate::shard::{
     partition, GlobalBeam, GridFaultPlan, Partition, RebalancePolicy, ShardCondition,
@@ -64,8 +65,25 @@ impl Grid {
             admission: GridAdmission::default(),
             load: None,
             faults: None,
+            backend: ShardBackend::InThread,
         }
     }
+}
+
+/// How the grid executes each shard's scheduler.
+#[derive(Debug, Clone, Default)]
+pub enum ShardBackend {
+    /// One scoped thread per shard in this process — the default, and
+    /// byte-identical to every historical grid run.
+    #[default]
+    InThread,
+    /// One supervised child process per shard, speaking the framed
+    /// protocol of [`crate::proc`]: liveness deadlines, bounded
+    /// restart with backoff, and in-thread degradation when spawning
+    /// fails. The run's ledgers are identical to [`Self::InThread`]
+    /// (modulo the wall-clock `max_queue_depth` field); the
+    /// supervision story lands in [`GridRun::proc`].
+    Process(ProcConfig),
 }
 
 /// A builder-style sharded scheduling session.
@@ -77,6 +95,7 @@ pub struct GridSession<'a> {
     admission: GridAdmission,
     load: Option<&'a dyn LoadSource>,
     faults: Option<&'a GridFaultPlan>,
+    backend: ShardBackend,
 }
 
 impl<'a> GridSession<'a> {
@@ -114,6 +133,14 @@ impl<'a> GridSession<'a> {
     #[must_use]
     pub fn faults(mut self, faults: &'a GridFaultPlan) -> Self {
         self.faults = Some(faults);
+        self
+    }
+
+    /// Sets how shards execute: in-thread (default) or as supervised
+    /// child processes.
+    #[must_use]
+    pub fn backend(mut self, backend: ShardBackend) -> Self {
+        self.backend = backend;
         self
     }
 
@@ -203,11 +230,14 @@ impl<'a> GridSession<'a> {
         }
 
         // One real thread per shard; each shard session spawns its own
-        // per-device workers underneath. Each thread re-keys its own
-        // stream to global beam identity before forwarding, so the
-        // shared observer sees the same identities the post-run
-        // `ShardEvent` stream carries.
-        let results: Vec<Result<FleetRun, FleetError>> = std::thread::scope(|scope| {
+        // per-device workers underneath (in-thread backend) or hands
+        // the shard to a supervised child process (process backend).
+        // Either way the thread re-keys its shard's stream to global
+        // beam identity before forwarding, so the shared observer sees
+        // the same identities the post-run `ShardEvent` stream carries.
+        let backend = &self.backend;
+        type ShardResult = Result<(FleetRun, Option<proc::ProcShardLedger>), FleetError>;
+        let results: Vec<ShardResult> = std::thread::scope(|scope| {
             let handles: Vec<_> = shards
                 .iter()
                 .zip(&shard_loads)
@@ -221,14 +251,31 @@ impl<'a> GridSession<'a> {
                             globals: shard_load.global_beams(),
                             sink: observer,
                         };
-                        let mut session = Scheduler::session(fleet)
-                            .config(config)
-                            .load(shard_load)
-                            .faults(plan);
-                        if let Some(ceiling) = ceiling {
-                            session = session.admission_ceilings(ceiling);
+                        match backend {
+                            ShardBackend::InThread => {
+                                let mut session = Scheduler::session(fleet)
+                                    .config(config)
+                                    .load(shard_load)
+                                    .faults(plan);
+                                if let Some(ceiling) = ceiling {
+                                    session = session.admission_ceilings(ceiling);
+                                }
+                                session.run_with(&mut forward).map(|run| (run, None))
+                            }
+                            ShardBackend::Process(proc_config) => {
+                                let spec = ShardSpec {
+                                    shard,
+                                    fleet: fleet.clone(),
+                                    load: shard_load.clone(),
+                                    plan: plan.clone(),
+                                    config,
+                                    ceilings: ceiling.map(<[usize]>::to_vec),
+                                    chaos: None,
+                                };
+                                proc::run_shard(&spec, proc_config, &mut forward)
+                                    .map(|(run, ledger)| (run, Some(ledger)))
+                            }
                         }
-                        session.run_with(&mut forward)
                     })
                 })
                 .collect();
@@ -238,9 +285,16 @@ impl<'a> GridSession<'a> {
                 .collect()
         });
         let mut shard_runs = Vec::with_capacity(shards.len());
+        let mut proc_ledgers = Vec::with_capacity(shards.len());
         for (shard, result) in results.into_iter().enumerate() {
-            shard_runs.push(result.map_err(|e| FleetError::new(format!("shard {shard}: {e}")))?);
+            let (run, ledger) =
+                result.map_err(|e| FleetError::new(format!("shard {shard}: {e}")))?;
+            shard_runs.push(run);
+            proc_ledgers.extend(ledger);
         }
+        let proc = (!proc_ledgers.is_empty()).then_some(ProcGridLedger {
+            shards: proc_ledgers,
+        });
 
         // Merge: re-key every shard-local ledger row by its global beam.
         let admitted = load.total_beams();
@@ -315,6 +369,7 @@ impl<'a> GridSession<'a> {
             records,
             shard_runs,
             events,
+            proc,
         })
     }
 }
@@ -471,6 +526,12 @@ pub struct GridRun {
     /// The grid's tagged telemetry stream: partition-layer rebalances
     /// first, then every shard's stream re-keyed to global identity.
     pub events: Vec<ShardEvent>,
+    /// The supervision ledger, present when the grid ran on
+    /// [`ShardBackend::Process`]: per-shard attempts, restarts,
+    /// backoffs, and degradations. Deliberately *not* part of
+    /// [`GridReport`] — the report's serialized shape (and its pinned
+    /// fingerprints) are backend-invariant.
+    pub proc: Option<ProcGridLedger>,
 }
 
 impl GridRun {

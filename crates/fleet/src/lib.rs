@@ -118,6 +118,7 @@ mod grid;
 mod load;
 mod metrics;
 pub mod obs;
+pub mod proc;
 mod scheduler;
 mod shard;
 mod survey;
@@ -138,13 +139,15 @@ pub use descriptor::{
 };
 pub use fault::{FaultEvent, FaultPlan};
 pub use grid::{
-    Grid, GridBeamRecord, GridReport, GridRun, GridSession, GridShedRecord, ShardEvent,
+    Grid, GridBeamRecord, GridReport, GridRun, GridSession, GridShedRecord, ShardBackend,
+    ShardEvent,
 };
 pub use load::LoadSource;
 pub use metrics::{
     BeamOutcome, BeamRecord, DeviceMetrics, FleetReport, HealthCause, HealthEvent, HealthState,
     ShedReason, ShedRecord,
 };
+pub use proc::{ChaosSpec, ProcConfig, ProcGridLedger, ProcShardLedger};
 pub use scheduler::{FleetRun, Scheduler, SchedulerConfig, Session};
 pub use shard::{GlobalBeam, GridFaultPlan, RebalancePolicy, ShardCondition, ShardLoad};
 pub use survey::{BeamJob, SurveyLoad};

@@ -2,28 +2,42 @@
 //!
 //! A tiny HTTP/1.1 server hand-rolled on [`std::net::TcpListener`] —
 //! the vendor tree has no HTTP crate and must stay offline — serving
-//! the operator plane over an [`ObsState`]:
+//! the operator plane over an [`ObsDirectory`] of one or more grids:
 //!
-//! | Endpoint               | Payload |
-//! |------------------------|---------|
-//! | `GET /healthz`         | `ok` (text/plain) |
-//! | `GET /status`          | [`super::live::GridStatusSnapshot`] JSON (vendored serde_json) |
-//! | `GET /status/shard/<i>`| shard `i`'s [`crate::StatusSnapshot`] JSON |
-//! | `GET /metrics`         | Prometheus text exposition format 0.0.4 |
-//! | `GET /events?n=<k>`    | last `k` flight-recorder events, NDJSON |
+//! | Endpoint                       | Payload |
+//! |--------------------------------|---------|
+//! | `GET /healthz`                 | `ok` (text/plain) |
+//! | `GET /grids`                   | attached grids (id + name), JSON |
+//! | `GET /status`                  | [`super::live::GridStatusSnapshot`] JSON (vendored serde_json) |
+//! | `GET /status/shard/<j>`        | shard `j`'s [`crate::StatusSnapshot`] JSON |
+//! | `GET /metrics`                 | Prometheus text exposition format 0.0.4 |
+//! | `GET /events?n=<k>`            | last `k` flight-recorder events, NDJSON (`&format=batch` for the columnar [`super::RecordedBatch`] form) |
+//! | `GET /status/grid/<i>`         | grid `i`'s status |
+//! | `GET /status/grid/<i>/shard/<j>` | grid `i`, shard `j` |
+//! | `GET /metrics/grid/<i>`        | grid `i`'s metrics |
+//! | `GET /events/grid/<i>`         | grid `i`'s flight-recorder tail |
+//!
+//! One server observes a whole deployment: each concurrently running
+//! grid attaches its [`ObsState`] to the directory (and detaches when
+//! it is done), and the `/…/grid/<i>` routes address them
+//! individually. The bare legacy routes keep serving the *lowest-id*
+//! attached grid, so single-grid callers never notice the directory.
+//! Unknown grid or shard indices are a JSON-bodied 404, never a panic.
 //!
 //! The server handles one connection at a time on one background
 //! thread (operators poll; this is not a serving tier), answers every
 //! request with `Connection: close`, and never touches the scheduler:
-//! all three state components are continuously fed observers, so a
-//! `GET` mid-run sees the run as it stands.
+//! all state components are continuously fed observers, so a `GET`
+//! mid-run sees the run as it stands.
 
 use super::live::LiveGrid;
 use super::recorder::FlightRecorder;
 use super::registry::MetricsRegistry;
+use parking_lot::RwLock;
+use std::collections::BTreeMap;
 use std::io::{self, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::Duration;
@@ -53,6 +67,108 @@ impl ObsState {
     }
 }
 
+/// One attached grid: a display name plus its observable state.
+#[derive(Debug, Clone)]
+struct GridEntry {
+    name: String,
+    state: ObsState,
+}
+
+/// The deployment-wide registry one [`ObsServer`] serves: every
+/// concurrently running grid attaches its [`ObsState`] under a small
+/// integer id and detaches when it finishes. Clones share the same
+/// directory — attach from the threads driving the grids, serve from
+/// one server.
+///
+/// Ids are assigned monotonically and never reused within a directory,
+/// so an operator's bookmarked `/status/grid/3` can never silently
+/// start naming a different grid.
+#[derive(Debug, Clone, Default)]
+pub struct ObsDirectory {
+    grids: Arc<RwLock<BTreeMap<usize, GridEntry>>>,
+    next_id: Arc<AtomicUsize>,
+}
+
+impl ObsDirectory {
+    /// An empty directory.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Attaches a grid's observable state under `name`, returning the
+    /// id its `/…/grid/<id>` routes serve under.
+    pub fn attach(&self, name: impl Into<String>, state: ObsState) -> usize {
+        let id = self.next_id.fetch_add(1, Ordering::SeqCst);
+        self.grids.write().insert(
+            id,
+            GridEntry {
+                name: name.into(),
+                state,
+            },
+        );
+        id
+    }
+
+    /// Detaches a grid. Returns whether the id was attached.
+    pub fn detach(&self, id: usize) -> bool {
+        self.grids.write().remove(&id).is_some()
+    }
+
+    /// Attached grid count.
+    pub fn len(&self) -> usize {
+        self.grids.read().len()
+    }
+
+    /// Whether no grid is attached.
+    pub fn is_empty(&self) -> bool {
+        self.grids.read().is_empty()
+    }
+
+    /// The attached ids, ascending.
+    pub fn ids(&self) -> Vec<usize> {
+        self.grids.read().keys().copied().collect()
+    }
+
+    /// One grid's state, by id.
+    fn get(&self, id: usize) -> Option<ObsState> {
+        self.grids.read().get(&id).map(|e| e.state.clone())
+    }
+
+    /// The lowest-id grid — what the bare legacy routes serve.
+    fn first(&self) -> Option<ObsState> {
+        self.grids.read().values().next().map(|e| e.state.clone())
+    }
+
+    /// The `/grids` payload.
+    fn render(&self) -> String {
+        let grids = self.grids.read();
+        let rows: Vec<String> = grids
+            .iter()
+            .map(|(id, e)| format!("{{\"id\":{id},\"name\":{}}}", json_string(&e.name)))
+            .collect();
+        format!("{{\"grids\":[{}]}}\n", rows.join(","))
+    }
+}
+
+/// Minimal JSON string quoting for grid names.
+fn json_string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
 /// Default `/events` tail length when no `?n=` is given.
 const DEFAULT_EVENTS_TAIL: usize = 256;
 
@@ -74,12 +190,27 @@ pub struct ObsServer {
 }
 
 impl ObsServer {
-    /// Binds `addr` (e.g. `"127.0.0.1:0"`) and starts serving `state`.
+    /// Binds `addr` (e.g. `"127.0.0.1:0"`) and starts serving `state`
+    /// as the only grid of a fresh directory — the single-grid
+    /// convenience form of [`ObsServer::bind_directory`].
     ///
     /// # Errors
     ///
     /// Returns the I/O error if the address cannot be bound.
     pub fn bind(addr: impl ToSocketAddrs, state: ObsState) -> io::Result<Self> {
+        let directory = ObsDirectory::new();
+        directory.attach("grid", state);
+        Self::bind_directory(addr, directory)
+    }
+
+    /// Binds `addr` and serves every grid attached (now or later) to
+    /// `directory`. Keep a clone of the directory to attach and detach
+    /// grids while the server runs.
+    ///
+    /// # Errors
+    ///
+    /// Returns the I/O error if the address cannot be bound.
+    pub fn bind_directory(addr: impl ToSocketAddrs, directory: ObsDirectory) -> io::Result<Self> {
         let listener = TcpListener::bind(addr)?;
         let addr = listener.local_addr()?;
         let stop = Arc::new(AtomicBool::new(false));
@@ -92,7 +223,7 @@ impl ObsServer {
                 if let Ok(stream) = stream {
                     // A broken client is its own problem; the next
                     // accept proceeds regardless.
-                    let _ = serve_connection(stream, &state);
+                    let _ = serve_connection(stream, &directory);
                 }
             }
         });
@@ -147,12 +278,14 @@ impl Response {
         }
     }
 
-    fn not_found() -> Self {
+    /// A 404 with a JSON error body: unknown grids, shards, and paths
+    /// are answered, never panicked over.
+    fn not_found(why: &str) -> Self {
         Self {
             status: 404,
             reason: "Not Found",
-            content_type: "text/plain; charset=utf-8",
-            body: "not found\n".to_string(),
+            content_type: "application/json; charset=utf-8",
+            body: format!("{{\"error\":{}}}\n", json_string(why)),
         }
     }
 
@@ -176,7 +309,7 @@ impl Response {
 }
 
 /// Reads the request head (through the blank line), answers, closes.
-fn serve_connection(mut stream: TcpStream, state: &ObsState) -> io::Result<()> {
+fn serve_connection(mut stream: TcpStream, directory: &ObsDirectory) -> io::Result<()> {
     stream.set_read_timeout(Some(IO_TIMEOUT))?;
     stream.set_write_timeout(Some(IO_TIMEOUT))?;
     let mut head = Vec::new();
@@ -190,7 +323,7 @@ fn serve_connection(mut stream: TcpStream, state: &ObsState) -> io::Result<()> {
     }
     let head = String::from_utf8_lossy(&head);
     let request_line = head.lines().next().unwrap_or("");
-    let response = route(request_line, state);
+    let response = route(request_line, directory);
     write!(
         stream,
         "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{}",
@@ -204,7 +337,7 @@ fn serve_connection(mut stream: TcpStream, state: &ObsState) -> io::Result<()> {
 }
 
 /// Maps one request line to a response.
-fn route(request_line: &str, state: &ObsState) -> Response {
+fn route(request_line: &str, directory: &ObsDirectory) -> Response {
     let mut parts = request_line.split_whitespace();
     let method = parts.next().unwrap_or("");
     let target = parts.next().unwrap_or("/");
@@ -216,16 +349,56 @@ fn route(request_line: &str, state: &ObsState) -> Response {
         None => (target, None),
     };
     match path {
-        "/healthz" => Response::ok("text/plain; charset=utf-8", "ok\n".to_string()),
-        "/status" => Response::ok(
+        "/healthz" => return Response::ok("text/plain; charset=utf-8", "ok\n".to_string()),
+        "/grids" => {
+            return Response::ok("application/json; charset=utf-8", directory.render());
+        }
+        _ => {}
+    }
+
+    // Everything else is grid-scoped: `/<kind>/grid/<i>[/shard/<j>]`
+    // addresses one attached grid explicitly; the bare legacy paths
+    // address the lowest-id grid.
+    let mut segments = path.trim_start_matches('/').split('/');
+    let kind = segments.next().unwrap_or("");
+    let mut rest: Vec<&str> = segments.collect();
+    let state = if rest.first() == Some(&"grid") {
+        if rest.len() < 2 {
+            return Response::not_found("missing grid index");
+        }
+        let Ok(id) = rest[1].parse::<usize>() else {
+            return Response::not_found("grid index must be an integer");
+        };
+        let Some(state) = directory.get(id) else {
+            return Response::not_found(&format!("no grid {id} is attached"));
+        };
+        rest.drain(..2);
+        state
+    } else {
+        let Some(state) = directory.first() else {
+            return Response::not_found("no grids attached");
+        };
+        state
+    };
+
+    match (kind, rest.as_slice()) {
+        ("status", []) => Response::ok(
             "application/json; charset=utf-8",
             state.live.snapshot().to_json(),
         ),
-        "/metrics" => Response::ok(
+        ("status", ["shard", raw]) => match raw
+            .parse::<usize>()
+            .ok()
+            .and_then(|s| state.live.shard_snapshot(s))
+        {
+            Some(snapshot) => Response::ok("application/json; charset=utf-8", snapshot.to_json()),
+            None => Response::not_found(&format!("no shard {raw} in this grid")),
+        },
+        ("metrics", []) => Response::ok(
             "text/plain; version=0.0.4; charset=utf-8",
             state.registry.render_prometheus(),
         ),
-        "/events" => {
+        ("events", []) => {
             let n = match query_param(query, "n") {
                 None => DEFAULT_EVENTS_TAIL,
                 Some(raw) => match raw.parse::<usize>() {
@@ -233,24 +406,20 @@ fn route(request_line: &str, state: &ObsState) -> Response {
                     Err(_) => return Response::bad_request("n must be a non-negative integer"),
                 },
             };
-            Response::ok(
-                "application/x-ndjson; charset=utf-8",
-                FlightRecorder::to_ndjson(&state.recorder.tail(n)),
-            )
+            let tail = state.recorder.tail(n);
+            match query_param(query, "format") {
+                None | Some("flat") => Response::ok(
+                    "application/x-ndjson; charset=utf-8",
+                    FlightRecorder::to_ndjson(&tail),
+                ),
+                Some("batch") => Response::ok(
+                    "application/x-ndjson; charset=utf-8",
+                    FlightRecorder::to_ndjson_batched(&tail),
+                ),
+                Some(_) => Response::bad_request("format must be flat or batch"),
+            }
         }
-        _ => match path.strip_prefix("/status/shard/") {
-            Some(raw) => match raw
-                .parse::<usize>()
-                .ok()
-                .and_then(|s| state.live.shard_snapshot(s))
-            {
-                Some(snapshot) => {
-                    Response::ok("application/json; charset=utf-8", snapshot.to_json())
-                }
-                None => Response::not_found(),
-            },
-            None => Response::not_found(),
-        },
+        _ => Response::not_found("unknown path"),
     }
 }
 
@@ -375,6 +544,78 @@ mod tests {
         assert_eq!(get(addr, "/events?n=bogus").unwrap().status, 400);
 
         assert_eq!(get(addr, "/nope").unwrap().status, 404);
+        server.shutdown();
+    }
+
+    #[test]
+    fn a_directory_serves_many_grids_and_detach_is_live() {
+        let directory = ObsDirectory::new();
+        let server = ObsServer::bind_directory("127.0.0.1:0", directory.clone()).unwrap();
+        let addr = server.addr();
+
+        // No grids yet: legacy routes 404 with a JSON error body.
+        let empty = get(addr, "/status").unwrap();
+        assert_eq!(empty.status, 404);
+        assert!(empty.content_type.starts_with("application/json"));
+        assert!(empty.body.contains("\"error\""));
+        assert_eq!(get(addr, "/grids").unwrap().body, "{\"grids\":[]}\n");
+
+        let a = directory.attach("alpha", test_state());
+        let b = directory.attach("beta", test_state());
+        assert_eq!(directory.ids(), vec![a, b]);
+
+        // The listing names both grids.
+        let grids = get(addr, "/grids").unwrap();
+        assert!(grids.body.contains("\"name\":\"alpha\""));
+        assert!(grids.body.contains("\"name\":\"beta\""));
+
+        // Per-grid routes address each explicitly; the legacy route is
+        // the lowest id.
+        for id in [a, b] {
+            let status = get(addr, &format!("/status/grid/{id}")).unwrap();
+            assert_eq!(status.status, 200);
+            let snapshot = GridStatusSnapshot::from_json(&status.body).unwrap();
+            assert_eq!(snapshot.probes, 2);
+            let shard = get(addr, &format!("/status/grid/{id}/shard/0")).unwrap();
+            assert_eq!(shard.status, 200);
+            let metrics = get(addr, &format!("/metrics/grid/{id}")).unwrap();
+            assert!(metrics.body.contains("fleet_events_total"));
+            let events = get(addr, &format!("/events/grid/{id}?n=1")).unwrap();
+            assert_eq!(FlightRecorder::from_ndjson(&events.body).unwrap().len(), 1);
+        }
+        assert_eq!(get(addr, "/status").unwrap().status, 200);
+
+        // Unknown indices: JSON-bodied 404s, server stays up.
+        for path in [
+            "/status/grid/99",
+            "/status/grid/abc",
+            "/metrics/grid/99",
+            "/events/grid/99",
+            &format!("/status/grid/{a}/shard/42"),
+        ] {
+            let missing = get(addr, path).unwrap();
+            assert_eq!(missing.status, 404, "{path}");
+            assert!(missing.content_type.starts_with("application/json"));
+            assert!(missing.body.contains("\"error\""), "{path}");
+        }
+
+        // Detach is live: the id stops resolving, the other survives.
+        assert!(directory.detach(a));
+        assert!(!directory.detach(a));
+        assert_eq!(get(addr, &format!("/status/grid/{a}")).unwrap().status, 404);
+        assert_eq!(get(addr, &format!("/status/grid/{b}")).unwrap().status, 200);
+        server.shutdown();
+    }
+
+    #[test]
+    fn batched_events_format_round_trips_over_http() {
+        let server = ObsServer::bind("127.0.0.1:0", test_state()).unwrap();
+        let addr = server.addr();
+        let flat = get(addr, "/events").unwrap();
+        let batched = get(addr, "/events?format=batch").unwrap();
+        let expanded = FlightRecorder::from_ndjson_batched(&batched.body).unwrap();
+        assert_eq!(FlightRecorder::to_ndjson(&expanded), flat.body);
+        assert_eq!(get(addr, "/events?format=bogus").unwrap().status, 400);
         server.shutdown();
     }
 

@@ -70,9 +70,9 @@ pub mod live;
 pub mod recorder;
 pub mod registry;
 
-pub use http::{get, Fetched, ObsServer, ObsState};
+pub use http::{get, Fetched, ObsDirectory, ObsServer, ObsState};
 pub use live::{Fanout, GridFanout, GridStatusSnapshot, LiveGrid, LiveStatus};
-pub use recorder::{FlightRecorder, RecordedEvent};
+pub use recorder::{FlightRecorder, RecordedBatch, RecordedEvent};
 pub use registry::{
     Counter, Gauge, GridRegistry, Histogram, MetricKind, MetricsRegistry, RegistryObserver,
 };

@@ -33,6 +33,25 @@ pub struct RecordedEvent {
     pub event: TelemetryEvent,
 }
 
+/// One run of contiguous recorded events in the columnar encoding: the
+/// batched NDJSON dump format (`GET /events?format=batch`).
+///
+/// A batch stands for the events `start_seq .. start_seq + batch.len()`
+/// under one shard tag; [`FlightRecorder::from_ndjson_batched`] expands
+/// it back to exactly the [`RecordedEvent`]s the flat format carries.
+/// For multi-process captures (many shards framing [`TickBatch`]
+/// blocks concurrently) this keeps a dump's size proportional to the
+/// columnar stream, not the per-event JSON expansion.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RecordedBatch {
+    /// Emitting shard; `None` for grid-level events.
+    pub shard: Option<usize>,
+    /// Sequence number of the batch's first event.
+    pub start_seq: u64,
+    /// The events, columnar.
+    pub batch: TickBatch,
+}
+
 /// One shard's bounded ring.
 #[derive(Debug, Default)]
 struct Ring {
@@ -215,6 +234,74 @@ impl FlightRecorder {
             .collect()
     }
 
+    /// Serializes events as *batched* NDJSON: one [`RecordedBatch`]
+    /// JSON object per line, each covering a maximal run of events
+    /// with one shard tag and contiguous sequence numbers. Lossless
+    /// with respect to [`FlightRecorder::from_ndjson_batched`]: the
+    /// expansion reproduces the input events exactly, so a batched
+    /// dump replays byte-identically to a flat one.
+    ///
+    /// # Panics
+    ///
+    /// Panics only if serde_json fails on plain data, which cannot
+    /// happen for this type.
+    pub fn to_ndjson_batched(events: &[RecordedEvent]) -> String {
+        let mut out = String::new();
+        let mut open: Option<RecordedBatch> = None;
+        let flush = |b: Option<RecordedBatch>, out: &mut String| {
+            if let Some(b) = b {
+                out.push_str(&serde_json::to_string(&b).expect("plain batch always serializes"));
+                out.push('\n');
+            }
+        };
+        for event in events {
+            let extends = open.as_ref().is_some_and(|b| {
+                b.shard == event.shard && b.start_seq + b.batch.len() as u64 == event.seq
+            });
+            if !extends {
+                flush(open.take(), &mut out);
+                open = Some(RecordedBatch {
+                    shard: event.shard,
+                    start_seq: event.seq,
+                    batch: TickBatch::new(),
+                });
+            }
+            open.as_mut()
+                .expect("an open batch exists here")
+                .batch
+                .push(&event.event);
+        }
+        flush(open, &mut out);
+        out
+    }
+
+    /// Parses a batched NDJSON dump back to flat [`RecordedEvent`]s
+    /// (blank lines ignored). Each batch is validated before being
+    /// expanded — a corrupt columnar block is a loud error, never a
+    /// mis-folded event.
+    ///
+    /// # Errors
+    ///
+    /// Returns the serde error of the first malformed or invalid line.
+    pub fn from_ndjson_batched(text: &str) -> Result<Vec<RecordedEvent>, serde_json::Error> {
+        let mut out = Vec::new();
+        for line in text.lines().filter(|line| !line.trim().is_empty()) {
+            let recorded: RecordedBatch = serde_json::from_str(line)?;
+            recorded
+                .batch
+                .validate()
+                .map_err(|why| serde::DeError::new(format!("invalid recorded batch: {why}")))?;
+            for (i, event) in recorded.batch.iter().enumerate() {
+                out.push(RecordedEvent {
+                    seq: recorded.start_seq + i as u64,
+                    shard: recorded.shard,
+                    event,
+                });
+            }
+        }
+        Ok(out)
+    }
+
     /// Replays a dump through the [`StatusSnapshot`] fold, keeping
     /// only events tagged `shard` — the post-incident path: pull
     /// `/events`, filter to the shard under suspicion, and fold the
@@ -305,5 +392,49 @@ mod tests {
         assert_eq!(replayed, run.status());
         // A malformed line is a loud error, not a silent skip.
         assert!(FlightRecorder::from_ndjson("{\"seq\":}").is_err());
+    }
+
+    #[test]
+    fn batched_ndjson_round_trips_byte_identically() {
+        use crate::{Grid, ResolvedFleet, SurveyLoad};
+        // A grid run drives the recorder the way a multi-process
+        // capture does: many shards, interleaved batch arrivals.
+        let shards = vec![
+            ResolvedFleet::synthetic(400, &[0.1, 0.1]),
+            ResolvedFleet::synthetic(400, &[0.1]),
+        ];
+        let load = SurveyLoad::custom(400, 6, 3);
+        let recorder = FlightRecorder::new(4096);
+        Grid::session(&shards)
+            .load(&load)
+            .run_with(&recorder)
+            .unwrap();
+        let tail = recorder.tail(usize::MAX);
+        assert!(!tail.is_empty());
+
+        let batched = FlightRecorder::to_ndjson_batched(&tail);
+        let expanded = FlightRecorder::from_ndjson_batched(&batched).unwrap();
+        assert_eq!(expanded, tail, "batched dump expands losslessly");
+        // Byte-identical replay: the expanded events re-serialize to
+        // exactly the flat dump of the original tail.
+        assert_eq!(
+            FlightRecorder::to_ndjson(&expanded),
+            FlightRecorder::to_ndjson(&tail)
+        );
+        // The batched form actually batches: fewer lines than events.
+        assert!(batched.lines().count() < tail.len());
+
+        // Corrupt columnar blocks are loud. An order table pointing at
+        // a missing row must not expand.
+        let bogus = "{\"shard\":null,\"start_seq\":0,\"batch\":{\"admissions\":[],\"beams\":[],\"bounces\":[],\"captures\":[],\"depth_steps\":[],\"health\":[],\"order\":[[\"probe\",0]],\"placed\":[],\"probes\":[],\"rebalances\":[],\"retries\":[],\"sheds\":[]}}";
+        assert!(FlightRecorder::from_ndjson_batched(bogus).is_err());
+
+        // Mixed single events (rebalance tagged shard-less between
+        // shard batches) still group and round-trip.
+        let single = FlightRecorder::to_ndjson_batched(&tail[..1]);
+        assert_eq!(
+            FlightRecorder::from_ndjson_batched(&single).unwrap(),
+            &tail[..1]
+        );
     }
 }

@@ -1,0 +1,394 @@
+//! The length-prefixed frame layer of the shard wire protocol.
+//!
+//! Every message between a supervisor and a shard child process —
+//! spec, streamed [`crate::TickBatch`] blocks, final ledger — crosses
+//! stdio as one *frame*:
+//!
+//! ```text
+//! +------+----------+-------------+------------------+
+//! | DDF1 | len: u32 | check: u32  | payload (len B)  |
+//! +------+----------+-------------+------------------+
+//!   magic   little-    FNV-1a 32     JSON (vendored
+//!           endian     over payload   serde_json)
+//! ```
+//!
+//! Two asymmetries are deliberate:
+//!
+//! * **Before the first frame**, [`FrameReader`] scans forward to the
+//!   magic, discarding leading noise. A child process's stdout is not
+//!   pristine — a test harness banner, a stray `println!` from a
+//!   dependency — and losing the whole stream to a greeting would be
+//!   absurd. Noise *is* tolerated only there.
+//! * **After the first frame**, the stream must be exactly aligned:
+//!   anything but the magic at a frame boundary is a loud
+//!   [`FrameError::Malformed`], never a silent resync. A desynced
+//!   stream means frames were torn or injected, and re-locking onto a
+//!   later magic could splice a half-frame into the fold.
+//!
+//! Truncation (EOF inside a frame), oversized length prefixes, and
+//! checksum mismatches each get their own loud error — a corrupt frame
+//! must never panic the supervisor or mis-fold into a ledger.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::io::{self, Read, Write};
+
+/// The frame magic: `DDF1` ("DeDisp Frame v1").
+pub const MAGIC: [u8; 4] = *b"DDF1";
+
+/// Ceiling on a frame's payload length (256 MiB). A prefix beyond it
+/// is rejected before any allocation — a corrupt length must not turn
+/// into an out-of-memory abort.
+pub const MAX_PAYLOAD: u32 = 256 * 1024 * 1024;
+
+/// What went wrong reading or writing a frame.
+#[derive(Debug)]
+pub enum FrameError {
+    /// The underlying transport failed.
+    Io(io::Error),
+    /// The stream ended inside a frame.
+    Truncated {
+        /// Bytes the frame still owed.
+        expected: usize,
+        /// Bytes actually available.
+        got: usize,
+    },
+    /// The length prefix exceeds [`MAX_PAYLOAD`].
+    TooLarge {
+        /// The claimed payload length.
+        len: u32,
+    },
+    /// The payload does not match its checksum.
+    Corrupt {
+        /// Checksum the header claimed.
+        expected: u32,
+        /// Checksum of the payload actually read.
+        got: u32,
+    },
+    /// The stream is desynced or the payload is not a valid message.
+    Malformed(String),
+}
+
+impl fmt::Display for FrameError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FrameError::Io(e) => write!(f, "frame I/O error: {e}"),
+            FrameError::Truncated { expected, got } => {
+                write!(f, "truncated frame: expected {expected} more bytes, got {got}")
+            }
+            FrameError::TooLarge { len } => {
+                write!(f, "frame payload of {len} bytes exceeds the {MAX_PAYLOAD} cap")
+            }
+            FrameError::Corrupt { expected, got } => write!(
+                f,
+                "frame checksum mismatch: header says {expected:#010x}, payload hashes to {got:#010x}"
+            ),
+            FrameError::Malformed(why) => write!(f, "malformed frame: {why}"),
+        }
+    }
+}
+
+impl std::error::Error for FrameError {}
+
+impl From<io::Error> for FrameError {
+    fn from(e: io::Error) -> Self {
+        FrameError::Io(e)
+    }
+}
+
+/// FNV-1a over `bytes`, 32-bit — enough to catch torn writes and
+/// bit-rot on a local pipe; this is an integrity check, not an
+/// authenticity one.
+pub fn checksum(bytes: &[u8]) -> u32 {
+    let mut hash: u32 = 0x811c_9dc5;
+    for &b in bytes {
+        hash ^= u32::from(b);
+        hash = hash.wrapping_mul(0x0100_0193);
+    }
+    hash
+}
+
+/// Writes one frame (header + payload) and flushes, so a frame is on
+/// the pipe — whole — the moment this returns. The flush is what makes
+/// per-frame liveness deadlines meaningful on the reading side.
+///
+/// # Errors
+///
+/// [`FrameError::TooLarge`] for an oversized payload, [`FrameError::Io`]
+/// for transport failures.
+pub fn write_frame(w: &mut impl Write, payload: &[u8]) -> Result<(), FrameError> {
+    let len = u32::try_from(payload.len())
+        .ok()
+        .filter(|&l| l <= MAX_PAYLOAD)
+        .ok_or(FrameError::TooLarge {
+            len: u32::try_from(payload.len()).unwrap_or(u32::MAX),
+        })?;
+    w.write_all(&MAGIC)?;
+    w.write_all(&len.to_le_bytes())?;
+    w.write_all(&checksum(payload).to_le_bytes())?;
+    w.write_all(payload)?;
+    w.flush()?;
+    Ok(())
+}
+
+/// Serializes `msg` as JSON and writes it as one frame.
+///
+/// # Errors
+///
+/// As [`write_frame`]; serialization itself cannot fail for the plain
+/// protocol types.
+pub fn write_msg<T: Serialize>(w: &mut impl Write, msg: &T) -> Result<(), FrameError> {
+    let payload =
+        serde_json::to_string(msg).map_err(|e| FrameError::Malformed(format!("encode: {e}")))?;
+    write_frame(w, payload.as_bytes())
+}
+
+/// How a fixed-size read ended.
+enum Fill {
+    /// The buffer was filled completely.
+    Full,
+    /// Clean EOF before the first byte.
+    Eof,
+    /// EOF after `0 < n < buf.len()` bytes.
+    Partial(usize),
+}
+
+/// Reads exactly `buf.len()` bytes, distinguishing a clean EOF at the
+/// start from a truncation partway through.
+fn fill(r: &mut impl Read, buf: &mut [u8]) -> Result<Fill, FrameError> {
+    let mut got = 0;
+    while got < buf.len() {
+        match r.read(&mut buf[got..]) {
+            Ok(0) if got == 0 => return Ok(Fill::Eof),
+            Ok(0) => return Ok(Fill::Partial(got)),
+            Ok(n) => got += n,
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+            Err(e) => return Err(e.into()),
+        }
+    }
+    Ok(Fill::Full)
+}
+
+/// A frame decoder over any byte stream.
+///
+/// `read_frame` returns `Ok(None)` on a clean EOF at a frame boundary
+/// (the stream simply ended) and an error for every torn, oversized,
+/// corrupt, or desynced frame. See the module docs for the
+/// noise-before-first-frame rule.
+#[derive(Debug)]
+pub struct FrameReader<R> {
+    inner: R,
+    /// Whether the first magic has been locked onto yet.
+    synced: bool,
+}
+
+impl<R: Read> FrameReader<R> {
+    /// A reader over `inner`, not yet locked onto the stream.
+    pub fn new(inner: R) -> Self {
+        Self {
+            inner,
+            synced: false,
+        }
+    }
+
+    /// Scans forward byte-by-byte to the first magic. Returns `false`
+    /// on EOF before any magic (a stream with no frames at all).
+    fn scan_magic(&mut self) -> Result<bool, FrameError> {
+        let mut window = [0u8; 4];
+        let mut have = 0usize;
+        loop {
+            if have == 4 {
+                if window == MAGIC {
+                    return Ok(true);
+                }
+                window.copy_within(1.., 0);
+                have = 3;
+            }
+            let mut byte = [0u8; 1];
+            match fill(&mut self.inner, &mut byte)? {
+                Fill::Full => {
+                    window[have] = byte[0];
+                    have += 1;
+                }
+                Fill::Eof | Fill::Partial(_) => return Ok(false),
+            }
+        }
+    }
+
+    /// Reads the next frame's payload.
+    ///
+    /// # Errors
+    ///
+    /// [`FrameError::Malformed`] on a desynced boundary,
+    /// [`FrameError::Truncated`] on EOF inside a frame,
+    /// [`FrameError::TooLarge`] / [`FrameError::Corrupt`] for bad
+    /// headers, [`FrameError::Io`] for transport failures.
+    pub fn read_frame(&mut self) -> Result<Option<Vec<u8>>, FrameError> {
+        if self.synced {
+            let mut magic = [0u8; 4];
+            match fill(&mut self.inner, &mut magic)? {
+                Fill::Eof => return Ok(None),
+                Fill::Partial(got) => return Err(FrameError::Truncated { expected: 4, got }),
+                Fill::Full => {}
+            }
+            if magic != MAGIC {
+                return Err(FrameError::Malformed(format!(
+                    "expected frame magic at boundary, found {magic:02x?}"
+                )));
+            }
+        } else {
+            if !self.scan_magic()? {
+                return Ok(None);
+            }
+            self.synced = true;
+        }
+        let mut header = [0u8; 8];
+        match fill(&mut self.inner, &mut header)? {
+            Fill::Full => {}
+            Fill::Eof => {
+                return Err(FrameError::Truncated {
+                    expected: 8,
+                    got: 0,
+                })
+            }
+            Fill::Partial(got) => return Err(FrameError::Truncated { expected: 8, got }),
+        }
+        let len = u32::from_le_bytes(header[..4].try_into().expect("4 bytes"));
+        let expected_check = u32::from_le_bytes(header[4..].try_into().expect("4 bytes"));
+        if len > MAX_PAYLOAD {
+            return Err(FrameError::TooLarge { len });
+        }
+        let mut payload = vec![0u8; len as usize];
+        match fill(&mut self.inner, &mut payload)? {
+            Fill::Full => {}
+            Fill::Eof => {
+                return Err(FrameError::Truncated {
+                    expected: len as usize,
+                    got: 0,
+                })
+            }
+            Fill::Partial(got) => {
+                return Err(FrameError::Truncated {
+                    expected: len as usize,
+                    got,
+                })
+            }
+        }
+        let got = checksum(&payload);
+        if got != expected_check {
+            return Err(FrameError::Corrupt {
+                expected: expected_check,
+                got,
+            });
+        }
+        Ok(Some(payload))
+    }
+
+    /// Reads and deserializes the next frame as a `T`.
+    ///
+    /// # Errors
+    ///
+    /// As [`FrameReader::read_frame`], plus [`FrameError::Malformed`]
+    /// for a payload that is not valid UTF-8 JSON for `T`.
+    pub fn read_msg<T: Deserialize>(&mut self) -> Result<Option<T>, FrameError> {
+        match self.read_frame()? {
+            None => Ok(None),
+            Some(payload) => {
+                let text = std::str::from_utf8(&payload)
+                    .map_err(|e| FrameError::Malformed(format!("payload not UTF-8: {e}")))?;
+                serde_json::from_str(text)
+                    .map(Some)
+                    .map_err(|e| FrameError::Malformed(format!("decode: {e}")))
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip_buf(payloads: &[&[u8]]) -> Vec<u8> {
+        let mut buf = Vec::new();
+        for p in payloads {
+            write_frame(&mut buf, p).unwrap();
+        }
+        buf
+    }
+
+    #[test]
+    fn frames_round_trip_in_order() {
+        let buf = roundtrip_buf(&[b"alpha", b"", b"gamma"]);
+        let mut reader = FrameReader::new(buf.as_slice());
+        assert_eq!(reader.read_frame().unwrap().unwrap(), b"alpha");
+        assert_eq!(reader.read_frame().unwrap().unwrap(), b"");
+        assert_eq!(reader.read_frame().unwrap().unwrap(), b"gamma");
+        assert!(reader.read_frame().unwrap().is_none(), "clean EOF");
+        assert!(reader.read_frame().unwrap().is_none(), "stays at EOF");
+    }
+
+    #[test]
+    fn leading_noise_is_skipped_but_interleaved_noise_is_loud() {
+        // A test-harness banner before the first frame is tolerated...
+        let mut buf = b"running 1 test\nDD not-magic\n".to_vec();
+        buf.extend(roundtrip_buf(&[b"one", b"two"]));
+        let mut reader = FrameReader::new(buf.as_slice());
+        assert_eq!(reader.read_frame().unwrap().unwrap(), b"one");
+        assert_eq!(reader.read_frame().unwrap().unwrap(), b"two");
+
+        // ...but the same bytes between frames desync the stream.
+        let mut buf = roundtrip_buf(&[b"one"]);
+        buf.extend(b"test result: ok\n");
+        buf.extend(roundtrip_buf(&[b"two"]));
+        let mut reader = FrameReader::new(buf.as_slice());
+        assert_eq!(reader.read_frame().unwrap().unwrap(), b"one");
+        assert!(matches!(reader.read_frame(), Err(FrameError::Malformed(_))));
+    }
+
+    #[test]
+    fn truncation_and_corruption_are_loud_never_panics() {
+        let buf = roundtrip_buf(&[b"payload-bytes"]);
+        // Every proper prefix either has no frame yet or truncates.
+        for cut in 0..buf.len() {
+            let mut reader = FrameReader::new(&buf[..cut]);
+            match reader.read_frame() {
+                Ok(None) => assert!(cut < MAGIC.len(), "short of any magic"),
+                Ok(Some(_)) => panic!("a cut frame decoded at {cut}"),
+                Err(FrameError::Truncated { .. }) => {}
+                Err(e) => panic!("unexpected error at {cut}: {e}"),
+            }
+        }
+        // A flipped payload byte fails the checksum.
+        let mut bad = buf.clone();
+        let last = bad.len() - 1;
+        bad[last] ^= 0xff;
+        assert!(matches!(
+            FrameReader::new(bad.as_slice()).read_frame(),
+            Err(FrameError::Corrupt { .. })
+        ));
+        // An absurd length prefix is rejected before allocation.
+        let mut huge = buf;
+        huge[4..8].copy_from_slice(&u32::MAX.to_le_bytes());
+        assert!(matches!(
+            FrameReader::new(huge.as_slice()).read_frame(),
+            Err(FrameError::TooLarge { .. })
+        ));
+    }
+
+    #[test]
+    fn typed_messages_round_trip_and_bad_json_is_malformed() {
+        let mut buf = Vec::new();
+        write_msg(&mut buf, &vec![1u32, 2, 3]).unwrap();
+        let mut reader = FrameReader::new(buf.as_slice());
+        let back: Vec<u32> = reader.read_msg().unwrap().unwrap();
+        assert_eq!(back, vec![1, 2, 3]);
+
+        // A frame whose payload is valid bytes but not valid JSON for
+        // the target type errors loudly.
+        let mut junk = Vec::new();
+        write_frame(&mut junk, b"{\"not\": \"a vec\"").unwrap();
+        let mut reader = FrameReader::new(junk.as_slice());
+        let res: Result<Option<Vec<u32>>, _> = reader.read_msg();
+        assert!(matches!(res, Err(FrameError::Malformed(_))));
+    }
+}

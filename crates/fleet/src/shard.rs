@@ -55,7 +55,7 @@ pub struct GlobalBeam {
 }
 
 /// One tick's slice of the survey assigned to one shard.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 struct TickSlice {
     release: f64,
     deadline: f64,
@@ -67,7 +67,7 @@ struct TickSlice {
 /// Implements [`LoadSource`], so a plain [`crate::Scheduler`] session
 /// runs it unchanged; the shard-local job index of each beam maps back
 /// to its global identity via [`ShardLoad::global_beams`].
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct ShardLoad {
     setup: String,
     trials: usize,

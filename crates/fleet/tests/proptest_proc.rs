@@ -1,0 +1,205 @@
+//! Property-based invariants for the shard wire protocol's frame
+//! layer.
+//!
+//! The supervisor folds whatever the pipe hands it into grid ledgers,
+//! so the frame layer carries the whole trust burden:
+//!
+//! 1. **Bijection** — an arbitrary stream of [`TickBatch`] frames
+//!    decodes to exactly the batches that were encoded, in order.
+//! 2. **Truncation is loud** — cutting the byte stream at *any*
+//!    position yields a clean prefix of the original batches plus
+//!    either a clean EOF (cut on a frame boundary, or short of the
+//!    first magic) or a loud error — never a panic, never a batch that
+//!    was not sent.
+//! 3. **Corruption is loud** — flipping any byte (past the first
+//!    magic, where leading-noise tolerance is documented behaviour)
+//!    never panics and never lets the full original sequence decode
+//!    silently; everything decoded before the error is still an exact
+//!    prefix of the truth.
+
+use dedisp_fleet::proc::{write_msg, FrameReader, ShardFrame};
+use dedisp_fleet::{TelemetryEvent, TickBatch};
+use proptest::prelude::*;
+
+/// Raw material for one generated event:
+/// `(kind, a, b, at, flag, count)`.
+type RawEvent = (u8, usize, usize, f64, bool, usize);
+
+fn event(raw: RawEvent) -> TelemetryEvent {
+    let (kind, a, b, at, flag, count) = raw;
+    match kind % 5 {
+        0 => TelemetryEvent::Probe {
+            device: a % 8,
+            at,
+            up: flag,
+        },
+        1 => TelemetryEvent::Retry {
+            index: a,
+            at,
+            attempt: count % 5 + 1,
+        },
+        2 => TelemetryEvent::Bounce {
+            index: a,
+            device: b % 8,
+            at,
+            attempt: count % 5 + 1,
+        },
+        3 => TelemetryEvent::Placed {
+            index: a,
+            device: b % 8,
+            at,
+            kept_trials: count,
+            attempt: count % 3 + 1,
+            canary: flag,
+        },
+        _ => TelemetryEvent::Rebalance {
+            tick: a % 16,
+            index: b,
+            from_shard: count % 4,
+            to_shard: (count + 1) % 4,
+        },
+    }
+}
+
+/// Chunks generated events into non-empty batches whose sizes cycle
+/// through `sizes`, then encodes each as one `ShardFrame::Batch`.
+fn batches(raw: &[RawEvent], sizes: &[usize]) -> Vec<TickBatch> {
+    let mut out = Vec::new();
+    let mut batch = TickBatch::new();
+    let mut cursor = 0usize;
+    let mut target = sizes.first().copied().unwrap_or(1).max(1);
+    for &r in raw {
+        batch.push(&event(r));
+        if batch.len() >= target {
+            out.push(std::mem::take(&mut batch));
+            cursor = (cursor + 1) % sizes.len().max(1);
+            target = sizes.get(cursor).copied().unwrap_or(1).max(1);
+        }
+    }
+    if !batch.is_empty() {
+        out.push(batch);
+    }
+    out
+}
+
+/// Encodes each batch as its own frame, returning the per-frame byte
+/// runs (so boundary offsets are computable) and the full stream.
+fn encode(stream: &[TickBatch]) -> (Vec<Vec<u8>>, Vec<u8>) {
+    let frames: Vec<Vec<u8>> = stream
+        .iter()
+        .map(|b| {
+            let mut buf = Vec::new();
+            write_msg(&mut buf, &ShardFrame::Batch(b.clone())).expect("encode");
+            buf
+        })
+        .collect();
+    let bytes = frames.concat();
+    (frames, bytes)
+}
+
+/// Decodes until EOF or the first error, returning the decoded batches
+/// and whether the stream ended in an error.
+fn decode(bytes: &[u8]) -> (Vec<TickBatch>, bool) {
+    let mut reader = FrameReader::new(bytes);
+    let mut out = Vec::new();
+    loop {
+        match reader.read_msg::<ShardFrame>() {
+            Ok(Some(ShardFrame::Batch(b))) => out.push(b),
+            Ok(Some(_)) => return (out, true),
+            Ok(None) => return (out, false),
+            Err(_) => return (out, true),
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Property 1: encode → decode is the identity on arbitrary batch
+    /// streams, and every decoded batch still passes validation.
+    #[test]
+    fn frame_streams_are_a_bijection(
+        raw in prop::collection::vec(
+            (0u8..5, 0usize..64, 0usize..64, 0.0f64..10.0, any::<bool>(), 0usize..6),
+            1..40,
+        ),
+        sizes in prop::collection::vec(1usize..8, 1..5),
+    ) {
+        let stream = batches(&raw, &sizes);
+        let (_, bytes) = encode(&stream);
+        let (back, errored) = decode(&bytes);
+        prop_assert!(!errored);
+        prop_assert_eq!(&back, &stream);
+        for b in &back {
+            prop_assert!(b.validate().is_ok());
+        }
+    }
+
+    /// Property 2: truncation at any byte yields a clean prefix and —
+    /// unless the cut lands on a frame boundary or short of the first
+    /// magic — a loud error.
+    #[test]
+    fn truncation_decodes_a_prefix_and_errors_loudly(
+        raw in prop::collection::vec(
+            (0u8..5, 0usize..64, 0usize..64, 0.0f64..10.0, any::<bool>(), 0usize..6),
+            1..24,
+        ),
+        sizes in prop::collection::vec(1usize..8, 1..4),
+        cut_seed in 0usize..1_000_000,
+    ) {
+        let stream = batches(&raw, &sizes);
+        let (frames, bytes) = encode(&stream);
+        let cut = cut_seed % bytes.len();
+
+        let mut boundaries = vec![0usize];
+        for f in &frames {
+            boundaries.push(boundaries.last().unwrap() + f.len());
+        }
+
+        let (back, errored) = decode(&bytes[..cut]);
+        // Whatever decoded is an exact prefix of what was sent…
+        prop_assert!(back.len() <= stream.len());
+        prop_assert_eq!(&back[..], &stream[..back.len()]);
+        // …and a cut inside a frame (past the first magic) is loud.
+        let on_boundary = boundaries.contains(&cut);
+        if on_boundary {
+            prop_assert!(!errored);
+            prop_assert_eq!(back.len(), boundaries.iter().position(|&b| b == cut).unwrap());
+        } else if cut >= 4 {
+            prop_assert!(errored, "mid-frame cut at {cut} decoded silently");
+        }
+    }
+
+    /// Property 3: flipping any byte past the first magic never panics
+    /// and never lets the original stream decode in full; the decoded
+    /// prefix never contains an invented batch.
+    #[test]
+    fn corruption_never_decodes_silently(
+        raw in prop::collection::vec(
+            (0u8..5, 0usize..64, 0usize..64, 0.0f64..10.0, any::<bool>(), 0usize..6),
+            1..24,
+        ),
+        sizes in prop::collection::vec(1usize..8, 1..4),
+        pos_seed in 0usize..1_000_000,
+        flip in 1u8..=255u8,
+    ) {
+        let stream = batches(&raw, &sizes);
+        let (_, bytes) = encode(&stream);
+        prop_assume!(bytes.len() > 4);
+        let pos = 4 + pos_seed % (bytes.len() - 4);
+
+        let mut bad = bytes.clone();
+        bad[pos] ^= flip;
+
+        let (back, errored) = decode(&bad);
+        // The corruption was either caught or it truncated the decode;
+        // a silent full decode would mean a corrupt byte mis-folded.
+        prop_assert!(
+            errored || back != stream,
+            "flipped byte at {pos} decoded the full stream silently"
+        );
+        // And nothing invented: the decoded prefix is still the truth.
+        prop_assert!(back.len() <= stream.len());
+        prop_assert_eq!(&back[..], &stream[..back.len()]);
+    }
+}

@@ -1,0 +1,95 @@
+//! Shards as supervised child processes: the crash-real grid.
+//!
+//! ```sh
+//! cargo run --release --example cluster
+//! ```
+//!
+//! The `grid` example runs its shards as threads and *simulates* their
+//! failures; this one runs each shard as a real child process — this
+//! very example re-executed with `--child` — speaking the framed shard
+//! protocol over stdio (DESIGN.md §15). Shard 0's child is told to
+//! `SIGKILL` itself after framing two batches: a crash the supervisor
+//! cannot be warned about. It restarts the shard with backoff, drops
+//! the replayed frame prefix, and the merged ledger comes out
+//! identical to an in-thread run — the kill is visible only in the
+//! supervision ledger.
+
+use dedisp_repro::dedisp_fleet::proc::{serve_stdio, ProcOutcome};
+use dedisp_repro::dedisp_fleet::{
+    ChaosSpec, Grid, ProcConfig, ResolvedFleet, ShardBackend, SurveyLoad,
+};
+use std::time::Duration;
+
+fn main() {
+    // The child half: one shard conversation over stdio, then exit.
+    if std::env::args().any(|a| a == "--child") {
+        serve_stdio(None).expect("child shard conversation failed");
+        return;
+    }
+
+    // Two pocket shards; the supervisor will re-exec this example as
+    // `cluster --child` for each, and inject the self-kill order into
+    // shard 0's spec (first attempt only — restarts run clean).
+    let shards = vec![
+        ResolvedFleet::synthetic(700, &[0.1, 0.12]),
+        ResolvedFleet::synthetic(700, &[0.1]),
+    ];
+    let load = SurveyLoad::custom(700, 8, 4);
+    let config = ProcConfig::current_exe()
+        .expect("example binary resolves")
+        .arg("--child")
+        .liveness(Duration::from_secs(30))
+        .chaos(
+            0,
+            ChaosSpec {
+                kill_after_frames: 2,
+            },
+        );
+
+    let reference = Grid::session(&shards).load(&load).run().expect("in-thread");
+    let run = Grid::session(&shards)
+        .load(&load)
+        .backend(ShardBackend::Process(config))
+        .run()
+        .expect("process-backed grid survives the SIGKILL");
+
+    // The kill was real, the ledger doesn't know: records and events
+    // match the in-thread run exactly.
+    assert_eq!(run.records, reference.records);
+    assert_eq!(run.events, reference.events);
+    assert!(run.report.conservation_ok());
+    println!(
+        "process grid == in-thread grid: {} beam-seconds completed, every one conserved",
+        run.report.completed
+    );
+
+    // Only the supervision ledger tells the story.
+    let ledger = run.proc.expect("process runs carry a supervision ledger");
+    for entry in &ledger.shards {
+        let attempts: Vec<String> = entry
+            .attempts
+            .iter()
+            .map(|a| match a.outcome {
+                ProcOutcome::Completed => "completed".to_string(),
+                ProcOutcome::Died { after_frames } => format!("died after {after_frames} frames"),
+                ProcOutcome::TimedOut { after_frames } => {
+                    format!("timed out after {after_frames} frames")
+                }
+                ProcOutcome::SpawnFailed => "spawn failed".to_string(),
+            })
+            .collect();
+        println!(
+            "shard {}: {} (restarts {}, {} replayed frames deduped)",
+            entry.shard,
+            attempts.join(" -> "),
+            entry.restarts,
+            entry.deduped_frames
+        );
+    }
+    assert_eq!(ledger.shards[0].restarts, 1);
+    assert_eq!(
+        ledger.shards[0].attempts[0].outcome,
+        ProcOutcome::Died { after_frames: 2 }
+    );
+    println!("the SIGKILL shows up here — and nowhere else");
+}
