@@ -21,8 +21,10 @@
 //! equal DM tiers per beam, at most `max_shed_tiers` of which may be
 //! shed, never below the floor.
 
+use crate::descriptor::AlgorithmRate;
 use crate::metrics::ShedReason;
 use crate::scheduler::SchedulerConfig;
+use manycore_sim::Algorithm;
 use serde::{Deserialize, Serialize};
 
 /// Slack tolerated when comparing virtual times against deadlines, so
@@ -136,16 +138,70 @@ pub struct BeamDemand {
 }
 
 /// One device's remaining capacity, as the admission policy sees it.
-#[derive(Debug, Clone, Copy, PartialEq)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct DeviceCapacity {
     /// Predicted virtual time the device's queue drains.
     pub avail: f64,
-    /// Full-resolution seconds per beam.
+    /// Full-resolution seconds per beam *on the current algorithm*.
     pub seconds_per_beam: f64,
     /// Whether the device currently counts toward admission capacity.
     /// Probation devices do not: they have one unproven canary slot,
     /// not real capacity.
     pub healthy: bool,
+    /// The algorithm the device is currently running.
+    pub algorithm: Algorithm,
+    /// The device's full rate table, fidelity order (primary first).
+    /// Single-entry unless the fleet declared alternates; policies
+    /// without an algorithm axis ignore it.
+    pub rates: Vec<AlgorithmRate>,
+}
+
+impl DeviceCapacity {
+    /// A single-algorithm capacity: brute force at `seconds_per_beam`,
+    /// no alternates — exactly the pre-table shape.
+    pub fn new(avail: f64, seconds_per_beam: f64, healthy: bool) -> Self {
+        Self {
+            avail,
+            seconds_per_beam,
+            healthy,
+            algorithm: Algorithm::BruteForce,
+            rates: vec![AlgorithmRate {
+                algorithm: Algorithm::BruteForce,
+                seconds_per_beam,
+            }],
+        }
+    }
+
+    /// Replaces the rate table and pins the current algorithm,
+    /// re-deriving `seconds_per_beam` from the matching row when the
+    /// table lists it.
+    #[must_use]
+    pub fn with_rates(mut self, algorithm: Algorithm, rates: Vec<AlgorithmRate>) -> Self {
+        self.algorithm = algorithm;
+        if let Some(row) = rates.iter().find(|r| r.algorithm == algorithm) {
+            self.seconds_per_beam = row.seconds_per_beam;
+        }
+        self.rates = rates;
+        self
+    }
+
+    /// The current algorithm's position in the rate table.
+    fn position(&self) -> Option<usize> {
+        self.rates
+            .iter()
+            .position(|r| r.algorithm == self.algorithm)
+    }
+
+    /// The next (cheaper) row below the current algorithm, if any.
+    fn demotion(&self) -> Option<AlgorithmRate> {
+        self.rates.get(self.position()? + 1).copied()
+    }
+
+    /// The next (higher-fidelity) row above the current algorithm.
+    fn promotion(&self) -> Option<AlgorithmRate> {
+        let pos = self.position()?;
+        pos.checked_sub(1).and_then(|p| self.rates.get(p)).copied()
+    }
 }
 
 /// The capacity side of an admission decision: the tier ladder plus
@@ -187,7 +243,7 @@ impl CapacityView<'_> {
 }
 
 /// What an admission policy rules for one tick's batch.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub enum AdmissionDecision {
     /// Admit the batch with `shed_tiers` trailing DM tiers shed from
     /// every beam (0 = full resolution). Individual beams under further
@@ -197,6 +253,10 @@ pub enum AdmissionDecision {
     Admit {
         /// Tiers to shed from every beam of the batch.
         shed_tiers: usize,
+        /// Algorithm switches to apply before placement: device index
+        /// paired with the algorithm it should run from this tick on.
+        /// Empty for policies without an algorithm axis.
+        switches: Vec<(usize, Algorithm)>,
     },
     /// Admit the batch at full resolution *without* per-beam tier
     /// shedding: the policy declines to degrade, accepting that beams
@@ -205,6 +265,17 @@ pub enum AdmissionDecision {
     /// Drop the whole batch: every beam is recorded as shed whole with
     /// this reason.
     Shed(ShedReason),
+}
+
+impl AdmissionDecision {
+    /// Admit with `shed_tiers` and no algorithm switches — the shape
+    /// every pre-table policy produces.
+    pub fn admit(shed_tiers: usize) -> Self {
+        AdmissionDecision::Admit {
+            shed_tiers,
+            switches: Vec::new(),
+        }
+    }
 }
 
 /// A batch-granularity admission rule: given one tick's demand and the
@@ -234,13 +305,240 @@ impl AdmissionPolicy for PerDeviceGreedy {
     fn decide(&self, demand: &BeamDemand, view: &CapacityView<'_>) -> AdmissionDecision {
         for (tiers, kept) in view.ladder.levels().enumerate() {
             if view.feasible_beams(demand, kept) >= demand.beams {
-                return AdmissionDecision::Admit { shed_tiers: tiers };
+                return AdmissionDecision::admit(tiers);
             }
         }
+        AdmissionDecision::admit(view.ladder.kept_options().len())
+    }
+}
+
+/// Algorithm-aware admission: demote before shedding.
+///
+/// Starts from the [`PerDeviceGreedy`] ruling, then — when that plan
+/// still sheds tiers or predicts misses — walks each device's rate
+/// table downward one step at a time, re-scoring the whole tick after
+/// every candidate demotion with the same fault-free placement cascade
+/// the dispatcher runs. When no single-device step improves the plan
+/// (on wide fleets one demotion rarely moves the batch-wide tier
+/// level), a fleet-wide step — every healthy device down one entry
+/// together — is probed under the same rule before the walk stops.
+/// The accumulated switch set is adopted **only**
+/// when the final plan Pareto-improves on the baseline (never more
+/// predicted misses, never more shed trials), mirroring the
+/// [`GridAdmission::Coordinated`] adoption rule; otherwise the
+/// baseline decision is returned untouched.
+///
+/// When the fleet is fully idle at full resolution, one demoted device
+/// per tick is promoted back up its table, provided the promoted plan
+/// is still cost-free — so a burst's demotions retire once the burst
+/// passes instead of pinning the fleet on approximate kernels forever.
+///
+/// Every rate table with a single entry makes demotion and promotion
+/// impossible, so on such fleets this policy is *identical* to
+/// [`PerDeviceGreedy`] by construction.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct AlgorithmLadder;
+
+impl AdmissionPolicy for AlgorithmLadder {
+    fn decide(&self, demand: &BeamDemand, view: &CapacityView<'_>) -> AdmissionDecision {
+        let baseline = PerDeviceGreedy.decide(demand, view);
+        let has_alternates = view.devices.iter().any(|d| d.rates.len() > 1);
+        if !has_alternates || demand.beams == 0 {
+            return baseline;
+        }
+
+        let ladder = view.ladder;
+        let base_kept = greedy_kept(ladder, demand, view);
+        let base_cost = fleet_cost(demand, ladder, view.devices, base_kept);
+        let zero = PlanCost {
+            misses: 0,
+            shed_trials: 0,
+        };
+
+        if base_cost == zero && base_kept == ladder.trials() {
+            // No pressure: try promoting one demoted device back up.
+            for (d, cap) in view.devices.iter().enumerate() {
+                if !cap.healthy {
+                    continue;
+                }
+                let Some(up) = cap.promotion() else { continue };
+                let mut trial = view.devices.to_vec();
+                trial[d].algorithm = up.algorithm;
+                trial[d].seconds_per_beam = up.seconds_per_beam;
+                let trial_view = CapacityView {
+                    ladder,
+                    devices: &trial,
+                };
+                let kept = greedy_kept(ladder, demand, &trial_view);
+                if kept == ladder.trials() && fleet_cost(demand, ladder, &trial, kept) == zero {
+                    return AdmissionDecision::Admit {
+                        shed_tiers: 0,
+                        switches: vec![(d, up.algorithm)],
+                    };
+                }
+            }
+            return baseline;
+        }
+
+        // Pressure: greedily demote, one device-step at a time, as long
+        // as each step Pareto-improves the best plan so far. When no
+        // single step helps on its own — on wide fleets one device's
+        // demotion rarely moves the batch-wide tier level, so every
+        // candidate ties the bar — probe a fleet-wide step (every
+        // healthy device down one entry together) before giving up:
+        // capacity has to cross the tier boundary collectively.
+        let mut devices: Vec<DeviceCapacity> = view.devices.to_vec();
+        let mut switches: Vec<(usize, Algorithm)> = Vec::new();
+        let mut best_cost = base_cost;
+        let mut best_kept = base_kept;
+        loop {
+            let mut step: Option<LadderStep> = None;
+            for (d, cap) in devices.iter().enumerate() {
+                if !cap.healthy {
+                    continue;
+                }
+                let Some(down) = cap.demotion() else { continue };
+                let mut trial = devices.clone();
+                trial[d].algorithm = down.algorithm;
+                trial[d].seconds_per_beam = down.seconds_per_beam;
+                let trial_view = CapacityView {
+                    ladder,
+                    devices: &trial,
+                };
+                let kept = greedy_kept(ladder, demand, &trial_view);
+                let cost = fleet_cost(demand, ladder, &trial, kept);
+                let bar = step.as_ref().map_or(&best_cost, |(.., c)| c);
+                if cost.pareto_improves(bar) {
+                    step = Some((vec![(d, down)], kept, cost));
+                }
+            }
+            if step.is_none() {
+                let group: Vec<(usize, AlgorithmRate)> = devices
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, cap)| cap.healthy)
+                    .filter_map(|(d, cap)| cap.demotion().map(|down| (d, down)))
+                    .collect();
+                if group.len() > 1 {
+                    let mut trial = devices.clone();
+                    for &(d, down) in &group {
+                        trial[d].algorithm = down.algorithm;
+                        trial[d].seconds_per_beam = down.seconds_per_beam;
+                    }
+                    let trial_view = CapacityView {
+                        ladder,
+                        devices: &trial,
+                    };
+                    let kept = greedy_kept(ladder, demand, &trial_view);
+                    let cost = fleet_cost(demand, ladder, &trial, kept);
+                    if cost.pareto_improves(&best_cost) {
+                        step = Some((group, kept, cost));
+                    }
+                }
+            }
+            let Some((group, kept, cost)) = step else {
+                break;
+            };
+            for &(d, down) in &group {
+                devices[d].algorithm = down.algorithm;
+                devices[d].seconds_per_beam = down.seconds_per_beam;
+                match switches.iter_mut().find(|(i, _)| *i == d) {
+                    Some(entry) => entry.1 = down.algorithm,
+                    None => switches.push((d, down.algorithm)),
+                }
+            }
+            best_cost = cost;
+            best_kept = kept;
+            if best_cost == zero {
+                break;
+            }
+        }
+
+        if switches.is_empty() || !best_cost.pareto_improves(&base_cost) {
+            return baseline;
+        }
         AdmissionDecision::Admit {
-            shed_tiers: view.ladder.kept_options().len(),
+            shed_tiers: ladder.tiers_for(best_kept),
+            switches,
         }
     }
+}
+
+/// Runs [`PerDeviceGreedy`] over a view and resolves the decision to a
+/// kept-trials level.
+fn greedy_kept(ladder: &TierLadder, demand: &BeamDemand, view: &CapacityView<'_>) -> usize {
+    match PerDeviceGreedy.decide(demand, view) {
+        AdmissionDecision::Admit { shed_tiers, .. } => ladder.kept_for(shed_tiers),
+        AdmissionDecision::Defer => ladder.trials(),
+        AdmissionDecision::Shed(_) => ladder.floor(),
+    }
+}
+
+/// The healthy device with the earliest predicted finish for a beam of
+/// `kept` trials released at `release`, ties to the lowest index — the
+/// dispatcher's greedy choice over a capacity slice.
+fn choose_device(
+    avail: &[f64],
+    devices: &[DeviceCapacity],
+    release: f64,
+    kept: usize,
+    trials: usize,
+) -> Option<(usize, f64)> {
+    let frac = kept as f64 / trials as f64;
+    let mut best: Option<(usize, f64)> = None;
+    for (d, cap) in devices.iter().enumerate() {
+        if !cap.healthy {
+            continue;
+        }
+        let finish = avail[d].max(release) + cap.seconds_per_beam * frac;
+        if best.is_none_or(|(_, bf)| finish < bf) {
+            best = Some((d, finish));
+        }
+    }
+    best
+}
+
+/// Plays one tick's beams through cloned device clocks at admission
+/// level `preferred`, mirroring the dispatcher's per-beam shed cascade
+/// exactly, and returns the predicted cost.
+fn fleet_cost(
+    demand: &BeamDemand,
+    ladder: &TierLadder,
+    devices: &[DeviceCapacity],
+    preferred: usize,
+) -> PlanCost {
+    let trials = ladder.trials();
+    let mut avail: Vec<f64> = devices.iter().map(|d| d.avail).collect();
+    let mut cost = PlanCost {
+        misses: 0,
+        shed_trials: 0,
+    };
+    for _ in 0..demand.beams {
+        let mut placed = false;
+        for level in ladder.levels() {
+            if level > preferred {
+                continue;
+            }
+            if let Some((d, finish)) = choose_device(&avail, devices, demand.release, level, trials)
+            {
+                if finish <= demand.deadline + DEADLINE_EPS {
+                    avail[d] = finish;
+                    cost.shed_trials += trials - level;
+                    placed = true;
+                    break;
+                }
+            }
+        }
+        if !placed {
+            if let Some((d, finish)) =
+                choose_device(&avail, devices, demand.release, trials, trials)
+            {
+                avail[d] = finish;
+            }
+            cost.misses += 1;
+        }
+    }
+    cost
 }
 
 /// How a grid session runs admission control.
@@ -288,6 +586,11 @@ impl ShardSim {
         best
     }
 }
+
+/// One candidate demotion step in the ladder walk: the device-level
+/// switches it applies, the kept-trials level the demoted fleet
+/// settles at, and the predicted cost of that plan.
+type LadderStep = (Vec<(usize, AlgorithmRate)>, usize, PlanCost);
 
 /// The predicted cost of one candidate plan for one tick.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -389,7 +692,7 @@ impl GridPlanner {
             ladder: &self.ladder,
             devices: &union,
         };
-        let global_kept = Self::decide_kept(&self.ladder, &demand_total, &view);
+        let global_kept = greedy_kept(&self.ladder, &demand_total, &view);
         let headroom: Vec<usize> = (0..n)
             .map(|s| {
                 if !alive[s] {
@@ -436,22 +739,8 @@ impl GridPlanner {
         sim.avail
             .iter()
             .zip(&sim.spb)
-            .map(|(&avail, &spb)| DeviceCapacity {
-                avail,
-                seconds_per_beam: spb,
-                healthy: true,
-            })
+            .map(|(&avail, &spb)| DeviceCapacity::new(avail, spb, true))
             .collect()
-    }
-
-    /// Runs [`PerDeviceGreedy`] over a view and resolves the decision
-    /// to a kept-trials level.
-    fn decide_kept(ladder: &TierLadder, demand: &BeamDemand, view: &CapacityView<'_>) -> usize {
-        match PerDeviceGreedy.decide(demand, view) {
-            AdmissionDecision::Admit { shed_tiers } => ladder.kept_for(shed_tiers),
-            AdmissionDecision::Defer => ladder.trials(),
-            AdmissionDecision::Shed(_) => ladder.floor(),
-        }
     }
 
     /// The level shard `s` would admit `beams` beams at, locally.
@@ -466,7 +755,7 @@ impl GridPlanner {
             deadline,
             beams,
         };
-        Self::decide_kept(&self.ladder, &demand, &view)
+        greedy_kept(&self.ladder, &demand, &view)
     }
 
     /// Plays one tick's routed beams through cloned shard clocks under
@@ -606,11 +895,7 @@ mod tests {
     }
 
     fn dev(avail: f64, spb: f64) -> DeviceCapacity {
-        DeviceCapacity {
-            avail,
-            seconds_per_beam: spb,
-            healthy: true,
-        }
+        DeviceCapacity::new(avail, spb, true)
     }
 
     #[test]
@@ -650,7 +935,7 @@ mod tests {
         };
         assert_eq!(
             PerDeviceGreedy.decide(&fits_full, &view),
-            AdmissionDecision::Admit { shed_tiers: 0 }
+            AdmissionDecision::admit(0)
         );
         let needs_shed = BeamDemand {
             beams: 5,
@@ -660,7 +945,7 @@ mod tests {
         // level that fits.
         assert_eq!(
             PerDeviceGreedy.decide(&needs_shed, &view),
-            AdmissionDecision::Admit { shed_tiers: 2 }
+            AdmissionDecision::admit(2)
         );
         let hopeless = BeamDemand {
             beams: 100,
@@ -668,7 +953,7 @@ mod tests {
         };
         assert_eq!(
             PerDeviceGreedy.decide(&hopeless, &view),
-            AdmissionDecision::Admit { shed_tiers: 4 },
+            AdmissionDecision::admit(4),
             "hopeless batches admit at the deepest level and miss"
         );
         let empty = BeamDemand {
@@ -677,7 +962,151 @@ mod tests {
         };
         assert_eq!(
             PerDeviceGreedy.decide(&empty, &view),
-            AdmissionDecision::Admit { shed_tiers: 0 }
+            AdmissionDecision::admit(0)
+        );
+    }
+
+    fn rate(algorithm: Algorithm, spb: f64) -> AlgorithmRate {
+        AlgorithmRate {
+            algorithm,
+            seconds_per_beam: spb,
+        }
+    }
+
+    #[test]
+    fn algorithm_ladder_matches_greedy_on_single_entry_tables() {
+        let l = ladder(1000, 8, 4);
+        let devices = [dev(0.0, 0.25), dev(0.3, 0.5)];
+        let view = view_of(&l, &devices);
+        for beams in [0, 1, 4, 5, 100] {
+            let demand = BeamDemand {
+                release: 0.0,
+                deadline: 1.0,
+                beams,
+            };
+            assert_eq!(
+                AlgorithmLadder.decide(&demand, &view),
+                PerDeviceGreedy.decide(&demand, &view),
+                "single-entry tables leave nothing to demote ({beams} beams)"
+            );
+        }
+    }
+
+    #[test]
+    fn algorithm_ladder_demotes_instead_of_shedding() {
+        let l = ladder(1000, 8, 4);
+        let devices = [dev(0.0, 0.25).with_rates(
+            Algorithm::BruteForce,
+            vec![
+                rate(Algorithm::BruteForce, 0.25),
+                rate(Algorithm::Subband { factor: 32 }, 0.125),
+            ],
+        )];
+        let view = view_of(&l, &devices);
+        // 5 beams by 1.0 s: brute force must shed to 750 (the greedy
+        // test above); subband at 0.125 s/beam fits all 5 at full
+        // resolution with zero cost.
+        let demand = BeamDemand {
+            release: 0.0,
+            deadline: 1.0,
+            beams: 5,
+        };
+        assert_eq!(
+            AlgorithmLadder.decide(&demand, &view),
+            AdmissionDecision::Admit {
+                shed_tiers: 0,
+                switches: vec![(0, Algorithm::Subband { factor: 32 })],
+            }
+        );
+    }
+
+    #[test]
+    fn algorithm_ladder_rejects_non_pareto_demotions() {
+        let l = ladder(1000, 8, 4);
+        // The alternate is *slower* than the primary: demoting can only
+        // hurt, so the baseline ruling must come back unchanged.
+        let devices = [dev(0.0, 0.25).with_rates(
+            Algorithm::BruteForce,
+            vec![
+                rate(Algorithm::BruteForce, 0.25),
+                rate(Algorithm::Subband { factor: 2 }, 0.4),
+            ],
+        )];
+        let view = view_of(&l, &devices);
+        let demand = BeamDemand {
+            release: 0.0,
+            deadline: 1.0,
+            beams: 5,
+        };
+        assert_eq!(
+            AlgorithmLadder.decide(&demand, &view),
+            AdmissionDecision::admit(2)
+        );
+    }
+
+    #[test]
+    fn algorithm_ladder_promotes_once_pressure_passes() {
+        let l = ladder(1000, 8, 4);
+        // Device already demoted to subband; one beam with a generous
+        // deadline fits at full fidelity, so the ladder promotes.
+        let devices = [dev(0.0, 0.25).with_rates(
+            Algorithm::Subband { factor: 32 },
+            vec![
+                rate(Algorithm::BruteForce, 0.25),
+                rate(Algorithm::Subband { factor: 32 }, 0.125),
+            ],
+        )];
+        assert_eq!(devices[0].seconds_per_beam, 0.125);
+        let view = view_of(&l, &devices);
+        let calm = BeamDemand {
+            release: 0.0,
+            deadline: 1.0,
+            beams: 2,
+        };
+        assert_eq!(
+            AlgorithmLadder.decide(&calm, &view),
+            AdmissionDecision::Admit {
+                shed_tiers: 0,
+                switches: vec![(0, Algorithm::BruteForce)],
+            }
+        );
+        // Under continuing pressure the demotion sticks: 5 beams only
+        // fit cleanly on subband, so no promotion is offered.
+        let busy = BeamDemand { beams: 5, ..calm };
+        assert_eq!(
+            AlgorithmLadder.decide(&busy, &view),
+            AdmissionDecision::admit(0),
+            "promotion is withheld while the cheap algorithm is load-bearing"
+        );
+    }
+
+    #[test]
+    fn algorithm_ladder_takes_multiple_steps_down_one_table() {
+        let l = ladder(1000, 8, 4);
+        // Neither the primary nor the middle row fits 5 beams at full
+        // resolution by the deadline; the bottom row does, so the
+        // ladder walks two steps in a single tick.
+        let devices = [dev(0.0, 0.5).with_rates(
+            Algorithm::BruteForce,
+            vec![
+                rate(Algorithm::BruteForce, 0.5),
+                rate(Algorithm::Subband { factor: 32 }, 0.3),
+                rate(Algorithm::FourierDomain, 0.125),
+            ],
+        )];
+        let view = view_of(&l, &devices);
+        let demand = BeamDemand {
+            release: 0.0,
+            deadline: 1.0,
+            beams: 5,
+        };
+        assert_eq!(
+            AlgorithmLadder.decide(&demand, &view),
+            AdmissionDecision::Admit {
+                shed_tiers: 0,
+                switches: vec![(0, Algorithm::FourierDomain)],
+            },
+            "the switch list carries only the final algorithm per device"
         );
     }
 

@@ -9,7 +9,7 @@
 //!
 //! This module is the batched replacement:
 //!
-//! * [`EventKind`] — a dense discriminant for the 13 event variants,
+//! * [`EventKind`] — a dense discriminant for the 14 event variants,
 //!   usable as an array index (the metrics layer's per-kind counters
 //!   stop scanning label strings).
 //! * [`TickBatch`] — one tick's events in struct-of-arrays form:
@@ -39,6 +39,7 @@
 
 use crate::metrics::{BeamOutcome, BeamRecord, HealthEvent, ShedRecord};
 use crate::telemetry::{CaptureEvent, Observer, TelemetryEvent};
+use manycore_sim::Algorithm;
 use serde::{Deserialize, Serialize};
 
 /// Dense discriminant for [`TelemetryEvent`] variants (capture events
@@ -76,11 +77,13 @@ pub enum EventKind {
     CaptureDegrade = 11,
     /// [`CaptureEvent::Drain`].
     CaptureDrain = 12,
+    /// [`TelemetryEvent::AlgorithmSwitch`].
+    AlgorithmSwitch = 13,
 }
 
 impl EventKind {
     /// Number of distinct kinds.
-    pub const COUNT: usize = 13;
+    pub const COUNT: usize = 14;
 
     /// Every kind, in discriminant order (the same order as the
     /// metrics layer's `fleet_events_total` label table).
@@ -98,6 +101,7 @@ impl EventKind {
         EventKind::CaptureDrop,
         EventKind::CaptureDegrade,
         EventKind::CaptureDrain,
+        EventKind::AlgorithmSwitch,
     ];
 
     /// The kind of one event.
@@ -116,6 +120,7 @@ impl EventKind {
             TelemetryEvent::Capture(CaptureEvent::Drop { .. }) => EventKind::CaptureDrop,
             TelemetryEvent::Capture(CaptureEvent::Degrade { .. }) => EventKind::CaptureDegrade,
             TelemetryEvent::Capture(CaptureEvent::Drain { .. }) => EventKind::CaptureDrain,
+            TelemetryEvent::AlgorithmSwitch { .. } => EventKind::AlgorithmSwitch,
         }
     }
 
@@ -146,6 +151,7 @@ impl EventKind {
             EventKind::CaptureDrop => "capture_drop",
             EventKind::CaptureDegrade => "capture_degrade",
             EventKind::CaptureDrain => "capture_drain",
+            EventKind::AlgorithmSwitch => "algorithm_switch",
         }
     }
 
@@ -243,6 +249,16 @@ pub(crate) struct RebalanceRow {
     pub(crate) to_shard: u32,
 }
 
+/// [`TelemetryEvent::AlgorithmSwitch`] in row form.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub(crate) struct AlgorithmSwitchRow {
+    pub(crate) tick: u32,
+    pub(crate) device: u32,
+    pub(crate) at: f64,
+    pub(crate) from: Algorithm,
+    pub(crate) to: Algorithm,
+}
+
 /// One block of telemetry events in struct-of-arrays form.
 ///
 /// A `TickBatch` holds the events the dispatcher emitted between two
@@ -278,6 +294,7 @@ pub struct TickBatch {
     pub(crate) health: Vec<HealthEvent>,
     pub(crate) rebalances: Vec<RebalanceRow>,
     pub(crate) captures: Vec<CaptureEvent>,
+    pub(crate) switches: Vec<AlgorithmSwitchRow>,
     /// Denormalized queue-depth trajectory: one `(device, up)` step per
     /// depth-affecting event (`Placed` raises, `Bounce` and
     /// device-resolved `Beam` lower), in emission order. Precomputed on
@@ -318,6 +335,7 @@ impl TickBatch {
             EventKind::Probe => self.probes.len(),
             EventKind::Health => self.health.len(),
             EventKind::Rebalance => self.rebalances.len(),
+            EventKind::AlgorithmSwitch => self.switches.len(),
             // The four capture kinds share the `captures` column, so
             // count there — never by scanning the full order table.
             _ => self
@@ -429,7 +447,7 @@ impl TickBatch {
             + counts[EventKind::CaptureDrop.index()]
             + counts[EventKind::CaptureDegrade.index()]
             + counts[EventKind::CaptureDrain.index()];
-        let columns: [(&str, usize, usize); 10] = [
+        let columns: [(&str, usize, usize); 11] = [
             ("admission", self.admissions.len(), counts[0] as usize),
             ("placed", self.placed.len(), counts[1] as usize),
             ("beam", self.beams.len(), counts[2] as usize),
@@ -440,6 +458,11 @@ impl TickBatch {
             ("health", self.health.len(), counts[7] as usize),
             ("rebalance", self.rebalances.len(), counts[8] as usize),
             ("capture", self.captures.len(), capture_count as usize),
+            (
+                "algorithm_switch",
+                self.switches.len(),
+                counts[EventKind::AlgorithmSwitch.index()] as usize,
+            ),
         ];
         for (label, len, referenced) in columns {
             if len != referenced {
@@ -582,6 +605,22 @@ impl TickBatch {
                 self.captures.push(capture);
                 (EventKind::of_capture(&capture), self.captures.len() - 1)
             }
+            TelemetryEvent::AlgorithmSwitch {
+                tick,
+                device,
+                at,
+                from,
+                to,
+            } => {
+                self.switches.push(AlgorithmSwitchRow {
+                    tick: intern(tick),
+                    device: intern(device),
+                    at,
+                    from,
+                    to,
+                });
+                (EventKind::AlgorithmSwitch, self.switches.len() - 1)
+            }
         };
         self.order.push((kind, intern(row)));
     }
@@ -655,6 +694,16 @@ impl TickBatch {
             | EventKind::CaptureDrop
             | EventKind::CaptureDegrade
             | EventKind::CaptureDrain => TelemetryEvent::Capture(self.captures[row]),
+            EventKind::AlgorithmSwitch => {
+                let r = self.switches[row];
+                TelemetryEvent::AlgorithmSwitch {
+                    tick: r.tick as usize,
+                    device: r.device as usize,
+                    at: r.at,
+                    from: r.from,
+                    to: r.to,
+                }
+            }
         })
     }
 
@@ -935,6 +984,13 @@ mod tests {
                 backlog_blocks: 0,
                 ring_bytes: 0,
             }),
+            TelemetryEvent::AlgorithmSwitch {
+                tick: 1,
+                device: 1,
+                at: 1.0,
+                from: Algorithm::BruteForce,
+                to: Algorithm::Subband { factor: 32 },
+            },
         ]
     }
 

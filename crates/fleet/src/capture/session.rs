@@ -217,15 +217,6 @@ pub struct CaptureRun {
     pub arrival_log: Vec<Arrival>,
 }
 
-impl CaptureRun {
-    /// Materializes the capture event stream as a flat vector — the
-    /// pre-batching `CaptureRun::events` field, kept as a shim.
-    #[deprecated(note = "iterate `CaptureRun::log` instead; this materializes a fresh Vec")]
-    pub fn events(&self) -> Vec<TelemetryEvent> {
-        self.log.to_events()
-    }
-}
-
 /// An ingest pass over one arrival stream.
 pub struct CaptureSession {
     config: CaptureConfig,

@@ -12,7 +12,7 @@
 
 use autotune::{ConfigSpace, SimExecutor, Tuner, TuningDatabase, TuningResult};
 use dedisp_core::KernelConfig;
-use manycore_sim::{CostModel, DeviceDescriptor, Workload};
+use manycore_sim::{Algorithm, CostModel, DeviceDescriptor, Workload};
 use radioastro::{ObservationalSetup, RealtimeCheck};
 use serde::{Deserialize, Serialize};
 use std::fmt;
@@ -70,7 +70,9 @@ impl RateSource {
     }
 
     /// A measured rate taken from a tuning run's optimum — typically a
-    /// [`autotune::HostExecutor`] sweep on the real device.
+    /// [`autotune::HostExecutor`] sweep on the real device. The winning
+    /// configuration rides along and is surfaced in the resolved device
+    /// name (e.g. `"AMD HD7970 #0 [wi=64x4 el=4x8]"`).
     ///
     /// # Panics
     ///
@@ -83,6 +85,62 @@ impl RateSource {
     }
 }
 
+/// A device group's per-algorithm rate table.
+///
+/// Historically a group carried one scalar [`RateSource`]; that is now
+/// the *single-entry* case — a table whose only row is the brute-force
+/// kernel family. Declaring further rows gives the admission planner
+/// algorithms to demote to before it sheds science
+/// (see [`crate::AlgorithmLadder`](crate::AlgorithmLadder)). The first
+/// row is the *primary*: the algorithm devices start on, and the one
+/// whose rate fills the scalar `gflops`/`seconds_per_beam` fields of
+/// [`ResolvedDevice`] — so a single-entry table reproduces the historic
+/// resolution byte-for-byte.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AlgorithmRates {
+    entries: Vec<(Algorithm, RateSource)>,
+}
+
+impl AlgorithmRates {
+    /// The single-entry table: brute force at `rate` and nothing else —
+    /// exactly the pre-table behaviour.
+    pub fn single(rate: RateSource) -> Self {
+        Self {
+            entries: vec![(Algorithm::BruteForce, rate)],
+        }
+    }
+
+    /// The single-entry modeled table (the common default).
+    pub fn modeled() -> Self {
+        Self::single(RateSource::Modeled)
+    }
+
+    /// Appends an alternate `(algorithm, rate)` row. Declaration order
+    /// is *fidelity* order: the planner demotes down the table and
+    /// promotes back up it.
+    #[must_use]
+    pub fn with_algorithm(mut self, algorithm: Algorithm, rate: RateSource) -> Self {
+        self.entries.push((algorithm, rate));
+        self
+    }
+
+    /// The primary row's rate source.
+    pub fn primary(&self) -> &RateSource {
+        &self.entries[0].1
+    }
+
+    /// All rows, primary first.
+    pub fn entries(&self) -> &[(Algorithm, RateSource)] {
+        &self.entries
+    }
+}
+
+impl From<RateSource> for AlgorithmRates {
+    fn from(rate: RateSource) -> Self {
+        Self::single(rate)
+    }
+}
+
 /// A group of `count` identical devices.
 #[derive(Debug, Clone)]
 pub struct DeviceGroup {
@@ -90,8 +148,8 @@ pub struct DeviceGroup {
     pub descriptor: DeviceDescriptor,
     /// How many physical devices of this model the fleet has.
     pub count: usize,
-    /// Where the group's sustained rate comes from.
-    pub rate: RateSource,
+    /// The group's per-algorithm rate table (single-entry by default).
+    pub rates: AlgorithmRates,
 }
 
 /// A declared (unresolved) fleet: heterogeneous groups of accelerators.
@@ -122,15 +180,27 @@ impl FleetSpec {
     /// source, letting one fleet mix measured and modeled platforms.
     #[must_use]
     pub fn with_rated_group(
-        mut self,
+        self,
         descriptor: DeviceDescriptor,
         count: usize,
         rate: RateSource,
     ) -> Self {
+        self.with_algorithm_rates(descriptor, count, rate.into())
+    }
+
+    /// Adds a group of `count` identical devices with a full
+    /// per-algorithm rate table.
+    #[must_use]
+    pub fn with_algorithm_rates(
+        mut self,
+        descriptor: DeviceDescriptor,
+        count: usize,
+        rates: AlgorithmRates,
+    ) -> Self {
         self.groups.push(DeviceGroup {
             descriptor,
             count,
-            rate,
+            rates,
         });
         self
     }
@@ -195,7 +265,13 @@ impl FleetSpec {
 
         let mut devices = Vec::with_capacity(self.device_count());
         for group in &self.groups {
-            let (config, gflops) = match &group.rate {
+            let primary = group.rates.primary();
+            // A measured primary that remembers the winning tuned
+            // configuration surfaces it in the device name, so reports
+            // and status views show *which* kernel variant the measured
+            // rate belongs to.
+            let mut variant = None;
+            let (config, gflops) = match primary {
                 RateSource::Modeled => {
                     resolve_platform(db, &group.descriptor, setup, trials, &workload, space)?
                 }
@@ -208,18 +284,58 @@ impl FleetSpec {
                     }
                     let config =
                         config.unwrap_or_else(|| KernelConfig::new(1, 1, 1, 1).expect("non-zero"));
+                    if config != KernelConfig::new(1, 1, 1, 1).expect("non-zero") {
+                        variant = Some(format!(" [{config}]"));
+                    }
                     (config, *gflops)
                 }
             };
+            let mut rates = vec![AlgorithmRate {
+                algorithm: group.rates.entries()[0].0,
+                seconds_per_beam: check.load_fraction(gflops),
+            }];
+            for (algorithm, rate) in &group.rates.entries()[1..] {
+                let alt_gflops = match rate {
+                    RateSource::Measured { gflops, .. } => {
+                        if *gflops <= 0.0 {
+                            return Err(FleetError::new(format!(
+                                "measured {} rate for {} must be positive, got {gflops}",
+                                algorithm.label(),
+                                group.descriptor.name
+                            )));
+                        }
+                        *gflops
+                    }
+                    RateSource::Modeled => {
+                        let model = CostModel::exact(group.descriptor.clone());
+                        model
+                            .evaluate_algorithm(&workload, &config, *algorithm)
+                            .map_err(|e| {
+                                FleetError::new(format!(
+                                    "cannot model {} on {}: {e:?}",
+                                    algorithm.label(),
+                                    group.descriptor.name
+                                ))
+                            })?
+                            .gflops
+                    }
+                };
+                rates.push(AlgorithmRate {
+                    algorithm: *algorithm,
+                    seconds_per_beam: check.load_fraction(alt_gflops),
+                });
+            }
             for _ in 0..group.count {
                 let id = devices.len();
+                let suffix = variant.as_deref().unwrap_or("");
                 devices.push(ResolvedDevice {
                     id,
-                    name: format!("{} #{id}", group.descriptor.name),
+                    name: format!("{} #{id}{suffix}", group.descriptor.name),
                     platform: group.descriptor.name.clone(),
                     gflops,
                     config,
                     seconds_per_beam: check.load_fraction(gflops),
+                    rates: rates.clone(),
                 });
             }
         }
@@ -266,6 +382,16 @@ fn resolve_platform(
     Ok((config, gflops))
 }
 
+/// One resolved `(algorithm, seconds-per-beam)` row of a device's rate
+/// table.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct AlgorithmRate {
+    /// The algorithm family this rate was resolved for.
+    pub algorithm: Algorithm,
+    /// Seconds to dedisperse one beam-second of data with it.
+    pub seconds_per_beam: f64,
+}
+
 /// One physical device, ready to schedule onto.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct ResolvedDevice {
@@ -275,12 +401,17 @@ pub struct ResolvedDevice {
     pub name: String,
     /// Platform (device model) name shared by the group.
     pub platform: String,
-    /// Sustained throughput on this instance, GFLOP/s.
+    /// Sustained throughput on this instance, GFLOP/s (primary
+    /// algorithm).
     pub gflops: f64,
     /// The kernel configuration achieving it.
     pub config: KernelConfig,
-    /// Seconds to dedisperse one beam-second of data.
+    /// Seconds to dedisperse one beam-second of data on the primary
+    /// algorithm (`rates[0]`).
     pub seconds_per_beam: f64,
+    /// The full per-algorithm rate table, primary first, in fidelity
+    /// order. Single-entry unless the fleet declared alternates.
+    pub rates: Vec<AlgorithmRate>,
 }
 
 impl ResolvedDevice {
@@ -321,6 +452,49 @@ impl ResolvedFleet {
                 gflops: if spb > 0.0 { 1.0 / spb } else { f64::INFINITY },
                 config: KernelConfig::new(1, 1, 1, 1).expect("non-zero"),
                 seconds_per_beam: spb,
+                rates: vec![AlgorithmRate {
+                    algorithm: Algorithm::BruteForce,
+                    seconds_per_beam: spb,
+                }],
+            })
+            .collect();
+        Self {
+            setup: "synthetic".to_string(),
+            trials,
+            devices,
+        }
+    }
+
+    /// A synthetic fleet with a full per-algorithm rate table per
+    /// device, bypassing tuning — for tests and harnesses of the
+    /// algorithm ladder. Each device's first `(algorithm, spb)` entry
+    /// is its primary.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any device declares an empty table.
+    pub fn synthetic_with_algorithms(trials: usize, devices: &[&[(Algorithm, f64)]]) -> Self {
+        let devices = devices
+            .iter()
+            .enumerate()
+            .map(|(id, table)| {
+                assert!(!table.is_empty(), "device {id} declares no rates");
+                let spb = table[0].1;
+                ResolvedDevice {
+                    id,
+                    name: format!("synthetic #{id}"),
+                    platform: "synthetic".to_string(),
+                    gflops: if spb > 0.0 { 1.0 / spb } else { f64::INFINITY },
+                    config: KernelConfig::new(1, 1, 1, 1).expect("non-zero"),
+                    seconds_per_beam: spb,
+                    rates: table
+                        .iter()
+                        .map(|&(algorithm, seconds_per_beam)| AlgorithmRate {
+                            algorithm,
+                            seconds_per_beam,
+                        })
+                        .collect(),
+                }
             })
             .collect();
         Self {
@@ -477,6 +651,107 @@ mod tests {
                 &ConfigSpace::reduced(),
             );
         assert!(err.is_err());
+    }
+
+    #[test]
+    fn single_entry_tables_resolve_exactly_as_the_scalar_did() {
+        // The rate-table refactor must be invisible until a second row
+        // is declared: one brute-force row whose spb equals the scalar.
+        let fleet = ResolvedFleet::synthetic(100, &[0.106, 0.25]);
+        for d in &fleet.devices {
+            assert_eq!(d.rates.len(), 1);
+            assert_eq!(d.rates[0].algorithm, Algorithm::BruteForce);
+            assert_eq!(d.rates[0].seconds_per_beam, d.seconds_per_beam);
+        }
+    }
+
+    #[test]
+    fn modeled_alternates_resolve_from_the_algorithm_cost_model() {
+        let mut db = TuningDatabase::new();
+        let setup = ObservationalSetup::apertif();
+        let space = ConfigSpace::reduced();
+        let rates = AlgorithmRates::modeled()
+            .with_algorithm(Algorithm::Subband { factor: 32 }, RateSource::Modeled)
+            .with_algorithm(Algorithm::FourierDomain, RateSource::Modeled);
+        let fleet = FleetSpec::new()
+            .with_algorithm_rates(amd_hd7970(), 1, rates)
+            .resolve(&mut db, &setup, 2000, &space)
+            .unwrap();
+        let d = &fleet.devices[0];
+        assert_eq!(d.rates.len(), 3);
+        assert_eq!(d.rates[0].algorithm, Algorithm::BruteForce);
+        assert_eq!(d.rates[0].seconds_per_beam, d.seconds_per_beam);
+        // At 2,000 trials both alternates undercut brute force.
+        assert!(d.rates[1].seconds_per_beam < d.seconds_per_beam);
+        assert!(d.rates[2].seconds_per_beam < d.seconds_per_beam);
+    }
+
+    #[test]
+    fn measured_alternates_carry_their_declared_rate() {
+        let mut db = TuningDatabase::new();
+        let setup = ObservationalSetup::apertif();
+        let space = ConfigSpace::reduced();
+        let check = radioastro::RealtimeCheck::for_setup(&setup, 2000);
+        let brute = check.required_gflops / 0.106;
+        let sub = check.required_gflops / 0.02;
+        let rates = AlgorithmRates::single(RateSource::measured(brute))
+            .with_algorithm(Algorithm::Subband { factor: 32 }, RateSource::measured(sub));
+        let fleet = FleetSpec::new()
+            .with_algorithm_rates(amd_hd7970(), 1, rates)
+            .resolve(&mut db, &setup, 2000, &space)
+            .unwrap();
+        let d = &fleet.devices[0];
+        assert!((d.seconds_per_beam - 0.106).abs() < 1e-9);
+        assert!((d.rates[1].seconds_per_beam - 0.02).abs() < 1e-9);
+        assert_eq!(db.len(), 0, "measured tables never tune");
+    }
+
+    #[test]
+    fn tuned_measured_rates_surface_their_winning_variant_in_the_name() {
+        let mut db = TuningDatabase::new();
+        let setup = ObservationalSetup::apertif();
+        let space = ConfigSpace::reduced();
+        let probe = FleetSpec::homogeneous(amd_hd7970(), 1)
+            .resolve(&mut db, &setup, 64, &space)
+            .unwrap();
+        let result_rate = RateSource::Measured {
+            gflops: probe.devices[0].gflops,
+            config: Some(probe.devices[0].config),
+        };
+        let mut fresh = TuningDatabase::new();
+        let fleet = FleetSpec::new()
+            .with_rated_group(amd_hd7970(), 1, result_rate)
+            .resolve(&mut fresh, &setup, 64, &space)
+            .unwrap();
+        let expect = format!("AMD HD7970 #0 [{}]", probe.devices[0].config);
+        assert_eq!(fleet.devices[0].name, expect);
+        // Config-less measurements keep the plain name.
+        let plain = FleetSpec::new()
+            .with_measured_group(amd_hd7970(), 1, 100.0)
+            .resolve(&mut fresh, &setup, 64, &space)
+            .unwrap();
+        assert_eq!(plain.devices[0].name, "AMD HD7970 #0");
+    }
+
+    #[test]
+    fn synthetic_with_algorithms_builds_the_declared_table() {
+        let fleet = ResolvedFleet::synthetic_with_algorithms(
+            2000,
+            &[
+                &[
+                    (Algorithm::BruteForce, 0.106),
+                    (Algorithm::Subband { factor: 32 }, 0.02),
+                ],
+                &[(Algorithm::BruteForce, 0.25)],
+            ],
+        );
+        assert_eq!(fleet.devices[0].rates.len(), 2);
+        assert_eq!(fleet.devices[0].seconds_per_beam, 0.106);
+        assert_eq!(
+            fleet.devices[0].rates[1].algorithm,
+            Algorithm::Subband { factor: 32 }
+        );
+        assert_eq!(fleet.devices[1].rates.len(), 1);
     }
 
     #[test]

@@ -436,6 +436,7 @@ fn rekey(event: &TelemetryEvent, globals: &[GlobalBeam]) -> TelemetryEvent {
         | TelemetryEvent::Probe { .. }
         | TelemetryEvent::Health(_)
         | TelemetryEvent::Rebalance { .. }
+        | TelemetryEvent::AlgorithmSwitch { .. }
         | TelemetryEvent::Capture(_) => event.clone(),
     }
 }

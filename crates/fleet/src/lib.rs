@@ -125,8 +125,8 @@ mod survey;
 mod telemetry;
 
 pub use admission::{
-    AdmissionDecision, AdmissionPolicy, BeamDemand, CapacityView, DeviceCapacity, GridAdmission,
-    PerDeviceGreedy, TierLadder,
+    AdmissionDecision, AdmissionPolicy, AlgorithmLadder, BeamDemand, CapacityView, DeviceCapacity,
+    GridAdmission, PerDeviceGreedy, TierLadder,
 };
 pub use batch::{EventKind, EventLog, TickBatch};
 pub use capture::{
@@ -135,7 +135,8 @@ pub use capture::{
     CaptureSession, PacketSource,
 };
 pub use descriptor::{
-    DeviceGroup, FleetError, FleetSpec, RateSource, ResolvedDevice, ResolvedFleet,
+    AlgorithmRate, AlgorithmRates, DeviceGroup, FleetError, FleetSpec, RateSource, ResolvedDevice,
+    ResolvedFleet,
 };
 pub use fault::{FaultEvent, FaultPlan};
 pub use grid::{
@@ -143,6 +144,7 @@ pub use grid::{
     ShardEvent,
 };
 pub use load::LoadSource;
+pub use manycore_sim::Algorithm;
 pub use metrics::{
     BeamOutcome, BeamRecord, DeviceMetrics, FleetReport, HealthCause, HealthEvent, HealthState,
     ShedReason, ShedRecord,

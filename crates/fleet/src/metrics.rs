@@ -321,8 +321,13 @@ impl Observer for ReportFold {
             }
             // Capture events predate scheduling and never change beam
             // accounting; the capture ledger reconciles them instead.
+            // Algorithm switches change *rates*, not beam accounting —
+            // the status snapshot and metrics registry track them, so
+            // the report's shape (and every pinned fingerprint) stays
+            // fixed.
             TelemetryEvent::Admission { .. }
             | TelemetryEvent::Rebalance { .. }
+            | TelemetryEvent::AlgorithmSwitch { .. }
             | TelemetryEvent::Capture(_) => {}
         }
     }

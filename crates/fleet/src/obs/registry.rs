@@ -22,6 +22,7 @@ use crate::batch::{EventKind, TickBatch};
 use crate::capture::{BackpressurePolicy, CaptureDropCause};
 use crate::metrics::{BeamOutcome, FleetReport};
 use crate::telemetry::{CaptureEvent, GridObserver, Observer, TelemetryEvent};
+use manycore_sim::Algorithm;
 use parking_lot::RwLock;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
@@ -414,6 +415,9 @@ pub struct RegistryObserver {
     attempts: Histogram,
     drain: Histogram,
     devices: Vec<DeviceCells>,
+    /// Per device, one `fleet_algorithm_assignments` gauge per
+    /// algorithm label; exactly one is 1 at any time.
+    algorithm_assignments: Vec<Vec<(&'static str, Gauge)>>,
     /// `(release, deadline)` per admitted tick, for drain latency.
     ticks: RwLock<Vec<(f64, f64)>>,
     capture_arrivals: Counter,
@@ -431,7 +435,7 @@ pub struct RegistryObserver {
 /// order — [`RegistryObserver::fold`] indexes the counter vector by
 /// `EventKind::index()`, so this order is load-bearing (pinned by the
 /// `event_kind_labels_match_the_counter_table` test).
-const EVENT_KINDS: [&str; 13] = [
+const EVENT_KINDS: [&str; 14] = [
     "admission",
     "placed",
     "beam",
@@ -445,6 +449,7 @@ const EVENT_KINDS: [&str; 13] = [
     "capture_drop",
     "capture_degrade",
     "capture_drain",
+    "algorithm_switch",
 ];
 
 impl RegistryObserver {
@@ -528,6 +533,27 @@ impl RegistryObserver {
                     depth: AtomicU64::new(0),
                     peak: AtomicU64::new(0),
                 }
+            })
+            .collect();
+        let algorithm_assignments = (0..devices)
+            .map(|d| {
+                let device = d.to_string();
+                Algorithm::LABELS
+                    .iter()
+                    .map(|&label| {
+                        let labels = with(&[("device", &device), ("algorithm", label)]);
+                        let gauge = registry.gauge(
+                            "fleet_algorithm_assignments",
+                            "Whether the device currently runs the algorithm \
+                             (1 = assigned).",
+                            &as_refs(&labels),
+                        );
+                        // Fleets start on their primary rate, which is
+                        // brute force unless a switch event says so.
+                        gauge.set(f64::from(u8::from(label == Algorithm::BruteForce.label())));
+                        (label, gauge)
+                    })
+                    .collect()
             })
             .collect();
         let capture_drops = CaptureDropCause::LABELS
@@ -620,6 +646,7 @@ impl RegistryObserver {
                 &DRAIN_BOUNDS,
             ),
             devices: device_cells,
+            algorithm_assignments,
             scope,
             ticks: RwLock::new(Vec::new()),
             capture_arrivals,
@@ -639,6 +666,20 @@ impl RegistryObserver {
 
     fn device(&self, d: usize) -> Option<&DeviceCells> {
         self.devices.get(d)
+    }
+
+    /// Flips the device's assignment gauges for one algorithm switch.
+    fn fold_switch(&self, device: usize, from: Algorithm, to: Algorithm) {
+        if let Some(cells) = self.algorithm_assignments.get(device) {
+            for (label, gauge) in cells {
+                if *label == from.label() {
+                    gauge.set(0.0);
+                }
+                if *label == to.label() {
+                    gauge.set(1.0);
+                }
+            }
+        }
     }
 
     fn depth_delta(&self, d: usize, delta: i64) {
@@ -764,6 +805,9 @@ impl RegistryObserver {
         }
         if !batch.captures.is_empty() {
             self.fold_captures(&batch.captures);
+        }
+        for switch in &batch.switches {
+            self.fold_switch(switch.device as usize, switch.from, switch.to);
         }
         // Queue depths need the exact interleaving of placements and
         // resolutions; replay the batch's dense precomputed trajectory
@@ -972,6 +1016,9 @@ impl RegistryObserver {
                     }
                 }
             },
+            TelemetryEvent::AlgorithmSwitch {
+                device, from, to, ..
+            } => self.fold_switch(device, from, to),
             TelemetryEvent::Retry { .. }
             | TelemetryEvent::Probe { .. }
             | TelemetryEvent::Rebalance { .. } => {}

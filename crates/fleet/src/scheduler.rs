@@ -89,7 +89,7 @@ use crate::admission::{
 };
 use crate::batch::{EventLog, TickBatch};
 use crate::capture::CaptureRun;
-use crate::descriptor::{FleetError, ResolvedFleet};
+use crate::descriptor::{AlgorithmRate, FleetError, ResolvedFleet};
 use crate::fault::{DeviceFaults, FaultPlan, Gate};
 use crate::load::LoadSource;
 use crate::metrics::{
@@ -99,6 +99,7 @@ use crate::metrics::{
 use crate::survey::BeamJob;
 use crate::telemetry::{NullObserver, Observer, StatusSnapshot, TelemetryEvent};
 use crossbeam::channel::{self, Receiver, Sender};
+use manycore_sim::Algorithm;
 use parking_lot::Mutex;
 use serde::{Deserialize, Serialize};
 
@@ -163,13 +164,6 @@ impl FleetRun {
     /// snapshot.
     pub fn status(&self) -> StatusSnapshot {
         StatusSnapshot::from_log(self.report.devices.len(), &self.log)
-    }
-
-    /// Materializes the telemetry stream as a flat vector — the
-    /// pre-batching `FleetRun::events` field, kept as a shim.
-    #[deprecated(note = "iterate `FleetRun::log` instead; this materializes a fresh Vec")]
-    pub fn events(&self) -> Vec<TelemetryEvent> {
-        self.log.to_events()
     }
 }
 
@@ -474,8 +468,13 @@ struct Dispatcher<'s> {
     avail: Vec<f64>,
     /// Per-device health belief, from observed evidence only.
     health: Vec<HealthState>,
-    /// Full-resolution seconds-per-beam, per device.
+    /// Full-resolution seconds-per-beam, per device, *on the current
+    /// algorithm*.
     spb: Vec<f64>,
+    /// The algorithm each device is currently running.
+    algorithm: Vec<Algorithm>,
+    /// Per-device rate tables, fidelity order (primary first).
+    rates: Vec<Vec<AlgorithmRate>>,
     /// Work queues (populated inside the thread scope).
     senders: Vec<Sender<Work>>,
     /// One slot per admitted beam.
@@ -529,6 +528,16 @@ impl<'s> Dispatcher<'s> {
             avail: vec![0.0; n],
             health: vec![HealthState::Healthy; n],
             spb: fleet.devices.iter().map(|d| d.seconds_per_beam).collect(),
+            algorithm: fleet
+                .devices
+                .iter()
+                .map(|d| {
+                    d.rates
+                        .first()
+                        .map_or(Algorithm::BruteForce, |r| r.algorithm)
+                })
+                .collect(),
+            rates: fleet.devices.iter().map(|d| d.rates.clone()).collect(),
             senders: Vec::new(),
             records: vec![None; load.total_beams()],
             accounted: 0,
@@ -645,12 +654,12 @@ impl<'s> Dispatcher<'s> {
             .iter()
             .zip(&self.spb)
             .enumerate()
-            .map(|(d, (&avail, &spb))| DeviceCapacity {
-                avail,
-                seconds_per_beam: spb,
+            .map(|(d, (&avail, &spb))| {
                 // Probation devices are not counted: they have one
                 // unproven canary slot, not real capacity.
-                healthy: self.health[d] == HealthState::Healthy,
+                let healthy = self.health[d] == HealthState::Healthy;
+                DeviceCapacity::new(avail, spb, healthy)
+                    .with_rates(self.algorithm[d], self.rates[d].clone())
             })
             .collect();
         let view = CapacityView {
@@ -658,7 +667,11 @@ impl<'s> Dispatcher<'s> {
             devices: &devices,
         };
         let directive = match self.policy.decide(&demand, &view) {
-            AdmissionDecision::Admit { shed_tiers } => {
+            AdmissionDecision::Admit {
+                shed_tiers,
+                switches,
+            } => {
+                self.apply_switches(tick, release, &switches);
                 let mut kept = self.ladder.kept_for(shed_tiers);
                 if let Some(&ceiling) = self.ceilings.and_then(|c| c.get(tick)) {
                     kept = kept.min(self.ladder.snap(ceiling));
@@ -687,6 +700,33 @@ impl<'s> Dispatcher<'s> {
             shed_tiers,
         });
         directive
+    }
+
+    /// Applies an admission ruling's algorithm switches: re-rates each
+    /// switched device from its table and emits one
+    /// [`TelemetryEvent::AlgorithmSwitch`] per actual change, ahead of
+    /// the tick's admission ruling. Unknown algorithms (not in the
+    /// device's table) and no-op switches are ignored, so a policy
+    /// without an algorithm axis leaves the stream byte-identical.
+    fn apply_switches(&mut self, tick: usize, release: f64, switches: &[(usize, Algorithm)]) {
+        for &(device, to) in switches {
+            if device >= self.algorithm.len() || self.algorithm[device] == to {
+                continue;
+            }
+            let Some(row) = self.rates[device].iter().find(|r| r.algorithm == to) else {
+                continue;
+            };
+            let from = self.algorithm[device];
+            self.algorithm[device] = to;
+            self.spb[device] = row.seconds_per_beam;
+            self.emit(TelemetryEvent::AlgorithmSwitch {
+                tick,
+                device,
+                at: release,
+                from,
+                to,
+            });
+        }
     }
 
     /// Records one beam dropped whole at its release.
@@ -1652,11 +1692,73 @@ mod tests {
     }
 
     #[test]
-    fn the_log_materializes_the_same_flat_stream_the_shims_promised() {
-        // The deprecated `events()` shims are one-line wrappers over
-        // `log.to_events()`; pinning the wrapped call keeps the shim
-        // contract honest without any in-tree deprecated use (the
-        // clippy gate builds with `-D deprecated`).
+    fn algorithm_ladder_session_demotes_under_pressure_and_reports_it() {
+        use crate::admission::AlgorithmLadder;
+        use crate::descriptor::ResolvedFleet;
+        // One device that must shed 5 beams/tick on brute force but
+        // fits them all at full resolution on subband.
+        let fleet = ResolvedFleet::synthetic_with_algorithms(
+            1000,
+            &[&[
+                (Algorithm::BruteForce, 0.25),
+                (Algorithm::Subband { factor: 32 }, 0.125),
+            ]],
+        );
+        let load = SurveyLoad::custom(1000, 5, 2);
+        let baseline = Scheduler::session(&fleet).load(&load).run().unwrap();
+        assert!(baseline.report.degraded > 0, "greedy must shed here");
+        let run = Scheduler::session(&fleet)
+            .load(&load)
+            .policy(&AlgorithmLadder)
+            .run()
+            .unwrap();
+        let r = &run.report;
+        assert!(r.conservation_ok());
+        assert_eq!(r.deadline_misses, 0);
+        assert_eq!(r.degraded, 0, "the demotion replaces the shed");
+        assert_eq!(r.completed, 10);
+        // Exactly one switch event, on tick 0, ahead of its ruling.
+        let switches: Vec<TelemetryEvent> = run
+            .log
+            .iter()
+            .filter(|e| matches!(e, TelemetryEvent::AlgorithmSwitch { .. }))
+            .collect();
+        assert_eq!(switches.len(), 1);
+        assert!(matches!(
+            switches[0],
+            TelemetryEvent::AlgorithmSwitch {
+                tick: 0,
+                device: 0,
+                from: Algorithm::BruteForce,
+                to: Algorithm::Subband { factor: 32 },
+                ..
+            }
+        ));
+        let status = run.status();
+        assert_eq!(status.algorithm_switches, 1);
+        assert_eq!(
+            status.devices[0].algorithm,
+            Algorithm::Subband { factor: 32 }
+        );
+    }
+
+    #[test]
+    fn algorithm_ladder_is_byte_identical_on_single_entry_fleets() {
+        use crate::admission::AlgorithmLadder;
+        let fleet = ResolvedFleet::synthetic(800, &[0.2, 0.3]);
+        let load = SurveyLoad::custom(800, 6, 3);
+        let greedy = Scheduler::session(&fleet).load(&load).run().unwrap();
+        let ladder = Scheduler::session(&fleet)
+            .load(&load)
+            .policy(&AlgorithmLadder)
+            .run()
+            .unwrap();
+        assert_eq!(greedy.records, ladder.records);
+        assert_eq!(greedy.log, ladder.log, "no alternates, no divergence");
+    }
+
+    #[test]
+    fn the_log_materializes_the_flat_stream_losslessly() {
         use crate::capture::{
             ArrivalPattern, ArrivalProcess, BlockFormat, CaptureConfig, CaptureSession,
         };

@@ -15,7 +15,9 @@
 
 use crate::batch::{EventKind, EventLog, TickBatch};
 use crate::capture::policy::{BackpressurePolicy, CaptureDropCause};
+use crate::descriptor::ResolvedFleet;
 use crate::metrics::{BeamOutcome, BeamRecord, HealthEvent, HealthState, ShedRecord};
+use manycore_sim::Algorithm;
 use serde::{Deserialize, Serialize};
 
 /// One observable fact from a scheduler, shard, or grid run.
@@ -103,6 +105,22 @@ pub enum TelemetryEvent {
     /// [`crate::capture`]): the edge between the arrival stream and the
     /// fleet.
     Capture(CaptureEvent),
+    /// The admission plane moved a device to a different dedispersion
+    /// algorithm (a demotion under pressure, or a promotion back once
+    /// the plan runs clean) — emitted only when the assignment actually
+    /// changes, so single-algorithm fleets never see it.
+    AlgorithmSwitch {
+        /// Tick index the switch takes effect at.
+        tick: usize,
+        /// Device whose assignment changed.
+        device: usize,
+        /// Virtual time of the switch (the tick's release).
+        at: f64,
+        /// The algorithm the device was running.
+        from: Algorithm,
+        /// The algorithm the device runs from this tick on.
+        to: Algorithm,
+    },
 }
 
 /// One observable fact from the capture front-end's ingest path.
@@ -274,6 +292,15 @@ pub struct DeviceStatus {
     pub queue_depth: usize,
     /// Bounces observed so far.
     pub bounces: usize,
+    /// The dedispersion algorithm the device is running, as derived
+    /// from the stream: the primary (brute force) until an
+    /// [`TelemetryEvent::AlgorithmSwitch`] says otherwise.
+    pub algorithm: Algorithm,
+    /// The resolved device descriptor string (name plus tuned kernel
+    /// variant when known). Empty when the snapshot was folded without
+    /// fleet context — the stream itself never carries it; seed it with
+    /// [`StatusSnapshot::for_fleet`].
+    pub descriptor: String,
 }
 
 /// A queryable point-in-time view of a running fleet, folded from any
@@ -320,6 +347,8 @@ pub struct StatusSnapshot {
     pub recoveries: usize,
     /// Rebalance decisions seen so far (grid streams only).
     pub rebalances: usize,
+    /// Algorithm switches seen so far.
+    pub algorithm_switches: usize,
     /// Blocks that arrived at the capture front-end so far.
     pub capture_arrivals: usize,
     /// Blocks dropped at capture so far.
@@ -360,6 +389,7 @@ impl StatusSnapshot {
             canaries: 0,
             recoveries: 0,
             rebalances: 0,
+            algorithm_switches: 0,
             capture_arrivals: 0,
             capture_drops: 0,
             capture_degraded: 0,
@@ -373,9 +403,27 @@ impl StatusSnapshot {
                     health: HealthState::Healthy,
                     queue_depth: 0,
                     bounces: 0,
+                    algorithm: Algorithm::BruteForce,
+                    descriptor: String::new(),
                 })
                 .collect(),
         }
+    }
+
+    /// An empty snapshot seeded with fleet context: per-device
+    /// descriptor strings (name plus tuned kernel variant when the rate
+    /// came from a tuning run) and each device's primary algorithm.
+    /// Fold the same stream into it and the operator view shows *which*
+    /// device — by descriptor — is running *which* algorithm.
+    pub fn for_fleet(fleet: &ResolvedFleet) -> Self {
+        let mut snapshot = Self::new(fleet.len());
+        for (status, device) in snapshot.devices.iter_mut().zip(&fleet.devices) {
+            status.descriptor = device.name.clone();
+            if let Some(primary) = device.rates.first() {
+                status.algorithm = primary.algorithm;
+            }
+        }
+        snapshot
     }
 
     /// Folds a stream prefix into a snapshot in one call.
@@ -510,6 +558,13 @@ impl Observer for StatusSnapshot {
             TelemetryEvent::Rebalance { .. } => {
                 self.rebalances += 1;
             }
+            TelemetryEvent::AlgorithmSwitch { device, at, to, .. } => {
+                self.advance_clock(at);
+                self.algorithm_switches += 1;
+                if let Some(d) = self.device_mut(device) {
+                    d.algorithm = to;
+                }
+            }
             TelemetryEvent::Capture(capture) => {
                 self.advance_clock(capture.at());
                 match capture {
@@ -615,6 +670,15 @@ impl Observer for StatusSnapshot {
             }
         }
         self.rebalances += batch.rebalances.len();
+        // Switch rows are in emission order, so a per-device last write
+        // over the column equals the per-event last write.
+        self.algorithm_switches += batch.switches.len();
+        for r in &batch.switches {
+            self.advance_clock(r.at);
+            if let Some(d) = self.devices.get_mut(r.device as usize) {
+                d.algorithm = r.to;
+            }
+        }
         for capture in &batch.captures {
             self.advance_clock(capture.at());
             match *capture {
@@ -711,6 +775,13 @@ mod tests {
                 attempt: 2,
                 canary: false,
             },
+            TelemetryEvent::AlgorithmSwitch {
+                tick: 0,
+                device: 0,
+                at: 0.2,
+                from: Algorithm::BruteForce,
+                to: Algorithm::Subband { factor: 32 },
+            },
             TelemetryEvent::Shed(ShedRecord {
                 index: 0,
                 tick: 0,
@@ -762,6 +833,39 @@ mod tests {
         assert_eq!(snapshot.devices[1].bounces, 1);
         assert_eq!(snapshot.devices[1].health, HealthState::Suspect);
         assert_eq!(snapshot.devices[0].health, HealthState::Healthy);
+        assert_eq!(snapshot.algorithm_switches, 1);
+        assert_eq!(
+            snapshot.devices[0].algorithm,
+            Algorithm::Subband { factor: 32 }
+        );
+        assert_eq!(snapshot.devices[1].algorithm, Algorithm::BruteForce);
+    }
+
+    #[test]
+    fn for_fleet_seeds_descriptors_and_primary_algorithms() {
+        let fleet = crate::descriptor::ResolvedFleet::synthetic_with_algorithms(
+            1000,
+            &[
+                &[
+                    (Algorithm::Subband { factor: 16 }, 0.2),
+                    (Algorithm::BruteForce, 0.4),
+                ],
+                &[(Algorithm::BruteForce, 0.1)],
+            ],
+        );
+        let snapshot = StatusSnapshot::for_fleet(&fleet);
+        assert_eq!(snapshot.devices.len(), 2);
+        assert_eq!(snapshot.devices[0].descriptor, fleet.devices[0].name);
+        assert!(!snapshot.devices[0].descriptor.is_empty());
+        assert_eq!(
+            snapshot.devices[0].algorithm,
+            Algorithm::Subband { factor: 16 }
+        );
+        assert_eq!(snapshot.devices[1].algorithm, Algorithm::BruteForce);
+        // Without fleet context the snapshot stays descriptor-free: the
+        // stream itself never carries the strings.
+        let bare = StatusSnapshot::new(2);
+        assert!(bare.devices.iter().all(|d| d.descriptor.is_empty()));
     }
 
     #[test]

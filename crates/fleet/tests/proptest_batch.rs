@@ -24,8 +24,8 @@ use dedisp_fleet::capture::{
     Arrival, ArrivalTrace, BackpressurePolicy, BlockFormat, CaptureConfig, CaptureSession,
 };
 use dedisp_fleet::{
-    EventLog, FaultEvent, FaultPlan, FleetRun, Observer, ResolvedFleet, Scheduler, StatusSnapshot,
-    SurveyLoad, TickBatch,
+    Algorithm, AlgorithmLadder, EventLog, FaultEvent, FaultPlan, FleetRun, Observer, ResolvedFleet,
+    Scheduler, StatusSnapshot, SurveyLoad, TickBatch,
 };
 use proptest::prelude::*;
 
@@ -167,6 +167,54 @@ proptest! {
         prop_assert_eq!(batched.probes, r.probes);
         prop_assert_eq!(batched.canaries, r.canaries);
         prop_assert_eq!(batched.recoveries, r.recoveries);
+    }
+
+    /// Property 2 extended to the algorithm plane: runs under the
+    /// [`AlgorithmLadder`] on multi-algorithm fleets emit
+    /// `AlgorithmSwitch` events, and the batched switch column folds to
+    /// exactly the per-event result — counters, the per-device
+    /// algorithm assignment, and the clock all agree across arbitrary
+    /// re-chunking boundaries.
+    #[test]
+    fn batched_and_per_event_folds_agree_on_algorithm_ladder_runs(
+        devices in 1usize..4,
+        beams in 1usize..24,
+        ticks in 1usize..4,
+        brute_spb in 0.1f64..0.6,
+        ratio in 0.25f64..0.95,
+        sizes in prop::collection::vec(1usize..17, 1..5),
+    ) {
+        let table = [
+            (Algorithm::BruteForce, brute_spb),
+            (Algorithm::Subband { factor: 32 }, brute_spb * ratio),
+        ];
+        let tables: Vec<&[(Algorithm, f64)]> = (0..devices).map(|_| &table[..]).collect();
+        let fleet = ResolvedFleet::synthetic_with_algorithms(1000, &tables);
+        let load = SurveyLoad::custom(1000, beams, ticks);
+        let run = Scheduler::session(&fleet)
+            .load(&load)
+            .policy(&AlgorithmLadder)
+            .run()
+            .expect("valid inputs");
+
+        let rechunked = rechunk(&run.log, &sizes);
+        prop_assert_eq!(&rechunked, &run.log);
+
+        let per_event = fold_per_event(devices, &run.log);
+        let batched = fold_batched(devices, &run.log);
+        let batched_rechunked = fold_batched(devices, &rechunked);
+        prop_assert_eq!(&batched, &per_event);
+        prop_assert_eq!(&batched_rechunked, &per_event);
+        prop_assert_eq!(&batched, &run.status());
+
+        // When the ladder switched, the fold saw it — count and final
+        // per-device assignment both come off the switch column.
+        let switch_count = run
+            .log
+            .iter()
+            .filter(|e| matches!(e, dedisp_fleet::TelemetryEvent::AlgorithmSwitch { .. }))
+            .count();
+        prop_assert_eq!(batched.algorithm_switches, switch_count);
     }
 
     /// Property 3 on capture ingests: the drain-window batch stream

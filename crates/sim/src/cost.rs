@@ -12,6 +12,7 @@
 use dedisp_core::KernelConfig;
 use serde::{Deserialize, Serialize};
 
+use crate::algorithm::Algorithm;
 use crate::constraints::{check_config, ConfigViolation};
 use crate::device::DeviceDescriptor;
 use crate::noise::time_multiplier;
@@ -140,6 +141,56 @@ impl CostModel {
             bound,
             utilization: hiding,
             achieved_ai: traffic.achieved_ai(workload.useful_flop),
+        })
+    }
+
+    /// Predicts the execution of `config` on `workload` when the
+    /// device runs `algorithm` instead of the brute-force kernel.
+    ///
+    /// The alternate algorithms move proportionally less data and issue
+    /// proportionally fewer instructions, so both phases scale by the
+    /// algorithm's [`Algorithm::work_ratio`] while the fixed launch
+    /// overhead stays. The reported `gflops` remains the *effective
+    /// science rate* — useful brute-force flop per second of predicted
+    /// wall clock — so rates stay comparable across algorithms and a
+    /// cheaper algorithm shows a *higher* effective rate.
+    /// `Algorithm::BruteForce` returns exactly what [`Self::evaluate`]
+    /// returns.
+    ///
+    /// # Errors
+    ///
+    /// Returns the violated constraint if the configuration is not
+    /// meaningful on this device/workload.
+    pub fn evaluate_algorithm(
+        &self,
+        workload: &Workload,
+        config: &KernelConfig,
+        algorithm: Algorithm,
+    ) -> Result<CostEstimate, ConfigViolation> {
+        let base = self.evaluate(workload, config)?;
+        if algorithm == Algorithm::BruteForce {
+            return Ok(base);
+        }
+        let ratio = algorithm.work_ratio(workload);
+        let mem_time_s = base.mem_time_s * ratio;
+        let compute_time_s = base.compute_time_s * ratio;
+        let mut time_s = self.device.launch_overhead_us * 1e-6 + mem_time_s.max(compute_time_s);
+        if self.noise {
+            time_s *= time_multiplier(&self.device.name, &workload.name, workload.trials, config);
+        }
+        let bound = if mem_time_s >= compute_time_s {
+            BoundKind::Memory
+        } else {
+            BoundKind::Compute
+        };
+        Ok(CostEstimate {
+            time_s,
+            gflops: workload.useful_flop as f64 / time_s / 1e9,
+            mem_time_s,
+            compute_time_s,
+            bound,
+            utilization: base.utilization,
+            achieved_ai: base.achieved_ai,
         })
     }
 }
@@ -288,6 +339,44 @@ mod tests {
             / model.evaluate(&ap, &c).unwrap().gflops;
         assert!(lo_gain > 2.0, "LOFAR gain {lo_gain}");
         assert!(ap_gain < 1.3, "Apertif gain {ap_gain}");
+    }
+
+    #[test]
+    fn brute_force_algorithm_is_the_classic_model_bit_for_bit() {
+        let model = CostModel::new(amd_hd7970());
+        let w = apertif(2000);
+        let c = KernelConfig::new(64, 4, 4, 8).unwrap();
+        let classic = model.evaluate(&w, &c).unwrap();
+        let routed = model
+            .evaluate_algorithm(&w, &c, Algorithm::BruteForce)
+            .unwrap();
+        assert_eq!(classic, routed);
+    }
+
+    #[test]
+    fn cheaper_algorithms_raise_the_effective_rate_at_survey_scale() {
+        let model = CostModel::exact(amd_hd7970());
+        let w = apertif(2000);
+        let c = KernelConfig::new(64, 4, 4, 8).unwrap();
+        let brute = model.evaluate(&w, &c).unwrap();
+        let sub = model
+            .evaluate_algorithm(&w, &c, Algorithm::Subband { factor: 32 })
+            .unwrap();
+        let fdd = model
+            .evaluate_algorithm(&w, &c, Algorithm::FourierDomain)
+            .unwrap();
+        assert!(sub.time_s < brute.time_s);
+        assert!(fdd.time_s < brute.time_s);
+        assert!(sub.gflops > brute.gflops);
+        assert!(fdd.gflops > brute.gflops);
+        // At 8 trials the FFT term dominates and FDD loses to brute force.
+        let small = apertif(8);
+        let c_small = KernelConfig::new(64, 4, 2, 2).unwrap();
+        let b = model.evaluate(&small, &c_small).unwrap();
+        let f = model
+            .evaluate_algorithm(&small, &c_small, Algorithm::FourierDomain)
+            .unwrap();
+        assert!(f.time_s > b.time_s);
     }
 
     #[test]

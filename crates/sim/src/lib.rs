@@ -35,6 +35,7 @@
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
+pub mod algorithm;
 pub mod constraints;
 pub mod cost;
 pub mod device;
@@ -45,6 +46,7 @@ pub mod traffic;
 pub mod transfer;
 pub mod workload;
 
+pub use algorithm::{Algorithm, FFT_FLOP_PER_POINT, MAX_SUBBANDS, PHASE_FLOP_PER_POINT};
 pub use constraints::{check_config, ConfigViolation};
 pub use cost::{BoundKind, CostEstimate, CostModel};
 pub use device::{DeviceDescriptor, Vendor};
