@@ -35,6 +35,15 @@
 //! override the batch method to pay their lock once per tick instead
 //! of once per beam.
 //!
+//! Phase spans ([`crate::obs::trace`]) deliberately stay *outside*
+//! this stream: a [`TickBatch`] holds only deterministic scheduling
+//! facts, while spans are wall-clock timings that must never reach a
+//! ledger, fingerprint, or report. Spans travel their own channels —
+//! the [`crate::obs::TraceSink`] rings in-process, the
+//! `ShardFrame::Trace` sidecar across the process boundary — so the
+//! batch encoding (and everything replayed from it) stays
+//! byte-identical whether or not tracing is attached.
+//!
 //! [`GridObserver::observe_grid_batch`]: crate::GridObserver::observe_grid_batch
 
 use crate::metrics::{BeamOutcome, BeamRecord, HealthEvent, ShedRecord};

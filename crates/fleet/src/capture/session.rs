@@ -46,6 +46,7 @@ use super::ring::{BlockFormat, CaptureRing, Fidelity};
 use crate::batch::EventLog;
 use crate::descriptor::FleetError;
 use crate::load::LoadSource;
+use crate::obs::trace::{SpanKind, TraceSink};
 use crate::telemetry::{CaptureEvent, TelemetryEvent};
 use serde::{Deserialize, Serialize};
 
@@ -221,6 +222,7 @@ pub struct CaptureRun {
 pub struct CaptureSession {
     config: CaptureConfig,
     ring: CaptureRing,
+    trace: Option<TraceSink>,
 }
 
 impl CaptureSession {
@@ -263,12 +265,26 @@ impl CaptureSession {
             config.high_watermark,
             config.policy,
         )?;
-        Ok(Self { config, ring })
+        Ok(Self {
+            config,
+            ring,
+            trace: None,
+        })
     }
 
     /// The session's ring (for live fill inspection in harnesses).
     pub fn ring(&self) -> &CaptureRing {
         &self.ring
+    }
+
+    /// Attaches a tracing sink (see [`crate::obs::trace`]): each
+    /// drain window records one wall-clock `capture_ingest` span.
+    /// Spans never enter the run's log or ledger — a traced ingest's
+    /// [`CaptureRun`] is byte-identical to an untraced one.
+    #[must_use]
+    pub fn trace(mut self, sink: &TraceSink) -> Self {
+        self.trace = Some(sink.clone());
+        self
     }
 
     /// Runs `source` to exhaustion through the ring and flushes the
@@ -312,6 +328,14 @@ impl CaptureSession {
             .map(|a| (a.at / config.period_s) as usize)
             .unwrap_or(0);
         loop {
+            // One wall-clock span per drain window, tagged with the
+            // tick the drain would seal. Instrumentation only: the
+            // span sees none of the window's data and the window none
+            // of the span.
+            let _window_span = self
+                .trace
+                .as_ref()
+                .map(|t| t.start(SpanKind::CaptureIngest, None, ticks.len() as u64));
             let drain_at = (window as f64 + 1.0) * config.period_s;
             // Ingest everything that arrives before this window closes.
             while let Some(arrival) = pending {

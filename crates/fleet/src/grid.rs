@@ -36,6 +36,7 @@ use crate::batch::TickBatch;
 use crate::descriptor::{FleetError, ResolvedFleet};
 use crate::load::LoadSource;
 use crate::metrics::{BeamOutcome, BeamRecord, FleetReport, ShedReason, ShedRecord};
+use crate::obs::trace::{SpanKind, TraceSink};
 use crate::proc::{self, ProcConfig, ProcGridLedger, ShardSpec};
 use crate::scheduler::{FleetRun, Scheduler, SchedulerConfig};
 use crate::shard::{
@@ -66,6 +67,7 @@ impl Grid {
             load: None,
             faults: None,
             backend: ShardBackend::InThread,
+            trace: None,
         }
     }
 }
@@ -96,6 +98,7 @@ pub struct GridSession<'a> {
     load: Option<&'a dyn LoadSource>,
     faults: Option<&'a GridFaultPlan>,
     backend: ShardBackend,
+    trace: Option<TraceSink>,
 }
 
 impl<'a> GridSession<'a> {
@@ -141,6 +144,20 @@ impl<'a> GridSession<'a> {
     #[must_use]
     pub fn backend(mut self, backend: ShardBackend) -> Self {
         self.backend = backend;
+        self
+    }
+
+    /// Attaches a tracing sink (see [`crate::obs::trace`]): every
+    /// shard session records its tick-phase spans (tagged with its
+    /// shard id) into the shared sink, the grid merge records a
+    /// `grid_merge` span, and with the process backend the supervisor
+    /// adds its frame timings and propagates the child's own phase
+    /// spans upstream — one timeline across parent and re-exec'd
+    /// children. Spans never enter any ledger: a traced run's
+    /// [`GridRun`] is byte-identical to an untraced one.
+    #[must_use]
+    pub fn trace(mut self, sink: &TraceSink) -> Self {
+        self.trace = Some(sink.clone());
         self
     }
 
@@ -236,6 +253,7 @@ impl<'a> GridSession<'a> {
         // beam identity before forwarding, so the shared observer sees
         // the same identities the post-run `ShardEvent` stream carries.
         let backend = &self.backend;
+        let trace = &self.trace;
         type ShardResult = Result<(FleetRun, Option<proc::ProcShardLedger>), FleetError>;
         let results: Vec<ShardResult> = std::thread::scope(|scope| {
             let handles: Vec<_> = shards
@@ -260,6 +278,9 @@ impl<'a> GridSession<'a> {
                                 if let Some(ceiling) = ceiling {
                                     session = session.admission_ceilings(ceiling);
                                 }
+                                if let Some(sink) = trace {
+                                    session = session.trace(sink).trace_shard(shard);
+                                }
                                 session.run_with(&mut forward).map(|run| (run, None))
                             }
                             ShardBackend::Process(proc_config) => {
@@ -272,8 +293,13 @@ impl<'a> GridSession<'a> {
                                     ceilings: ceiling.map(<[usize]>::to_vec),
                                     chaos: None,
                                 };
-                                proc::run_shard(&spec, proc_config, &mut forward)
-                                    .map(|(run, ledger)| (run, Some(ledger)))
+                                proc::run_shard_traced(
+                                    &spec,
+                                    proc_config,
+                                    &mut forward,
+                                    trace.as_ref(),
+                                )
+                                .map(|(run, ledger)| (run, Some(ledger)))
                             }
                         }
                     })
@@ -297,6 +323,13 @@ impl<'a> GridSession<'a> {
         });
 
         // Merge: re-key every shard-local ledger row by its global beam.
+        // One shard-less wall-clock span covers the whole merge (the
+        // ledger re-key, the tagged stream rebuild, and the report
+        // fold); the merged artifacts never see it.
+        let merge_span = self
+            .trace
+            .as_ref()
+            .map(|t| t.start(SpanKind::GridMerge, None, 0));
         let admitted = load.total_beams();
         let mut merged: Vec<Option<GridBeamRecord>> = vec![None; admitted];
         for (shard, (run, shard_load)) in shard_runs.iter().zip(&shard_loads).enumerate() {
@@ -364,6 +397,7 @@ impl<'a> GridSession<'a> {
             rehomed,
             supervisor,
         );
+        drop(merge_span);
         Ok(GridRun {
             report,
             records,

@@ -12,10 +12,14 @@
 //! | `GET /status/shard/<j>`        | shard `j`'s [`crate::StatusSnapshot`] JSON |
 //! | `GET /metrics`                 | Prometheus text exposition format 0.0.4 |
 //! | `GET /events?n=<k>`            | last `k` flight-recorder events, NDJSON (`&format=batch` for the columnar [`super::RecordedBatch`] form) |
+//! | `GET /trace?n=<k>`             | last `k` phase spans, NDJSON (`&format=chrome` for Chrome `trace_event` JSON, loadable in Perfetto) |
+//! | `GET /slo`                     | the [`super::BurnRate`] fold's [`super::SloSnapshot`]: `ok|warn|page` plus both windows' burn |
 //! | `GET /status/grid/<i>`         | grid `i`'s status |
 //! | `GET /status/grid/<i>/shard/<j>` | grid `i`, shard `j` |
 //! | `GET /metrics/grid/<i>`        | grid `i`'s metrics |
 //! | `GET /events/grid/<i>`         | grid `i`'s flight-recorder tail |
+//! | `GET /trace/grid/<i>`          | grid `i`'s span tail |
+//! | `GET /slo/grid/<i>`            | grid `i`'s SLO state |
 //!
 //! One server observes a whole deployment: each concurrently running
 //! grid attaches its [`ObsState`] to the directory (and detaches when
@@ -33,6 +37,7 @@
 use super::live::LiveGrid;
 use super::recorder::FlightRecorder;
 use super::registry::MetricsRegistry;
+use super::trace::{BurnRate, TraceSink};
 use parking_lot::RwLock;
 use std::collections::BTreeMap;
 use std::io::{self, Read, Write};
@@ -43,9 +48,9 @@ use std::thread::JoinHandle;
 use std::time::Duration;
 
 /// Everything the endpoints serve: the metrics registry, the flight
-/// recorder, and the live grid status. Clones share the same
-/// underlying state — build one, clone handles into your observers,
-/// and hand one clone to [`ObsServer::bind`].
+/// recorder, the live grid status, the trace sink, and the SLO fold.
+/// Clones share the same underlying state — build one, clone handles
+/// into your observers, and hand one clone to [`ObsServer::bind`].
 #[derive(Debug, Clone)]
 pub struct ObsState {
     /// The metrics registry `/metrics` renders.
@@ -54,16 +59,41 @@ pub struct ObsState {
     pub recorder: FlightRecorder,
     /// The live status `/status` and `/status/shard/<i>` serve.
     pub live: LiveGrid,
+    /// The span sink `/trace` tails.
+    pub trace: TraceSink,
+    /// The SLO burn-rate fold `/slo` reports.
+    pub slo: BurnRate,
 }
 
 impl ObsState {
-    /// Bundles the three components.
+    /// Bundles the three core components, with a fresh (empty) trace
+    /// sink and a default-SLO burn fold. Attach shared ones with
+    /// [`ObsState::with_trace`] / [`ObsState::with_slo`].
     pub fn new(registry: MetricsRegistry, recorder: FlightRecorder, live: LiveGrid) -> Self {
         Self {
             registry,
             recorder,
             live,
+            trace: TraceSink::default(),
+            slo: BurnRate::default(),
         }
+    }
+
+    /// Serves `sink` on `/trace` — pass the same sink your sessions
+    /// record into ([`crate::Session::trace`],
+    /// [`crate::GridSession::trace`]).
+    #[must_use]
+    pub fn with_trace(mut self, sink: &TraceSink) -> Self {
+        self.trace = sink.clone();
+        self
+    }
+
+    /// Serves `slo` on `/slo` — pass the same fold you attached as a
+    /// run observer.
+    #[must_use]
+    pub fn with_slo(mut self, slo: &BurnRate) -> Self {
+        self.slo = slo.clone();
+        self
     }
 }
 
@@ -172,6 +202,10 @@ fn json_string(s: &str) -> String {
 /// Default `/events` tail length when no `?n=` is given.
 const DEFAULT_EVENTS_TAIL: usize = 256;
 
+/// Default `/trace` tail length when no `?n=` is given (spans are
+/// small and a useful timeline needs a few ticks' worth).
+const DEFAULT_TRACE_TAIL: usize = 1024;
+
 /// Per-connection socket timeout: a stalled client cannot wedge the
 /// accept loop for longer than this.
 const IO_TIMEOUT: Duration = Duration::from_millis(2_000);
@@ -265,6 +299,9 @@ struct Response {
     status: u16,
     reason: &'static str,
     content_type: &'static str,
+    /// Extra header lines (already `Name: value`, no CRLF) — how the
+    /// 405 carries its mandatory `Allow`.
+    extra_headers: Vec<&'static str>,
     body: String,
 }
 
@@ -274,6 +311,7 @@ impl Response {
             status: 200,
             reason: "OK",
             content_type,
+            extra_headers: Vec::new(),
             body,
         }
     }
@@ -285,6 +323,7 @@ impl Response {
             status: 404,
             reason: "Not Found",
             content_type: "application/json; charset=utf-8",
+            extra_headers: Vec::new(),
             body: format!("{{\"error\":{}}}\n", json_string(why)),
         }
     }
@@ -294,6 +333,8 @@ impl Response {
             status: 405,
             reason: "Method Not Allowed",
             content_type: "text/plain; charset=utf-8",
+            // RFC 9110 §15.5.6: a 405 MUST name the allowed methods.
+            extra_headers: vec!["Allow: GET"],
             body: "only GET is served here\n".to_string(),
         }
     }
@@ -303,6 +344,7 @@ impl Response {
             status: 400,
             reason: "Bad Request",
             content_type: "text/plain; charset=utf-8",
+            extra_headers: Vec::new(),
             body: format!("{why}\n"),
         }
     }
@@ -324,13 +366,19 @@ fn serve_connection(mut stream: TcpStream, directory: &ObsDirectory) -> io::Resu
     let head = String::from_utf8_lossy(&head);
     let request_line = head.lines().next().unwrap_or("");
     let response = route(request_line, directory);
+    let extra: String = response
+        .extra_headers
+        .iter()
+        .map(|h| format!("{h}\r\n"))
+        .collect();
     write!(
         stream,
-        "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{}",
+        "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\n{}Connection: close\r\n\r\n{}",
         response.status,
         response.reason,
         response.content_type,
         response.body.len(),
+        extra,
         response.body
     )?;
     stream.flush()
@@ -419,6 +467,31 @@ fn route(request_line: &str, directory: &ObsDirectory) -> Response {
                 Some(_) => Response::bad_request("format must be flat or batch"),
             }
         }
+        ("trace", []) => {
+            let n = match query_param(query, "n") {
+                None => DEFAULT_TRACE_TAIL,
+                Some(raw) => match raw.parse::<usize>() {
+                    Ok(n) => n,
+                    Err(_) => return Response::bad_request("n must be a non-negative integer"),
+                },
+            };
+            let spans = state.trace.tail(n);
+            match query_param(query, "format") {
+                None | Some("ndjson") => Response::ok(
+                    "application/x-ndjson; charset=utf-8",
+                    super::trace::to_ndjson(&spans),
+                ),
+                Some("chrome") => Response::ok(
+                    "application/json; charset=utf-8",
+                    super::trace::chrome_trace(&spans),
+                ),
+                Some(_) => Response::bad_request("format must be ndjson or chrome"),
+            }
+        }
+        ("slo", []) => Response::ok(
+            "application/json; charset=utf-8",
+            state.slo.snapshot().to_json(),
+        ),
         _ => Response::not_found("unknown path"),
     }
 }
@@ -441,36 +514,125 @@ pub struct Fetched {
     pub body: String,
 }
 
+/// Why a [`get_timeout`] fetch failed, with the timeouts typed out
+/// instead of buried in an [`io::Error`] the caller has to sniff.
+#[derive(Debug)]
+pub enum FetchError {
+    /// The TCP connect did not complete within the deadline.
+    ConnectTimeout(Duration),
+    /// The server accepted the connection but stopped sending before
+    /// the response completed.
+    ReadTimeout(Duration),
+    /// Any other I/O failure (refused, reset, …).
+    Io(io::Error),
+    /// The response arrived but this minimal parser cannot read it.
+    Malformed(&'static str),
+}
+
+impl std::fmt::Display for FetchError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FetchError::ConnectTimeout(t) => write!(f, "connect timed out after {t:?}"),
+            FetchError::ReadTimeout(t) => write!(f, "read timed out after {t:?}"),
+            FetchError::Io(e) => write!(f, "i/o error: {e}"),
+            FetchError::Malformed(why) => write!(f, "malformed response: {why}"),
+        }
+    }
+}
+
+impl std::error::Error for FetchError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            FetchError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<FetchError> for io::Error {
+    fn from(e: FetchError) -> Self {
+        match e {
+            FetchError::ConnectTimeout(_) | FetchError::ReadTimeout(_) => {
+                io::Error::new(io::ErrorKind::TimedOut, e.to_string())
+            }
+            FetchError::Io(inner) => inner,
+            FetchError::Malformed(why) => io::Error::new(io::ErrorKind::InvalidData, why),
+        }
+    }
+}
+
+/// Whether an I/O error kind is how this platform spells a socket
+/// timeout (`read` gives `WouldBlock` on Unix, `TimedOut` on Windows).
+fn is_timeout(kind: io::ErrorKind) -> bool {
+    matches!(kind, io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut)
+}
+
 /// A minimal blocking `GET` client for the server above — what the
 /// `observe` harness, the examples, and the in-repo tests poll the
 /// endpoints with (no HTTP crate exists in the offline vendor tree).
+/// Bounded by the server's own per-connection deadline
+/// ([`get_timeout`] with a 2 s budget): a stalled or wedged server
+/// yields a `TimedOut` error, never a hang.
 ///
 /// # Errors
 ///
-/// Returns the I/O error of the underlying connect/read, or
-/// `InvalidData` for a response head this minimal parser cannot read.
+/// Returns the I/O error of the underlying connect/read,
+/// `TimedOut` if either stalls past the deadline, or `InvalidData`
+/// for a response head this minimal parser cannot read.
 pub fn get(addr: SocketAddr, path: &str) -> io::Result<Fetched> {
-    let mut stream = TcpStream::connect(addr)?;
-    stream.set_read_timeout(Some(IO_TIMEOUT))?;
-    stream.set_write_timeout(Some(IO_TIMEOUT))?;
+    get_timeout(addr, path, IO_TIMEOUT).map_err(io::Error::from)
+}
+
+/// [`get`] with an explicit deadline applied to the connect, the
+/// request write, and the response read — and a typed error that
+/// distinguishes the timeouts from other failures.
+///
+/// # Errors
+///
+/// [`FetchError::ConnectTimeout`] / [`FetchError::ReadTimeout`] when
+/// the respective phase exceeds `timeout`, [`FetchError::Io`] for any
+/// other I/O failure, [`FetchError::Malformed`] for an unparsable
+/// response.
+pub fn get_timeout(addr: SocketAddr, path: &str, timeout: Duration) -> Result<Fetched, FetchError> {
+    let mut stream = TcpStream::connect_timeout(&addr, timeout).map_err(|e| {
+        if is_timeout(e.kind()) {
+            FetchError::ConnectTimeout(timeout)
+        } else {
+            FetchError::Io(e)
+        }
+    })?;
+    let io_err = |e: io::Error| {
+        if is_timeout(e.kind()) {
+            FetchError::ReadTimeout(timeout)
+        } else {
+            FetchError::Io(e)
+        }
+    };
+    stream
+        .set_read_timeout(Some(timeout))
+        .map_err(FetchError::Io)?;
+    stream
+        .set_write_timeout(Some(timeout))
+        .map_err(FetchError::Io)?;
     write!(
         stream,
         "GET {path} HTTP/1.1\r\nHost: {addr}\r\nConnection: close\r\n\r\n"
-    )?;
+    )
+    .map_err(io_err)?;
     let mut raw = String::new();
-    stream.read_to_string(&mut raw)?;
+    stream.read_to_string(&mut raw).map_err(io_err)?;
     let (head, body) = raw
         .split_once("\r\n\r\n")
-        .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidData, "no header/body separator"))?;
+        .ok_or(FetchError::Malformed("no header/body separator"))?;
     let mut lines = head.lines();
     let status_line = lines
         .next()
-        .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidData, "empty response"))?;
+        .ok_or(FetchError::Malformed("empty response"))?;
     let status = status_line
         .split_whitespace()
         .nth(1)
         .and_then(|s| s.parse().ok())
-        .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidData, "unparsable status line"))?;
+        .ok_or(FetchError::Malformed("unparsable status line"))?;
     let content_type = lines
         .filter_map(|l| l.split_once(':'))
         .find(|(k, _)| k.eq_ignore_ascii_case("content-type"))
@@ -625,11 +787,144 @@ mod tests {
         let addr = server.addr();
         let events = get(addr, "/events").unwrap();
         assert_eq!(FlightRecorder::from_ndjson(&events.body).unwrap().len(), 2);
-        // Non-GET methods are refused (minimal client, hand-rolled).
+        // Non-GET methods are refused (minimal client, hand-rolled),
+        // and the 405 names the one allowed method (RFC 9110 §15.5.6).
         let mut stream = TcpStream::connect(addr).unwrap();
         write!(stream, "POST /status HTTP/1.1\r\nHost: x\r\n\r\n").unwrap();
         let mut raw = String::new();
         stream.read_to_string(&mut raw).unwrap();
         assert!(raw.starts_with("HTTP/1.1 405"), "{raw}");
+        assert!(raw.contains("\r\nAllow: GET\r\n"), "{raw}");
+        assert!(raw.contains("\r\nConnection: close\r\n"), "{raw}");
+    }
+
+    #[test]
+    fn trace_and_slo_endpoints_serve_spans_and_burn_state() {
+        use super::super::trace::{Span, SpanKind};
+
+        let state = test_state();
+        state.trace.record(Span {
+            kind: SpanKind::Dispatch,
+            shard: Some(0),
+            tick: 3,
+            start_ns: 1_000,
+            dur_ns: 250,
+        });
+        state.trace.record(Span {
+            kind: SpanKind::Tick,
+            shard: Some(0),
+            tick: 3,
+            start_ns: 900,
+            dur_ns: 700,
+        });
+        let server = ObsServer::bind("127.0.0.1:0", state).unwrap();
+        let addr = server.addr();
+
+        let ndjson = get(addr, "/trace").unwrap();
+        assert_eq!(ndjson.status, 200);
+        assert!(ndjson.content_type.starts_with("application/x-ndjson"));
+        let spans = super::super::trace::from_ndjson(&ndjson.body).unwrap();
+        assert_eq!(spans.len(), 2);
+        // The tail is start-ordered, oldest first.
+        assert_eq!(spans[0].kind, SpanKind::Tick);
+        assert_eq!(get(addr, "/trace?n=1").unwrap().body.lines().count(), 1);
+        assert_eq!(get(addr, "/trace?n=bogus").unwrap().status, 400);
+        assert_eq!(get(addr, "/trace?format=bogus").unwrap().status, 400);
+
+        let chrome = get(addr, "/trace?format=chrome").unwrap();
+        assert_eq!(chrome.status, 200);
+        assert!(chrome.content_type.starts_with("application/json"));
+        let value: serde::Value = serde_json::from_str(&chrome.body).unwrap();
+        assert!(value.as_object().unwrap().contains_key("traceEvents"));
+
+        let slo = get(addr, "/slo").unwrap();
+        assert_eq!(slo.status, 200);
+        assert!(slo.content_type.starts_with("application/json"));
+        let snapshot = crate::obs::SloSnapshot::from_json(&slo.body).unwrap();
+        assert_eq!(snapshot.state, crate::obs::SloState::Ok);
+        assert_eq!(snapshot.windows.len(), 2);
+        server.shutdown();
+    }
+
+    #[test]
+    fn get_timeout_types_a_stalled_server_and_a_refused_port() {
+        // A listener that accepts but never answers: the read deadline
+        // fires as a typed ReadTimeout, not a hang.
+        let listener = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let hold = std::thread::spawn(move || listener.accept());
+        let deadline = Duration::from_millis(200);
+        match get_timeout(addr, "/healthz", deadline) {
+            Err(FetchError::ReadTimeout(t)) => assert_eq!(t, deadline),
+            other => panic!("expected ReadTimeout, got {other:?}"),
+        }
+        drop(hold);
+        // A port nothing listens on: a plain I/O error, and the io
+        // conversion keeps its kind distinct from TimedOut.
+        let dead = {
+            let probe = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+            probe.local_addr().unwrap()
+        };
+        match get_timeout(dead, "/healthz", deadline) {
+            Err(e @ FetchError::Io(_)) => {
+                assert_ne!(io::Error::from(e).kind(), io::ErrorKind::TimedOut);
+            }
+            other => panic!("expected Io, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn attach_detach_races_concurrent_trace_and_grids_requests() {
+        let directory = ObsDirectory::new();
+        let server = ObsServer::bind_directory("127.0.0.1:0", directory.clone()).unwrap();
+        let addr = server.addr();
+
+        // One grid stays pinned so bare routes always resolve.
+        let pinned = directory.attach("pinned", test_state());
+        let churn = directory.clone();
+        let churner = std::thread::spawn(move || {
+            let mut churned = Vec::new();
+            for round in 0..40 {
+                let id = churn.attach(format!("ephemeral-{round}"), test_state());
+                churned.push(id);
+                if round % 2 == 0 {
+                    assert!(churn.detach(id));
+                }
+            }
+            churned
+        });
+
+        // Poll the listing and trace routes while the directory churns:
+        // every response must be well-formed — 200 for an attached id,
+        // a stable JSON 404 for a detached one, never a panic or a
+        // connection drop.
+        for i in 0..60 {
+            let grids = get(addr, "/grids").unwrap();
+            assert_eq!(grids.status, 200);
+            assert!(grids.body.contains("\"pinned\""));
+            let trace = get(addr, &format!("/trace/grid/{pinned}?n=8")).unwrap();
+            assert_eq!(trace.status, 200);
+            let slo = get(addr, "/slo").unwrap();
+            assert_eq!(slo.status, 200);
+            let roaming = get(addr, &format!("/trace/grid/{}", pinned + 1 + (i % 40))).unwrap();
+            assert!(
+                roaming.status == 200 || roaming.status == 404,
+                "unexpected status {}",
+                roaming.status
+            );
+            if roaming.status == 404 {
+                assert!(roaming.content_type.starts_with("application/json"));
+                assert!(roaming.body.contains("\"error\""));
+            }
+        }
+
+        let churned = churner.join().unwrap();
+        // After the churn settles, detached ids 404 deterministically.
+        for id in churned.iter().step_by(2) {
+            let gone = get(addr, &format!("/trace/grid/{id}")).unwrap();
+            assert_eq!(gone.status, 404);
+            assert!(gone.body.contains("\"error\""));
+        }
+        server.shutdown();
     }
 }

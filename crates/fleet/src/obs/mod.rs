@@ -25,8 +25,17 @@
 //!   behind `/metrics`.
 //! * [`http`] — the dependency-free [`ObsServer`] on
 //!   [`std::net::TcpListener`] serving `/status`,
-//!   `/status/shard/<i>`, `/metrics`, `/events?n=<k>`, and
-//!   `/healthz`.
+//!   `/status/shard/<i>`, `/metrics`, `/events?n=<k>`,
+//!   `/trace?n=<k>` (NDJSON; `?format=chrome` for a Perfetto-loadable
+//!   Chrome trace), `/slo`, and `/healthz`.
+//! * [`trace`] — the tracing & self-profiling plane: phase
+//!   [`trace::Span`]s through the lock-cheap [`TraceSink`] seam
+//!   (scheduler tick phases, capture ingest, grid merge, and the
+//!   process supervisor's frame timings, with child spans propagated
+//!   upstream as sidecar frames), plus the [`BurnRate`] SLO fold
+//!   behind `/slo` and the `fleet_slo_*` gauges. Spans are wall-clock
+//!   and never fingerprinted — ledgers stay byte-identical with or
+//!   without a sink attached.
 //!
 //! Wiring a live-observed grid run end to end:
 //!
@@ -69,10 +78,14 @@ pub mod http;
 pub mod live;
 pub mod recorder;
 pub mod registry;
+pub mod trace;
 
-pub use http::{get, Fetched, ObsDirectory, ObsServer, ObsState};
+pub use http::{get, get_timeout, FetchError, Fetched, ObsDirectory, ObsServer, ObsState};
 pub use live::{Fanout, GridFanout, GridStatusSnapshot, LiveGrid, LiveStatus};
 pub use recorder::{FlightRecorder, RecordedBatch, RecordedEvent};
 pub use registry::{
     Counter, Gauge, GridRegistry, Histogram, MetricKind, MetricsRegistry, RegistryObserver,
+};
+pub use trace::{
+    BurnRate, SloConfig, SloSnapshot, SloState, SloWindow, Span, SpanGuard, SpanKind, TraceSink,
 };

@@ -367,6 +367,12 @@ impl MetricsRegistry {
 /// Histogram bounds for placement attempts (attempt 1 = first try).
 const ATTEMPT_BOUNDS: [f64; 5] = [1.0, 2.0, 3.0, 4.0, 6.0];
 
+/// Histogram bounds (wall-clock seconds) for `fleet_phase_seconds` —
+/// the tracing plane's per-phase durations. Phases are
+/// microsecond-to-millisecond scale, with the top buckets catching
+/// liveness waits and restart backoffs.
+pub(crate) const PHASE_SECONDS_BOUNDS: [f64; 8] = [1e-6, 1e-5, 1e-4, 1e-3, 1e-2, 0.1, 1.0, 10.0];
+
 /// Histogram bounds (virtual seconds) for per-tick drain latency —
 /// how far into the 1 s real-time budget each beam's terminal event
 /// lands after its tick's release.

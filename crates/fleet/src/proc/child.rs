@@ -22,6 +22,7 @@ use super::frame::{write_msg, FrameError, FrameReader};
 use super::protocol::{ChaosSpec, ShardFrame, ShardLedger, ShardSpec};
 use crate::batch::TickBatch;
 use crate::descriptor::FleetError;
+use crate::obs::trace::TraceSink;
 use crate::scheduler::Scheduler;
 use crate::telemetry::{Observer, TelemetryEvent};
 use std::io::Write;
@@ -30,6 +31,13 @@ use std::io::Write;
 /// child entry points that cannot receive custom CLI flags (e.g. a
 /// libtest-managed helper test).
 pub const CHAOS_ENV: &str = "DEDISP_CHAOS_EXEC";
+
+/// Environment variable the supervisor sets to ask a child to record
+/// its own phase spans and ship them upstream as
+/// [`ShardFrame::Trace`] sidecar frames. Any non-empty value other
+/// than `0` enables tracing. An env var rather than a spec field so
+/// the [`ShardSpec`] wire format stays unchanged.
+pub const TRACE_ENV: &str = "DEDISP_TRACE";
 
 /// SIGKILLs the current process — the real thing, via `kill -9`.
 /// Aborts as a fallback if the signal somehow fails to land, so a
@@ -58,6 +66,9 @@ struct Framing<W: Write> {
     /// First write failure; later writes are skipped so the run still
     /// terminates and the child can exit loudly.
     error: Option<FrameError>,
+    /// The child's own span sink, drained into [`ShardFrame::Trace`]
+    /// sidecars after each batch frame (tracing runs only).
+    trace: Option<TraceSink>,
 }
 
 impl<W: Write> Framing<W> {
@@ -69,6 +80,9 @@ impl<W: Write> Framing<W> {
             self.error = Some(e);
             return;
         }
+        // Only batch frames count toward the chaos budget: a trace
+        // sidecar never perturbs where the kill lands, so a traced
+        // chaos run dies after the same telemetry as an untraced one.
         if matches!(frame, ShardFrame::Batch(_)) {
             self.frames += 1;
             if let Some(chaos) = self.chaos {
@@ -85,6 +99,17 @@ impl<W: Write> Framing<W> {
             self.send(&ShardFrame::Batch(batch));
         }
     }
+
+    /// Ships the spans buffered since the last flush as one sidecar
+    /// frame (no frame when there is nothing to say).
+    fn flush_trace(&mut self) {
+        if let Some(sink) = self.trace.clone() {
+            let spans = sink.drain();
+            if !spans.is_empty() {
+                self.send(&ShardFrame::Trace(spans));
+            }
+        }
+    }
 }
 
 impl<W: Write> Observer for Framing<W> {
@@ -95,6 +120,7 @@ impl<W: Write> Observer for Framing<W> {
     fn observe_batch(&mut self, batch: &TickBatch) {
         self.flush_pending();
         self.send(&ShardFrame::Batch(batch.clone()));
+        self.flush_trace();
     }
 }
 
@@ -111,12 +137,29 @@ pub fn serve(
     output: impl Write,
     chaos_override: Option<ChaosSpec>,
 ) -> Result<(), FleetError> {
+    serve_traced(input, output, chaos_override, trace_from_env())
+}
+
+/// [`serve`] with tracing decided explicitly instead of from
+/// [`TRACE_ENV`]: when `traced`, the shard session records its phase
+/// spans and ships them upstream as [`ShardFrame::Trace`] sidecars.
+///
+/// # Errors
+///
+/// As [`serve`].
+pub fn serve_traced(
+    input: impl std::io::Read,
+    output: impl Write,
+    chaos_override: Option<ChaosSpec>,
+    traced: bool,
+) -> Result<(), FleetError> {
     let mut reader = FrameReader::new(input);
     let spec: ShardSpec = reader
         .read_msg()
         .map_err(|e| FleetError::new(format!("reading shard spec: {e}")))?
         .ok_or_else(|| FleetError::new("stream ended before a shard spec arrived"))?;
     let chaos = spec.chaos.or(chaos_override).or_else(chaos_from_env);
+    let trace = traced.then(TraceSink::default);
 
     let mut framing = Framing {
         out: output,
@@ -124,6 +167,7 @@ pub fn serve(
         chaos,
         pending: TickBatch::new(),
         error: None,
+        trace: trace.clone(),
     };
     let mut session = Scheduler::session(&spec.fleet)
         .config(spec.config.clone())
@@ -132,9 +176,16 @@ pub fn serve(
     if let Some(ceilings) = spec.ceilings.as_deref() {
         session = session.admission_ceilings(ceilings);
     }
+    if let Some(sink) = &trace {
+        session = session.trace(sink).trace_shard(spec.shard);
+    }
     match session.run_with(&mut framing) {
         Ok(run) => {
             framing.flush_pending();
+            // The last tick's flush-phase spans land after its batch
+            // frame went out; ship them before the ledger closes the
+            // conversation.
+            framing.flush_trace();
             framing.send(&ShardFrame::Ledger(ShardLedger {
                 report: run.report,
                 records: run.records,
@@ -173,6 +224,14 @@ fn chaos_from_env() -> Option<ChaosSpec> {
         .parse::<u32>()
         .ok()
         .map(|kill_after_frames| ChaosSpec { kill_after_frames })
+}
+
+/// Whether [`TRACE_ENV`] asks for span sidecars.
+fn trace_from_env() -> bool {
+    std::env::var(TRACE_ENV).is_ok_and(|v| {
+        let v = v.trim();
+        !v.is_empty() && v != "0"
+    })
 }
 
 #[cfg(test)]
@@ -233,6 +292,9 @@ mod tests {
                     assert!(ledger.replace(l).is_none(), "exactly one ledger");
                 }
                 ShardFrame::Fatal(why) => panic!("unexpected fatal: {why}"),
+                ShardFrame::Trace(spans) => {
+                    panic!("untraced serve shipped {} spans", spans.len())
+                }
             }
         }
         let ledger = ledger.expect("conversation ends with a ledger");
@@ -258,6 +320,43 @@ mod tests {
             log.push_batch(batch);
         }
         assert_eq!(log, reference.log);
+    }
+
+    #[test]
+    fn traced_serve_ships_sidecars_and_an_identical_ledger() {
+        let spec = spec_for_test();
+        let mut request = Vec::new();
+        write_msg(&mut request, &spec).unwrap();
+
+        let mut plain = Vec::new();
+        serve_traced(request.as_slice(), &mut plain, None, false).unwrap();
+        let mut traced = Vec::new();
+        serve_traced(request.as_slice(), &mut traced, None, true).unwrap();
+
+        // Stripping the sidecars from the traced conversation leaves
+        // exactly the untraced conversation: same batches, same
+        // ledger, byte for byte once re-framed.
+        let strip = |bytes: &[u8]| {
+            let mut reader = FrameReader::new(bytes);
+            let mut kept = Vec::new();
+            let mut spans = Vec::new();
+            while let Some(frame) = reader.read_msg::<ShardFrame>().unwrap() {
+                match frame {
+                    ShardFrame::Trace(s) => spans.extend(s),
+                    other => write_msg(&mut kept, &other).unwrap(),
+                }
+            }
+            (kept, spans)
+        };
+        let (plain_frames, plain_spans) = strip(&plain);
+        let (traced_frames, traced_spans) = strip(&traced);
+        assert_eq!(plain_frames, traced_frames);
+        assert!(plain_spans.is_empty());
+        assert!(!traced_spans.is_empty(), "a traced run ships spans");
+        assert!(
+            traced_spans.iter().all(|s| s.shard == Some(spec.shard)),
+            "child spans carry the shard tag"
+        );
     }
 
     #[test]

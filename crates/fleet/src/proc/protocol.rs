@@ -22,6 +22,7 @@ use crate::batch::TickBatch;
 use crate::descriptor::ResolvedFleet;
 use crate::fault::FaultPlan;
 use crate::metrics::{BeamRecord, FleetReport};
+use crate::obs::trace::Span;
 use crate::scheduler::SchedulerConfig;
 use crate::shard::ShardLoad;
 use serde::{Deserialize, Serialize};
@@ -84,6 +85,13 @@ pub enum ShardFrame {
     /// A deterministic scheduling error: retrying the identical spec
     /// would fail identically, so the supervisor fails loudly instead.
     Fatal(String),
+    /// A sidecar of the child's own wall-clock phase spans (see
+    /// [`crate::obs::trace`]), sent only when the supervisor asked
+    /// for tracing. Pure instrumentation, outside the conversation
+    /// proper: never counted toward frame dedupe, chaos kill counts,
+    /// or liveness progress accounting — a supervisor may drop every
+    /// `Trace` frame and the run's ledgers do not change.
+    Trace(Vec<Span>),
 }
 
 #[cfg(test)]
@@ -102,6 +110,13 @@ mod tests {
         });
         let frames = vec![
             ShardFrame::Batch(batch),
+            ShardFrame::Trace(vec![crate::obs::trace::Span {
+                kind: crate::obs::trace::SpanKind::Admit,
+                shard: Some(3),
+                tick: 7,
+                start_ns: 123,
+                dur_ns: 456,
+            }]),
             ShardFrame::Fatal("no load".to_string()),
         ];
         let mut buf = Vec::new();

@@ -35,6 +35,7 @@ use super::frame::{write_msg, FrameError, FrameReader};
 use super::protocol::{ChaosSpec, ShardFrame, ShardSpec};
 use crate::batch::EventLog;
 use crate::descriptor::FleetError;
+use crate::obs::trace::{SpanKind, TraceSink};
 use crate::scheduler::{FleetRun, Scheduler};
 use crate::telemetry::{Observer, TelemetryEvent};
 use serde::{Deserialize, Serialize};
@@ -270,6 +271,27 @@ pub fn run_shard(
     config: &ProcConfig,
     forward: &mut dyn Observer,
 ) -> Result<(FleetRun, ProcShardLedger), FleetError> {
+    run_shard_traced(spec, config, forward, None)
+}
+
+/// [`run_shard`] with a tracing sink: the supervisor records its own
+/// wall-clock spans (`frame_decode`, `liveness_wait`,
+/// `restart_backoff`), sets [`super::child::TRACE_ENV`] on the child
+/// so it records its phase spans too, and injects the child's
+/// [`ShardFrame::Trace`] sidecars into the sink — one timeline across
+/// parent and re-exec'd children. Trace frames never count toward
+/// frame dedupe or liveness-progress accounting, so the run's ledgers
+/// are byte-identical to an untraced [`run_shard`].
+///
+/// # Errors
+///
+/// As [`run_shard`].
+pub fn run_shard_traced(
+    spec: &ShardSpec,
+    config: &ProcConfig,
+    forward: &mut dyn Observer,
+    trace: Option<&TraceSink>,
+) -> Result<(FleetRun, ProcShardLedger), FleetError> {
     let mut ledger = ProcShardLedger {
         shard: spec.shard,
         attempts: Vec::new(),
@@ -305,6 +327,12 @@ pub fn run_shard(
         for (key, value) in &config.envs {
             command.env(key, value);
         }
+        if trace.is_some() {
+            // Ask the child for span sidecars; the spec wire format
+            // stays untouched, so traced and untraced supervisors
+            // speak the identical protocol.
+            command.env(super::child::TRACE_ENV, "1");
+        }
         command
             .stdin(Stdio::piped())
             .stdout(Stdio::piped())
@@ -321,11 +349,19 @@ pub fn run_shard(
                     outcome: ProcOutcome::SpawnFailed,
                     backoff_ms: None,
                 });
-                return degrade_in_thread(spec, forward, ledger);
+                return degrade_in_thread(spec, forward, ledger, trace);
             }
         };
 
-        match supervise_attempt(child, &attempt_spec, config, forward, &mut ledger, &mut log) {
+        match supervise_attempt(
+            child,
+            &attempt_spec,
+            config,
+            forward,
+            &mut ledger,
+            &mut log,
+            trace,
+        ) {
             Ok(AttemptEnd::Ledger(shard_ledger)) => {
                 ledger.attempts.push(ProcAttempt {
                     attempt,
@@ -358,6 +394,8 @@ pub fn run_shard(
                     attempt,
                     max_attempts,
                     ProcOutcome::Died { after_frames },
+                    trace,
+                    spec.shard,
                 );
             }
             Ok(AttemptEnd::TimedOut { after_frames }) => {
@@ -367,6 +405,8 @@ pub fn run_shard(
                     attempt,
                     max_attempts,
                     ProcOutcome::TimedOut { after_frames },
+                    trace,
+                    spec.shard,
                 );
             }
             Err(e) => return Err(e),
@@ -374,7 +414,7 @@ pub fn run_shard(
     }
 
     // Restart budget exhausted: the show goes on in-thread.
-    degrade_in_thread(spec, forward, ledger)
+    degrade_in_thread(spec, forward, ledger, trace)
 }
 
 /// Records a failed attempt and sleeps its backoff if a retry follows.
@@ -384,6 +424,8 @@ fn record_retry(
     attempt: u32,
     max_attempts: u32,
     outcome: ProcOutcome,
+    trace: Option<&TraceSink>,
+    shard: usize,
 ) {
     let will_retry = attempt < max_attempts;
     let backoff_ms = will_retry.then(|| config.backoff_ms(attempt));
@@ -394,13 +436,17 @@ fn record_retry(
     });
     if let Some(ms) = backoff_ms {
         ledger.restarts += 1;
+        let span =
+            trace.map(|t| t.start(SpanKind::RestartBackoff, Some(shard), u64::from(attempt)));
         std::thread::sleep(Duration::from_millis(ms));
+        drop(span);
     }
 }
 
 /// Supervises one spawned child to its end: writes the spec, decodes
 /// frames under the liveness deadline, forwards fresh batches, dedupes
 /// replayed ones.
+#[allow(clippy::too_many_arguments)]
 fn supervise_attempt(
     mut child: Child,
     spec: &ShardSpec,
@@ -408,6 +454,7 @@ fn supervise_attempt(
     forward: &mut dyn Observer,
     ledger: &mut ProcShardLedger,
     log: &mut EventLog,
+    trace: Option<&TraceSink>,
 ) -> Result<AttemptEnd, FleetError> {
     let stdout = child
         .stdout
@@ -427,12 +474,25 @@ fn supervise_attempt(
     // A dedicated reader thread turns the blocking pipe into a channel
     // the supervisor can wait on with a deadline.
     let (tx, rx) = mpsc::channel::<Result<ShardFrame, FrameError>>();
+    let reader_trace = trace.cloned();
+    let reader_shard = spec.shard;
     let reader = std::thread::spawn(move || {
         let mut frames = FrameReader::new(stdout);
+        let mut ordinal: u64 = 0;
         loop {
-            match frames.read_msg::<ShardFrame>() {
+            // `frame_decode` covers the whole pull: waiting on the
+            // pipe plus decoding the frame off it.
+            let span = reader_trace
+                .as_ref()
+                .map(|t| t.start(SpanKind::FrameDecode, Some(reader_shard), ordinal));
+            let next = frames.read_msg::<ShardFrame>();
+            drop(span);
+            ordinal += 1;
+            match next {
                 Ok(Some(frame)) => {
-                    let terminal = !matches!(frame, ShardFrame::Batch(_));
+                    // Only a ledger or a fatal closes the conversation;
+                    // batches and trace sidecars keep it open.
+                    let terminal = matches!(frame, ShardFrame::Ledger(_) | ShardFrame::Fatal(_));
                     if tx.send(Ok(frame)).is_err() || terminal {
                         break;
                     }
@@ -455,7 +515,10 @@ fn supervise_attempt(
             // The pipe rejected the spec: the child is already gone.
             break AttemptEnd::Died { after_frames: 0 };
         }
-        match rx.recv_timeout(config.liveness) {
+        let wait_span = trace.map(|t| t.start(SpanKind::LivenessWait, Some(spec.shard), seen));
+        let received = rx.recv_timeout(config.liveness);
+        drop(wait_span);
+        match received {
             Ok(Ok(ShardFrame::Batch(batch))) => {
                 if batch.validate().is_err() {
                     // A malformed batch from a live pipe is corruption,
@@ -474,6 +537,18 @@ fn supervise_attempt(
                     forward.observe_batch(&batch);
                     log.push_batch(batch);
                     ledger.frames_forwarded += 1;
+                }
+            }
+            Ok(Ok(ShardFrame::Trace(spans))) => {
+                // The child's own spans, merged onto the parent's
+                // timeline. Deliberately outside every other ledger
+                // line: a trace frame moves no dedupe counter and no
+                // frame total, so traced and untraced supervision
+                // account identically.
+                if let Some(sink) = trace {
+                    for span in spans {
+                        sink.record(span);
+                    }
                 }
             }
             Ok(Ok(ShardFrame::Ledger(shard_ledger))) => {
@@ -512,6 +587,7 @@ fn degrade_in_thread(
     spec: &ShardSpec,
     forward: &mut dyn Observer,
     mut ledger: ProcShardLedger,
+    trace: Option<&TraceSink>,
 ) -> Result<(FleetRun, ProcShardLedger), FleetError> {
     ledger.degraded_in_thread = true;
     let mut dedup = DedupForward {
@@ -527,6 +603,9 @@ fn degrade_in_thread(
         .faults(&spec.plan);
     if let Some(ceilings) = spec.ceilings.as_deref() {
         session = session.admission_ceilings(ceilings);
+    }
+    if let Some(sink) = trace {
+        session = session.trace(sink).trace_shard(spec.shard);
     }
     // The in-thread run's own log is complete and authoritative, so
     // the partially reconstructed one is dropped.

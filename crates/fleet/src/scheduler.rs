@@ -96,6 +96,7 @@ use crate::metrics::{
     BeamOutcome, BeamRecord, FleetReport, HealthCause, HealthEvent, HealthState, ShedReason,
     ShedRecord, WorkerStats,
 };
+use crate::obs::trace::{SpanKind, TraceSink};
 use crate::survey::BeamJob;
 use crate::telemetry::{NullObserver, Observer, StatusSnapshot, TelemetryEvent};
 use crossbeam::channel::{self, Receiver, Sender};
@@ -246,6 +247,8 @@ pub struct Session<'a> {
     policy: &'a dyn AdmissionPolicy,
     ceilings: Option<&'a [usize]>,
     prelude: Option<&'a EventLog>,
+    trace: Option<TraceSink>,
+    trace_shard: Option<usize>,
 }
 
 impl Scheduler {
@@ -263,6 +266,8 @@ impl Scheduler {
             policy: &PerDeviceGreedy,
             ceilings: None,
             prelude: None,
+            trace: None,
+            trace_shard: None,
         }
     }
 }
@@ -325,6 +330,25 @@ impl<'a> Session<'a> {
         self
     }
 
+    /// Attaches a tracing sink (see [`crate::obs::trace`]): the tick
+    /// loop records wall-clock phase spans (admit / dispatch / drain /
+    /// batch-encode / observer-flush, under a per-tick umbrella)
+    /// through the [`TraceSink`] seam. Spans never enter the run's
+    /// ledger — a traced run's [`FleetRun`] is byte-identical to an
+    /// untraced one.
+    #[must_use]
+    pub fn trace(mut self, sink: &TraceSink) -> Self {
+        self.trace = Some(sink.clone());
+        self
+    }
+
+    /// Tags this session's spans with a shard id (grid shards set
+    /// this so one sink serves a whole grid).
+    pub(crate) fn trace_shard(mut self, shard: usize) -> Self {
+        self.trace_shard = Some(shard);
+        self
+    }
+
     /// Runs the session to completion.
     ///
     /// # Errors
@@ -367,6 +391,12 @@ impl<'a> Session<'a> {
         }
         let n = fleet.len();
         let stats = Mutex::new(vec![WorkerStats::default(); n]);
+        // The sink is wall-clock-only instrumentation: the dispatcher
+        // holds a clone for its flush-phase spans, the loop below one
+        // for the tick phases. Nothing a span records ever reaches
+        // the batch, the log, or the report.
+        let trace = self.trace.clone();
+        let trace_shard = self.trace_shard;
         let mut dispatcher = Dispatcher::new(
             fleet,
             load,
@@ -374,6 +404,7 @@ impl<'a> Session<'a> {
             self.policy,
             self.ceilings,
             observer,
+            (self.trace, self.trace_shard),
         );
         // A capture-fed session replays the ingest-side events first:
         // the capture stream predates every scheduling decision. The
@@ -399,13 +430,25 @@ impl<'a> Session<'a> {
             dispatcher.senders = senders;
 
             let mut next_index = 0usize;
+            let span = |kind: SpanKind, tick: usize| {
+                trace
+                    .as_ref()
+                    .map(|t| t.start(kind, trace_shard, tick as u64))
+            };
             for tick in 0..load.ticks() {
+                let tick_span = span(SpanKind::Tick, tick);
+                dispatcher.tick = tick as u64;
                 let release = load.release(tick);
                 let deadline = load.deadline(tick);
                 let beams = load.beams_at(tick);
+                let drain_span = span(SpanKind::Drain, tick);
                 dispatcher.send_due_probes(release);
                 dispatcher.observe(&event_rx);
+                drop(drain_span);
+                let admit_span = span(SpanKind::Admit, tick);
                 let directive = dispatcher.admit_tick_reserving(tick, release, deadline, beams);
+                drop(admit_span);
+                let dispatch_span = span(SpanKind::Dispatch, tick);
                 for beam in 0..beams {
                     let job = BeamJob {
                         index: next_index,
@@ -423,10 +466,12 @@ impl<'a> Session<'a> {
                     }
                     dispatcher.observe(&event_rx);
                 }
+                drop(dispatch_span);
                 // One tick, one batch: every event this tick encoded
                 // reaches the live observer at this deterministic
                 // boundary and lands in the run log as one block.
                 dispatcher.flush();
+                drop(tick_span);
             }
             dispatcher.observe(&event_rx); // defensive: nothing may stay in flight
             dispatcher.flush();
@@ -496,6 +541,13 @@ struct Dispatcher<'s> {
     log: EventLog,
     /// Live subscriber to the stream.
     observer: &'s mut dyn Observer,
+    /// Wall-clock span sink for the flush phases (never touches the
+    /// batch or the log contents).
+    trace: Option<TraceSink>,
+    /// Shard tag for recorded spans (grid shards set this).
+    trace_shard: Option<usize>,
+    /// The tick in flight, for span tagging.
+    tick: u64,
     /// Consecutive late completions per device.
     late_strikes: Vec<usize>,
     /// Whether a probe is in flight per device.
@@ -521,6 +573,7 @@ impl<'s> Dispatcher<'s> {
         policy: &'s dyn AdmissionPolicy,
         ceilings: Option<&'s [usize]>,
         observer: &'s mut dyn Observer,
+        (trace, trace_shard): (Option<TraceSink>, Option<usize>),
     ) -> Self {
         let trials = load.trials();
         let n = fleet.len();
@@ -549,6 +602,9 @@ impl<'s> Dispatcher<'s> {
             batch: TickBatch::new(),
             log: EventLog::new(),
             observer,
+            trace,
+            trace_shard,
+            tick: 0,
             late_strikes: vec![0; n],
             probe_pending: vec![false; n],
             probe_at: vec![0.0; n],
@@ -577,8 +633,17 @@ impl<'s> Dispatcher<'s> {
             return;
         }
         let batch = std::mem::take(&mut self.batch);
-        self.observer.observe_batch(&batch);
-        self.log.push_batch(batch);
+        if let Some(trace) = self.trace.clone() {
+            let span = trace.start(SpanKind::ObserverFlush, self.trace_shard, self.tick);
+            self.observer.observe_batch(&batch);
+            span.finish();
+            let span = trace.start(SpanKind::BatchEncode, self.trace_shard, self.tick);
+            self.log.push_batch(batch);
+            span.finish();
+        } else {
+            self.observer.observe_batch(&batch);
+            self.log.push_batch(batch);
+        }
     }
 
     /// Replays a capture prelude batch-wise: each sealed drain-window
